@@ -1,0 +1,1 @@
+bench/harness.ml: Filename List Option Printf String Sys Unix

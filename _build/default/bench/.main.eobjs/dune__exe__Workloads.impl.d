@@ -1,0 +1,1 @@
+bench/workloads.ml: Array Faerie_core Faerie_datagen Faerie_sim List Sys

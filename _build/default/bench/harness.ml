@@ -1,0 +1,75 @@
+(* Timing and table-rendering helpers for the benchmark harness. *)
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let x = f () in
+  (x, Unix.gettimeofday () -. t0)
+
+let timed f = snd (time f)
+
+let section ~exhibit ~title =
+  Printf.printf "\n================================================================\n";
+  Printf.printf "%s — %s\n" exhibit title;
+  Printf.printf "================================================================\n%!"
+
+let subsection name = Printf.printf "\n--- %s ---\n%!" name
+
+(* When FAERIE_CSV_DIR is set, every named table is also written there as a
+   CSV file, ready for plotting. *)
+let csv_dir = Sys.getenv_opt "FAERIE_CSV_DIR"
+
+let write_csv name ~header ~rows =
+  match csv_dir with
+  | None -> ()
+  | Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      let oc = open_out (Filename.concat dir (name ^ ".csv")) in
+      let quote cell =
+        if String.exists (fun c -> c = ',' || c = '"') cell then
+          "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+        else cell
+      in
+      let line cells = output_string oc (String.concat "," (List.map quote cells) ^ "\n") in
+      line header;
+      List.iter line rows;
+      close_out oc
+
+(* Render one table: first column = x label, then one column per series.
+   Column widths adapt to the longest cell. [csv] names the exported file
+   when FAERIE_CSV_DIR is set. *)
+let table ?csv ~x_label ~columns ~rows () =
+  Option.iter (fun name -> write_csv name ~header:(x_label :: columns) ~rows) csv;
+  let header = x_label :: columns in
+  let widths =
+    List.mapi
+      (fun i h ->
+        let cell_max =
+          List.fold_left
+            (fun acc row ->
+              match List.nth_opt row i with
+              | Some c -> max acc (String.length c)
+              | None -> acc)
+            (String.length h) rows
+        in
+        max 12 (cell_max + 2))
+      header
+  in
+  let print_cells cells =
+    List.iter2 (fun w c -> Printf.printf "%-*s" w c) widths cells;
+    print_newline ()
+  in
+  print_cells header;
+  List.iter print_cells rows;
+  flush stdout
+
+let fmt_time s =
+  if s < 1e-3 then Printf.sprintf "%.0fus" (s *. 1e6)
+  else if s < 1.0 then Printf.sprintf "%.1fms" (s *. 1e3)
+  else Printf.sprintf "%.2fs" s
+
+let fmt_count n =
+  if n < 10_000 then string_of_int n
+  else if n < 10_000_000 then Printf.sprintf "%.1fK" (float_of_int n /. 1e3)
+  else Printf.sprintf "%.1fM" (float_of_int n /. 1e6)
+
+let fmt_float x = Printf.sprintf "%.2f" x

@@ -1,0 +1,271 @@
+(* faerie — command-line approximate dictionary-based entity extraction.
+
+   Subcommands:
+     extract   find approximate entity matches in documents
+     stats     report dictionary / index statistics
+     gen       generate a synthetic corpus (entities + documents)          *)
+
+module Sim = Faerie_sim.Sim
+module Extractor = Faerie_core.Extractor
+module Types = Faerie_core.Types
+module Problem = Faerie_core.Problem
+module Ix = Faerie_index
+module Corpus = Faerie_datagen.Corpus
+module Bytesize = Faerie_util.Bytesize
+open Cmdliner
+
+let read_lines path =
+  let ic = open_in path in
+  let rec loop acc =
+    match input_line ic with
+    | line -> loop (if String.trim line = "" then acc else String.trim line :: acc)
+    | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+  in
+  loop []
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* ---- shared arguments ---- *)
+
+let sim_conv =
+  let parse s =
+    match String.split_on_char '=' s with
+    | [ "jac"; d ] -> Ok (Sim.Jaccard (float_of_string d))
+    | [ "cos"; d ] -> Ok (Sim.Cosine (float_of_string d))
+    | [ "dice"; d ] -> Ok (Sim.Dice (float_of_string d))
+    | [ "ed"; t ] -> Ok (Sim.Edit_distance (int_of_string t))
+    | [ "eds"; d ] -> Ok (Sim.Edit_similarity (float_of_string d))
+    | _ ->
+        Error
+          (`Msg
+            "expected FUNC=THRESH with FUNC one of jac|cos|dice|eds (delta) or ed (tau)")
+  in
+  let print ppf sim = Format.fprintf ppf "%s" (Sim.to_string sim) in
+  Arg.conv (parse, print)
+
+let sim_arg =
+  let doc =
+    "Similarity function and threshold, e.g. ed=2, jac=0.8, eds=0.9."
+  in
+  Arg.(value & opt sim_conv (Sim.Edit_distance 2) & info [ "s"; "sim" ] ~docv:"FUNC=THRESH" ~doc)
+
+let q_arg =
+  let doc = "Gram length for edit distance / edit similarity." in
+  Arg.(value & opt int 2 & info [ "q" ] ~docv:"Q" ~doc)
+
+let dict_arg =
+  let doc = "Dictionary file: one entity per line." in
+  Arg.(required & opt (some file) None & info [ "d"; "dict" ] ~docv:"FILE" ~doc)
+
+let dict_opt_arg =
+  let doc = "Dictionary file: one entity per line." in
+  Arg.(value & opt (some file) None & info [ "d"; "dict" ] ~docv:"FILE" ~doc)
+
+let index_opt_arg =
+  let doc = "Prebuilt binary index (see the 'index' subcommand)." in
+  Arg.(value & opt (some file) None & info [ "x"; "index" ] ~docv:"FILE" ~doc)
+
+(* Build a problem from either a dictionary file or a saved index. *)
+let problem_of_source sim q dict_file index_file =
+  match (dict_file, index_file) with
+  | _, Some path ->
+      let _, index = Ix.Codec.load path in
+      Problem.of_index ~sim index
+  | Some path, None -> Problem.create ~sim ~q (read_lines path)
+  | None, None ->
+      prerr_endline "faerie: either --dict or --index is required";
+      exit 2
+
+(* ---- extract ---- *)
+
+let pruning_conv =
+  Arg.enum
+    [ ("none", Types.No_prune); ("lazy", Types.Lazy_count);
+      ("bucket", Types.Bucket_count); ("binary", Types.Binary_window) ]
+
+let extract_cmd =
+  let docs_arg =
+    let doc = "Document files (omit to read one document from stdin)." in
+    Arg.(value & pos_all file [] & info [] ~docv:"DOC" ~doc)
+  in
+  let pruning_arg =
+    let doc = "Pruning level: none, lazy, bucket or binary (full Faerie)." in
+    Arg.(value & opt pruning_conv Types.Binary_window & info [ "pruning" ] ~doc)
+  in
+  let show_stats_arg =
+    let doc = "Print filtering statistics to stderr." in
+    Arg.(value & flag & info [ "stats" ] ~doc)
+  in
+  let top_arg =
+    let doc = "Report only the K best matches per document." in
+    Arg.(value & opt (some int) None & info [ "top" ] ~docv:"K" ~doc)
+  in
+  let select_arg =
+    let doc =
+      "Resolve overlaps: report a maximum-score set of non-overlapping spans."
+    in
+    Arg.(value & flag & info [ "select" ] ~doc)
+  in
+  let run sim q dict_file index_file doc_files pruning show_stats top select =
+    let problem = problem_of_source sim q dict_file index_file in
+    let ex = Extractor.of_problem problem in
+    let process name text =
+      let doc = Extractor.tokenize ex text in
+      let results, stats =
+        match top with
+        | Some k ->
+            ( Extractor.results_of_char_matches ex doc
+                (Faerie_core.Topk.top_k ~pruning ~k problem doc),
+              Types.new_stats () )
+        | None -> Extractor.extract_document ~pruning ex doc
+      in
+      let results =
+        if not select then results
+        else begin
+          let as_char =
+            List.map
+              (fun (r : Extractor.result) ->
+                {
+                  Types.c_entity = r.Extractor.entity_id;
+                  c_start = r.Extractor.start_char;
+                  c_len = r.Extractor.len_chars;
+                  c_score = r.Extractor.score;
+                })
+              results
+          in
+          Extractor.results_of_char_matches ex doc
+            (Faerie_core.Span_select.select as_char)
+        end
+      in
+      List.iter
+        (fun (r : Extractor.result) ->
+          Printf.printf "%s\t%d\t%d\t%s\t%s\t%s\n" name r.Extractor.start_char
+            (r.Extractor.start_char + r.Extractor.len_chars)
+            (Format.asprintf "%a" Faerie_sim.Verify.Score.pp r.Extractor.score)
+            r.Extractor.entity r.Extractor.matched_text)
+        results;
+      if show_stats then
+        Format.eprintf "%s: %a@." name Types.pp_stats stats
+    in
+    (match doc_files with
+    | [] ->
+        let buf = Buffer.create 4096 in
+        (try
+           while true do
+             Buffer.add_channel buf stdin 1
+           done
+         with End_of_file -> ());
+        process "<stdin>" (Buffer.contents buf)
+    | files -> List.iter (fun f -> process f (read_file f)) files);
+    0
+  in
+  let doc = "Extract approximate entity matches from documents." in
+  Cmd.v
+    (Cmd.info "extract" ~doc)
+    Term.(
+      const run $ sim_arg $ q_arg $ dict_opt_arg $ index_opt_arg $ docs_arg
+      $ pruning_arg $ show_stats_arg $ top_arg $ select_arg)
+
+(* ---- stats ---- *)
+
+let stats_cmd =
+  let run sim q dict_file =
+    let entities = read_lines dict_file in
+    let problem = Problem.create ~sim ~q entities in
+    let dict = Problem.dictionary problem in
+    let index = Problem.index problem in
+    let n = Ix.Dictionary.size dict in
+    Printf.printf "entities:        %d\n" n;
+    Printf.printf "function:        %s (q=%d)\n" (Sim.to_string sim) q;
+    Printf.printf "distinct tokens: %d\n"
+      (Faerie_tokenize.Interner.size (Ix.Dictionary.interner dict));
+    Printf.printf "postings:        %d\n" (Ix.Inverted_index.n_postings index);
+    Printf.printf "non-empty lists: %d\n" (Ix.Inverted_index.n_lists index);
+    Printf.printf "index size:      %s\n"
+      (Bytesize.to_string (Ix.Inverted_index.heap_bytes index));
+    Printf.printf "fallback path:   %d entities\n"
+      (List.length (Problem.fallback_entities problem));
+    Printf.printf "substring token range: [%d, %d]\n"
+      (Problem.global_lower problem) (Problem.global_upper problem);
+    0
+  in
+  let doc = "Report dictionary and inverted-index statistics." in
+  Cmd.v (Cmd.info "stats" ~doc) Term.(const run $ sim_arg $ q_arg $ dict_arg)
+
+(* ---- index ---- *)
+
+let index_cmd =
+  let out_arg =
+    let doc = "Output path for the binary index." in
+    Arg.(required & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc)
+  in
+  let run sim q dict_file out =
+    let problem = Problem.create ~sim ~q (read_lines dict_file) in
+    Ix.Codec.save (Problem.dictionary problem) (Problem.index problem) out;
+    let bytes = (Unix.stat out).Unix.st_size in
+    Printf.printf "wrote %s (%s, %d entities, %d postings)\n" out
+      (Bytesize.to_string bytes)
+      (Ix.Dictionary.size (Problem.dictionary problem))
+      (Ix.Inverted_index.n_postings (Problem.index problem));
+    0
+  in
+  let doc =
+    "Build a dictionary index and save it for later 'extract --index' runs."
+  in
+  Cmd.v (Cmd.info "index" ~doc) Term.(const run $ sim_arg $ q_arg $ dict_arg $ out_arg)
+
+(* ---- gen ---- *)
+
+let gen_cmd =
+  let profile_arg =
+    let doc = "Corpus profile: dblp, pubmed or webpage." in
+    Arg.(value & opt (enum [ ("dblp", `Dblp); ("pubmed", `Pubmed); ("webpage", `Webpage) ]) `Dblp & info [ "profile" ] ~doc)
+  in
+  let n_entities_arg =
+    Arg.(value & opt int 1000 & info [ "entities" ] ~docv:"N" ~doc:"Number of entities.")
+  in
+  let n_docs_arg =
+    Arg.(value & opt int 100 & info [ "documents" ] ~docv:"N" ~doc:"Number of documents.")
+  in
+  let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let out_arg =
+    Arg.(value & opt string "corpus" & info [ "o"; "out" ] ~docv:"DIR" ~doc:"Output directory.")
+  in
+  let run profile n_entities n_documents seed out =
+    let corpus =
+      match profile with
+      | `Dblp -> Corpus.dblp ~seed ~n_entities ~n_documents ()
+      | `Pubmed -> Corpus.pubmed ~seed ~n_entities ~n_documents ()
+      | `Webpage -> Corpus.webpage ~seed ~n_entities ~n_documents ()
+    in
+    if not (Sys.file_exists out) then Sys.mkdir out 0o755;
+    let oc = open_out (Filename.concat out "entities.txt") in
+    Array.iter (fun e -> output_string oc (e ^ "\n")) corpus.Corpus.entities;
+    close_out oc;
+    let docs_dir = Filename.concat out "docs" in
+    if not (Sys.file_exists docs_dir) then Sys.mkdir docs_dir 0o755;
+    Array.iteri
+      (fun i (d : Corpus.document) ->
+        let oc = open_out (Filename.concat docs_dir (Printf.sprintf "doc%04d.txt" i)) in
+        output_string oc d.Corpus.text;
+        close_out oc)
+      corpus.Corpus.documents;
+    Format.printf "wrote %s: %a@." out Corpus.pp_stats (Corpus.stats corpus);
+    0
+  in
+  let doc = "Generate a synthetic corpus (entities.txt + docs/)." in
+  Cmd.v
+    (Cmd.info "gen" ~doc)
+    Term.(const run $ profile_arg $ n_entities_arg $ n_docs_arg $ seed_arg $ out_arg)
+
+let () =
+  let doc = "Approximate dictionary-based entity extraction (Faerie)." in
+  let info = Cmd.info "faerie" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval' (Cmd.group info [ extract_cmd; stats_cmd; gen_cmd; index_cmd ]))

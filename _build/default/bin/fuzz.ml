@@ -1,0 +1,162 @@
+(* Differential fuzzer: random extraction instances, every algorithm must
+   agree with the brute-force oracle. The qcheck suites run bounded counts
+   under `dune runtest`; this binary runs open-ended campaigns.
+
+   Usage: dune exec bin/fuzz.exe -- [iterations] [seed]                     *)
+
+module Sim = Faerie_sim.Sim
+module Core = Faerie_core
+module Types = Core.Types
+module Problem = Core.Problem
+module Tk = Faerie_tokenize
+module Naive = Faerie_baselines.Naive
+module Ngpp = Faerie_baselines.Ngpp
+module Ish = Faerie_baselines.Ish
+module Xorshift = Faerie_util.Xorshift
+
+let alphabet = [| 'a'; 'b'; 'c' |]
+
+let random_string rng lo hi =
+  let n = Xorshift.int_in_range rng ~lo ~hi in
+  String.init n (fun _ -> Xorshift.choose rng alphabet)
+
+let random_words rng lo hi =
+  let n = Xorshift.int_in_range rng ~lo ~hi in
+  List.init n (fun _ -> Xorshift.choose rng [| "aa"; "bb"; "cc"; "dd"; "ee" |])
+  |> String.concat " "
+
+type instance = {
+  sim : Sim.t;
+  q : int;
+  entities : string list;
+  document : string;
+}
+
+let random_instance rng =
+  let char_based = Xorshift.bool rng in
+  if char_based then begin
+    let sim =
+      match Xorshift.int rng 5 with
+      | 0 -> Sim.Edit_distance 0
+      | 1 -> Sim.Edit_distance 1
+      | 2 -> Sim.Edit_distance 2
+      | 3 -> Sim.Edit_similarity 0.7
+      | _ -> Sim.Edit_similarity 0.9
+    in
+    {
+      sim;
+      q = Xorshift.int_in_range rng ~lo:2 ~hi:3;
+      entities =
+        List.init (Xorshift.int_in_range rng ~lo:1 ~hi:5) (fun _ ->
+            random_string rng 1 8);
+      document = random_string rng 5 40;
+    }
+  end
+  else begin
+    let d = Xorshift.choose rng [| 0.5; 0.7; 0.8; 1.0 |] in
+    let sim =
+      match Xorshift.int rng 3 with
+      | 0 -> Sim.Jaccard d
+      | 1 -> Sim.Cosine d
+      | _ -> Sim.Dice d
+    in
+    {
+      sim;
+      q = 1;
+      entities =
+        List.init (Xorshift.int_in_range rng ~lo:1 ~hi:5) (fun _ ->
+            random_words rng 1 4);
+      document = random_words rng 3 20;
+    }
+  end
+
+let triples ms =
+  List.map
+    (fun (m : Types.char_match) -> (m.Types.c_entity, m.Types.c_start, m.Types.c_len))
+    ms
+
+let faerie_matches ?pruning problem doc =
+  let matches, _ = Core.Single_heap.run ?pruning problem doc in
+  let main =
+    List.map
+      (fun (m : Types.token_match) ->
+        let c_start, c_len =
+          Tk.Document.char_extent doc ~start:m.Types.m_start ~len:m.Types.m_len
+        in
+        { Types.c_entity = m.Types.m_entity; c_start; c_len; c_score = m.Types.m_score })
+      matches
+  in
+  List.sort_uniq Types.compare_char_match (Core.Fallback.run problem doc @ main)
+
+let check_instance inst =
+  let problem = Problem.create ~sim:inst.sim ~q:inst.q inst.entities in
+  let doc = Problem.tokenize_document problem inst.document in
+  let oracle = triples (Naive.extract problem doc) in
+  let failures = ref [] in
+  let expect name got =
+    if got <> oracle then failures := name :: !failures
+  in
+  List.iter
+    (fun pruning ->
+      expect
+        ("faerie/" ^ Types.pruning_name pruning)
+        (triples (faerie_matches ~pruning problem doc)))
+    Types.all_prunings;
+  List.iter
+    (fun (name, algorithm) ->
+      let ms, _ = Core.Multi_heap.run ~algorithm problem doc in
+      let as_char =
+        List.map
+          (fun (m : Types.token_match) ->
+            let c_start, c_len =
+              Tk.Document.char_extent doc ~start:m.Types.m_start ~len:m.Types.m_len
+            in
+            { Types.c_entity = m.Types.m_entity; c_start; c_len; c_score = m.Types.m_score })
+          ms
+      in
+      let full =
+        List.sort_uniq Types.compare_char_match
+          (Core.Fallback.run problem doc @ as_char)
+      in
+      expect ("multi-heap/" ^ name) (triples full))
+    [ ("heap", Core.Multi_heap.Heap_count); ("mergeskip", Core.Multi_heap.Merge_skip);
+      ("divideskip", Core.Multi_heap.Divide_skip) ];
+  (match inst.sim with
+  | Sim.Edit_distance tau ->
+      let ngpp = Ngpp.build ~tau inst.entities in
+      expect "ngpp" (triples (Ngpp.extract ngpp inst.document))
+  | Sim.Jaccard _ | Sim.Edit_similarity _ ->
+      let ish = Ish.build problem in
+      expect "ish" (triples (Ish.extract ish doc))
+  | Sim.Cosine _ | Sim.Dice _ -> ());
+  !failures
+
+let () =
+  let iterations =
+    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 2_000
+  in
+  let seed =
+    if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2)
+    else (int_of_float (Unix.gettimeofday () *. 1000.)) land 0xFFFFFF
+  in
+  Printf.printf "fuzzing %d instances (seed %d)\n%!" iterations seed;
+  let rng = Xorshift.create seed in
+  let failed = ref 0 in
+  for i = 1 to iterations do
+    let inst = random_instance rng in
+    (match check_instance inst with
+    | [] -> ()
+    | names ->
+        incr failed;
+        Printf.printf
+          "MISMATCH [%s] at iteration %d:\n  sim=%s q=%d\n  dict=[%s]\n  doc=%S\n%!"
+          (String.concat "," names) i (Sim.to_string inst.sim) inst.q
+          (String.concat "; " inst.entities)
+          inst.document);
+    if i mod 500 = 0 then Printf.printf "  %d/%d ok so far\n%!" (i - !failed) i
+  done;
+  if !failed = 0 then Printf.printf "all %d instances agree with the oracle\n" iterations
+  else begin
+    Printf.printf "%d mismatching instances\n" !failed;
+    exit 1
+  end

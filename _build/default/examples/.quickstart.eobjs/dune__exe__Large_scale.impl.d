@@ -1,0 +1,1 @@
+examples/large_scale.ml: Array Domain Faerie_core Faerie_datagen Faerie_index Faerie_sim Faerie_util Filename Format List Printf String Sys Unix

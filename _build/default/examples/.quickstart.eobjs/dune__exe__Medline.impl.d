@@ -1,0 +1,1 @@
+examples/medline.ml: Array Faerie_core Faerie_datagen Faerie_sim Format List Printf Unix

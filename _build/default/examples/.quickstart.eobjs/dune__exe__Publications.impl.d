@@ -1,0 +1,1 @@
+examples/publications.ml: Array Faerie_core Faerie_datagen Faerie_sim Faerie_tokenize Format List Printf String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Faerie_core Faerie_sim List Printf String

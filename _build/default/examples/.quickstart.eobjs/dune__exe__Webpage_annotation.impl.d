@@ -1,0 +1,1 @@
+examples/webpage_annotation.ml: Array Faerie_core Faerie_datagen Faerie_sim Format List Printf String Unix

@@ -1,0 +1,1 @@
+examples/webpage_annotation.mli:

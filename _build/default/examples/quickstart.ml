@@ -1,0 +1,40 @@
+(* Quickstart: the paper's running example (Table 1), end to end.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+module Sim = Faerie_sim.Sim
+module Extractor = Faerie_core.Extractor
+
+let dictionary =
+  [ "kaushik ch"; "chakrabarti"; "chaudhuri"; "venkatesh"; "surajit ch" ]
+
+let document =
+  "An Efficient Filter for Approximate Membership Checking. Venkaee shga \
+   Kamunshik kabarati, Dong Xin, Surauijt ChadhuriSIGMOD"
+
+let () =
+  print_endline "== Faerie quickstart: approximate entity extraction ==";
+  Printf.printf "dictionary: %s\n" (String.concat " | " dictionary);
+  Printf.printf "document:   %s\n\n" document;
+
+  (* Edit distance <= 2 over 2-grams, exactly the paper's Section 2 setup. *)
+  let ex = Extractor.create ~sim:(Sim.Edit_distance 2) ~q:2 dictionary in
+  let results = Extractor.extract ex document in
+  Printf.printf "edit distance tau=2: %d approximate matches\n" (List.length results);
+  List.iter (fun r -> Printf.printf "  %s\n" (Extractor.result_to_string ex r)) results;
+
+  (* The same dictionary under edit similarity. *)
+  print_newline ();
+  let ex = Extractor.create ~sim:(Sim.Edit_similarity 0.8) ~q:2 dictionary in
+  let results = Extractor.extract ex document in
+  Printf.printf "edit similarity delta=0.8: %d matches\n" (List.length results);
+  List.iter (fun r -> Printf.printf "  %s\n" (Extractor.result_to_string ex r)) results;
+
+  (* Token-based extraction: jaccard over word tokens. *)
+  print_newline ();
+  let names = [ "dong xin"; "surajit chaudhuri" ] in
+  let ex = Extractor.create ~sim:(Sim.Jaccard 0.5) names in
+  let results = Extractor.extract ex document in
+  Printf.printf "jaccard delta=0.5 over %s: %d matches\n"
+    (String.concat " | " names) (List.length results);
+  List.iter (fun r -> Printf.printf "  %s\n" (Extractor.result_to_string ex r)) results

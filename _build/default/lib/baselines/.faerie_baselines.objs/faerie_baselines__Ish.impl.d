@@ -1,0 +1,1 @@
+lib/baselines/ish.ml: Array Faerie_core Faerie_index Faerie_sim Faerie_tokenize Faerie_util Hashtbl List

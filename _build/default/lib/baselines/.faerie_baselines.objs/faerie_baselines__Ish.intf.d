@@ -1,0 +1,1 @@
+lib/baselines/ish.mli: Faerie_core Faerie_tokenize

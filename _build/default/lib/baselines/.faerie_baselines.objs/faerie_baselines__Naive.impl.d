@@ -1,0 +1,1 @@
+lib/baselines/naive.ml: Array Faerie_core Faerie_index Faerie_sim Faerie_tokenize List String

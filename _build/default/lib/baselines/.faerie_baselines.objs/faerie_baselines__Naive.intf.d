@@ -1,0 +1,1 @@
+lib/baselines/naive.mli: Faerie_core Faerie_tokenize

@@ -1,0 +1,1 @@
+lib/baselines/ngpp.ml: Array Faerie_core Faerie_sim Faerie_tokenize Faerie_util Hashtbl List String

@@ -1,0 +1,1 @@
+lib/baselines/ngpp.mli: Faerie_core

@@ -1,0 +1,143 @@
+module Tk = Faerie_tokenize
+module S = Faerie_sim
+module Ix = Faerie_index
+module Core = Faerie_core
+module Dynarray = Faerie_util.Dynarray
+module Bytesize = Faerie_util.Bytesize
+open Faerie_core.Types
+
+type t = {
+  problem : Core.Problem.t;
+  signatures : int array array;  (** entity id -> sorted signature tokens *)
+  lists : (int, int list ref) Hashtbl.t;  (** signature token -> entity ids *)
+  mutable checked : int;
+}
+
+let multiplicity tokens tok =
+  Array.fold_left (fun acc x -> if x = tok then acc + 1 else acc) 0 tokens
+
+(* Signature: drop the globally most frequent distinct tokens while the
+   total multiset multiplicity of dropped tokens stays below Tl; what
+   remains (the rarer tokens) is the signature. A substring sharing >= Tl
+   tokens with the entity must contain a signature token. *)
+let signature_of ~freq (e : Ix.Entity.t) ~tl =
+  let distinct = e.Ix.Entity.distinct_tokens in
+  let by_freq_desc = Array.copy distinct in
+  Array.sort
+    (fun a b ->
+      let c = compare freq.(b) freq.(a) in
+      if c <> 0 then c else compare a b)
+    by_freq_desc;
+  let dropped_mult = ref 0 in
+  let sig_tokens = ref [] in
+  Array.iter
+    (fun tok ->
+      let m = multiplicity e.Ix.Entity.tokens tok in
+      if !dropped_mult + m <= tl - 1 then dropped_mult := !dropped_mult + m
+      else sig_tokens := tok :: !sig_tokens)
+    by_freq_desc;
+  let s = Array.of_list !sig_tokens in
+  Array.sort compare s;
+  s
+
+let build problem =
+  let dict = Core.Problem.dictionary problem in
+  let n_tokens = Tk.Interner.size (Ix.Dictionary.interner dict) in
+  let freq = Array.make (max 1 n_tokens) 0 in
+  Array.iter
+    (fun e ->
+      Array.iter
+        (fun tok -> freq.(tok) <- freq.(tok) + 1)
+        e.Ix.Entity.distinct_tokens)
+    (Ix.Dictionary.entities dict);
+  let lists = Hashtbl.create 4096 in
+  let signatures =
+    Array.map
+      (fun e ->
+        let info = Core.Problem.info problem e.Ix.Entity.id in
+        match info.Core.Problem.path with
+        | Core.Problem.Indexed ->
+            let s = signature_of ~freq e ~tl:info.Core.Problem.tl in
+            Array.iter
+              (fun tok ->
+                match Hashtbl.find_opt lists tok with
+                | Some l -> l := e.Ix.Entity.id :: !l
+                | None -> Hashtbl.add lists tok (ref [ e.Ix.Entity.id ]))
+              s;
+            s
+        | Core.Problem.Fallback | Core.Problem.Impossible -> [||])
+      (Ix.Dictionary.entities dict)
+  in
+  { problem; signatures; lists; checked = 0 }
+
+let verify_substring t doc ~entity ~start ~len =
+  t.checked <- t.checked + 1;
+  let c : candidate = { entity; start; len } in
+  let sim = Core.Problem.sim t.problem in
+  (* Count filter before the (expensive) DP for the character-based
+     functions: a candidate must share at least T grams with the entity. *)
+  let passes_count_filter =
+    if not (S.Sim.char_based sim) then true
+    else begin
+      let e =
+        Ix.Dictionary.entity (Core.Problem.dictionary t.problem) entity
+      in
+      let overlap =
+        Tk.Token_ops.multiset_overlap e.Ix.Entity.sorted_tokens
+          (Tk.Document.token_multiset doc ~start ~len)
+      in
+      overlap >= Core.Problem.overlap_t t.problem
+                   ~e_len:(Ix.Entity.n_tokens e) ~s_len:len
+    end
+  in
+  if not passes_count_filter then None
+  else
+  let score = Core.Problem.verify_candidate t.problem doc c in
+  if S.Verify.Score.passes (Core.Problem.sim t.problem) score then begin
+    let c_start, c_len = Tk.Document.char_extent doc ~start ~len in
+    Some { c_entity = entity; c_start = c_start; c_len; c_score = score }
+  end
+  else None
+
+let extract t doc =
+  let n = Tk.Document.n_tokens doc in
+  let seen = Hashtbl.create 4096 in
+  let acc = ref [] in
+  for pos = 0 to n - 1 do
+    let tok = Tk.Document.token_id doc pos in
+    if tok >= 0 then
+      match Hashtbl.find_opt t.lists tok with
+      | None -> ()
+      | Some entities ->
+          List.iter
+            (fun entity ->
+              let info = Core.Problem.info t.problem entity in
+              let lo = info.Core.Problem.lower
+              and hi = min info.Core.Problem.upper n in
+              for len = lo to hi do
+                for start = max 0 (pos - len + 1) to min pos (n - len) do
+                  let key = (entity, start, len) in
+                  if not (Hashtbl.mem seen key) then begin
+                    Hashtbl.add seen key ();
+                    match verify_substring t doc ~entity ~start ~len with
+                    | Some m -> acc := m :: !acc
+                    | None -> ()
+                  end
+                done
+              done)
+            !entities
+  done;
+  let fallback = Core.Fallback.run t.problem doc in
+  List.sort_uniq compare_char_match (List.rev_append fallback !acc)
+
+let candidates_checked t = t.checked
+
+let index_bytes t =
+  let bytes = ref 0 in
+  Hashtbl.iter
+    (fun _tok l ->
+      bytes := !bytes + Bytesize.bytes_of_words (3 + (3 * List.length !l)))
+    t.lists;
+  !bytes
+
+let signature t id = t.signatures.(id)

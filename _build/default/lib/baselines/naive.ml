@@ -1,0 +1,90 @@
+module Tk = Faerie_tokenize
+module S = Faerie_sim
+module Ix = Faerie_index
+module Core = Faerie_core
+open Faerie_core.Types
+
+let char_lengths ~length_filtered sim ~e_chars ~n =
+  if not length_filtered then (1, n)
+  else
+    let lo, hi = Core.Fallback.char_length_bounds sim ~e_chars in
+    (* Widen by one on both sides: the oracle must not depend on exact
+       rounding of the bounds it is used to validate. *)
+    (max 1 (lo - 1), min n (hi + 1))
+
+let token_lengths ~length_filtered problem ~entity ~n =
+  if not length_filtered then (1, n)
+  else
+    let info = Core.Problem.info problem entity in
+    (max 1 (info.Core.Problem.lower - 1), min n (info.Core.Problem.upper + 1))
+
+let extract_char ~length_filtered problem doc =
+  let sim = Core.Problem.sim problem in
+  let text = Tk.Document.text doc in
+  let n = String.length text in
+  let dict = Core.Problem.dictionary problem in
+  let acc = ref [] in
+  Array.iter
+    (fun e ->
+      let e_str = e.Ix.Entity.text in
+      let lo, hi =
+        char_lengths ~length_filtered sim ~e_chars:(String.length e_str) ~n
+      in
+      for len = lo to hi do
+        for start = 0 to n - len do
+          let s_str = String.sub text start len in
+          let score = S.Verify.char_score sim ~e_str ~s_str in
+          if S.Verify.Score.passes sim score then
+            acc :=
+              {
+                c_entity = e.Ix.Entity.id;
+                c_start = start;
+                c_len = len;
+                c_score = score;
+              }
+              :: !acc
+        done
+      done)
+    (Ix.Dictionary.entities dict);
+  !acc
+
+let extract_token ~length_filtered problem doc =
+  let sim = Core.Problem.sim problem in
+  let n = Tk.Document.n_tokens doc in
+  let dict = Core.Problem.dictionary problem in
+  let acc = ref [] in
+  Array.iter
+    (fun e ->
+      let lo, hi =
+        token_lengths ~length_filtered problem ~entity:e.Ix.Entity.id ~n
+      in
+      for len = lo to hi do
+        for start = 0 to n - len do
+          let s_tokens = Tk.Document.token_multiset doc ~start ~len in
+          let score =
+            S.Verify.token_score sim ~e_tokens:e.Ix.Entity.sorted_tokens
+              ~s_tokens
+          in
+          if S.Verify.Score.passes sim score then begin
+            let c_start, c_len = Tk.Document.char_extent doc ~start ~len in
+            acc :=
+              {
+                c_entity = e.Ix.Entity.id;
+                c_start;
+                c_len;
+                c_score = score;
+              }
+              :: !acc
+          end
+        done
+      done)
+    (Ix.Dictionary.entities dict);
+  !acc
+
+let extract ?(length_filtered = false) problem doc =
+  let sim = Core.Problem.sim problem in
+  let matches =
+    if S.Sim.char_based sim then extract_char ~length_filtered problem doc
+    else extract_token ~length_filtered problem doc
+  in
+  List.sort_uniq compare_char_match matches

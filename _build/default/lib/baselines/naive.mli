@@ -1,0 +1,22 @@
+(** Brute-force oracle: enumerate substrings and verify each one exactly.
+
+    Used as the gold standard in the test suite — every filtering algorithm
+    must return exactly this set — and as the "no index" reference point.
+    Intended for small inputs only (quadratic in document size). *)
+
+val extract :
+  ?length_filtered:bool ->
+  Faerie_core.Problem.t ->
+  Faerie_tokenize.Document.t ->
+  Faerie_core.Types.char_match list
+(** [extract ?length_filtered problem doc] verifies:
+    - token-based functions: every token substring [D\[a, l\]];
+    - character-based functions: every character substring of the
+      normalized text.
+
+    With [length_filtered = false] (default) all lengths from 1 to the
+    document size are tried — no lemma of the paper is assumed, so this is
+    a true oracle. With [true], lengths are restricted per entity: Lemma 2
+    bounds for token functions, the elementary length bounds
+    (|len(s) - len(e)| <= tau, resp. delta * len <= len(s) <= len / delta)
+    for character functions — still complete, but faster on larger tests. *)

@@ -1,0 +1,163 @@
+module Tk = Faerie_tokenize
+module S = Faerie_sim
+module Bytesize = Faerie_util.Bytesize
+open Faerie_core.Types
+
+type hit = { entity : int; offset : int }
+
+type t = {
+  tau : int;
+  entities : string array;  (** normalized *)
+  raw : string array;
+  table : (string, hit list ref) Hashtbl.t;
+  probe_lengths : int list;  (** substring lengths worth probing *)
+  mutable entries : int;
+}
+
+let n_partitions tau = max 1 ((tau + 2) / 2)
+
+let partitions ~tau s =
+  let k = n_partitions tau in
+  let n = String.length s in
+  (* k contiguous parts, sizes as even as possible (first [n mod k] parts
+     one char longer). *)
+  let base = n / k and extra = n mod k in
+  let rec build i off acc =
+    if i >= k then List.rev acc
+    else begin
+      let len = base + if i < extra then 1 else 0 in
+      build (i + 1) (off + len) ((off, String.sub s off len) :: acc)
+    end
+  in
+  build 0 0 []
+
+let one_deletions s =
+  let n = String.length s in
+  List.init n (fun i -> String.sub s 0 i ^ String.sub s (i + 1) (n - i - 1))
+
+(* Per-partition edit budget: with k = ceil((tau+1)/2) partitions the
+   pigeonhole argument leaves at most floor(tau/k) <= 1 edits on some
+   partition — and exactly 0 when tau = 0, where partitions must match
+   exactly and no deletion neighborhood is needed. *)
+let part_budget tau = if tau = 0 then 0 else 1
+
+let neighborhood ~budget s = if budget = 0 then [ s ] else s :: one_deletions s
+
+let add_entry t key hit =
+  t.entries <- t.entries + 1;
+  match Hashtbl.find_opt t.table key with
+  | Some l -> l := hit :: !l
+  | None -> Hashtbl.add t.table key (ref [ hit ])
+
+let build ~tau raw_entities =
+  if tau < 0 then invalid_arg "Ngpp.build: tau must be >= 0";
+  let raw = Array.of_list raw_entities in
+  let entities = Array.map Tk.Tokenizer.normalize raw in
+  let t =
+    {
+      tau;
+      entities;
+      raw;
+      table = Hashtbl.create 4096;
+      probe_lengths = [];
+      entries = 0;
+    }
+  in
+  let part_lengths = Hashtbl.create 64 in
+  Array.iteri
+    (fun id e ->
+      List.iter
+        (fun (offset, part) ->
+          Hashtbl.replace part_lengths (String.length part) ();
+          List.iter
+            (fun neighbor -> add_entry t neighbor { entity = id; offset })
+            (neighborhood ~budget:(part_budget tau) part))
+        (partitions ~tau e))
+    entities;
+  (* A document substring w' can be within ed <= 1 of a part w only when
+     its length is within 1 of |w|. *)
+  let lengths = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun len () ->
+      let near =
+        if part_budget tau = 0 then [ len ] else [ len - 1; len; len + 1 ]
+      in
+      List.iter (fun l -> if l >= 0 then Hashtbl.replace lengths l ()) near)
+    part_lengths;
+  let probe_lengths =
+    Hashtbl.fold (fun l () acc -> l :: acc) lengths [] |> List.sort compare
+  in
+  { t with probe_lengths }
+
+(* Verify every admissible substring aligned with a partition hit. *)
+let verify_hit t text ~seen ~acc ~pos hit =
+  let n = String.length text in
+  let e = t.entities.(hit.entity) in
+  let e_len = String.length e in
+  let start_lo = max 0 (pos - hit.offset - t.tau) in
+  let start_hi = min (n - 1) (pos - hit.offset + t.tau) in
+  for start = start_lo to start_hi do
+    for len = max 1 (e_len - t.tau) to min (e_len + t.tau) (n - start) do
+      let key = (hit.entity, start, len) in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.add seen key ();
+        match
+          S.Edit_distance.distance_upto ~cap:t.tau e (String.sub text start len)
+        with
+        | Some d ->
+            acc :=
+              {
+                c_entity = hit.entity;
+                c_start = start;
+                c_len = len;
+                c_score = S.Verify.Score.Distance d;
+              }
+              :: !acc
+        | None -> ()
+      end
+    done
+  done
+
+let extract t raw_doc =
+  let text = Tk.Tokenizer.normalize raw_doc in
+  let n = String.length text in
+  let seen = Hashtbl.create 4096 in
+  let acc = ref [] in
+  let probe pos s =
+    List.iter
+      (fun neighbor ->
+        match Hashtbl.find_opt t.table neighbor with
+        | Some hits -> List.iter (verify_hit t text ~seen ~acc ~pos) !hits
+        | None -> ())
+      (neighborhood ~budget:(part_budget t.tau) s)
+  in
+  List.iter
+    (fun len ->
+      if len = 0 then begin
+        (* Empty partitions (entities shorter than the partition count)
+           match anywhere; probe the empty string once per position. *)
+        if Hashtbl.mem t.table "" then
+          for pos = 0 to n do
+            match Hashtbl.find_opt t.table "" with
+            | Some hits -> List.iter (verify_hit t text ~seen ~acc ~pos) !hits
+            | None -> ()
+          done
+      end
+      else
+        for pos = 0 to n - len do
+          probe pos (String.sub text pos len)
+        done)
+    t.probe_lengths;
+  List.sort_uniq compare_char_match !acc
+
+let index_bytes t =
+  let bytes = ref 0 in
+  Hashtbl.iter
+    (fun key hits ->
+      bytes :=
+        !bytes + Bytesize.string_bytes key
+        + Bytesize.bytes_of_words (3 + (4 * List.length !hits)))
+    t.table;
+  !bytes
+
+let n_neighborhood_entries t = t.entries

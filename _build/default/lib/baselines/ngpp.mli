@@ -1,0 +1,34 @@
+(** NGPP — neighborhood-generation with partitioning (Wang, Xiao, Lin,
+    Zhang, SIGMOD 2009), the paper's edit-distance competitor (Fig. 16a).
+
+    Each entity is split into [k = ⌈(tau+1)/2⌉] contiguous partitions; by
+    the pigeonhole principle, any string within edit distance [tau] of the
+    entity contains a substring within edit distance 1 of some partition
+    (aligned within [tau] of the partition's offset). "Within edit distance
+    1" is detected through 1-deletion neighborhoods: the index maps every
+    partition and every string obtained by deleting one character from it
+    to [(entity, partition offset, partition length)]; a probe generates
+    the same neighborhood of each document substring of a relevant length.
+    Hits become alignment candidates verified with a banded DP.
+
+    The index grows with [tau] (larger neighborhoods, more probe lengths) —
+    the behaviour the paper contrasts with Faerie's q-gram index. *)
+
+type t
+
+val build : tau:int -> string list -> t
+(** Index a dictionary for edit-distance threshold [tau].
+
+    @raise Invalid_argument if [tau < 0]. *)
+
+val extract : t -> string -> Faerie_core.Types.char_match list
+(** All substrings of the (normalized) document within edit distance [tau]
+    of some entity; character coordinates, sorted, deduplicated. *)
+
+val index_bytes : t -> int
+(** Estimated resident size of the neighborhood hash table. *)
+
+val n_neighborhood_entries : t -> int
+
+val partitions : tau:int -> string -> (int * string) list
+(** [(offset, part)] partitioning used by the index; exposed for tests. *)

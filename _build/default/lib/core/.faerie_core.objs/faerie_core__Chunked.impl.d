@@ -1,0 +1,1 @@
+lib/core/chunked.ml: Buffer Faerie_index Faerie_sim Faerie_tokenize Fallback List Problem Seq Single_heap String Types

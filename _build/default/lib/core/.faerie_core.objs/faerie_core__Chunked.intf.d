@@ -1,0 +1,1 @@
+lib/core/chunked.mli: Problem Seq Types

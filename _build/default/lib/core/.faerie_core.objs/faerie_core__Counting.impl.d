@@ -1,0 +1,1 @@
+lib/core/counting.ml: Array

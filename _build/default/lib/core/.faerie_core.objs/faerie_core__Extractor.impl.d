@@ -1,0 +1,1 @@
+lib/core/extractor.ml: Faerie_index Faerie_sim Faerie_tokenize Fallback Format List Problem Single_heap String Types

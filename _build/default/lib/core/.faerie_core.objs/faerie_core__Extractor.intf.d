@@ -1,0 +1,1 @@
+lib/core/extractor.mli: Faerie_sim Faerie_tokenize Problem Types

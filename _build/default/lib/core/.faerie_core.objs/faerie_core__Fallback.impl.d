@@ -1,0 +1,1 @@
+lib/core/fallback.ml: Faerie_index Faerie_sim Faerie_tokenize Float List Problem String Types

@@ -1,0 +1,1 @@
+lib/core/fallback.mli: Faerie_sim Faerie_tokenize Problem Types

@@ -1,0 +1,1 @@
+lib/core/multi_heap.ml: Array Faerie_heaps Faerie_index Faerie_sim Faerie_tokenize Faerie_util List Problem Types

@@ -1,0 +1,1 @@
+lib/core/multi_heap.mli: Faerie_tokenize Problem Types

@@ -1,0 +1,1 @@
+lib/core/parallel.ml: Array Atomic Domain Faerie_tokenize Fallback List Problem Single_heap Types

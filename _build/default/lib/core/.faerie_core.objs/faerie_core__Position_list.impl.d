@@ -1,0 +1,1 @@
+lib/core/position_list.ml: Array List

@@ -1,0 +1,1 @@
+lib/core/problem.ml: Array Faerie_index Faerie_sim Faerie_tokenize List Printf Types

@@ -1,0 +1,1 @@
+lib/core/problem.mli: Faerie_index Faerie_sim Faerie_tokenize Types

@@ -1,0 +1,1 @@
+lib/core/single_heap.ml: Array Counting Faerie_heaps Faerie_index Faerie_sim Faerie_tokenize Faerie_util List Position_list Problem Types Windows

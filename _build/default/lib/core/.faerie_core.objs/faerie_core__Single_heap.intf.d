@@ -1,0 +1,1 @@
+lib/core/single_heap.mli: Faerie_heaps Faerie_tokenize Problem Types

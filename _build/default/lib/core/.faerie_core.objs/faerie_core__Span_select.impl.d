@@ -1,0 +1,1 @@
+lib/core/span_select.ml: Array Faerie_sim List Types

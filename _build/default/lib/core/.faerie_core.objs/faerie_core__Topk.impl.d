@@ -1,0 +1,1 @@
+lib/core/topk.ml: Faerie_heaps Faerie_sim Faerie_tokenize Fallback List Single_heap Types

@@ -1,0 +1,1 @@
+lib/core/topk.mli: Faerie_tokenize Problem Types

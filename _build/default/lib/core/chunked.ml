@@ -1,0 +1,114 @@
+module Tk = Faerie_tokenize
+module S = Faerie_sim
+open Types
+
+(* Maximal character length of any fallback-path match (gram mode only). *)
+let fallback_max_chars problem =
+  List.fold_left
+    (fun acc id ->
+      let e =
+        Faerie_index.Dictionary.entity (Problem.dictionary problem) id
+      in
+      let _, hi =
+        Fallback.char_length_bounds (Problem.sim problem)
+          ~e_chars:(String.length e.Faerie_index.Entity.text)
+      in
+      max acc hi)
+    1
+    (Problem.fallback_entities problem)
+
+let extract_buffer ?pruning problem text =
+  let doc = Problem.tokenize_document problem text in
+  let matches, _ = Single_heap.run ?pruning problem doc in
+  let main =
+    List.map
+      (fun (m : token_match) ->
+        let c_start, c_len =
+          Tk.Document.char_extent doc ~start:m.m_start ~len:m.m_len
+        in
+        { c_entity = m.m_entity; c_start; c_len; c_score = m.m_score })
+      matches
+  in
+  (doc, List.sort_uniq compare_char_match (Fallback.run problem doc @ main))
+
+(* The carry cut: a buffer position such that
+   (a) no match of the full document starts before it and extends beyond
+       the current buffer, and
+   (b) every match starting at or after it is found intact when the buffer
+       tail from the cut onward is re-processed with the next input.
+   Returns 0 when no safe cut exists yet (carry everything). *)
+let carry_cut problem doc ~buffer_len ~fallback_chars =
+  let upper = Problem.global_upper problem in
+  let n = Tk.Document.n_tokens doc in
+  (* Reserve the (possibly input-truncated) last token plus upper tokens. *)
+  let cut_token = n - upper - 1 in
+  if cut_token <= 0 then 0
+  else begin
+    let token_cut = (Tk.Document.span doc cut_token).Tk.Span.start_pos in
+    match Problem.fallback_entities problem with
+    | [] -> token_cut
+    | _ :: _ -> max 0 (min token_cut (buffer_len - fallback_chars))
+  end
+
+let extract ?pruning ?(min_buffer_chars = 65536) problem ~feed =
+  let fallback_chars = fallback_max_chars problem in
+  let results = ref [] in
+  let buffer = Buffer.create (min_buffer_chars + 1024) in
+  let base = ref 0 in
+  let eof = ref false in
+  let fill () =
+    while (not !eof) && Buffer.length buffer < min_buffer_chars do
+      match feed () with
+      | Some piece -> Buffer.add_string buffer piece
+      | None -> eof := true
+    done
+  in
+  let emit ~limit ms =
+    List.iter
+      (fun m ->
+        if m.c_start < limit then
+          results := { m with c_start = m.c_start + !base } :: !results)
+      ms
+  in
+  fill ();
+  let continue = ref true in
+  while !continue do
+    let text = Buffer.contents buffer in
+    if !eof then begin
+      if String.length text > 0 then begin
+        let _, ms = extract_buffer ?pruning problem text in
+        emit ~limit:max_int ms
+      end;
+      continue := false
+    end
+    else begin
+      let doc, ms = extract_buffer ?pruning problem text in
+      let cut =
+        carry_cut problem doc ~buffer_len:(String.length text) ~fallback_chars
+      in
+      if cut > 0 then begin
+        emit ~limit:cut ms;
+        base := !base + cut;
+        Buffer.clear buffer;
+        Buffer.add_string buffer
+          (String.sub text cut (String.length text - cut))
+      end;
+      (* Progress: read at least one more piece before the next round. *)
+      (match feed () with
+      | Some piece -> Buffer.add_string buffer piece
+      | None -> eof := true);
+      fill ()
+    end
+  done;
+  List.sort_uniq compare_char_match !results
+
+let extract_seq ?pruning ?min_buffer_chars problem pieces =
+  let rest = ref pieces in
+  let feed () =
+    match Seq.uncons !rest with
+    | Some (piece, tl) ->
+        rest := tl;
+        Some piece
+    | None -> None
+  in
+  extract ?pruning ?min_buffer_chars problem ~feed

@@ -1,0 +1,33 @@
+(** Streaming extraction over documents larger than memory.
+
+    The document arrives as a sequence of text pieces; extraction runs over
+    a sliding buffer. Because any match spans at most [⌈E] tokens (Lemma 2)
+    — bounded characters for gram mode, bounded tokens for word mode — a
+    bounded tail of each buffer is carried into the next one, and every
+    match of the full concatenated document is reported exactly once, with
+    global character offsets. The test suite checks chunked == whole-document
+    extraction on randomly split inputs.
+
+    Word-mode carry cuts are snapped to token starts so a token straddling
+    a buffer boundary is never mis-tokenized; gram-mode carries additionally
+    cover the fallback entities' maximal match length. *)
+
+val extract :
+  ?pruning:Types.pruning ->
+  ?min_buffer_chars:int ->
+  Problem.t ->
+  feed:(unit -> string option) ->
+  Types.char_match list
+(** [extract problem ~feed] pulls text pieces from [feed] until it returns
+    [None] and returns all matches of the concatenation, sorted, with
+    offsets into the concatenation. [min_buffer_chars] (default 65536)
+    controls how much text accumulates before a round of extraction — a
+    trade-off between memory and redundant work on the carried tail. *)
+
+val extract_seq :
+  ?pruning:Types.pruning ->
+  ?min_buffer_chars:int ->
+  Problem.t ->
+  string Seq.t ->
+  Types.char_match list
+(** [extract_seq problem pieces] — convenience wrapper over {!extract}. *)

@@ -1,0 +1,28 @@
+let iter_nonzero ~positions ~first ~last ~len ~n_tokens ~f =
+  if last >= first && len >= 1 && len <= n_tokens then begin
+    let max_start = n_tokens - len in
+    (* i: first slice index with positions.(i) >= start (window membership
+       lower fringe); j: first slice index with positions.(j) > start+len-1.
+       Window count = j - i. Both advance monotonically with start. *)
+    let i = ref first and j = ref first in
+    let start = ref (max 0 (positions.(first) - len + 1)) in
+    let continue = ref true in
+    while !continue && !start <= max_start do
+      while !i <= last && positions.(!i) < !start do
+        incr i
+      done;
+      while !j <= last && positions.(!j) <= !start + len - 1 do
+        incr j
+      done;
+      let count = !j - !i in
+      if count > 0 then begin
+        f ~start:!start ~count;
+        incr start
+      end
+      else if !i > last then continue := false
+      else
+        (* The window is empty: jump to the first start whose window can
+           contain the next position. *)
+        start := max (!start + 1) (positions.(!i) - len + 1)
+    done
+  end

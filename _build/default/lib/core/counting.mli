@@ -1,0 +1,23 @@
+(** Occurrence-array counting for the single-heap method (Section 3.3).
+
+    Conceptually the paper maintains [V\[start\]\[len\]] = number of entity
+    positions inside the valid substring [D\[start, len\]]. We never
+    materialize the 2-D array: for one entity, one substring length and one
+    slice of the position list, a two-pointer sweep emits exactly the
+    non-zero entries — the quantity the paper reports as "candidates". *)
+
+val iter_nonzero :
+  positions:int array ->
+  first:int ->
+  last:int ->
+  len:int ->
+  n_tokens:int ->
+  f:(start:int -> count:int -> unit) ->
+  unit
+(** [iter_nonzero ~positions ~first ~last ~len ~n_tokens ~f] calls
+    [f ~start ~count] for every substring start [start] (with
+    [start + len <= n_tokens]) whose token window
+    [\[start, start + len - 1\]] contains at least one of
+    [positions.(first..last)], where [count] is how many it contains.
+    Starts are visited in ascending order, each exactly once. Runs in
+    O(emitted + slice size). *)

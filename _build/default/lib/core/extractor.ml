@@ -1,0 +1,70 @@
+module Tk = Faerie_tokenize
+module S = Faerie_sim
+module Ix = Faerie_index
+open Types
+
+type t = { problem : Problem.t }
+
+type result = {
+  entity_id : int;
+  entity : string;
+  start_char : int;
+  len_chars : int;
+  matched_text : string;
+  score : S.Verify.Score.t;
+}
+
+let create ~sim ?q ?mode entities =
+  { problem = Problem.create ~sim ?q ?mode entities }
+
+let of_problem problem = { problem }
+
+let problem t = t.problem
+
+let tokenize t raw = Problem.tokenize_document t.problem raw
+
+let to_result t doc (cm : char_match) =
+  let e = Ix.Dictionary.entity (Problem.dictionary t.problem) cm.c_entity in
+  let text = Tk.Document.text doc in
+  {
+    entity_id = cm.c_entity;
+    entity = e.Ix.Entity.raw;
+    start_char = cm.c_start;
+    len_chars = cm.c_len;
+    matched_text = String.sub text cm.c_start cm.c_len;
+    score = cm.c_score;
+  }
+
+let char_match_of_token_match doc (m : token_match) =
+  let c_start, c_len =
+    Tk.Document.char_extent doc ~start:m.m_start ~len:m.m_len
+  in
+  { c_entity = m.m_entity; c_start; c_len; c_score = m.m_score }
+
+let results_of_char_matches t doc ms =
+  List.map (to_result t doc) ms
+  |> List.sort (fun a b ->
+         let c = compare a.start_char b.start_char in
+         if c <> 0 then c
+         else
+           let c = compare a.len_chars b.len_chars in
+           if c <> 0 then c else compare a.entity_id b.entity_id)
+
+let extract_document ?pruning t doc =
+  let matches, stats = Single_heap.run ?pruning t.problem doc in
+  let main = List.map (char_match_of_token_match doc) matches in
+  let fallback = Fallback.run t.problem doc in
+  let all =
+    List.sort_uniq compare_char_match (List.rev_append fallback main)
+  in
+  (results_of_char_matches t doc all, stats)
+
+let extract ?pruning t raw =
+  let doc = tokenize t raw in
+  fst (extract_document ?pruning t doc)
+
+let result_to_string t r =
+  ignore t;
+  Format.asprintf "[%d,%d) %S ~ e%d=%S (%a)" r.start_char
+    (r.start_char + r.len_chars) r.matched_text r.entity_id r.entity
+    S.Verify.Score.pp r.score

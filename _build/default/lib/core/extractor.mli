@@ -1,0 +1,72 @@
+(** Public API: approximate dictionary-based entity extraction
+    (filter with Faerie, verify exactly, report character spans).
+
+    {[
+      let ex =
+        Extractor.create ~sim:(Sim.Edit_distance 2) ~q:2
+          [ "surajit ch"; "chaudhuri"; "venkatesh" ]
+      in
+      let results = Extractor.extract ex "... surauijt chadhurisigmod" in
+      List.iter (fun r -> print_endline (Extractor.result_to_string ex r)) results
+    ]} *)
+
+type t
+
+type result = {
+  entity_id : int;
+  entity : string;  (** the dictionary entity (original form) *)
+  start_char : int;  (** match offset in the (normalized) document *)
+  len_chars : int;
+  matched_text : string;  (** the matching document substring *)
+  score : Faerie_sim.Verify.Score.t;
+}
+
+val create :
+  sim:Faerie_sim.Sim.t ->
+  ?q:int ->
+  ?mode:Faerie_tokenize.Document.mode ->
+  string list ->
+  t
+(** Build the dictionary, inverted index and per-entity thresholds once;
+    reuse across documents. [q] (default 2) is the gram length for edit
+    distance / edit similarity and is ignored by the token-based functions
+    unless [mode] forces gram tokens for them (see {!Problem.create}).
+
+    @raise Invalid_argument on an invalid threshold or [q <= 0]. *)
+
+val problem : t -> Problem.t
+(** The underlying problem instance (index, thresholds) — the lower-level
+    entry point used by the benchmarks. *)
+
+val of_problem : Problem.t -> t
+(** Wrap an existing problem — e.g. one built from a saved index via
+    {!Problem.of_index}. *)
+
+val results_of_char_matches :
+  t ->
+  Faerie_tokenize.Document.t ->
+  Types.char_match list ->
+  result list
+(** Render raw character matches (from {!Topk}, {!Span_select},
+    {!Chunked}, ...) as full results, sorted by (start, length, entity).
+    The document must be the one the matches were produced from. *)
+
+val extract : ?pruning:Types.pruning -> t -> string -> result list
+(** All substrings of the document approximately matching some entity,
+    sorted by (start, length, entity). Complete and exact: the filter
+    (at any pruning level) never loses a true match, and every reported
+    pair passed exact verification. *)
+
+val extract_document :
+  ?pruning:Types.pruning ->
+  t ->
+  Faerie_tokenize.Document.t ->
+  result list * Types.stats
+(** As {!extract} on a pre-tokenized document (see {!tokenize}), also
+    returning filter statistics. The document must have been tokenized by
+    this extractor. *)
+
+val tokenize : t -> string -> Faerie_tokenize.Document.t
+
+val result_to_string : t -> result -> string
+(** One-line human-readable rendering. *)

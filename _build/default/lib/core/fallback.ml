@@ -1,0 +1,41 @@
+module Tk = Faerie_tokenize
+module S = Faerie_sim
+module Ix = Faerie_index
+open Types
+
+let char_length_bounds sim ~e_chars =
+  let e = float_of_int e_chars in
+  match sim with
+  | S.Sim.Edit_distance tau -> (max 1 (e_chars - tau), e_chars + tau)
+  | S.Sim.Edit_similarity d ->
+      ( max 1 (int_of_float (Float.ceil ((e *. d) -. 1e-9))),
+        int_of_float (Float.floor ((e /. d) +. 1e-9)) )
+  | S.Sim.Jaccard _ | S.Sim.Cosine _ | S.Sim.Dice _ ->
+      invalid_arg "Fallback.char_length_bounds: token-based function"
+
+let run problem doc =
+  match Problem.fallback_entities problem with
+  | [] -> []
+  | fallback ->
+      let sim = Problem.sim problem in
+      let text = Tk.Document.text doc in
+      let n = String.length text in
+      let dict = Problem.dictionary problem in
+      let acc = ref [] in
+      List.iter
+        (fun id ->
+          let e = Ix.Dictionary.entity dict id in
+          let e_str = e.Ix.Entity.text in
+          let lo, hi = char_length_bounds sim ~e_chars:(String.length e_str) in
+          for len = lo to min hi n do
+            for start = 0 to n - len do
+              let s_str = String.sub text start len in
+              let score = S.Verify.char_score sim ~e_str ~s_str in
+              if S.Verify.Score.passes sim score then
+                acc :=
+                  { c_entity = id; c_start = start; c_len = len; c_score = score }
+                  :: !acc
+            done
+          done)
+        fallback;
+      List.sort_uniq compare_char_match !acc

@@ -1,0 +1,128 @@
+module Tk = Faerie_tokenize
+module S = Faerie_sim
+module Heaps = Faerie_heaps
+module Ix = Faerie_index
+module Dynarray = Faerie_util.Dynarray
+open Types
+
+(* Merge the inverted lists of tokens [a .. a+l-1], calling [f entity count]
+   for each entity with its occurrence count in the substring. Heap keys
+   encode (entity, slot) as in {!Faerie_heaps.Multiway}. *)
+let rec bits_for n acc = if n <= 1 then acc else bits_for ((n + 1) / 2) (acc + 1)
+
+let merge_substring index doc ~a ~l ~f =
+  let shift = max 1 (bits_for l 0) in
+  let mask = (1 lsl shift) - 1 in
+  let heap = Heaps.Int_heap.create ~capacity:l () in
+  let cursor = Array.make l 0 in
+  for slot = 0 to l - 1 do
+    let list = Ix.Inverted_index.document_lists index doc (a + slot) in
+    if Array.length list > 0 then
+      Heaps.Int_heap.push heap ((list.(0) lsl shift) lor slot)
+  done;
+  let current = ref (-1) and count = ref 0 in
+  let flush () = if !current >= 0 && !count > 0 then f !current !count in
+  while not (Heaps.Int_heap.is_empty heap) do
+    let key = Heaps.Int_heap.peek_exn heap in
+    let entity = key lsr shift and slot = key land mask in
+    if entity <> !current then begin
+      flush ();
+      current := entity;
+      count := 0
+    end;
+    incr count;
+    let list = Ix.Inverted_index.document_lists index doc (a + slot) in
+    let next = cursor.(slot) + 1 in
+    if next < Array.length list then begin
+      cursor.(slot) <- next;
+      Heaps.Int_heap.replace_top heap ((list.(next) lsl shift) lor slot)
+    end
+    else ignore (Heaps.Int_heap.pop_exn heap)
+  done;
+  flush ()
+
+type algorithm = Heap_count | Merge_skip | Divide_skip
+
+(* Minimum overlap threshold over all indexed entities admitting substring
+   length [l] — a sound skip threshold for the T-occurrence algorithms
+   (every entity's own T is at least this). *)
+let min_overlap_per_length problem ~lo ~hi =
+  let t_min = Array.make (max 1 (hi - lo + 1)) max_int in
+  Array.iter
+    (fun e ->
+      let info = Problem.info problem e.Ix.Entity.id in
+      if info.Problem.path = Problem.Indexed then
+        for l = max lo info.Problem.lower to min hi info.Problem.upper do
+          let t =
+            max 1 (Problem.overlap_t problem ~e_len:info.Problem.e_len ~s_len:l)
+          in
+          if t < t_min.(l - lo) then t_min.(l - lo) <- t
+        done)
+    (Ix.Dictionary.entities (Problem.dictionary problem));
+  t_min
+
+let collect ?(algorithm = Heap_count) problem doc =
+  let stats = new_stats () in
+  let index = Problem.index problem in
+  let n_tokens = Tk.Document.n_tokens doc in
+  let lo = max 1 (Problem.global_lower problem) in
+  let hi = min (Problem.global_upper problem) n_tokens in
+  let acc = Dynarray.create () in
+  let consider ~a ~l entity count =
+    let info = Problem.info problem entity in
+    if
+      info.Problem.path = Problem.Indexed
+      && l >= info.Problem.lower
+      && l <= info.Problem.upper
+    then begin
+      stats.candidates <- stats.candidates + 1;
+      let t = Problem.overlap_t problem ~e_len:info.Problem.e_len ~s_len:l in
+      if count >= t then Dynarray.push acc { entity; start = a; len = l }
+    end
+  in
+  (match algorithm with
+  | Heap_count ->
+      for l = lo to hi do
+        for a = 0 to n_tokens - l do
+          merge_substring index doc ~a ~l ~f:(consider ~a ~l)
+        done
+      done
+  | Merge_skip | Divide_skip ->
+      let t_min = min_overlap_per_length problem ~lo ~hi in
+      let merge =
+        match algorithm with
+        | Merge_skip -> Heaps.Tmerge.merge_skip
+        | Divide_skip | Heap_count -> Heaps.Tmerge.divide_skip
+      in
+      for l = lo to hi do
+        let t = t_min.(l - lo) in
+        if t < max_int then
+          for a = 0 to n_tokens - l do
+            let lists =
+              Array.init l (fun slot ->
+                  Ix.Inverted_index.document_lists index doc (a + slot))
+            in
+            merge ~lists ~t ~f:(consider ~a ~l)
+          done
+      done);
+  let survivors = Dynarray.to_list acc in
+  let survivors = List.sort_uniq compare_candidate survivors in
+  stats.survivors <- List.length survivors;
+  (survivors, stats)
+
+let candidates ?algorithm problem doc = collect ?algorithm problem doc
+
+let run ?algorithm problem doc =
+  let survivors, stats = collect ?algorithm problem doc in
+  let matches =
+    List.filter_map
+      (fun (c : candidate) ->
+        let score = Problem.verify_candidate problem doc c in
+        if S.Verify.Score.passes (Problem.sim problem) score then
+          Some
+            { m_entity = c.entity; m_start = c.start; m_len = c.len; m_score = score }
+        else None)
+      survivors
+  in
+  stats.verified <- List.length matches;
+  (matches, stats)

@@ -1,0 +1,35 @@
+(** The multi-heap filtering algorithm (Section 3.2) — the paper's own
+    baseline.
+
+    For every valid substring [D\[a, l\]] (all starts [a], all lengths
+    [⊥E <= l <= ⌈E]) a fresh min-heap is built over the inverted lists of
+    its [l] tokens and merged to count each entity's occurrences. Every
+    inverted list is thus scanned once per substring containing its token
+    — the redundant work the single-heap method eliminates (Fig. 13). *)
+
+type algorithm =
+  | Heap_count
+      (** plain heap merge counting every entity (the paper's §3.2) *)
+  | Merge_skip
+      (** MergeSkip (Li, Lu & Lu, ICDE'08) with the per-length minimum
+          overlap threshold; skipped entities are provably non-candidates *)
+  | Divide_skip  (** DivideSkip, same guarantee *)
+
+val run :
+  ?algorithm:algorithm ->
+  Problem.t ->
+  Faerie_tokenize.Document.t ->
+  Types.token_match list * Types.stats
+(** Verified matches (same contract as {!Single_heap.run}: deduplicated,
+    sorted, {!Problem.Indexed} entities only) plus statistics. All
+    algorithms return identical matches; with the skip algorithms the
+    [candidates] statistic counts only the entities whose occurrence count
+    reached the per-length minimum threshold (the others are skipped
+    without being materialized). *)
+
+val candidates :
+  ?algorithm:algorithm ->
+  Problem.t ->
+  Faerie_tokenize.Document.t ->
+  Types.candidate list * Types.stats
+(** Filter-only variant, for testing against {!Single_heap.candidates}. *)

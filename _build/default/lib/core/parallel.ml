@@ -1,0 +1,47 @@
+module Tk = Faerie_tokenize
+open Types
+
+let extract_one ?pruning problem text =
+  let doc = Problem.tokenize_document problem text in
+  let matches, _ = Single_heap.run ?pruning problem doc in
+  let main =
+    List.map
+      (fun (m : token_match) ->
+        let c_start, c_len =
+          Tk.Document.char_extent doc ~start:m.m_start ~len:m.m_len
+        in
+        { c_entity = m.m_entity; c_start; c_len; c_score = m.m_score })
+      matches
+  in
+  List.sort_uniq compare_char_match (Fallback.run problem doc @ main)
+
+let extract_all ?pruning ?domains problem docs =
+  let n = Array.length docs in
+  let requested =
+    match domains with
+    | Some d -> max 1 d
+    | None -> Domain.recommended_domain_count ()
+  in
+  let workers = max 1 (min requested n) in
+  let results = Array.make n [] in
+  if workers <= 1 || n = 0 then
+    Array.iteri (fun i text -> results.(i) <- extract_one ?pruning problem text) docs
+  else begin
+    (* Work stealing via a shared atomic counter: documents vary wildly in
+       size, so static slicing would leave domains idle. *)
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          results.(i) <- extract_one ?pruning problem docs.(i);
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let spawned = List.init (workers - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join spawned
+  end;
+  results

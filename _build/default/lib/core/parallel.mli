@@ -1,0 +1,20 @@
+(** Parallel extraction over a document collection (OCaml 5 domains).
+
+    A {!Problem.t} is immutable once built — the inverted index, thresholds
+    and interner are only read during extraction — so one problem can be
+    shared by several domains, each processing a slice of the documents.
+    Speedup is near-linear in cores for document-heavy workloads (the
+    paper's setting: 1k–10k documents per dictionary). *)
+
+val extract_all :
+  ?pruning:Types.pruning ->
+  ?domains:int ->
+  Problem.t ->
+  string array ->
+  Types.char_match list array
+(** [extract_all problem docs] extracts every document (filter + fallback +
+    verify) and returns per-document matches in character coordinates, in
+    input order — identical to running {!Single_heap.run} + {!Fallback.run}
+    sequentially, which the test suite asserts. [domains] defaults to
+    [Domain.recommended_domain_count ()], capped by the number of
+    documents; [1] means fully sequential (no domain is spawned). *)

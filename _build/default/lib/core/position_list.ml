@@ -1,0 +1,33 @@
+let buckets ~positions ~gap =
+  let n = Array.length positions in
+  if n = 0 then []
+  else begin
+    let acc = ref [] in
+    let first = ref 0 in
+    for i = 0 to n - 2 do
+      if positions.(i + 1) - positions.(i) - 1 > gap then begin
+        acc := (!first, i) :: !acc;
+        first := i + 1
+      end
+    done;
+    acc := (!first, n - 1) :: !acc;
+    List.rev !acc
+  end
+
+(* First index with positions.(i) >= x, in [first, last+1]. *)
+let lower_bound positions ~first ~last x =
+  let lo = ref first and hi = ref (last + 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if positions.(mid) < x then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let count_in_range ~positions ~lo ~hi =
+  let n = Array.length positions in
+  if n = 0 || hi < lo then 0
+  else begin
+    let first = lower_bound positions ~first:0 ~last:(n - 1) lo in
+    let after = lower_bound positions ~first:0 ~last:(n - 1) (hi + 1) in
+    after - first
+  end

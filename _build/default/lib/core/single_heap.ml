@@ -1,0 +1,138 @@
+module Tk = Faerie_tokenize
+module S = Faerie_sim
+module Heaps = Faerie_heaps
+module Ix = Faerie_index
+module Dynarray = Faerie_util.Dynarray
+open Types
+
+(* Occurrence counting for one entity over one slice of its position list,
+   at one substring length: emit survivors with count >= T. *)
+let count_slice problem (stats : stats) ~entity ~(info : Problem.entity_info)
+    ~positions ~first ~last ~n_tokens ~emit =
+  for len = info.lower to min info.upper n_tokens do
+    let t = Problem.overlap_t problem ~e_len:info.e_len ~s_len:len in
+    Counting.iter_nonzero ~positions ~first ~last ~len ~n_tokens
+      ~f:(fun ~start ~count ->
+        stats.candidates <- stats.candidates + 1;
+        if count >= t then emit { entity; start; len })
+  done
+
+(* Candidate enumeration from a maximal window [first..last] (Section 4.1's
+   batch-count, driven by the windows of Section 4.2). Substring starts are
+   restricted to (p_{first-1}, p_first] so each candidate substring is
+   produced exactly once, at the window whose first element is the first
+   position it contains. *)
+let enumerate_window problem (stats : stats) ~entity
+    ~(info : Problem.entity_info) ~positions ~first ~last ~n_tokens ~emit =
+  let p_first = positions.(first) in
+  let prev = if first = 0 then -1 else positions.(first - 1) in
+  let max_count = last - first + 1 in
+  (* A substring must hold >= Tl positions, so it must reach at least the
+     (first + Tl - 1)-th position. *)
+  let b_floor = positions.(first + info.tl - 1) in
+  let a_min = max 0 (max (p_first - info.upper + 1) (prev + 1)) in
+  for a = a_min to p_first do
+    let b_min = max (a + info.lower - 1) b_floor in
+    let b_max = min (a + info.upper - 1) (n_tokens - 1) in
+    if b_min <= b_max then begin
+      (* k: last index in [first..last] with positions.(k) <= b. Positions
+         beyond [last] exceed p_first + upper - 1 >= a + upper - 1 >= b, so
+         capping at [last] is exact. *)
+      let k = ref (first + info.tl - 1) in
+      for b = b_min to b_max do
+        while !k < last && positions.(!k + 1) <= b do
+          incr k
+        done;
+        let len = b - a + 1 in
+        let t = Problem.overlap_t problem ~e_len:info.e_len ~s_len:len in
+        if t <= max_count then begin
+          stats.candidates <- stats.candidates + 1;
+          let count = !k - first + 1 in
+          if count >= t then emit { entity; start = a; len }
+        end
+      done
+    end
+  done
+
+let process_entity problem (stats : stats) ~pruning ~entity ~positions
+    ~n_tokens ~emit =
+  let info = Problem.info problem entity in
+  match info.path with
+  | Problem.Fallback | Problem.Impossible -> ()
+  | Problem.Indexed -> (
+      stats.entities_seen <- stats.entities_seen + 1;
+      let m = Array.length positions in
+      match pruning with
+      | No_prune ->
+          count_slice problem stats ~entity ~info ~positions ~first:0
+            ~last:(m - 1) ~n_tokens ~emit
+      | Lazy_count ->
+          if m < info.tl then
+            stats.entities_pruned_lazy <- stats.entities_pruned_lazy + 1
+          else
+            count_slice problem stats ~entity ~info ~positions ~first:0
+              ~last:(m - 1) ~n_tokens ~emit
+      | Bucket_count ->
+          if m < info.tl then
+            stats.entities_pruned_lazy <- stats.entities_pruned_lazy + 1
+          else
+            List.iter
+              (fun (first, last) ->
+                if last - first + 1 < info.tl then
+                  stats.buckets_pruned <- stats.buckets_pruned + 1
+                else
+                  count_slice problem stats ~entity ~info ~positions ~first
+                    ~last ~n_tokens ~emit)
+              (Position_list.buckets ~positions ~gap:info.gap)
+      | Binary_window ->
+          if m < info.tl then
+            stats.entities_pruned_lazy <- stats.entities_pruned_lazy + 1
+          else
+            Windows.iter_windows ~positions ~tl:info.tl ~upper:info.upper
+              ~f:(fun ~first ~last ->
+                enumerate_window problem stats ~entity ~info ~positions
+                  ~first ~last ~n_tokens ~emit))
+
+let dedup_candidates acc =
+  Dynarray.sort compare_candidate acc;
+  let out = ref [] in
+  Dynarray.iter
+    (fun c ->
+      match !out with
+      | prev :: _ when compare_candidate prev c = 0 -> ()
+      | _ -> out := c :: !out)
+    acc;
+  List.rev !out
+
+let collect ?merger ~pruning problem doc =
+  let stats = new_stats () in
+  let index = Problem.index problem in
+  let n_tokens = Tk.Document.n_tokens doc in
+  let acc = Dynarray.create () in
+  Heaps.Multiway.iter_entity_positions ?merger ~n_positions:n_tokens
+    ~list_at:(Ix.Inverted_index.document_lists index doc)
+    ~f:(fun ~entity ~positions ->
+      let positions = Dynarray.to_array positions in
+      process_entity problem stats ~pruning ~entity ~positions ~n_tokens
+        ~emit:(fun c -> Dynarray.push acc c))
+    ();
+  let survivors = dedup_candidates acc in
+  stats.survivors <- List.length survivors;
+  (survivors, stats)
+
+let candidates ?merger ~pruning problem doc = collect ?merger ~pruning problem doc
+
+let run ?merger ?(pruning = Binary_window) problem doc =
+  let survivors, stats = collect ?merger ~pruning problem doc in
+  let matches =
+    List.filter_map
+      (fun (c : candidate) ->
+        let score = Problem.verify_candidate problem doc c in
+        if S.Verify.Score.passes (Problem.sim problem) score then
+          Some
+            { m_entity = c.entity; m_start = c.start; m_len = c.len; m_score = score }
+        else None)
+      survivors
+  in
+  stats.verified <- List.length matches;
+  (matches, stats)

@@ -1,0 +1,31 @@
+(** The single-heap filtering algorithm (Sections 3.3–5).
+
+    One min-heap merges the inverted lists of every document token position,
+    streaming each entity's complete, sorted position list off the heap
+    while scanning every inverted list exactly once. Occurrence counting /
+    candidate generation then runs at one of four pruning levels
+    ({!Types.pruning}); [Binary_window] is the full Faerie filter.
+
+    Entities on the {!Problem.Fallback} or {!Problem.Impossible} paths are
+    ignored here — {!Fallback.run} completes the answer. *)
+
+val run :
+  ?merger:Faerie_heaps.Multiway.merger ->
+  ?pruning:Types.pruning ->
+  Problem.t ->
+  Faerie_tokenize.Document.t ->
+  Types.token_match list * Types.stats
+(** [run ?merger ?pruning problem doc] returns the verified matches
+    (deduplicated, sorted by (entity, start, len)) and filtering
+    statistics. Default pruning is [Binary_window]; [merger] selects the
+    multiway merge engine (default binary heap). *)
+
+val candidates :
+  ?merger:Faerie_heaps.Multiway.merger ->
+  pruning:Types.pruning ->
+  Problem.t ->
+  Faerie_tokenize.Document.t ->
+  Types.candidate list * Types.stats
+(** Filter only — the deduplicated surviving substring–entity pairs, before
+    verification. Exposed for testing and for the Fig. 14 candidate-count
+    experiment. *)

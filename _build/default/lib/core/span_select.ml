@@ -1,0 +1,75 @@
+module S = Faerie_sim
+open Types
+
+let default_weight m =
+  match m.c_score with
+  | S.Verify.Score.Similarity s -> s
+  | S.Verify.Score.Distance d -> 1.0 /. (1.0 +. float_of_int d)
+
+let span_end m = m.c_start + m.c_len
+
+(* Weighted interval scheduling: sort by end; dp.(i) = best weight using
+   the first i spans; predecessor found by binary search on end <= start. *)
+let select ?(weight = default_weight) ms =
+  let spans =
+    List.sort
+      (fun a b ->
+        let c = compare (span_end a) (span_end b) in
+        if c <> 0 then c else compare_char_match a b)
+      ms
+    |> Array.of_list
+  in
+  let n = Array.length spans in
+  if n = 0 then []
+  else begin
+    let w = Array.map weight spans in
+    Array.iter
+      (fun x -> if x < 0. then invalid_arg "Span_select.select: negative weight")
+      w;
+    (* pred.(i): largest j < i with span_end spans.(j) <= start of i, or -1. *)
+    let pred =
+      Array.init n (fun i ->
+          let s = spans.(i).c_start in
+          let lo = ref 0 and hi = ref i in
+          (* find count of spans with end <= s among first i *)
+          while !lo < !hi do
+            let mid = (!lo + !hi) / 2 in
+            if span_end spans.(mid) <= s then lo := mid + 1 else hi := mid
+          done;
+          !lo - 1)
+    in
+    let dp = Array.make (n + 1) 0. in
+    let take = Array.make n false in
+    for i = 0 to n - 1 do
+      let with_i = w.(i) +. dp.(pred.(i) + 1) in
+      let without_i = dp.(i) in
+      if with_i > without_i then begin
+        dp.(i + 1) <- with_i;
+        take.(i) <- true
+      end
+      else dp.(i + 1) <- without_i
+    done;
+    let rec walk i acc =
+      if i < 0 then acc
+      else if take.(i) then walk pred.(i) (spans.(i) :: acc)
+      else walk (i - 1) acc
+    in
+    walk (n - 1) []
+  end
+
+let overlaps a b = a.c_start < span_end b && b.c_start < span_end a
+
+let greedy_best ?(weight = default_weight) ms =
+  let by_weight_desc =
+    List.sort
+      (fun a b ->
+        let c = compare (weight b) (weight a) in
+        if c <> 0 then c else compare_char_match a b)
+      ms
+  in
+  let kept = ref [] in
+  List.iter
+    (fun m ->
+      if not (List.exists (overlaps m) !kept) then kept := m :: !kept)
+    by_weight_desc;
+  List.sort (fun a b -> compare (a.c_start, a.c_len) (b.c_start, b.c_len)) !kept

@@ -1,0 +1,33 @@
+(** Overlap resolution: pick a best non-overlapping subset of matches.
+
+    Approximate extraction reports every qualifying substring, so one
+    planted mention typically produces a cluster of overlapping near-
+    duplicate spans (see the quickstart example). Downstream consumers
+    (annotation, linking) usually want one span per region. This module
+    solves the classic weighted interval scheduling problem over the match
+    spans: the selected subset is pairwise non-overlapping and maximizes
+    total weight, in O(n log n). *)
+
+val default_weight : Types.char_match -> float
+(** Similarity scores as-is; an edit distance [d] becomes [1 / (1 + d)].
+    Longer spans win ties implicitly only through their score. *)
+
+val select :
+  ?weight:(Types.char_match -> float) ->
+  Types.char_match list ->
+  Types.char_match list
+(** [select ms] is a maximum-weight pairwise non-overlapping subset of
+    [ms], sorted by start offset. Two spans overlap when they share at
+    least one character position; touching spans ([end = start]) do not.
+    Among equal-weight optima the earlier/shorter spans are preferred
+    (deterministic). Weights must be non-negative. *)
+
+val greedy_best :
+  ?weight:(Types.char_match -> float) ->
+  Types.char_match list ->
+  Types.char_match list
+(** Greedy alternative: repeatedly keep the highest-weight remaining span
+    and discard everything overlapping it. Not optimal in total weight but
+    guarantees every kept span is locally the best in its region — some
+    annotation pipelines prefer this behaviour. Exposed for comparison and
+    tests. *)

@@ -1,0 +1,41 @@
+module Tk = Faerie_tokenize
+module S = Faerie_sim
+module Heaps = Faerie_heaps
+open Types
+
+(* Total order: better scores first, then position for determinism. *)
+let better_first a b =
+  let c = S.Verify.Score.compare a.c_score b.c_score in
+  if c <> 0 then c else compare_char_match a b
+
+let top_k ?pruning ~k problem doc =
+  if k <= 0 then []
+  else begin
+    (* Bounded "worst on top" heap: the root is the weakest kept match, so
+       a new match only enters if it beats the root. *)
+    let worst_first a b = better_first b a in
+    let heap = Heaps.Min_heap.create ~cmp:worst_first () in
+    let offer m =
+      if Heaps.Min_heap.length heap < k then Heaps.Min_heap.push heap m
+      else if better_first m (Heaps.Min_heap.peek_exn heap) < 0 then
+        Heaps.Min_heap.replace_top heap m
+    in
+    let matches, _ = Single_heap.run ?pruning problem doc in
+    List.iter
+      (fun (tm : token_match) ->
+        let c_start, c_len =
+          Tk.Document.char_extent doc ~start:tm.m_start ~len:tm.m_len
+        in
+        offer { c_entity = tm.m_entity; c_start; c_len; c_score = tm.m_score })
+      matches;
+    List.iter offer (Fallback.run problem doc);
+    let rec drain acc =
+      match Heaps.Min_heap.pop heap with
+      | None -> acc
+      | Some m -> drain (m :: acc)
+    in
+    drain []
+  end
+
+let best problem doc =
+  match top_k ~k:1 problem doc with [] -> None | m :: _ -> Some m

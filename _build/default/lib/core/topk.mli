@@ -1,0 +1,21 @@
+(** Top-k extraction: the k best matches instead of all of them.
+
+    The paper notes (Section 4.2) that "in many applications, users want to
+    identify the best similar pairs"; this module keeps a bounded heap of
+    the best-scoring verified matches while extraction streams, so memory
+    stays O(k) however many matches the document contains. *)
+
+val top_k :
+  ?pruning:Types.pruning ->
+  k:int ->
+  Problem.t ->
+  Faerie_tokenize.Document.t ->
+  Types.char_match list
+(** [top_k ~k problem doc] is the [k] best verified matches (character
+    coordinates), best first. Ordering: higher similarity / lower edit
+    distance first ({!Faerie_sim.Verify.Score.compare}); ties break toward
+    the earlier, shorter, lower-id match, so the result is deterministic.
+    Includes fallback-path entities. [k <= 0] yields the empty list. *)
+
+val best : Problem.t -> Faerie_tokenize.Document.t -> Types.char_match option
+(** [best problem doc] is [top_k ~k:1] as an option. *)

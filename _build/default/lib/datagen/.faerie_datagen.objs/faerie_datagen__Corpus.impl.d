@@ -1,0 +1,1 @@
+lib/datagen/corpus.ml: Array Buffer Faerie_util Format Hashtbl List Noise String Vocab Zipf

@@ -1,0 +1,1 @@
+lib/datagen/corpus.mli: Format

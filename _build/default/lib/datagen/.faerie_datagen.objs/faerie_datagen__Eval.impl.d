@@ -1,0 +1,1 @@
+lib/datagen/eval.ml: Array Corpus Faerie_core Format List

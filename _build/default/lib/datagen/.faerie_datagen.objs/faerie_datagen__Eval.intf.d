@@ -1,0 +1,1 @@
+lib/datagen/eval.mli: Corpus Faerie_core Format

@@ -1,0 +1,1 @@
+lib/datagen/noise.ml: Array Bytes Char Faerie_util List String

@@ -1,0 +1,1 @@
+lib/datagen/noise.mli: Faerie_util

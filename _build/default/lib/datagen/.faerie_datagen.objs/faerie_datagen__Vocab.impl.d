@@ -1,0 +1,1 @@
+lib/datagen/vocab.ml: Array Buffer Char Faerie_util List Printf String Zipf

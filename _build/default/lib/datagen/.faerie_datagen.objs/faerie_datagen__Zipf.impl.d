@@ -1,0 +1,1 @@
+lib/datagen/zipf.ml: Array Faerie_util Float

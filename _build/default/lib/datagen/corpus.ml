@@ -1,0 +1,213 @@
+module Xorshift = Faerie_util.Xorshift
+
+type mention = {
+  entity : int;
+  char_start : int;
+  char_len : int;
+  char_edits : int;
+  token_drops : int;
+}
+
+type document = { text : string; mentions : mention list }
+
+type t = { name : string; entities : string array; documents : document array }
+
+type profile = {
+  profile_name : string;
+  n_entities : int;
+  n_documents : int;
+  entity_kind : [ `Person_name | `Title of int * int ];
+  filler_tokens : int * int;
+  mentions_per_doc : int * int;
+  max_char_edits : int;
+  max_token_drops : int;
+  pool_size : int;
+}
+
+let generate_entities rng profile pool zipf =
+  let seen = Hashtbl.create profile.n_entities in
+  let fresh () =
+    match profile.entity_kind with
+    | `Person_name -> Vocab.person_name rng
+    | `Title (min_words, max_words) ->
+        Vocab.title rng ~pool ?zipf ~min_words ~max_words ()
+  in
+  Array.init profile.n_entities (fun _ ->
+      let rec attempt k =
+        let e = fresh () in
+        if k > 0 && Hashtbl.mem seen e then attempt (k - 1)
+        else begin
+          Hashtbl.replace seen e ();
+          e
+        end
+      in
+      attempt 20)
+
+let corrupt rng profile entity_text =
+  if Xorshift.int rng 2 = 0 then (entity_text, 0, 0)
+  else begin
+    let drops =
+      if profile.max_token_drops = 0 then 0
+      else Xorshift.int rng (profile.max_token_drops + 1)
+    in
+    let s = Noise.drop_tokens rng ~drops entity_text in
+    let drops = if String.equal s entity_text then 0 else drops in
+    let edits =
+      if profile.max_char_edits = 0 then 0
+      else Xorshift.int rng (profile.max_char_edits + 1)
+    in
+    let s' = Noise.perturb_chars rng ~edits s in
+    (s', edits, drops)
+  end
+
+let generate_document rng profile pool zipf entities =
+  let buf = Buffer.create 1024 in
+  let mentions = ref [] in
+  let n_filler =
+    let lo, hi = profile.filler_tokens in
+    Xorshift.int_in_range rng ~lo ~hi
+  in
+  let n_mentions =
+    let lo, hi = profile.mentions_per_doc in
+    Xorshift.int_in_range rng ~lo ~hi
+  in
+  (* Mention insertion points among the filler stream. *)
+  let slots =
+    Array.init n_mentions (fun _ -> Xorshift.int rng (n_filler + 1))
+  in
+  Array.sort compare slots;
+  let next_slot = ref 0 in
+  let sep () =
+    if Buffer.length buf > 0 then
+      if Xorshift.int rng 12 = 0 then Buffer.add_string buf ". "
+      else if Xorshift.int rng 15 = 0 then Buffer.add_string buf ", "
+      else Buffer.add_char buf ' '
+  in
+  let add_mentions_at i =
+    while !next_slot < n_mentions && slots.(!next_slot) = i do
+      let entity = Xorshift.int rng (Array.length entities) in
+      let text, char_edits, token_drops =
+        corrupt rng profile entities.(entity)
+      in
+      if String.length text > 0 then begin
+        sep ();
+        let char_start = Buffer.length buf in
+        Buffer.add_string buf text;
+        mentions :=
+          {
+            entity;
+            char_start;
+            char_len = String.length text;
+            char_edits;
+            token_drops;
+          }
+          :: !mentions
+      end;
+      incr next_slot
+    done
+  in
+  for i = 0 to n_filler - 1 do
+    add_mentions_at i;
+    sep ();
+    let w =
+      if Xorshift.int rng 3 = 0 then Xorshift.choose rng Vocab.stopwords
+      else Vocab.pick_pool rng ~pool ~zipf:(Some zipf)
+    in
+    Buffer.add_string buf w
+  done;
+  add_mentions_at n_filler;
+  Buffer.add_char buf '.';
+  { text = Buffer.contents buf; mentions = List.rev !mentions }
+
+let generate ?(seed = 42) profile =
+  let rng = Xorshift.create seed in
+  let pool = Vocab.tech_word_pool rng ~size:profile.pool_size in
+  (* Token frequencies are Zipf-skewed like real text; the resulting
+     inverted-list skew is what stresses the filtering algorithms. The
+     exponent is kept below 1: these pools are far smaller than a real
+     vocabulary, and classic Zipf over a small pool would put the head
+     word in a fifth of all draws — a degenerate workload no real corpus
+     exhibits. *)
+  let zipf = Zipf.create ~exponent:0.5 ~n:profile.pool_size () in
+  let entities = generate_entities rng profile pool (Some zipf) in
+  let documents =
+    Array.init profile.n_documents (fun _ ->
+        generate_document rng profile pool zipf entities)
+  in
+  { name = profile.profile_name; entities; documents }
+
+let dblp ?seed ?(n_entities = 10_000) ?(n_documents = 1_000) () =
+  generate ?seed
+    {
+      profile_name = "dblp";
+      n_entities;
+      n_documents;
+      entity_kind = `Person_name;
+      filler_tokens = (10, 18);
+      mentions_per_doc = (1, 3);
+      max_char_edits = 2;
+      max_token_drops = 0;
+      pool_size = 2_000;
+    }
+
+let pubmed ?seed ?(n_entities = 10_000) ?(n_documents = 1_000) () =
+  generate ?seed
+    {
+      profile_name = "pubmed";
+      n_entities;
+      n_documents;
+      entity_kind = `Title (5, 9);
+      filler_tokens = (20, 40);
+      mentions_per_doc = (1, 2);
+      max_char_edits = 3;
+      max_token_drops = 1;
+      pool_size = 8_000;
+    }
+
+let webpage ?seed ?(n_entities = 10_000) ?(n_documents = 100) () =
+  generate ?seed
+    {
+      profile_name = "webpage";
+      n_entities;
+      n_documents;
+      entity_kind = `Title (6, 11);
+      filler_tokens = (900, 1_500);
+      mentions_per_doc = (4, 12);
+      max_char_edits = 2;
+      max_token_drops = 2;
+      pool_size = 10_000;
+    }
+
+type stats = {
+  n_entities : int;
+  avg_entity_chars : float;
+  avg_entity_tokens : float;
+  n_documents : int;
+  avg_document_chars : float;
+  avg_document_tokens : float;
+}
+
+let whitespace_tokens s =
+  String.split_on_char ' ' s |> List.filter (fun t -> t <> "") |> List.length
+
+let avg f arr =
+  if Array.length arr = 0 then 0.
+  else
+    Array.fold_left (fun acc x -> acc +. float_of_int (f x)) 0. arr
+    /. float_of_int (Array.length arr)
+
+let stats t =
+  {
+    n_entities = Array.length t.entities;
+    avg_entity_chars = avg String.length t.entities;
+    avg_entity_tokens = avg whitespace_tokens t.entities;
+    n_documents = Array.length t.documents;
+    avg_document_chars = avg (fun d -> String.length d.text) t.documents;
+    avg_document_tokens = avg (fun d -> whitespace_tokens d.text) t.documents;
+  }
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "entities: %d (avg %.1f chars, %.2f tokens); documents: %d (avg %.1f chars, %.1f tokens)"
+    s.n_entities s.avg_entity_chars s.avg_entity_tokens s.n_documents
+    s.avg_document_chars s.avg_document_tokens

@@ -1,0 +1,65 @@
+module Types = Faerie_core.Types
+
+type outcome = {
+  planted : int;
+  recovered : int;
+  reported : int;
+  span_hits : int;
+}
+
+let overlaps (m : Types.char_match) (p : Corpus.mention) =
+  m.Types.c_start < p.Corpus.char_start + p.Corpus.char_len
+  && p.Corpus.char_start < m.Types.c_start + m.Types.c_len
+
+let evaluate ?(recoverable = fun _ -> true) ~corpus ~matches_of () =
+  let planted = ref 0 and recovered = ref 0 in
+  let reported = ref 0 and span_hits = ref 0 in
+  Array.iteri
+    (fun doc_id (d : Corpus.document) ->
+      let matches = matches_of doc_id in
+      reported := !reported + List.length matches;
+      List.iter
+        (fun (p : Corpus.mention) ->
+          if recoverable p then begin
+            incr planted;
+            if
+              List.exists
+                (fun (m : Types.char_match) ->
+                  m.Types.c_entity = p.Corpus.entity
+                  && m.Types.c_start = p.Corpus.char_start
+                  && m.Types.c_len = p.Corpus.char_len)
+                matches
+            then incr recovered
+          end)
+        d.Corpus.mentions;
+      List.iter
+        (fun (m : Types.char_match) ->
+          if
+            List.exists
+              (fun (p : Corpus.mention) ->
+                p.Corpus.entity = m.Types.c_entity && overlaps m p)
+              d.Corpus.mentions
+          then incr span_hits)
+        matches)
+    corpus.Corpus.documents;
+  {
+    planted = !planted;
+    recovered = !recovered;
+    reported = !reported;
+    span_hits = !span_hits;
+  }
+
+let ratio num den = if den = 0 then 1.0 else float_of_int num /. float_of_int den
+
+let recall o = ratio o.recovered o.planted
+
+let precision o = ratio o.span_hits o.reported
+
+let f1 o =
+  let p = precision o and r = recall o in
+  if p +. r = 0. then 0. else 2. *. p *. r /. (p +. r)
+
+let pp ppf o =
+  Format.fprintf ppf
+    "recall %.3f (%d/%d planted), precision %.3f (%d/%d reported), F1 %.3f"
+    (recall o) o.recovered o.planted (precision o) o.span_hits o.reported (f1 o)

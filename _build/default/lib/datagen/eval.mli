@@ -1,0 +1,40 @@
+(** Extraction quality against the planted ground truth.
+
+    The synthetic corpora record every planted mention with its exact noise
+    budget, enabling the measurement the paper's crawled corpora cannot
+    support: recall against known mentions, and span precision after
+    overlap resolution. The test suite uses {!evaluate} to assert the
+    recall *guarantee* (a mention within the threshold's noise budget must
+    be recovered); the examples use it for reporting. *)
+
+type outcome = {
+  planted : int;  (** recoverable planted mentions considered *)
+  recovered : int;  (** of those, found with exact span and entity *)
+  reported : int;  (** total matches reported over all documents *)
+  span_hits : int;
+      (** reported matches overlapping a planted mention of their entity *)
+}
+
+val evaluate :
+  ?recoverable:(Corpus.mention -> bool) ->
+  corpus:Corpus.t ->
+  matches_of:(int -> Faerie_core.Types.char_match list) ->
+  unit ->
+  outcome
+(** [evaluate ~corpus ~matches_of ()] runs [matches_of doc_id] for every
+    document and scores the results. [recoverable] selects which planted
+    mentions count toward recall (default: all of them) — pass e.g.
+    [fun m -> m.char_edits <= tau && m.token_drops = 0] to restrict to
+    mentions the threshold provably covers. *)
+
+val recall : outcome -> float
+(** [recovered / planted] (1.0 when nothing was planted). *)
+
+val precision : outcome -> float
+(** [span_hits / reported] (1.0 when nothing was reported). Meaningful on
+    overlap-resolved matches ({!Faerie_core.Span_select}); raw approximate
+    extraction legitimately reports near-duplicate spans. *)
+
+val f1 : outcome -> float
+
+val pp : Format.formatter -> outcome -> unit

@@ -1,0 +1,67 @@
+module Xorshift = Faerie_util.Xorshift
+
+let random_letter rng = Char.chr (Char.code 'a' + Xorshift.int rng 26)
+
+let perturb_once rng s =
+  let n = String.length s in
+  match (if n = 0 then Xorshift.int rng 2 else Xorshift.int rng 3) with
+  | 0 ->
+      (* insert *)
+      let i = Xorshift.int rng (n + 1) in
+      String.sub s 0 i
+      ^ String.make 1 (random_letter rng)
+      ^ String.sub s i (n - i)
+  | 1 ->
+      (* substitute (insert again when empty) *)
+      if n = 0 then String.make 1 (random_letter rng)
+      else begin
+        let i = Xorshift.int rng n in
+        let b = Bytes.of_string s in
+        Bytes.set b i (random_letter rng);
+        Bytes.to_string b
+      end
+  | _ ->
+      (* delete *)
+      let i = Xorshift.int rng n in
+      String.sub s 0 i ^ String.sub s (i + 1) (n - i - 1)
+
+let perturb_chars rng ~edits s =
+  let rec loop k s = if k <= 0 then s else loop (k - 1) (perturb_once rng s) in
+  loop edits s
+
+let split_tokens s =
+  String.split_on_char ' ' s |> List.filter (fun t -> t <> "")
+
+let drop_tokens rng ~drops s =
+  let tokens = Array.of_list (split_tokens s) in
+  let n = Array.length tokens in
+  let drops = min drops (n - 1) in
+  if drops <= 0 then s
+  else begin
+    let alive = Array.make n true in
+    let dropped = ref 0 in
+    while !dropped < drops do
+      let i = Xorshift.int rng n in
+      if alive.(i) then begin
+        alive.(i) <- false;
+        incr dropped
+      end
+    done;
+    let kept = ref [] in
+    for i = n - 1 downto 0 do
+      if alive.(i) then kept := tokens.(i) :: !kept
+    done;
+    String.concat " " !kept
+  end
+
+let swap_adjacent_tokens rng s =
+  let tokens = Array.of_list (split_tokens s) in
+  let n = Array.length tokens in
+  if n < 2 then s
+  else begin
+    let i = Xorshift.int rng (n - 1) in
+    let tmp = tokens.(i) in
+    tokens.(i) <- tokens.(i + 1);
+    tokens.(i + 1) <- tmp;
+    String.concat " " (Array.to_list tokens)
+  end

@@ -1,0 +1,16 @@
+(** Controlled corruption of planted entity mentions. *)
+
+val perturb_chars : Faerie_util.Xorshift.t -> edits:int -> string -> string
+(** Apply exactly [edits] random single-character operations (insert,
+    delete, substitute), so the result is within edit distance [edits] of
+    the input. Deletions are skipped on an empty string. Inserted /
+    substituted characters are lowercase letters. *)
+
+val drop_tokens : Faerie_util.Xorshift.t -> drops:int -> string -> string
+(** Remove [drops] random whitespace-separated tokens (never all of
+    them). The surviving tokens keep their order, so the result's token
+    multiset is a sub-multiset of the input's. *)
+
+val swap_adjacent_tokens : Faerie_util.Xorshift.t -> string -> string
+(** Swap one random adjacent token pair (token-multiset preserving — a
+    similarity-1 rewrite for the token-based functions). *)

@@ -1,0 +1,68 @@
+module Xorshift = Faerie_util.Xorshift
+
+let stopwords =
+  [|
+    "the"; "of"; "and"; "a"; "to"; "in"; "is"; "for"; "on"; "with"; "as";
+    "by"; "an"; "be"; "this"; "that"; "from"; "at"; "or"; "are"; "it";
+    "was"; "which"; "we"; "our"; "can"; "has"; "have"; "their"; "its";
+    "these"; "using"; "based"; "new"; "more"; "some"; "such"; "between";
+    "over"; "under"; "into"; "than"; "also"; "both"; "each"; "other";
+    "results"; "show"; "propose"; "study"; "approach"; "method"; "paper";
+  |]
+
+let onsets =
+  [|
+    "b"; "c"; "d"; "f"; "g"; "h"; "j"; "k"; "l"; "m"; "n"; "p"; "r"; "s";
+    "t"; "v"; "w"; "z"; "ch"; "sh"; "th"; "br"; "cr"; "dr"; "st"; "tr";
+    "pl"; "gr"; "sl"; "fr";
+  |]
+
+let nuclei = [| "a"; "e"; "i"; "o"; "u"; "ai"; "ea"; "ou"; "io"; "ee" |]
+
+let codas = [| ""; ""; ""; "n"; "r"; "s"; "t"; "l"; "m"; "ng"; "rd"; "ck" |]
+
+let syllable rng =
+  Xorshift.choose rng onsets
+  ^ Xorshift.choose rng nuclei
+  ^ Xorshift.choose rng codas
+
+let word rng ~min_syllables ~max_syllables =
+  let n = Xorshift.int_in_range rng ~lo:min_syllables ~hi:max_syllables in
+  let buf = Buffer.create 16 in
+  for _ = 1 to n do
+    Buffer.add_string buf (syllable rng)
+  done;
+  Buffer.contents buf
+
+let capitalize s =
+  if String.length s = 0 then s
+  else
+    String.make 1 (Char.uppercase_ascii s.[0])
+    ^ String.sub s 1 (String.length s - 1)
+
+let person_name rng =
+  let given = capitalize (word rng ~min_syllables:2 ~max_syllables:3) in
+  let family = capitalize (word rng ~min_syllables:2 ~max_syllables:3) in
+  if Xorshift.int rng 5 = 0 then
+    (* occasional middle initial, as in bibliographic data *)
+    let initial = String.make 1 (Char.chr (Char.code 'A' + Xorshift.int rng 26)) in
+    Printf.sprintf "%s %s %s" given initial family
+  else Printf.sprintf "%s %s" given family
+
+let tech_word_pool rng ~size =
+  Array.init size (fun _ -> word rng ~min_syllables:1 ~max_syllables:4)
+
+let pick_pool rng ~pool ~zipf =
+  match zipf with
+  | Some z -> pool.(Zipf.sample z rng)
+  | None -> Xorshift.choose rng pool
+
+let title rng ~pool ?zipf ~min_words ~max_words () =
+  let n = Xorshift.int_in_range rng ~lo:min_words ~hi:max_words in
+  let words =
+    List.init n (fun i ->
+        (* Mix pool words with stopwords the way titles do. *)
+        if i > 0 && Xorshift.int rng 4 = 0 then Xorshift.choose rng stopwords
+        else pick_pool rng ~pool ~zipf)
+  in
+  String.concat " " words

@@ -1,0 +1,40 @@
+(** Deterministic vocabulary generation for the synthetic corpora.
+
+    The paper evaluates on DBLP author names, PubMed titles and crawled web
+    pages; those corpora are unavailable offline, so we synthesize text
+    with matching shape (entity/document length statistics — see
+    DESIGN.md, "Substitutions"). Words are built from syllables so that
+    different words share q-grams the way natural language does, which is
+    what stresses the inverted lists. *)
+
+val stopwords : string array
+(** Common English function words used as document filler. *)
+
+val syllable : Faerie_util.Xorshift.t -> string
+
+val word : Faerie_util.Xorshift.t -> min_syllables:int -> max_syllables:int -> string
+(** A pronounceable lowercase word. *)
+
+val person_name : Faerie_util.Xorshift.t -> string
+(** "Given Family" or "Given M Family" — 2–3 tokens, ≈ 12–25 chars. *)
+
+val tech_word_pool : Faerie_util.Xorshift.t -> size:int -> string array
+(** A pool of domain words to draw titles from; sampling from a pool (as
+    opposed to fresh words) makes distinct entities share tokens, as real
+    titles do. *)
+
+val pick_pool :
+  Faerie_util.Xorshift.t -> pool:string array -> zipf:Zipf.t option -> string
+(** Draw one pool word — Zipf-ranked (rank = array index) when a
+    distribution is supplied, uniform otherwise. *)
+
+val title :
+  Faerie_util.Xorshift.t ->
+  pool:string array ->
+  ?zipf:Zipf.t ->
+  min_words:int ->
+  max_words:int ->
+  unit ->
+  string
+(** A title drawn from the pool (Zipf-ranked when [zipf] is given, so
+    titles share tokens the way real titles do). *)

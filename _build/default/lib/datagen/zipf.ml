@@ -1,0 +1,36 @@
+module Xorshift = Faerie_util.Xorshift
+
+type t = { cumulative : float array (* cumulative.(k) = P(rank <= k) *) }
+
+let create ?(exponent = 1.0) ~n () =
+  if n <= 0 then invalid_arg "Zipf.create: n must be positive";
+  if exponent < 0. then invalid_arg "Zipf.create: exponent must be >= 0";
+  let weights =
+    Array.init n (fun k -> 1.0 /. Float.pow (float_of_int (k + 1)) exponent)
+  in
+  let total = Array.fold_left ( +. ) 0. weights in
+  let cumulative = Array.make n 0. in
+  let acc = ref 0. in
+  Array.iteri
+    (fun k w ->
+      acc := !acc +. (w /. total);
+      cumulative.(k) <- !acc)
+    weights;
+  cumulative.(n - 1) <- 1.0;
+  { cumulative }
+
+let size t = Array.length t.cumulative
+
+let sample t rng =
+  let u = Xorshift.float rng 1.0 in
+  (* smallest k with cumulative.(k) > u *)
+  let lo = ref 0 and hi = ref (Array.length t.cumulative - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cumulative.(mid) > u then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let probability t k =
+  if k < 0 || k >= size t then invalid_arg "Zipf.probability: rank out of range";
+  if k = 0 then t.cumulative.(0) else t.cumulative.(k) -. t.cumulative.(k - 1)

@@ -1,0 +1,27 @@
+(** Zipfian sampling over a finite rank space.
+
+    Real corpora have heavily skewed token frequencies, and inverted-list
+    skew is exactly what stresses the filtering algorithms (a handful of
+    very long lists dominate the merge). The synthetic corpora therefore
+    draw vocabulary by Zipf rank rather than uniformly.
+
+    Sampling inverts the cumulative distribution with binary search over a
+    precomputed table: O(n) setup, O(log n) per sample, exact (no
+    rejection). *)
+
+type t
+
+val create : ?exponent:float -> n:int -> unit -> t
+(** Distribution over ranks [0 .. n-1] with
+    [P(rank = k) proportional to 1 / (k+1)^exponent]. [exponent] defaults
+    to 1.0 (classic Zipf); [0.0] degenerates to uniform.
+
+    @raise Invalid_argument if [n <= 0] or [exponent < 0]. *)
+
+val size : t -> int
+
+val sample : t -> Faerie_util.Xorshift.t -> int
+(** A rank in [\[0, size)]. Rank 0 is the most frequent. *)
+
+val probability : t -> int -> float
+(** [probability t k] is [P(rank = k)]; for tests. *)

@@ -1,0 +1,1 @@
+lib/heaps/int_heap.ml: Array

@@ -1,0 +1,1 @@
+lib/heaps/loser_tree.ml: Array

@@ -1,0 +1,1 @@
+lib/heaps/min_heap.ml: Array Faerie_util

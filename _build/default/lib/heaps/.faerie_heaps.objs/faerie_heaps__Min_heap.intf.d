@@ -1,0 +1,1 @@
+lib/heaps/min_heap.mli:

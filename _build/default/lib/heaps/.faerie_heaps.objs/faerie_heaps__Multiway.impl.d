@@ -1,0 +1,1 @@
+lib/heaps/multiway.ml: Array Faerie_util Int_heap Loser_tree

@@ -1,0 +1,1 @@
+lib/heaps/multiway.mli: Faerie_util

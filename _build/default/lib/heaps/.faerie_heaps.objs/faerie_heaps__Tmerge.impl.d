@@ -1,0 +1,1 @@
+lib/heaps/tmerge.ml: Array Int_heap List

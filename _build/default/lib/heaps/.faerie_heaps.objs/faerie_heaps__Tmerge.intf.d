@@ -1,0 +1,1 @@
+lib/heaps/tmerge.mli:

@@ -1,0 +1,67 @@
+type t = { mutable data : int array; mutable len : int }
+
+let create ?(capacity = 16) () = { data = Array.make (max capacity 1) 0; len = 0 }
+
+let length t = t.len
+
+let is_empty t = t.len = 0
+
+let grow t =
+  let ndata = Array.make (2 * Array.length t.data) 0 in
+  Array.blit t.data 0 ndata 0 t.len;
+  t.data <- ndata
+
+(* Indices are maintained within [0, len); unsafe accesses are sound. *)
+
+let rec sift_up data i x =
+  if i = 0 then Array.unsafe_set data 0 x
+  else begin
+    let parent = (i - 1) / 2 in
+    let p = Array.unsafe_get data parent in
+    if x < p then begin
+      Array.unsafe_set data i p;
+      sift_up data parent x
+    end
+    else Array.unsafe_set data i x
+  end
+
+let rec sift_down data len i x =
+  let l = (2 * i) + 1 in
+  if l >= len then Array.unsafe_set data i x
+  else begin
+    let r = l + 1 in
+    let c, cv =
+      if r < len then begin
+        let lv = Array.unsafe_get data l and rv = Array.unsafe_get data r in
+        if rv < lv then (r, rv) else (l, lv)
+      end
+      else (l, Array.unsafe_get data l)
+    in
+    if cv < x then begin
+      Array.unsafe_set data i cv;
+      sift_down data len c x
+    end
+    else Array.unsafe_set data i x
+  end
+
+let push t x =
+  if t.len >= Array.length t.data then grow t;
+  t.len <- t.len + 1;
+  sift_up t.data (t.len - 1) x
+
+let peek_exn t =
+  if t.len = 0 then invalid_arg "Int_heap.peek_exn: empty heap";
+  Array.unsafe_get t.data 0
+
+let pop_exn t =
+  if t.len = 0 then invalid_arg "Int_heap.pop_exn: empty heap";
+  let top = Array.unsafe_get t.data 0 in
+  t.len <- t.len - 1;
+  if t.len > 0 then sift_down t.data t.len 0 (Array.unsafe_get t.data t.len);
+  top
+
+let replace_top t x =
+  if t.len = 0 then invalid_arg "Int_heap.replace_top: empty heap";
+  sift_down t.data t.len 0 x
+
+let clear t = t.len <- 0

@@ -1,0 +1,31 @@
+(** Specialized binary min-heap over plain [int] keys.
+
+    The multiway merge pushes one key per posting — hundreds of thousands
+    per document — so the generic {!Min_heap} (closure comparator, checked
+    vector accesses) is too slow for it. Keys here are compared with the
+    native [int] order; callers encode (entity, position) pairs as
+    [(entity lsl shift) lor position], which preserves the lexicographic
+    order the merge needs. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+
+val length : t -> int
+
+val is_empty : t -> bool
+
+val push : t -> int -> unit
+
+val peek_exn : t -> int
+(** @raise Invalid_argument on an empty heap. *)
+
+val pop_exn : t -> int
+(** @raise Invalid_argument on an empty heap. *)
+
+val replace_top : t -> int -> unit
+(** Replace the minimum and re-sift — one sift instead of pop + push.
+
+    @raise Invalid_argument on an empty heap. *)
+
+val clear : t -> unit

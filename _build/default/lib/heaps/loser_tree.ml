@@ -1,0 +1,51 @@
+type t = {
+  keys : int array;
+  kp : int;  (** leaf count padded to a power of two *)
+  loser : int array;  (** internal nodes 1..kp-1: losing leaf index *)
+  mutable top : int;  (** current winning leaf index *)
+}
+
+let key t leaf = if leaf < Array.length t.keys then t.keys.(leaf) else max_int
+
+let rebuild t =
+  let kp = t.kp in
+  (* winner.(node) for the subtree rooted at node; leaves at kp..2kp-1. *)
+  let winner = Array.make (2 * kp) 0 in
+  for i = 0 to kp - 1 do
+    winner.(kp + i) <- i
+  done;
+  for node = kp - 1 downto 1 do
+    let a = winner.(2 * node) and b = winner.((2 * node) + 1) in
+    let w, l = if key t a <= key t b then (a, b) else (b, a) in
+    winner.(node) <- w;
+    t.loser.(node) <- l
+  done;
+  t.top <- winner.(1)
+
+let create ~keys =
+  let n = Array.length keys in
+  if n = 0 then invalid_arg "Loser_tree.create: empty keys";
+  let kp = ref 1 in
+  while !kp < n do
+    kp := !kp * 2
+  done;
+  let t = { keys; kp = !kp; loser = Array.make !kp 0; top = 0 } in
+  rebuild t;
+  t
+
+let winner t = t.top
+
+let replay t =
+  let w = ref t.top in
+  let node = ref ((t.kp + !w) / 2) in
+  while !node >= 1 do
+    let l = t.loser.(!node) in
+    if key t l < key t !w then begin
+      t.loser.(!node) <- !w;
+      w := l
+    end;
+    node := !node / 2
+  done;
+  t.top <- !w
+
+let exhausted t = key t t.top = max_int

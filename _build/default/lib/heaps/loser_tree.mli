@@ -1,0 +1,32 @@
+(** Tournament (loser) tree over integer keys.
+
+    The paper's figures draw the merge heap as a loser tree (footnote 3);
+    this module provides that structure as an alternative merge engine to
+    {!Int_heap}: a [k]-way merge step costs exactly [ceil(log2 k)]
+    comparisons, against up to [2 * log2 k] for a binary heap. The
+    benchmark harness ablates the two (section [ablations]).
+
+    The caller owns a [keys] array with one slot per source; slot [i] holds
+    source [i]'s current key, or [max_int] once the source is exhausted.
+    After advancing the winning source (updating its slot), call {!replay}
+    to restore the tournament. *)
+
+type t
+
+val create : keys:int array -> t
+(** Build the tournament over [keys] (length >= 1). The tree reads the
+    array in place — it must not be replaced, only mutated. *)
+
+val winner : t -> int
+(** Index of the source holding the minimal key. When every source is
+    exhausted, the winner's key is [max_int] — test {!exhausted}. *)
+
+val replay : t -> unit
+(** Re-run the tournament along the winner's path after the winner's key
+    slot changed. O(log n). *)
+
+val exhausted : t -> bool
+(** All keys are [max_int]. *)
+
+val rebuild : t -> unit
+(** Full O(n) rebuild, for when arbitrary slots changed. *)

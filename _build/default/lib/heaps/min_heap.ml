@@ -1,0 +1,72 @@
+module Dynarray = Faerie_util.Dynarray
+
+type 'a t = { cmp : 'a -> 'a -> int; data : 'a Dynarray.t }
+
+let create ~cmp () = { cmp; data = Dynarray.create () }
+
+let length t = Dynarray.length t.data
+
+let is_empty t = length t = 0
+
+let swap t i j =
+  let tmp = Dynarray.get t.data i in
+  Dynarray.set t.data i (Dynarray.get t.data j);
+  Dynarray.set t.data j tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if t.cmp (Dynarray.get t.data i) (Dynarray.get t.data parent) < 0 then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let n = length t in
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < n && t.cmp (Dynarray.get t.data l) (Dynarray.get t.data !smallest) < 0
+  then smallest := l;
+  if r < n && t.cmp (Dynarray.get t.data r) (Dynarray.get t.data !smallest) < 0
+  then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let push t x =
+  Dynarray.push t.data x;
+  sift_up t (length t - 1)
+
+let peek t = if is_empty t then None else Some (Dynarray.get t.data 0)
+
+let peek_exn t =
+  if is_empty t then invalid_arg "Min_heap.peek_exn: empty heap";
+  Dynarray.get t.data 0
+
+let pop_exn t =
+  if is_empty t then invalid_arg "Min_heap.pop_exn: empty heap";
+  let top = Dynarray.get t.data 0 in
+  let last = Dynarray.pop t.data in
+  if not (is_empty t) then begin
+    Dynarray.set t.data 0 last;
+    sift_down t 0
+  end;
+  top
+
+let pop t = if is_empty t then None else Some (pop_exn t)
+
+let replace_top t x =
+  if is_empty t then invalid_arg "Min_heap.replace_top: empty heap";
+  Dynarray.set t.data 0 x;
+  sift_down t 0
+
+let clear t = Dynarray.clear t.data
+
+let of_array ~cmp arr =
+  let t = { cmp; data = Dynarray.of_array arr } in
+  for i = (Array.length arr / 2) - 1 downto 0 do
+    sift_down t i
+  done;
+  t

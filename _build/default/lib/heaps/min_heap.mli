@@ -1,0 +1,36 @@
+(** Array-based binary min-heap with a caller-supplied order. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> unit -> 'a t
+(** An empty heap ordered by [cmp] (smallest element on top). *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+(** O(log n). *)
+
+val peek : 'a t -> 'a option
+(** The minimum, without removing it. *)
+
+val peek_exn : 'a t -> 'a
+(** @raise Invalid_argument on an empty heap. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the minimum; O(log n). *)
+
+val pop_exn : 'a t -> 'a
+(** @raise Invalid_argument on an empty heap. *)
+
+val replace_top : 'a t -> 'a -> unit
+(** [replace_top t x] is [ignore (pop t); push t x] fused into one sift —
+    the hot operation when advancing a merged cursor.
+
+    @raise Invalid_argument on an empty heap. *)
+
+val clear : 'a t -> unit
+
+val of_array : cmp:('a -> 'a -> int) -> 'a array -> 'a t
+(** Bottom-up heapify, O(n). *)

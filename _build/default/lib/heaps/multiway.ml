@@ -1,0 +1,114 @@
+module Dynarray = Faerie_util.Dynarray
+
+type merger = Binary_heap | Tournament_tree
+
+(* Number of bits needed to address [n] positions. *)
+let rec bits_for n acc = if n <= 1 then acc else bits_for ((n + 1) / 2) (acc + 1)
+
+(* Both engines stream keys [(entity lsl shift) lor position] in ascending
+   order: native int order = lexicographic (entity, position) order. The
+   consumer groups runs of equal entity into position lists. *)
+
+let consume ~shift ~mask ~next ~f =
+  let positions = Dynarray.create () in
+  let current = ref (-1) in
+  let flush () =
+    if !current >= 0 && not (Dynarray.is_empty positions) then
+      f ~entity:!current ~positions
+  in
+  let rec loop () =
+    match next () with
+    | -1 -> ()
+    | key ->
+        let entity = key lsr shift and pos = key land mask in
+        if entity <> !current then begin
+          flush ();
+          current := entity;
+          Dynarray.clear positions
+        end;
+        Dynarray.push positions pos;
+        loop ()
+  in
+  loop ();
+  flush ()
+
+let run_binary_heap ~n_positions ~lists ~shift ~mask ~f =
+  let heap = Int_heap.create ~capacity:n_positions () in
+  let cursor = Array.make n_positions 0 in
+  for pos = 0 to n_positions - 1 do
+    let l = lists.(pos) in
+    if Array.length l > 0 then Int_heap.push heap ((l.(0) lsl shift) lor pos)
+  done;
+  let next () =
+    if Int_heap.is_empty heap then -1
+    else begin
+      let key = Int_heap.peek_exn heap in
+      let pos = key land mask in
+      let l = lists.(pos) in
+      let i = cursor.(pos) + 1 in
+      if i < Array.length l then begin
+        cursor.(pos) <- i;
+        Int_heap.replace_top heap ((l.(i) lsl shift) lor pos)
+      end
+      else ignore (Int_heap.pop_exn heap);
+      key
+    end
+  in
+  consume ~shift ~mask ~next ~f
+
+let run_tournament ~n_positions ~lists ~shift ~mask ~f =
+  (* One tournament leaf per non-empty list. *)
+  let leaves = ref [] in
+  for pos = n_positions - 1 downto 0 do
+    if Array.length lists.(pos) > 0 then leaves := pos :: !leaves
+  done;
+  match !leaves with
+  | [] -> ()
+  | leaves ->
+      let leaf_pos = Array.of_list leaves in
+      let k = Array.length leaf_pos in
+      let cursor = Array.make k 0 in
+      let keys =
+        Array.init k (fun j -> (lists.(leaf_pos.(j)).(0) lsl shift) lor leaf_pos.(j))
+      in
+      let tree = Loser_tree.create ~keys in
+      let next () =
+        if Loser_tree.exhausted tree then -1
+        else begin
+          let j = Loser_tree.winner tree in
+          let key = keys.(j) in
+          let l = lists.(leaf_pos.(j)) in
+          let i = cursor.(j) + 1 in
+          if i < Array.length l then begin
+            cursor.(j) <- i;
+            keys.(j) <- (l.(i) lsl shift) lor leaf_pos.(j)
+          end
+          else keys.(j) <- max_int;
+          Loser_tree.replay tree;
+          key
+        end
+      in
+      consume ~shift ~mask ~next ~f
+
+let iter_entity_positions ?(merger = Binary_heap) ~n_positions ~list_at ~f () =
+  if n_positions > 0 then begin
+    let shift = max 1 (bits_for n_positions 0) in
+    let mask = (1 lsl shift) - 1 in
+    (* Materialize the lists once: [list_at] may recompute (token lookup +
+       postings fetch) and the merge revisits each list per posting. *)
+    let lists = Array.init n_positions list_at in
+    match merger with
+    | Binary_heap -> run_binary_heap ~n_positions ~lists ~shift ~mask ~f
+    | Tournament_tree -> run_tournament ~n_positions ~lists ~shift ~mask ~f
+  end
+
+let heap_stats ~n_positions ~list_at =
+  let live = ref 0 and total = ref 0 in
+  for pos = 0 to n_positions - 1 do
+    let l = list_at pos in
+    if Array.length l > 0 then begin
+      incr live;
+      total := !total + Array.length l
+    end
+  done;
+  (!live, !total)

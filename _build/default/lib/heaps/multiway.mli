@@ -1,0 +1,39 @@
+(** Multiway merge of the document's inverted lists — the "single heap" of
+    the paper (Section 3.3).
+
+    One cursor per document token position sits on that position's inverted
+    list (entity ids, sorted ascending). A merge engine over the cursors,
+    ordered by (entity id, position), streams out every (entity, position)
+    occurrence in ascending entity order; consecutive occurrences of one
+    entity therefore form its complete position list, sorted by position —
+    each inverted list is scanned exactly once.
+
+    Two merge engines are provided (the paper draws its heap as a loser
+    tree, footnote 3): a binary {!Int_heap} (default) and a
+    {!Loser_tree} tournament. They produce identical streams; the
+    [ablations] benchmark compares their cost. *)
+
+type merger =
+  | Binary_heap  (** {!Int_heap} of encoded keys (default) *)
+  | Tournament_tree  (** {!Loser_tree} with one leaf per non-empty list *)
+
+val iter_entity_positions :
+  ?merger:merger ->
+  n_positions:int ->
+  list_at:(int -> int array) ->
+  f:(entity:int -> positions:int Faerie_util.Dynarray.t -> unit) ->
+  unit ->
+  unit
+(** [iter_entity_positions ~n_positions ~list_at ~f ()] calls
+    [f ~entity ~positions] once per distinct entity id occurring in any of
+    the lists [list_at 0 .. list_at (n_positions-1)], in ascending entity
+    order, with [positions] the ascending positions whose list contains the
+    entity. The [positions] buffer is reused across calls — callers must
+    copy it if they retain it. *)
+
+val heap_stats :
+  n_positions:int -> list_at:(int -> int array) -> int * int
+(** [(live_cursors, total_postings)] — the number of non-empty inverted
+    lists (merge width) and the total number of postings the merge will
+    stream ([N] in the paper's complexity table). Used by the index-size
+    report (Table 5's "Heap+Array" row). *)

@@ -1,0 +1,36 @@
+(** T-occurrence merge algorithms over sorted inverted lists.
+
+    Given [k] ascending integer lists and a threshold [t], find every value
+    occurring in at least [t] of them. This is the inner problem of the
+    multi-heap method (one instance per substring), and the algorithms here
+    are the classic ones of Li, Lu & Lu (ICDE 2008), which the paper cites
+    as orthogonal heap-merge improvements (Section 4):
+
+    - {!merge_count}: plain heap merge, visits every posting;
+    - {!merge_skip}: pops [t-1] cursors at a time and jumps them forward
+      with binary searches, skipping postings that cannot reach [t];
+    - {!divide_skip}: puts the [l] longest lists aside, runs MergeSkip on
+      the short ones with threshold [t - l], and completes candidate counts
+      by binary searching the long lists.
+
+    All three report the same (value, count) pairs; the benchmark harness
+    ablates their cost inside the multi-heap baseline. *)
+
+val merge_count : lists:int array array -> f:(int -> int -> unit) -> unit
+(** [merge_count ~lists ~f] calls [f value count] for {e every} distinct
+    value, in ascending order, with its exact occurrence count. *)
+
+val merge_skip : lists:int array array -> t:int -> f:(int -> int -> unit) -> unit
+(** [merge_skip ~lists ~t ~f] calls [f value count] (exact count) for every
+    value occurring in at least [t] lists, ascending. [t <= 0] is treated
+    as 1; values can never repeat within one list. *)
+
+val divide_skip :
+  lists:int array array -> t:int -> f:(int -> int -> unit) -> unit
+(** As {!merge_skip}, splitting off long lists with the ICDE'08 heuristic
+    [t / (log2 (longest) + 1)]. *)
+
+val divide_skip_with :
+  long_lists:int -> lists:int array array -> t:int -> f:(int -> int -> unit) -> unit
+(** As {!divide_skip} with an explicit number of long lists (clamped to
+    [0 .. t-1]). *)

@@ -1,0 +1,1 @@
+lib/index/codec.ml: Array Buffer Dictionary Entity Faerie_tokenize Faerie_util Fun Inverted_index Printf String

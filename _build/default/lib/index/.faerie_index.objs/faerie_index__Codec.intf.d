@@ -1,0 +1,1 @@
+lib/index/codec.mli: Dictionary Inverted_index

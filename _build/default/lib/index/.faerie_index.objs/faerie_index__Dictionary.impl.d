@@ -1,0 +1,1 @@
+lib/index/dictionary.ml: Array Entity Faerie_tokenize List Printf

@@ -1,0 +1,1 @@
+lib/index/dictionary.mli: Entity Faerie_tokenize

@@ -1,0 +1,1 @@
+lib/index/entity.ml: Array Faerie_tokenize Format

@@ -1,0 +1,1 @@
+lib/index/entity.mli: Faerie_tokenize Format

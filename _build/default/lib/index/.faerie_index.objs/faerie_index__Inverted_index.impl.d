@@ -1,0 +1,1 @@
+lib/index/inverted_index.ml: Array Dictionary Entity Faerie_tokenize Faerie_util

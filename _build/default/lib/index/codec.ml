@@ -1,0 +1,121 @@
+module Tk = Faerie_tokenize
+module Varint = Faerie_util.Varint
+
+exception Corrupt of string
+
+let magic = "FAERIEIX"
+
+let version = 1
+
+let encode dict index =
+  let buf = Buffer.create (1 lsl 16) in
+  Buffer.add_string buf magic;
+  Varint.write buf version;
+  (match Dictionary.mode dict with
+  | Tk.Document.Word ->
+      Varint.write buf 0;
+      Varint.write buf 0
+  | Tk.Document.Gram q ->
+      Varint.write buf 1;
+      Varint.write buf q);
+  let interner = Dictionary.interner dict in
+  let n_tokens = Tk.Interner.size interner in
+  Varint.write buf n_tokens;
+  for tok = 0 to n_tokens - 1 do
+    Varint.write_string buf (Tk.Interner.to_string interner tok)
+  done;
+  let entities = Dictionary.entities dict in
+  Varint.write buf (Array.length entities);
+  Array.iter
+    (fun e ->
+      Varint.write_string buf e.Entity.raw;
+      Varint.write buf (Array.length e.Entity.tokens);
+      Array.iter (Varint.write buf) e.Entity.tokens)
+    entities;
+  Varint.write buf n_tokens;
+  for tok = 0 to n_tokens - 1 do
+    let list = Inverted_index.postings index tok in
+    Varint.write buf (Array.length list);
+    let prev = ref 0 in
+    Array.iter
+      (fun id ->
+        Varint.write buf (id - !prev);
+        prev := id)
+      list
+  done;
+  let payload = Buffer.contents buf in
+  let out = Buffer.create (String.length payload + 10) in
+  Buffer.add_string out payload;
+  Varint.write out (Varint.fnv1a payload);
+  Buffer.contents out
+
+let decode data =
+  let fail msg = raise (Corrupt msg) in
+  try
+    let r = Varint.reader data in
+    Varint.expect r magic;
+    let v = Varint.read r in
+    if v <> version then fail (Printf.sprintf "unsupported version %d" v);
+    let mode =
+      match Varint.read r with
+      | 0 ->
+          ignore (Varint.read r);
+          Tk.Document.Word
+      | 1 -> Tk.Document.Gram (Varint.read r)
+      | k -> fail (Printf.sprintf "unknown mode tag %d" k)
+    in
+    let n_tokens = Varint.read r in
+    let interner = Tk.Interner.create ~initial_capacity:(max 16 n_tokens) () in
+    for expected = 0 to n_tokens - 1 do
+      let id = Tk.Interner.intern interner (Varint.read_string r) in
+      if id <> expected then fail "duplicate token string"
+    done;
+    let n_entities = Varint.read r in
+    let entities =
+      Array.init n_entities (fun id ->
+          let raw = Varint.read_string r in
+          let n = Varint.read r in
+          let tokens =
+            Array.init n (fun _ ->
+                let tok = Varint.read r in
+                if tok >= n_tokens then fail "token id out of range";
+                tok)
+          in
+          Entity.of_tokens ~id ~raw ~text:(Tk.Tokenizer.normalize raw) ~tokens)
+    in
+    let n_lists = Varint.read r in
+    if n_lists <> n_tokens then fail "postings/token count mismatch";
+    let lists =
+      Array.init n_lists (fun _ ->
+          let n = Varint.read r in
+          let prev = ref 0 in
+          Array.init n (fun i ->
+              let delta = Varint.read r in
+              if i > 0 && delta = 0 then fail "non-ascending postings";
+              prev := !prev + delta;
+              if !prev >= n_entities then fail "entity id out of range";
+              !prev))
+    in
+    let payload_end = Varint.pos r in
+    let checksum = Varint.read r in
+    if not (Varint.at_end r) then fail "trailing bytes";
+    if checksum <> Varint.fnv1a (String.sub data 0 payload_end) then
+      fail "checksum mismatch";
+    let dict = Dictionary.of_stored ~mode ~interner entities in
+    (dict, Inverted_index.of_stored dict lists)
+  with Varint.Malformed msg -> fail msg
+
+let save dict index path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (encode dict index))
+
+let load path =
+  let ic = open_in_bin path in
+  let data =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  decode data

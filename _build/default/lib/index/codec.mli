@@ -1,0 +1,37 @@
+(** Binary serialization of a dictionary and its inverted index.
+
+    Loading never re-tokenizes: the interner, the entities' token arrays
+    and the postings lists are stored verbatim, so a saved index for a
+    large dictionary opens in I/O time.
+
+    Format (all integers LEB128 varints, {!Faerie_util.Varint}):
+
+    {v
+    "FAERIEIX" version          magic + format version (1)
+    mode q                      0 = word tokens, 1 = q-grams
+    n_tokens,  strings...       interner contents, in id order
+    n_entities, raw + tokens... per entity: raw string + token ids
+    n_lists,   count + deltas.. postings: delta-coded ascending entity ids
+    checksum                    FNV-1a-style hash of everything before it
+    v} *)
+
+exception Corrupt of string
+(** Raised by {!load}/{!decode} on malformed input (bad magic, version,
+    truncation, checksum mismatch, inconsistent counts). *)
+
+val encode : Dictionary.t -> Inverted_index.t -> string
+(** Serialize to a byte string. *)
+
+val decode : string -> Dictionary.t * Inverted_index.t
+(** Inverse of {!encode}.
+
+    @raise Corrupt on malformed input. *)
+
+val save : Dictionary.t -> Inverted_index.t -> string -> unit
+(** [save dict index path] writes the encoding to [path]. *)
+
+val load : string -> Dictionary.t * Inverted_index.t
+(** [load path] reads an index saved by {!save}.
+
+    @raise Corrupt on malformed input.
+    @raise Sys_error when the file cannot be read. *)

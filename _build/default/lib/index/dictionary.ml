@@ -1,0 +1,61 @@
+module Tk = Faerie_tokenize
+
+type t = {
+  mode : Tk.Document.mode;
+  interner : Tk.Interner.t;
+  entities : Entity.t array;
+  untokenizable : int list;
+}
+
+let of_stored ~mode ~interner entities =
+  let untokenizable =
+    Array.to_list entities
+    |> List.filter (fun e -> Entity.n_tokens e = 0)
+    |> List.map (fun e -> e.Entity.id)
+  in
+  { mode; interner; entities; untokenizable }
+
+let create ~mode raw_entities =
+  let interner = Tk.Interner.create () in
+  let tokenize raw =
+    match mode with
+    | Tk.Document.Word -> Tk.Tokenizer.words_intern interner raw
+    | Tk.Document.Gram q -> Tk.Tokenizer.qgrams_intern interner ~q raw
+  in
+  let entities =
+    List.mapi
+      (fun id raw ->
+        let text = Tk.Tokenizer.normalize raw in
+        Entity.make ~id ~raw ~text ~spans:(tokenize raw))
+      raw_entities
+  in
+  let entities = Array.of_list entities in
+  let untokenizable =
+    Array.to_list entities
+    |> List.filter (fun e -> Entity.n_tokens e = 0)
+    |> List.map (fun e -> e.Entity.id)
+  in
+  { mode; interner; entities; untokenizable }
+
+let mode t = t.mode
+
+let interner t = t.interner
+
+let size t = Array.length t.entities
+
+let entity t id =
+  if id < 0 || id >= Array.length t.entities then
+    invalid_arg (Printf.sprintf "Dictionary.entity: unknown id %d" id);
+  t.entities.(id)
+
+let entities t = t.entities
+
+let untokenizable t = t.untokenizable
+
+let max_entity_tokens t =
+  Array.fold_left (fun acc e -> max acc (Entity.n_tokens e)) 0 t.entities
+
+let tokenize_document t raw =
+  match t.mode with
+  | Tk.Document.Word -> Tk.Document.of_words t.interner raw
+  | Tk.Document.Gram q -> Tk.Document.of_grams t.interner ~q raw

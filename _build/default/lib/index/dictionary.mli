@@ -1,0 +1,39 @@
+(** The entity dictionary: interner + tokenized entities, in one token
+    mode. *)
+
+type t
+
+val create : mode:Faerie_tokenize.Document.mode -> string list -> t
+(** Tokenize and intern every entity. In [Gram q] mode, entities shorter
+    than [q] characters produce zero grams; they are kept (so ids stay
+    dense) and reported by {!untokenizable} for the caller's fallback
+    path. *)
+
+val of_stored :
+  mode:Faerie_tokenize.Document.mode ->
+  interner:Faerie_tokenize.Interner.t ->
+  Entity.t array ->
+  t
+(** Reassemble a dictionary from parts restored by {!Codec} — entity ids
+    must be dense and match array indices; no re-tokenization happens. *)
+
+val mode : t -> Faerie_tokenize.Document.mode
+
+val interner : t -> Faerie_tokenize.Interner.t
+
+val size : t -> int
+(** Number of entities. *)
+
+val entity : t -> int -> Entity.t
+(** @raise Invalid_argument on an unknown id. *)
+
+val entities : t -> Entity.t array
+
+val untokenizable : t -> int list
+(** Ids of entities with zero tokens (possible only in [Gram q] mode). *)
+
+val max_entity_tokens : t -> int
+(** Largest [|e|] over the dictionary (0 when empty). *)
+
+val tokenize_document : t -> string -> Faerie_tokenize.Document.t
+(** Tokenize a document in this dictionary's mode, against its interner. *)

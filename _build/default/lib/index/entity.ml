@@ -1,0 +1,23 @@
+module Token_ops = Faerie_tokenize.Token_ops
+
+type t = {
+  id : int;
+  raw : string;
+  text : string;
+  tokens : int array;
+  sorted_tokens : int array;
+  distinct_tokens : int array;
+}
+
+let of_tokens ~id ~raw ~text ~tokens =
+  let sorted_tokens = Array.copy tokens in
+  Array.sort compare sorted_tokens;
+  { id; raw; text; tokens; sorted_tokens; distinct_tokens = Token_ops.distinct tokens }
+
+let make ~id ~raw ~text ~spans =
+  let tokens = Array.map (fun s -> s.Faerie_tokenize.Span.token) spans in
+  of_tokens ~id ~raw ~text ~tokens
+
+let n_tokens t = Array.length t.tokens
+
+let pp ppf t = Format.fprintf ppf "e%d=%S(|e|=%d)" t.id t.raw (n_tokens t)

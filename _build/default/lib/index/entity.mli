@@ -1,0 +1,21 @@
+(** A dictionary entity with its tokenization. *)
+
+type t = {
+  id : int;  (** dense id, the value stored in inverted lists *)
+  raw : string;  (** original entity string *)
+  text : string;  (** normalized entity string (used by ED verification) *)
+  tokens : int array;  (** token ids in source order *)
+  sorted_tokens : int array;  (** multiset view, ascending *)
+  distinct_tokens : int array;  (** ascending distinct — inverted index keys *)
+}
+
+val make : id:int -> raw:string -> text:string -> spans:Faerie_tokenize.Span.t array -> t
+
+val of_tokens : id:int -> raw:string -> text:string -> tokens:int array -> t
+(** Rebuild an entity from stored token ids (the {!Codec} load path, which
+    must not re-tokenize). *)
+
+val n_tokens : t -> int
+(** [|e|]: token (or gram) count, multiset cardinality. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,43 @@
+module Tk = Faerie_tokenize
+module Dynarray = Faerie_util.Dynarray
+module Bytesize = Faerie_util.Bytesize
+
+type t = { dictionary : Dictionary.t; lists : int array array }
+
+let empty_list = [||]
+
+let build dictionary =
+  let n_tokens = Tk.Interner.size (Dictionary.interner dictionary) in
+  let acc = Array.init n_tokens (fun _ -> Dynarray.create ()) in
+  Array.iter
+    (fun e ->
+      Array.iter
+        (fun token -> Dynarray.push acc.(token) e.Entity.id)
+        e.Entity.distinct_tokens)
+    (Dictionary.entities dictionary);
+  { dictionary; lists = Array.map Dynarray.to_array acc }
+
+let of_stored dictionary lists = { dictionary; lists }
+
+let dictionary t = t.dictionary
+
+let postings t token =
+  if token < 0 || token >= Array.length t.lists then empty_list
+  else t.lists.(token)
+
+let document_lists t doc pos = postings t (Tk.Document.token_id doc pos)
+
+let n_postings t = Array.fold_left (fun acc l -> acc + Array.length l) 0 t.lists
+
+let n_lists t =
+  Array.fold_left (fun acc l -> acc + if Array.length l > 0 then 1 else 0) 0 t.lists
+
+let heap_bytes t =
+  let posting_words =
+    Array.fold_left
+      (fun acc l -> acc + Bytesize.words_per_int_array (Array.length l))
+      0 t.lists
+  in
+  let directory_words = 1 + Array.length t.lists in
+  Bytesize.bytes_of_words (posting_words + directory_words)
+  + Tk.Interner.heap_bytes (Dictionary.interner t.dictionary)

@@ -1,0 +1,37 @@
+(** Inverted index over the dictionary (Section 3.1): token id → ascending
+    list of ids of entities containing that token. An entity appears once
+    per *distinct* token it contains; document-side multiplicity is carried
+    by token positions, so heap occurrence counts upper-bound the multiset
+    overlap (safe for filtering). *)
+
+type t
+
+val build : Dictionary.t -> t
+(** Lists come out sorted for free because entities are scanned in id
+    order. *)
+
+val of_stored : Dictionary.t -> int array array -> t
+(** Reassemble from postings restored by {!Codec}: one ascending entity-id
+    array per token id. *)
+
+val dictionary : t -> Dictionary.t
+
+val postings : t -> int -> int array
+(** [postings t token] is the inverted list of a token id; the empty array
+    for {!Faerie_tokenize.Span.missing} or any token without postings.
+    The returned array is owned by the index — do not mutate. *)
+
+val document_lists : t -> Faerie_tokenize.Document.t -> int -> int array
+(** [document_lists t doc pos] is the inverted list of the token at document
+    position [pos] — the [IL\[i\]] accessor both heap algorithms consume. *)
+
+val n_postings : t -> int
+(** Total posting count over all lists. *)
+
+val n_lists : t -> int
+(** Number of non-empty lists. *)
+
+val heap_bytes : t -> int
+(** Estimated resident size: postings arrays + list directory + the share
+    of the interner holding the token strings (what Table 5 reports as
+    "Inverted Index"). *)

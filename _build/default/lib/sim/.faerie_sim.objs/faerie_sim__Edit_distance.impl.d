@@ -1,0 +1,1 @@
+lib/sim/edit_distance.ml: Array String

@@ -1,0 +1,1 @@
+lib/sim/thresholds.ml: Float Sim

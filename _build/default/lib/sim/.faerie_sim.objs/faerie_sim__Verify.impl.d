@@ -1,0 +1,1 @@
+lib/sim/verify.ml: Array Edit_distance Faerie_tokenize Float Format Sim Stdlib String

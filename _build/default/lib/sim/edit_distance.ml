@@ -1,0 +1,79 @@
+let distance r s =
+  let m = String.length r and n = String.length s in
+  if m = 0 then n
+  else if n = 0 then m
+  else begin
+    (* Keep the shorter string on the column axis. *)
+    let r, s, m, n = if m <= n then (r, s, m, n) else (s, r, n, m) in
+    let prev = Array.init (m + 1) (fun i -> i) in
+    let curr = Array.make (m + 1) 0 in
+    for j = 1 to n do
+      curr.(0) <- j;
+      let sj = s.[j - 1] in
+      for i = 1 to m do
+        let cost = if r.[i - 1] = sj then 0 else 1 in
+        curr.(i) <-
+          min (min (prev.(i) + 1) (curr.(i - 1) + 1)) (prev.(i - 1) + cost)
+      done;
+      Array.blit curr 0 prev 0 (m + 1)
+    done;
+    prev.(m)
+  end
+
+let infinity_cost = max_int / 2
+
+let distance_upto ~cap r s =
+  if cap < 0 then None
+  else begin
+    let m = String.length r and n = String.length s in
+    if abs (m - n) > cap then None
+    else if m = 0 then (if n <= cap then Some n else None)
+    else if n = 0 then (if m <= cap then Some m else None)
+    else begin
+      let r, s, m, n = if m <= n then (r, s, m, n) else (s, r, n, m) in
+      (* Band: for row j (over s), only columns i with |i - j| <= cap can end
+         below cap. prev.(i) = D(i, j-1); cells outside band = infinity. *)
+      let prev = Array.make (m + 1) infinity_cost in
+      let curr = Array.make (m + 1) infinity_cost in
+      for i = 0 to min m cap do
+        prev.(i) <- i
+      done;
+      let result = ref (if n = 0 then Some m else None) in
+      (try
+         for j = 1 to n do
+           let lo = max 0 (j - cap) and hi = min m (j + cap) in
+           let row_min = ref infinity_cost in
+           for i = lo to hi do
+             let v =
+               if i = 0 then j
+               else begin
+                 let cost = if r.[i - 1] = s.[j - 1] then 0 else 1 in
+                 let best = prev.(i - 1) + cost in
+                 let best =
+                   if i - 1 >= lo then min best (curr.(i - 1) + 1) else best
+                 in
+                 let best = if i <= j + cap - 1 then min best (prev.(i) + 1) else best in
+                 best
+               end
+             in
+             curr.(i) <- v;
+             if v < !row_min then row_min := v
+           done;
+           if !row_min > cap then raise Exit;
+           (* Reset prev outside next band, then swap rows. *)
+           Array.blit curr 0 prev 0 (m + 1);
+           Array.fill curr 0 (m + 1) infinity_cost;
+           if lo > 0 then prev.(lo - 1) <- infinity_cost
+         done;
+         if prev.(m) <= cap then result := Some prev.(m)
+       with Exit -> result := None);
+      !result
+    end
+  end
+
+let within r s tau = distance_upto ~cap:tau r s <> None
+
+let similarity r s =
+  let m = max (String.length r) (String.length s) in
+  if m = 0 then 1.0
+  else 1.0 -. (float_of_int (distance r s) /. float_of_int m)

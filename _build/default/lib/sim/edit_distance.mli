@@ -1,0 +1,18 @@
+(** Levenshtein edit distance: full DP, threshold-banded DP, and the derived
+    edit similarity. Used by the verify step and by the NGPP baseline. *)
+
+val distance : string -> string -> int
+(** Classic two-row dynamic program, O(|r| * |s|) time, O(min) space. *)
+
+val within : string -> string -> int -> bool
+(** [within r s tau] iff [distance r s <= tau], via a banded DP that visits
+    only the diagonal band of width [2*tau+1] and exits early when every
+    band cell exceeds [tau]. O((|r|+|s|) * tau) time. *)
+
+val distance_upto : cap:int -> string -> string -> int option
+(** [distance_upto ~cap r s] is [Some d] with [d = distance r s] when
+    [d <= cap], [None] otherwise; banded like {!within}. *)
+
+val similarity : string -> string -> float
+(** [1 - distance r s / max(len r, len s)]; by convention [1.0] when both
+    strings are empty. *)

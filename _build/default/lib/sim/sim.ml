@@ -1,0 +1,35 @@
+type t =
+  | Jaccard of float
+  | Cosine of float
+  | Dice of float
+  | Edit_distance of int
+  | Edit_similarity of float
+
+let validate = function
+  | Jaccard d | Cosine d | Dice d | Edit_similarity d ->
+      if not (d > 0. && d <= 1.) then
+        invalid_arg
+          (Printf.sprintf "Sim.validate: delta %g outside (0, 1]" d)
+  | Edit_distance tau ->
+      if tau < 0 then
+        invalid_arg (Printf.sprintf "Sim.validate: tau %d negative" tau)
+
+let char_based = function
+  | Edit_distance _ | Edit_similarity _ -> true
+  | Jaccard _ | Cosine _ | Dice _ -> false
+
+let name = function
+  | Jaccard _ -> "jac"
+  | Cosine _ -> "cos"
+  | Dice _ -> "dice"
+  | Edit_distance _ -> "ed"
+  | Edit_similarity _ -> "eds"
+
+let pp ppf = function
+  | Jaccard d -> Format.fprintf ppf "jac(delta=%g)" d
+  | Cosine d -> Format.fprintf ppf "cos(delta=%g)" d
+  | Dice d -> Format.fprintf ppf "dice(delta=%g)" d
+  | Edit_distance tau -> Format.fprintf ppf "ed(tau=%d)" tau
+  | Edit_similarity d -> Format.fprintf ppf "eds(delta=%g)" d
+
+let to_string t = Format.asprintf "%a" pp t

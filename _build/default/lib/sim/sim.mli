@@ -1,0 +1,30 @@
+(** Similarity / dissimilarity function specifications.
+
+    The five functions of the paper's unified framework. Token-based
+    functions (jaccard, cosine, dice) see strings as word-token multisets;
+    character-based functions (edit distance, edit similarity) see strings
+    as character sequences and are filtered through q-gram multisets. *)
+
+type t =
+  | Jaccard of float  (** [jac(r,s) = |r∩s| / |r∪s| >= delta] *)
+  | Cosine of float  (** [cos(r,s) = |r∩s| / sqrt(|r|*|s|) >= delta] *)
+  | Dice of float  (** [dice(r,s) = 2|r∩s| / (|r|+|s|) >= delta] *)
+  | Edit_distance of int  (** [ed(r,s) <= tau] *)
+  | Edit_similarity of float
+      (** [eds(r,s) = 1 - ed(r,s)/max(len r, len s) >= delta] *)
+
+val validate : t -> unit
+(** Check the threshold is in range: [delta] in (0, 1], [tau >= 0].
+
+    @raise Invalid_argument otherwise. *)
+
+val char_based : t -> bool
+(** [true] for edit distance / edit similarity (q-gram token mode). *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+val name : t -> string
+(** Function name without the threshold: ["jac"], ["cos"], ["dice"],
+    ["ed"], ["eds"]. *)

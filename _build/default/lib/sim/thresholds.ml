@@ -1,0 +1,77 @@
+(* Epsilon slack: lower bounds round down a hair before ceiling, upper
+   bounds round up a hair before flooring, so float noise can only loosen a
+   bound (completeness is never at risk; verification restores precision). *)
+let eps = 1e-9
+
+let ceil_lo x = int_of_float (Float.ceil (x -. eps))
+
+let floor_hi x = int_of_float (Float.floor (x +. eps))
+
+let overlap sim ~q ~e_len ~s_len =
+  let e = float_of_int e_len and s = float_of_int s_len in
+  match sim with
+  | Sim.Jaccard d -> ceil_lo ((e +. s) *. d /. (1. +. d))
+  | Sim.Cosine d -> ceil_lo (sqrt (e *. s) *. d)
+  | Sim.Dice d -> ceil_lo ((e +. s) *. d /. 2.)
+  | Sim.Edit_distance tau -> max e_len s_len - (tau * q)
+  | Sim.Edit_similarity d ->
+      let m = float_of_int (max e_len s_len) in
+      ceil_lo (m -. ((m +. float_of_int q -. 1.) *. (1. -. d) *. float_of_int q))
+
+let substring_bounds sim ~q ~e_len =
+  let e = float_of_int e_len in
+  let lower, upper =
+    match sim with
+    | Sim.Jaccard d -> (ceil_lo (e *. d), floor_hi (e /. d))
+    | Sim.Cosine d -> (ceil_lo (e *. d *. d), floor_hi (e /. (d *. d)))
+    | Sim.Dice d -> (ceil_lo (e *. d /. (2. -. d)), floor_hi (e *. (2. -. d) /. d))
+    | Sim.Edit_distance tau -> (e_len - tau, e_len + tau)
+    | Sim.Edit_similarity d ->
+        let len = e +. float_of_int q -. 1. in
+        ( ceil_lo ((len *. d) -. (float_of_int q -. 1.)),
+          floor_hi ((len /. d) -. (float_of_int q -. 1.)) )
+  in
+  (max 1 lower, upper)
+
+let lazy_overlap sim ~q ~e_len =
+  let lower, upper = substring_bounds sim ~q ~e_len in
+  if upper < lower then max_int (* nothing can match; filter everything *)
+  else begin
+    let best = ref max_int in
+    for s_len = lower to upper do
+      let t = overlap sim ~q ~e_len ~s_len in
+      if t < !best then best := t
+    done;
+    !best
+  end
+
+let lazy_overlap_paper sim ~q ~e_len =
+  let e = float_of_int e_len in
+  match sim with
+  | Sim.Jaccard d -> ceil_lo (e *. d)
+  | Sim.Cosine d -> ceil_lo (e *. d *. d)
+  | Sim.Dice d -> ceil_lo (e *. d /. (2. -. d))
+  | Sim.Edit_distance tau -> e_len - (tau * q)
+  | Sim.Edit_similarity d ->
+      let len = e +. float_of_int q -. 1. in
+      ceil_lo (e -. (len *. (1. -. d) /. d *. float_of_int q))
+
+let bucket_gap sim ~q ~e_len =
+  let _, upper = substring_bounds sim ~q ~e_len in
+  let tl = lazy_overlap sim ~q ~e_len in
+  let generic = if tl = max_int then -1 else upper - tl in
+  match sim with
+  | Sim.Edit_distance tau -> min generic (tau * q)
+  | Sim.Edit_similarity d ->
+      let len = float_of_int e_len +. float_of_int q -. 1. in
+      min generic (floor_hi (len /. d *. (1. -. d) *. float_of_int q))
+  | Sim.Jaccard _ | Sim.Cosine _ | Sim.Dice _ -> generic
+
+let window_span_upper sim ~q ~e_len ~wlen =
+  let _, upper = substring_bounds sim ~q ~e_len in
+  let w = float_of_int (min e_len wlen) in
+  match sim with
+  | Sim.Jaccard d -> min upper (floor_hi (w /. d))
+  | Sim.Cosine d -> min upper (floor_hi (w /. (d *. d)))
+  | Sim.Dice d -> min upper (floor_hi (w *. (2. -. d) /. d))
+  | Sim.Edit_distance _ | Sim.Edit_similarity _ -> upper

@@ -1,0 +1,50 @@
+(** The unified filtering thresholds of the paper (Lemmas 1–3).
+
+    Everywhere below [e_len] and [s_len] are *token counts*: word tokens for
+    jaccard/cosine/dice, q-grams for edit distance/similarity (for a string
+    of [c] characters, [e_len = c - q + 1]). [q] is only consulted by the
+    character-based functions.
+
+    All fractional bounds are computed in floating point with a small
+    epsilon slack applied in the direction that can only *loosen* a bound,
+    so rounding can never prune a true result; the verify step restores
+    exactness. *)
+
+val overlap : Sim.t -> q:int -> e_len:int -> s_len:int -> int
+(** Lemma 1: the overlap threshold [T]. If entity [e] and substring [s] are
+    similar then [|e ∩ s| >= T]. May be [<= 0], in which case the overlap
+    filter is vacuous for this pair (the caller must treat every valid
+    substring as a candidate). *)
+
+val substring_bounds : Sim.t -> q:int -> e_len:int -> int * int
+(** Lemma 2: [(lower, upper)] bounds on the token count of any substring
+    similar to an entity with [e_len] tokens. [lower] is clamped to [>= 1].
+    [upper < lower] means no substring can match (e.g. an entity shorter
+    than the edit budget can destroy). *)
+
+val lazy_overlap : Sim.t -> q:int -> e_len:int -> int
+(** The lazy-count threshold [Tl]: a lower bound of [overlap] over all
+    valid substring lengths, i.e. [min over s_len in substring_bounds] of
+    [overlap]. Computed exactly by scanning the (small) length range, hence
+    always [<=] the paper's closed form {!lazy_overlap_paper} never looser.
+    If an entity's heap occurrence count is below [Tl] it cannot match any
+    substring (Lemma 3). May be [<= 0] (vacuous filter). *)
+
+val lazy_overlap_paper : Sim.t -> q:int -> e_len:int -> int
+(** The closed-form [Tl] from Section 4.1 of the paper, kept for reference
+    and cross-checked against {!lazy_overlap} in the test suite. *)
+
+val bucket_gap : Sim.t -> q:int -> e_len:int -> int
+(** Bucket-count pruning (Section 4.1): two neighbouring positions
+    [p_i, p_{i+1}] of an entity's position list can belong to the same
+    bucket only if [p_{i+1} - p_i - 1 <= bucket_gap]; a larger gap implies
+    enough mismatched tokens to rule out any substring containing both.
+    This is the tighter of the generic bound [upper - Tl] and the
+    function-specific bounds the paper derives (e.g. [tau * q] for edit
+    distance). *)
+
+val window_span_upper : Sim.t -> q:int -> e_len:int -> wlen:int -> int
+(** Upper bound on the token span [p_j - p_i + 1] of a candidate window
+    containing [wlen] positions (Section 4.1's tightened candidate-window
+    condition for the token-based functions; equals the Lemma 2 upper bound
+    for the character-based ones). *)

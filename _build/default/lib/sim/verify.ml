@@ -1,0 +1,67 @@
+module Token_ops = Faerie_tokenize.Token_ops
+
+module Score = struct
+  type t = Similarity of float | Distance of int
+
+  let passes sim t =
+    match (sim, t) with
+    | (Sim.Jaccard d | Sim.Cosine d | Sim.Dice d | Sim.Edit_similarity d), Similarity s ->
+        s >= d -. 1e-9
+    | Sim.Edit_distance tau, Distance d -> d <= tau
+    | Sim.Edit_distance _, Similarity _ | _, Distance _ ->
+        invalid_arg "Score.passes: score kind does not match function"
+
+  let pp ppf = function
+    | Similarity s -> Format.fprintf ppf "sim=%.4f" s
+    | Distance d -> Format.fprintf ppf "ed=%d" d
+
+  let compare a b =
+    match (a, b) with
+    | Similarity x, Similarity y -> Stdlib.compare y x
+    | Distance x, Distance y -> Stdlib.compare x y
+    | Similarity _, Distance _ -> -1
+    | Distance _, Similarity _ -> 1
+end
+
+let token_score sim ~e_tokens ~s_tokens =
+  let e = Array.length e_tokens and s = Array.length s_tokens in
+  let o = float_of_int (Token_ops.multiset_overlap e_tokens s_tokens) in
+  let e = float_of_int e and s = float_of_int s in
+  match sim with
+  | Sim.Jaccard _ ->
+      let union = e +. s -. o in
+      Score.Similarity (if union <= 0. then 1.0 else o /. union)
+  | Sim.Cosine _ ->
+      Score.Similarity (if e = 0. || s = 0. then 0. else o /. sqrt (e *. s))
+  | Sim.Dice _ ->
+      Score.Similarity (if e +. s = 0. then 1.0 else 2. *. o /. (e +. s))
+  | Sim.Edit_distance _ | Sim.Edit_similarity _ ->
+      invalid_arg "Verify.token_score: character-based function"
+
+let char_score sim ~e_str ~s_str =
+  match sim with
+  | Sim.Edit_distance tau -> (
+      match Edit_distance.distance_upto ~cap:tau e_str s_str with
+      | Some d -> Score.Distance d
+      | None -> Score.Distance (tau + 1))
+  | Sim.Edit_similarity d ->
+      let maxlen = max (String.length e_str) (String.length s_str) in
+      if maxlen = 0 then Score.Similarity 1.0
+      else begin
+        (* eds >= d iff ed <= (1 - d) * maxlen; band the DP at that cap. *)
+        let cap =
+          int_of_float (Float.floor (((1. -. d) *. float_of_int maxlen) +. 1e-9))
+        in
+        match Edit_distance.distance_upto ~cap e_str s_str with
+        | Some ed ->
+            Score.Similarity (1. -. (float_of_int ed /. float_of_int maxlen))
+        | None ->
+            Score.Similarity
+              (1. -. (float_of_int (cap + 1) /. float_of_int maxlen))
+      end
+  | Sim.Jaccard _ | Sim.Cosine _ | Sim.Dice _ ->
+      invalid_arg "Verify.char_score: token-based function"
+
+let check sim ~e_tokens ~e_str ~s_tokens ~s_str =
+  if Sim.char_based sim then char_score sim ~e_str ~s_str
+  else token_score sim ~e_tokens ~s_tokens

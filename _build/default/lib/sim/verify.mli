@@ -1,0 +1,41 @@
+(** Exact verification of candidate pairs (the "verify" half of
+    filter-and-verify). *)
+
+module Score : sig
+  type t =
+    | Similarity of float  (** jaccard / cosine / dice / edit similarity *)
+    | Distance of int  (** edit distance *)
+
+  val passes : Sim.t -> t -> bool
+  (** Does the measured score satisfy the threshold? Similarities compare
+      with a [1e-9] tolerance so that exact rational ties (e.g. [delta = 1]
+      with identical strings) always pass. *)
+
+  val pp : Format.formatter -> t -> unit
+
+  val compare : t -> t -> int
+  (** Orders better scores first: higher similarity, lower distance. *)
+end
+
+val token_score : Sim.t -> e_tokens:int array -> s_tokens:int array -> Score.t
+(** Exact token-based similarity of two sorted token multisets.
+    Occurrences of {!Faerie_tokenize.Span.missing} in [s_tokens] count
+    toward [|s|] but never toward the overlap.
+
+    @raise Invalid_argument when applied to a character-based function. *)
+
+val char_score : Sim.t -> e_str:string -> s_str:string -> Score.t
+(** Exact character-based score, computed with a banded DP capped at the
+    largest edit distance that could still pass (a failing pair reports the
+    cap + 1, enough to decide {!Score.passes}).
+
+    @raise Invalid_argument when applied to a token-based function. *)
+
+val check :
+  Sim.t ->
+  e_tokens:int array ->
+  e_str:string ->
+  s_tokens:int array ->
+  s_str:string ->
+  Score.t
+(** Dispatch on the function kind. *)

@@ -1,0 +1,1 @@
+lib/tokenize/document.ml: Array Printf Span String Tokenizer

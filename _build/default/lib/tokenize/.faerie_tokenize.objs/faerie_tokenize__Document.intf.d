@@ -1,0 +1,1 @@
+lib/tokenize/document.mli: Interner Span

@@ -1,0 +1,1 @@
+lib/tokenize/interner.ml: Faerie_util Hashtbl Printf

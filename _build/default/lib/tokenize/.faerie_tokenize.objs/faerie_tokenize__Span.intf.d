@@ -1,0 +1,1 @@
+lib/tokenize/span.mli: Format

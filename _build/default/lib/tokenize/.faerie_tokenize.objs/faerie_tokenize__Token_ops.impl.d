@@ -1,0 +1,1 @@
+lib/tokenize/token_ops.ml: Array List Span

@@ -1,0 +1,1 @@
+lib/tokenize/token_ops.mli: Span

@@ -1,0 +1,1 @@
+lib/tokenize/tokenizer.ml: Array Interner List Span String

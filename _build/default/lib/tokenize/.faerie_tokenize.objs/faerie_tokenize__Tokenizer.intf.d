@@ -1,0 +1,1 @@
+lib/tokenize/tokenizer.mli: Interner Span

@@ -1,0 +1,51 @@
+type mode = Word | Gram of int
+
+type t = { text : string; spans : Span.t array; mode : mode }
+
+let of_words interner raw =
+  let text = Tokenizer.normalize raw in
+  { text; spans = Tokenizer.words_lookup interner raw; mode = Word }
+
+let of_grams interner ~q raw =
+  let text = Tokenizer.normalize raw in
+  { text; spans = Tokenizer.qgrams_lookup interner ~q raw; mode = Gram q }
+
+let mode t = t.mode
+
+let text t = t.text
+
+let n_tokens t = Array.length t.spans
+
+let check_range t ~start ~len name =
+  if len <= 0 || start < 0 || start + len > Array.length t.spans then
+    invalid_arg
+      (Printf.sprintf "Document.%s: range (%d,%d) out of bounds [0,%d)" name
+         start len (Array.length t.spans))
+
+let token_id t i =
+  if i < 0 || i >= Array.length t.spans then
+    invalid_arg (Printf.sprintf "Document.token_id: %d out of bounds" i);
+  t.spans.(i).Span.token
+
+let span t i =
+  if i < 0 || i >= Array.length t.spans then
+    invalid_arg (Printf.sprintf "Document.span: %d out of bounds" i);
+  t.spans.(i)
+
+let char_extent t ~start ~len =
+  check_range t ~start ~len "char_extent";
+  let first = t.spans.(start) in
+  let last = t.spans.(start + len - 1) in
+  let char_start = first.Span.start_pos in
+  let char_end = last.Span.start_pos + last.Span.len in
+  (char_start, char_end - char_start)
+
+let substring t ~start ~len =
+  let char_start, char_len = char_extent t ~start ~len in
+  String.sub t.text char_start char_len
+
+let token_multiset t ~start ~len =
+  check_range t ~start ~len "token_multiset";
+  let ids = Array.init len (fun i -> t.spans.(start + i).Span.token) in
+  Array.sort compare ids;
+  ids

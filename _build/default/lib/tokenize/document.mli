@@ -1,0 +1,46 @@
+(** A tokenized document.
+
+    A document is a sequence of token positions [0 .. n_tokens - 1]; the
+    substring [D\[start, len\]] of the paper is the [len] consecutive tokens
+    beginning at [start]. Character extents let us map any token substring
+    back to the original text. *)
+
+type mode =
+  | Word  (** word tokens — jaccard / cosine / dice *)
+  | Gram of int  (** q-grams — edit distance / edit similarity *)
+
+type t
+
+val of_words : Interner.t -> string -> t
+(** Tokenize a document into words against an existing (dictionary)
+    interner; unknown words keep their position with an empty inverted
+    list. *)
+
+val of_grams : Interner.t -> q:int -> string -> t
+(** Tokenize a document into q-grams (lookup mode). *)
+
+val mode : t -> mode
+
+val text : t -> string
+(** The normalized document text. *)
+
+val n_tokens : t -> int
+
+val token_id : t -> int -> int
+(** [token_id t i] is the interned id of position [i] (0-based), or
+    {!Span.missing}. *)
+
+val span : t -> int -> Span.t
+
+val char_extent : t -> start:int -> len:int -> int * int
+(** [char_extent t ~start ~len] is [(char_start, char_len)] of the substring
+    covering token positions [start .. start+len-1].
+
+    @raise Invalid_argument if the token range is out of bounds or empty. *)
+
+val substring : t -> start:int -> len:int -> string
+(** The normalized text of the token substring. *)
+
+val token_multiset : t -> start:int -> len:int -> int array
+(** Sorted token ids (including {!Span.missing} occurrences) of the
+    substring — the multiset used to verify token-based similarities. *)

@@ -1,0 +1,37 @@
+module Dynarray = Faerie_util.Dynarray
+module Bytesize = Faerie_util.Bytesize
+
+type t = {
+  table : (string, int) Hashtbl.t;
+  strings : string Dynarray.t;
+}
+
+let create ?(initial_capacity = 1024) () =
+  { table = Hashtbl.create initial_capacity; strings = Dynarray.create () }
+
+let intern t s =
+  match Hashtbl.find_opt t.table s with
+  | Some id -> id
+  | None ->
+      let id = Dynarray.length t.strings in
+      Hashtbl.add t.table s id;
+      Dynarray.push t.strings s;
+      id
+
+let find_opt t s = Hashtbl.find_opt t.table s
+
+let to_string t id =
+  if id < 0 || id >= Dynarray.length t.strings then
+    invalid_arg (Printf.sprintf "Interner.to_string: unknown id %d" id);
+  Dynarray.get t.strings id
+
+let size t = Dynarray.length t.strings
+
+let heap_bytes t =
+  let string_bytes =
+    Dynarray.fold_left (fun acc s -> acc + Bytesize.string_bytes s) 0 t.strings
+  in
+  (* Hashtbl: roughly 3 words per binding plus the bucket array; the pointer
+     array in [strings] adds one word per entry. *)
+  let n = size t in
+  string_bytes + Bytesize.bytes_of_words ((3 * n) + n + (2 * n))

@@ -1,0 +1,31 @@
+(** String interning: a bijection between token strings and dense integer
+    ids.
+
+    All filtering structures (inverted lists, heaps, position lists) work on
+    integer token ids; the interner is the single place where strings are
+    compared. Ids are allocated densely from 0, so they can index arrays. *)
+
+type t
+
+val create : ?initial_capacity:int -> unit -> t
+
+val intern : t -> string -> int
+(** [intern t s] returns the id of [s], allocating a fresh one on first
+    sight. *)
+
+val find_opt : t -> string -> int option
+(** [find_opt t s] is [Some id] if [s] was interned before, without
+    allocating a new id. Used when tokenizing documents: a document token
+    never seen in the dictionary has an empty inverted list and can be
+    dropped eagerly. *)
+
+val to_string : t -> int -> string
+(** Inverse mapping.
+
+    @raise Invalid_argument on an unknown id. *)
+
+val size : t -> int
+(** Number of distinct interned strings. *)
+
+val heap_bytes : t -> int
+(** Estimated in-memory footprint (for index-size reports). *)

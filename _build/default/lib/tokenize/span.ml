@@ -1,0 +1,6 @@
+type t = { token : int; start_pos : int; len : int }
+
+let missing = -1
+
+let pp ppf t =
+  Format.fprintf ppf "{token=%d; start=%d; len=%d}" t.token t.start_pos t.len

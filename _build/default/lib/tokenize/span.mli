@@ -1,0 +1,15 @@
+(** A token occurrence inside a piece of text: interned id plus character
+    extent in the (normalized) source string. *)
+
+type t = {
+  token : int;  (** interned token id, or {!missing} for unknown tokens *)
+  start_pos : int;  (** 0-based character offset of the first character *)
+  len : int;  (** length in characters *)
+}
+
+val missing : int
+(** Sentinel id used for document tokens that do not occur in any dictionary
+    entity (their inverted lists are empty, but they still occupy a position
+    so substring token counts stay correct). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,29 @@
+let sorted_of_spans spans =
+  let ids = Array.map (fun s -> s.Span.token) spans in
+  Array.sort compare ids;
+  ids
+
+let multiset_overlap a b =
+  let na = Array.length a and nb = Array.length b in
+  let rec loop i j acc =
+    if i >= na || j >= nb then acc
+    else if a.(i) = Span.missing then loop (i + 1) j acc
+    else if b.(j) = Span.missing then loop i (j + 1) acc
+    else if a.(i) = b.(j) then loop (i + 1) (j + 1) (acc + 1)
+    else if a.(i) < b.(j) then loop (i + 1) j acc
+    else loop i (j + 1) acc
+  in
+  loop 0 0 0
+
+let distinct a =
+  let a = Array.copy a in
+  Array.sort compare a;
+  let out = ref [] in
+  Array.iter
+    (fun x ->
+      if x <> Span.missing then
+        match !out with
+        | y :: _ when y = x -> ()
+        | _ -> out := x :: !out)
+    a;
+  Array.of_list (List.rev !out)

@@ -1,0 +1,12 @@
+(** Operations on sorted token-id multisets. *)
+
+val sorted_of_spans : Span.t array -> int array
+(** Token ids of the spans, sorted ascending (multiset representation). *)
+
+val multiset_overlap : int array -> int array -> int
+(** [multiset_overlap a b] is [|a ∩ b|] as multisets, both arrays sorted
+    ascending. Occurrences of {!Span.missing} never match anything (an
+    unknown document token cannot equal a dictionary token). *)
+
+val distinct : int array -> int array
+(** Sorted distinct values, dropping {!Span.missing}. *)

@@ -1,0 +1,61 @@
+let normalize s = String.lowercase_ascii s
+
+let is_word_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+
+let word_offsets s =
+  let n = String.length s in
+  let rec scan i acc =
+    if i >= n then List.rev acc
+    else if is_word_char s.[i] then begin
+      let j = ref i in
+      while !j < n && is_word_char s.[!j] do
+        incr j
+      done;
+      scan !j ((i, !j - i) :: acc)
+    end
+    else scan (i + 1) acc
+  in
+  scan 0 []
+
+let words_of ~resolve s =
+  let s = normalize s in
+  let offsets = word_offsets s in
+  let spans =
+    List.map
+      (fun (start_pos, len) ->
+        let token = resolve (String.sub s start_pos len) in
+        { Span.token; start_pos; len })
+      offsets
+  in
+  Array.of_list spans
+
+let words_intern interner s = words_of ~resolve:(Interner.intern interner) s
+
+let words_lookup interner s =
+  let resolve w =
+    match Interner.find_opt interner w with
+    | Some id -> id
+    | None -> Span.missing
+  in
+  words_of ~resolve s
+
+let qgrams_of ~resolve ~q s =
+  if q <= 0 then invalid_arg "Tokenizer.qgrams: q must be positive";
+  let s = normalize s in
+  let n = String.length s - q + 1 in
+  if n <= 0 then [||]
+  else
+    Array.init n (fun i ->
+        { Span.token = resolve (String.sub s i q); start_pos = i; len = q })
+
+let qgrams_intern interner ~q s =
+  qgrams_of ~resolve:(Interner.intern interner) ~q s
+
+let qgrams_lookup interner ~q s =
+  let resolve g =
+    match Interner.find_opt interner g with
+    | Some id -> id
+    | None -> Span.missing
+  in
+  qgrams_of ~resolve ~q s

@@ -1,0 +1,35 @@
+(** Word and q-gram tokenizers.
+
+    Both entity strings and documents pass through [normalize] (ASCII
+    lowercasing — length preserving, so spans computed on normalized text
+    are valid offsets into the original).
+
+    Two interning disciplines:
+    - [_intern] variants allocate fresh ids for unseen tokens — used when
+      indexing the dictionary;
+    - [_lookup] variants map unseen tokens to {!Span.missing} — used when
+      tokenizing documents, since a token absent from every entity has an
+      empty inverted list but must still occupy a position. *)
+
+val normalize : string -> string
+(** ASCII lowercase; every other byte unchanged. Length preserving. *)
+
+val word_offsets : string -> (int * int) list
+(** [word_offsets s] are the [(start, len)] extents of maximal runs of
+    ASCII letters and digits in [s], left to right. Everything else
+    (spaces, punctuation) separates words. *)
+
+val words_intern : Interner.t -> string -> Span.t array
+(** Tokenize into words, interning each. *)
+
+val words_lookup : Interner.t -> string -> Span.t array
+(** Tokenize into words; unknown words become {!Span.missing}. *)
+
+val qgrams_intern : Interner.t -> q:int -> string -> Span.t array
+(** All [q]-grams of the normalized string, interning each. A string shorter
+    than [q] yields the empty array ([len(s) - q + 1 <= 0] grams).
+
+    @raise Invalid_argument if [q <= 0]. *)
+
+val qgrams_lookup : Interner.t -> q:int -> string -> Span.t array
+(** As {!qgrams_intern}, but unknown grams become {!Span.missing}. *)

@@ -1,0 +1,1 @@
+lib/util/dynarray.ml: Array Printf

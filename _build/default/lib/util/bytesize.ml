@@ -1,0 +1,18 @@
+let words_per_int_array n = 1 + n
+
+let bytes_of_words w = w * 8
+
+let string_bytes s =
+  (* Header word + payload rounded up to whole words incl. terminator. *)
+  let payload_words = (String.length s / 8) + 1 in
+  8 * (1 + payload_words)
+
+let pp_bytes ppf n =
+  let f = float_of_int n in
+  if n < 1024 then Format.fprintf ppf "%d B" n
+  else if f < 1024. *. 1024. then Format.fprintf ppf "%.1f KB" (f /. 1024.)
+  else if f < 1024. *. 1024. *. 1024. then
+    Format.fprintf ppf "%.1f MB" (f /. (1024. *. 1024.))
+  else Format.fprintf ppf "%.2f GB" (f /. (1024. *. 1024. *. 1024.))
+
+let to_string n = Format.asprintf "%a" pp_bytes n

@@ -1,0 +1,22 @@
+(** Byte-size accounting and pretty-printing.
+
+    Table 5 of the paper reports index sizes in MB/KB; the index modules
+    expose estimated in-memory footprints through these helpers. Estimates
+    follow the OCaml runtime layout on 64-bit: one word per header plus one
+    word per field, 8 bytes per word. *)
+
+val words_per_int_array : int -> int
+(** [words_per_int_array n] is the heap words used by an [int array] of
+    length [n] (header + payload). *)
+
+val bytes_of_words : int -> int
+(** Words to bytes on a 64-bit runtime. *)
+
+val string_bytes : string -> int
+(** Heap bytes of one string (header + padded payload). *)
+
+val pp_bytes : Format.formatter -> int -> unit
+(** Render a byte count as ["512 B"], ["4.2 KB"], ["7.1 MB"], ["1.3 GB"]. *)
+
+val to_string : int -> string
+(** [to_string n] is [Format.asprintf "%a" pp_bytes n]. *)

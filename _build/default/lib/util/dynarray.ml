@@ -1,0 +1,91 @@
+type 'a t = {
+  mutable data : 'a array;
+  mutable len : int;
+  mutable dummy : 'a option;
+      (* First pushed element, kept to fill fresh capacity; avoids requiring
+         a witness value at [create] time. *)
+}
+
+let create () = { data = [||]; len = 0; dummy = None }
+
+let make n x = { data = Array.make (max n 1) x; len = n; dummy = Some x }
+
+let length t = t.len
+
+let is_empty t = t.len = 0
+
+let check t i name =
+  if i < 0 || i >= t.len then
+    invalid_arg (Printf.sprintf "Dynarray.%s: index %d out of bounds [0,%d)" name i t.len)
+
+let get t i =
+  check t i "get";
+  t.data.(i)
+
+let set t i x =
+  check t i "set";
+  t.data.(i) <- x
+
+let ensure_capacity t x =
+  let cap = Array.length t.data in
+  if t.len >= cap then begin
+    let ncap = max 8 (2 * cap) in
+    let fill = match t.dummy with Some d -> d | None -> x in
+    let ndata = Array.make ncap fill in
+    Array.blit t.data 0 ndata 0 t.len;
+    t.data <- ndata
+  end
+
+let push t x =
+  if t.dummy = None then t.dummy <- Some x;
+  ensure_capacity t x;
+  t.data.(t.len) <- x;
+  t.len <- t.len + 1
+
+let pop t =
+  if t.len = 0 then invalid_arg "Dynarray.pop: empty";
+  t.len <- t.len - 1;
+  t.data.(t.len)
+
+let last t =
+  if t.len = 0 then invalid_arg "Dynarray.last: empty";
+  t.data.(t.len - 1)
+
+let clear t = t.len <- 0
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.data.(i)
+  done
+
+let iteri f t =
+  for i = 0 to t.len - 1 do
+    f i t.data.(i)
+  done
+
+let fold_left f acc t =
+  let acc = ref acc in
+  for i = 0 to t.len - 1 do
+    acc := f !acc t.data.(i)
+  done;
+  !acc
+
+let to_array t = Array.sub t.data 0 t.len
+
+let to_list t = Array.to_list (to_array t)
+
+let of_array arr =
+  let n = Array.length arr in
+  if n = 0 then create ()
+  else { data = Array.copy arr; len = n; dummy = Some arr.(0) }
+
+let of_list l = of_array (Array.of_list l)
+
+let exists p t =
+  let rec loop i = i < t.len && (p t.data.(i) || loop (i + 1)) in
+  loop 0
+
+let sort cmp t =
+  let a = to_array t in
+  Array.sort cmp a;
+  Array.blit a 0 t.data 0 t.len

@@ -1,0 +1,59 @@
+(** Growable arrays.
+
+    OCaml 5.1's standard library does not ship [Dynarray] (it arrived in
+    5.2), and the filtering algorithms build many append-only buffers
+    (position lists, candidate sets), so we provide a minimal amortised-O(1)
+    push vector. *)
+
+type 'a t
+
+val create : unit -> 'a t
+(** An empty vector. *)
+
+val make : int -> 'a -> 'a t
+(** [make n x] is a vector of length [n] filled with [x]. *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val get : 'a t -> int -> 'a
+(** @raise Invalid_argument on out-of-bounds access. *)
+
+val set : 'a t -> int -> 'a -> unit
+(** @raise Invalid_argument on out-of-bounds access. *)
+
+val push : 'a t -> 'a -> unit
+(** Append one element (amortised O(1)). *)
+
+val pop : 'a t -> 'a
+(** Remove and return the last element.
+
+    @raise Invalid_argument if the vector is empty. *)
+
+val last : 'a t -> 'a
+(** @raise Invalid_argument if the vector is empty. *)
+
+val clear : 'a t -> unit
+(** Reset the length to zero. Capacity is retained so the vector can be
+    reused without reallocating — the single-heap counting loop depends on
+    this. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+
+val fold_left : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+
+val to_array : 'a t -> 'a array
+
+val to_list : 'a t -> 'a list
+
+val of_list : 'a list -> 'a t
+
+val of_array : 'a array -> 'a t
+
+val exists : ('a -> bool) -> 'a t -> bool
+
+val sort : ('a -> 'a -> int) -> 'a t -> unit
+(** In-place sort of the live prefix. *)

@@ -1,0 +1,60 @@
+exception Malformed of string
+
+let write buf n =
+  if n < 0 then invalid_arg "Varint.write: negative";
+  let rec loop n =
+    if n < 0x80 then Buffer.add_char buf (Char.chr n)
+    else begin
+      Buffer.add_char buf (Char.chr (0x80 lor (n land 0x7f)));
+      loop (n lsr 7)
+    end
+  in
+  loop n
+
+let write_string buf s =
+  write buf (String.length s);
+  Buffer.add_string buf s
+
+type reader = { data : string; mutable pos : int }
+
+let reader data = { data; pos = 0 }
+
+let pos r = r.pos
+
+let at_end r = r.pos >= String.length r.data
+
+let read r =
+  let rec loop shift acc =
+    if r.pos >= String.length r.data then raise (Malformed "truncated varint");
+    if shift > 62 then raise (Malformed "varint overflow");
+    let b = Char.code r.data.[r.pos] in
+    r.pos <- r.pos + 1;
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if b land 0x80 = 0 then acc else loop (shift + 7) acc
+  in
+  loop 0 0
+
+let read_string r =
+  let n = read r in
+  if r.pos + n > String.length r.data then raise (Malformed "truncated string");
+  let s = String.sub r.data r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let expect r s =
+  let n = String.length s in
+  if r.pos + n > String.length r.data then raise (Malformed "truncated header");
+  if not (String.equal (String.sub r.data r.pos n) s) then
+    raise (Malformed (Printf.sprintf "expected %S" s));
+  r.pos <- r.pos + n
+
+let fnv1a s =
+  (* FNV-1a with the 64-bit offset basis truncated to OCaml's 63-bit int;
+     an integrity check, not a cryptographic hash. *)
+  let h = ref 0x4bf29ce484222325 in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * 0x100000001b3)
+    s;
+  !h land max_int

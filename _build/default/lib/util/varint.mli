@@ -1,0 +1,38 @@
+(** LEB128-style variable-length integer encoding, plus length-prefixed
+    strings — the building blocks of the binary index codec
+    ({!Faerie_index.Codec}). Only non-negative integers are supported
+    (ids, counts, deltas of sorted sequences). *)
+
+exception Malformed of string
+(** Raised by the reading functions on truncated or corrupt input. *)
+
+val write : Buffer.t -> int -> unit
+(** Append an unsigned varint (7 bits per byte, high bit = continuation).
+
+    @raise Invalid_argument on negative input. *)
+
+val write_string : Buffer.t -> string -> unit
+(** Length-prefixed string. *)
+
+type reader
+(** A cursor over an input string. *)
+
+val reader : string -> reader
+
+val pos : reader -> int
+
+val at_end : reader -> bool
+
+val read : reader -> int
+(** @raise Malformed on truncation or overlong encoding (> 63 bits). *)
+
+val read_string : reader -> string
+(** @raise Malformed on truncation. *)
+
+val expect : reader -> string -> unit
+(** [expect r s] consumes the raw bytes [s].
+
+    @raise Malformed if the input differs. *)
+
+val fnv1a : string -> int
+(** FNV-1a hash (63-bit), used as the codec's integrity checksum. *)

@@ -1,0 +1,44 @@
+type t = { mutable state : int64 }
+
+let create seed =
+  let s = Int64.of_int seed in
+  (* The all-zero state is a fixed point of xorshift; remap it. *)
+  let s = if Int64.equal s 0L then 0x9E3779B97F4A7C15L else s in
+  { state = s }
+
+let copy t = { state = t.state }
+
+let bits64 t =
+  let x = t.state in
+  let x = Int64.logxor x (Int64.shift_left x 13) in
+  let x = Int64.logxor x (Int64.shift_right_logical x 7) in
+  let x = Int64.logxor x (Int64.shift_left x 17) in
+  t.state <- x;
+  Int64.mul x 0x2545F4914F6CDD1DL
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Xorshift.int: bound must be positive";
+  let r = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
+  r mod bound
+
+let int_in_range t ~lo ~hi =
+  if hi < lo then invalid_arg "Xorshift.int_in_range: hi < lo";
+  lo + int t (hi - lo + 1)
+
+let float t bound =
+  let r = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
+  r /. 9007199254740992.0 *. bound
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let choose t arr =
+  if Array.length arr = 0 then invalid_arg "Xorshift.choose: empty array";
+  arr.(int t (Array.length arr))
+
+let shuffle_in_place t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done

@@ -1,0 +1,44 @@
+(** Deterministic pseudo-random number generator (xorshift64-star).
+
+    The data generators ({!Faerie_datagen}) and the property tests must be
+    reproducible across runs and machines, so we avoid [Stdlib.Random] (whose
+    default seeding is nondeterministic and whose algorithm may change across
+    compiler releases) and use a tiny self-contained xorshift64* generator. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] returns a fresh generator. Any seed is accepted; zero is
+    remapped internally since the all-zero state is a fixed point. *)
+
+val copy : t -> t
+(** [copy t] is an independent generator starting from [t]'s current state. *)
+
+val int : t -> int -> int
+(** [int t bound] is a uniform integer in [\[0, bound)]. [bound] must be
+    positive.
+
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val int_in_range : t -> lo:int -> hi:int -> int
+(** [int_in_range t ~lo ~hi] is uniform in [\[lo, hi\]] inclusive.
+
+    @raise Invalid_argument if [hi < lo]. *)
+
+val float : t -> float -> float
+(** [float t bound] is a uniform float in [\[0, bound)]. *)
+
+val bool : t -> bool
+(** A uniform boolean. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output of the generator. *)
+
+val choose : t -> 'a array -> 'a
+(** [choose t arr] picks a uniform element.
+
+    @raise Invalid_argument on an empty array. *)
+
+val shuffle_in_place : t -> 'a array -> unit
+(** Fisher–Yates shuffle. *)

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Faerie_baselines Faerie_core Faerie_sim Faerie_tokenize List Printf QCheck QCheck_alcotest String

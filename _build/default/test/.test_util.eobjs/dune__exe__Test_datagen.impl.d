@@ -1,0 +1,1 @@
+test/test_datagen.ml: Alcotest Array Faerie_core Faerie_datagen Faerie_sim Faerie_tokenize Faerie_util Hashtbl List Printf QCheck QCheck_alcotest String

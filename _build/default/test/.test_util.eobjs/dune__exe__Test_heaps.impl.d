@@ -1,0 +1,1 @@
+test/test_heaps.ml: Alcotest Array Faerie_heaps Faerie_util Hashtbl List Option Printf QCheck QCheck_alcotest String

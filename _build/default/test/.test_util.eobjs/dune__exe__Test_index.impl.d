@@ -1,0 +1,1 @@
+test/test_index.ml: Alcotest Array Faerie_index Faerie_tokenize Option QCheck QCheck_alcotest

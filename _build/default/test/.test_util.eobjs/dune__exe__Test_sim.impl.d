@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Faerie_sim Faerie_tokenize List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_tokenize.ml: Alcotest Array Faerie_tokenize Hashtbl List Option QCheck QCheck_alcotest

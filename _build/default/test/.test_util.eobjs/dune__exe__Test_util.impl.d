@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Buffer Faerie_util Fun List QCheck QCheck_alcotest String

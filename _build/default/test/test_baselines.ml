@@ -1,0 +1,261 @@
+(* Tests for Faerie_baselines: the NGPP and ISH competitors must return
+   exactly the same matches as the oracle / Faerie. *)
+
+module Tk = Faerie_tokenize
+module S = Faerie_sim
+module Sim = S.Sim
+module Core = Faerie_core
+module Types = Core.Types
+module Problem = Core.Problem
+module Naive = Faerie_baselines.Naive
+module Ngpp = Faerie_baselines.Ngpp
+module Ish = Faerie_baselines.Ish
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let paper_dict =
+  [ "kaushik ch"; "chakrabarti"; "chaudhuri"; "venkatesh"; "surajit ch" ]
+
+let paper_doc =
+  "an efficient filter for approximate membership checking. venkaee shga \
+   kamunshik kabarati, dong xin, surauijt chadhurisigmod."
+
+let triples =
+  List.map (fun (m : Types.char_match) -> (m.Types.c_entity, m.Types.c_start, m.Types.c_len))
+
+(* ------------------------------------------------------------------ *)
+(* Naive oracle sanity                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_naive_finds_paper_pairs () =
+  let problem = Problem.create ~sim:(Sim.Edit_distance 2) ~q:2 paper_dict in
+  let doc = Problem.tokenize_document problem paper_doc in
+  let ms = Naive.extract problem doc in
+  let text = Tk.Document.text doc in
+  let found e s =
+    List.exists
+      (fun (m : Types.char_match) ->
+        m.Types.c_entity = e
+        && String.equal (String.sub text m.Types.c_start m.Types.c_len) s)
+      ms
+  in
+  check_bool "venkatesh" true (found 3 "venkaee sh");
+  check_bool "surajit ch" true (found 4 "surauijt ch");
+  check_bool "chaudhuri" true (found 2 "chadhuri")
+
+let test_naive_length_filter_equal () =
+  let problem = Problem.create ~sim:(Sim.Edit_distance 1) ~q:2 paper_dict in
+  let doc = Problem.tokenize_document problem "venkaee shga surauijt chadhuri" in
+  Alcotest.(check (list (triple int int int)))
+    "filtered == unfiltered"
+    (triples (Naive.extract ~length_filtered:false problem doc))
+    (triples (Naive.extract ~length_filtered:true problem doc))
+
+(* ------------------------------------------------------------------ *)
+(* NGPP                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_ngpp_partitions_cover () =
+  List.iter
+    (fun tau ->
+      let parts = Ngpp.partitions ~tau "chaudhuri" in
+      let rebuilt = String.concat "" (List.map snd parts) in
+      Alcotest.(check string)
+        (Printf.sprintf "tau=%d concatenation" tau)
+        "chaudhuri" rebuilt;
+      List.iter
+        (fun (off, part) ->
+          Alcotest.(check string)
+            "offset consistent" part
+            (String.sub "chaudhuri" off (String.length part)))
+        parts)
+    [ 0; 1; 2; 3; 4; 5 ]
+
+let test_ngpp_partition_count () =
+  check_int "tau=0 one part" 1 (List.length (Ngpp.partitions ~tau:0 "abcdef"));
+  check_int "tau=2 two parts" 2 (List.length (Ngpp.partitions ~tau:2 "abcdef"));
+  check_int "tau=4 three parts" 3 (List.length (Ngpp.partitions ~tau:4 "abcdef"))
+
+let test_ngpp_paper_example () =
+  let t = Ngpp.build ~tau:2 paper_dict in
+  let ms = Ngpp.extract t paper_doc in
+  let text = Tk.Tokenizer.normalize paper_doc in
+  let found e s =
+    List.exists
+      (fun (m : Types.char_match) ->
+        m.Types.c_entity = e
+        && String.equal (String.sub text m.Types.c_start m.Types.c_len) s)
+      ms
+  in
+  check_bool "venkatesh" true (found 3 "venkaee sh");
+  check_bool "surajit ch" true (found 4 "surauijt ch");
+  check_bool "chaudhuri" true (found 2 "chadhuri")
+
+let gen_char_string lo hi =
+  QCheck.Gen.(string_size ~gen:(oneofl [ 'a'; 'b'; 'c' ]) (int_range lo hi))
+
+let arb_ed_instance =
+  let gen =
+    QCheck.Gen.(
+      list_size (int_range 1 4) (gen_char_string 2 8) >>= fun entities ->
+      gen_char_string 8 25 >>= fun doc ->
+      int_bound 2 >>= fun tau -> return (entities, doc, tau))
+  in
+  QCheck.make
+    ~print:(fun (es, doc, tau) ->
+      Printf.sprintf "dict=[%s] doc=%S tau=%d" (String.concat "; " es) doc tau)
+    gen
+
+let prop_ngpp_equals_oracle =
+  QCheck.Test.make ~count:300 ~name:"NGPP == oracle (edit distance)"
+    arb_ed_instance
+    (fun (entities, doc_text, tau) ->
+      let problem = Problem.create ~sim:(Sim.Edit_distance tau) ~q:2 entities in
+      let doc = Problem.tokenize_document problem doc_text in
+      let oracle = triples (Naive.extract problem doc) in
+      let ngpp = Ngpp.build ~tau entities in
+      triples (Ngpp.extract ngpp doc_text) = oracle)
+
+let test_ngpp_index_grows_with_tau () =
+  let sizes =
+    List.map (fun tau -> Ngpp.index_bytes (Ngpp.build ~tau paper_dict)) [ 0; 2; 4 ]
+  in
+  match sizes with
+  | [ s0; s2; s4 ] ->
+      check_bool "tau=2 > tau=0" true (s2 > s0);
+      check_bool "tau=4 >= tau=2" true (s4 >= s2)
+  | _ -> assert false
+
+let test_ngpp_neighborhood_entries () =
+  let t = Ngpp.build ~tau:1 [ "abc" ] in
+  (* one partition "abc": itself + 3 one-deletions. *)
+  check_int "entries" 4 (Ngpp.n_neighborhood_entries t)
+
+let test_ngpp_invalid_tau () =
+  check_bool "raises" true
+    (try
+       ignore (Ngpp.build ~tau:(-1) [ "x" ]);
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* ISH                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let faerie_char_matches problem doc =
+  let matches, _ = Core.Single_heap.run problem doc in
+  let main =
+    List.map
+      (fun (m : Types.token_match) ->
+        let c_start, c_len =
+          Tk.Document.char_extent doc ~start:m.Types.m_start ~len:m.Types.m_len
+        in
+        { Types.c_entity = m.Types.m_entity; c_start; c_len; c_score = m.Types.m_score })
+      matches
+  in
+  List.sort_uniq Types.compare_char_match (Core.Fallback.run problem doc @ main)
+
+let test_ish_signatures_nonempty () =
+  let problem = Problem.create ~sim:(Sim.Jaccard 0.8) [ "dong xin"; "surajit chaudhuri" ] in
+  let t = Ish.build problem in
+  check_bool "e0 has signature" true (Array.length (Ish.signature t 0) > 0);
+  check_bool "e1 has signature" true (Array.length (Ish.signature t 1) > 0)
+
+let test_ish_paper_eds () =
+  let problem = Problem.create ~sim:(Sim.Edit_similarity 0.8) ~q:2 paper_dict in
+  let t = Ish.build problem in
+  let doc = Problem.tokenize_document problem paper_doc in
+  Alcotest.(check (list (triple int int int)))
+    "ISH == Faerie on paper example"
+    (triples (faerie_char_matches problem doc))
+    (triples (Ish.extract t doc))
+
+let gen_word_string n_lo n_hi =
+  QCheck.Gen.(
+    list_size (int_range n_lo n_hi) (oneofl [ "aa"; "bb"; "cc"; "dd"; "ee" ])
+    |> map (String.concat " "))
+
+let arb_jac_instance =
+  let gen =
+    QCheck.Gen.(
+      list_size (int_range 1 5) (gen_word_string 1 4) >>= fun entities ->
+      gen_word_string 4 18 >>= fun doc ->
+      oneofl [ 0.5; 0.8; 1.0 ] >>= fun d -> return (entities, doc, d))
+  in
+  QCheck.make
+    ~print:(fun (es, doc, d) ->
+      Printf.sprintf "dict=[%s] doc=%S delta=%g" (String.concat "; " es) doc d)
+    gen
+
+let prop_ish_equals_faerie_jaccard =
+  QCheck.Test.make ~count:300 ~name:"ISH == Faerie (jaccard)"
+    arb_jac_instance
+    (fun (entities, doc_text, d) ->
+      let problem = Problem.create ~sim:(Sim.Jaccard d) entities in
+      let doc = Problem.tokenize_document problem doc_text in
+      let t = Ish.build problem in
+      triples (Ish.extract t doc) = triples (faerie_char_matches problem doc))
+
+let arb_eds_instance =
+  let gen =
+    QCheck.Gen.(
+      list_size (int_range 1 4) (gen_char_string 3 8) >>= fun entities ->
+      gen_char_string 8 25 >>= fun doc ->
+      oneofl [ 0.7; 0.9; 1.0 ] >>= fun d -> return (entities, doc, d))
+  in
+  QCheck.make
+    ~print:(fun (es, doc, d) ->
+      Printf.sprintf "dict=[%s] doc=%S delta=%g" (String.concat "; " es) doc d)
+    gen
+
+let prop_ish_equals_faerie_eds =
+  QCheck.Test.make ~count:300 ~name:"ISH == Faerie (edit similarity)"
+    arb_eds_instance
+    (fun (entities, doc_text, d) ->
+      let problem = Problem.create ~sim:(Sim.Edit_similarity d) ~q:2 entities in
+      let doc = Problem.tokenize_document problem doc_text in
+      let t = Ish.build problem in
+      triples (Ish.extract t doc) = triples (faerie_char_matches problem doc))
+
+let test_ish_counts_verifications () =
+  let problem = Problem.create ~sim:(Sim.Jaccard 0.8) [ "dong xin" ] in
+  let t = Ish.build problem in
+  let doc = Problem.tokenize_document problem "a dong xin b" in
+  ignore (Ish.extract t doc);
+  check_bool "candidates checked recorded" true (Ish.candidates_checked t > 0)
+
+let test_ish_index_bytes_positive () =
+  let problem = Problem.create ~sim:(Sim.Jaccard 0.8) paper_dict in
+  let t = Ish.build problem in
+  check_bool "positive" true (Ish.index_bytes t > 0)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "faerie_baselines"
+    [
+      ( "naive",
+        [
+          Alcotest.test_case "paper pairs" `Quick test_naive_finds_paper_pairs;
+          Alcotest.test_case "length filter equal" `Quick test_naive_length_filter_equal;
+        ] );
+      ( "ngpp",
+        [
+          Alcotest.test_case "partitions cover" `Quick test_ngpp_partitions_cover;
+          Alcotest.test_case "partition count" `Quick test_ngpp_partition_count;
+          Alcotest.test_case "paper example" `Quick test_ngpp_paper_example;
+          Alcotest.test_case "index grows with tau" `Quick test_ngpp_index_grows_with_tau;
+          Alcotest.test_case "neighborhood entries" `Quick test_ngpp_neighborhood_entries;
+          Alcotest.test_case "invalid tau" `Quick test_ngpp_invalid_tau;
+          q prop_ngpp_equals_oracle;
+        ] );
+      ( "ish",
+        [
+          Alcotest.test_case "signatures nonempty" `Quick test_ish_signatures_nonempty;
+          Alcotest.test_case "paper eds" `Quick test_ish_paper_eds;
+          Alcotest.test_case "counts verifications" `Quick test_ish_counts_verifications;
+          Alcotest.test_case "index bytes" `Quick test_ish_index_bytes_positive;
+          q prop_ish_equals_faerie_jaccard;
+          q prop_ish_equals_faerie_eds;
+        ] );
+    ]

@@ -1,0 +1,157 @@
+(* End-to-end tests of the faerie CLI binary: each subcommand is run as a
+   subprocess against a temporary dictionary/corpus. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* The CLI binary is declared as a test dependency and sits next to this
+   test executable in the build tree (resolve it from the executable path
+   so the test works both under `dune runtest` and `dune exec`). *)
+let cli =
+  let test_dir = Filename.dirname Sys.executable_name in
+  Filename.concat (Filename.concat (Filename.dirname test_dir) "bin") "faerie_cli.exe"
+
+let run_cli args =
+  let cmd = Filename.quote_command cli args in
+  let ic = Unix.open_process_in (cmd ^ " 2>/dev/null") in
+  let rec read acc =
+    match input_line ic with
+    | line -> read (line :: acc)
+    | exception End_of_file -> List.rev acc
+  in
+  let lines = read [] in
+  let status = Unix.close_process_in ic in
+  (status, lines)
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "faerie_cli" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      let rec rm path =
+        if Sys.is_directory path then begin
+          Array.iter (fun e -> rm (Filename.concat path e)) (Sys.readdir path);
+          Sys.rmdir path
+        end
+        else Sys.remove path
+      in
+      rm dir)
+    (fun () -> f dir)
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let paper_dict_file dir =
+  let path = Filename.concat dir "dict.txt" in
+  write_file path "kaushik ch\nchakrabarti\nchaudhuri\nvenkatesh\nsurajit ch\n";
+  path
+
+let paper_doc_file dir =
+  let path = Filename.concat dir "doc.txt" in
+  write_file path
+    "an efficient filter for approximate membership checking. venkaee shga \
+     kamunshik kabarati, dong xin, surauijt chadhurisigmod.";
+  path
+
+let test_extract_finds_paper_matches () =
+  with_temp_dir (fun dir ->
+      let dict = paper_dict_file dir and doc = paper_doc_file dir in
+      let status, lines =
+        run_cli [ "extract"; "-d"; dict; "-s"; "ed=2"; "-q"; "2"; doc ]
+      in
+      check_bool "exit 0" true (status = Unix.WEXITED 0);
+      check_bool "several matches" true (List.length lines >= 3);
+      check_bool "finds venkaee sh" true
+        (List.exists
+           (fun l ->
+             String.length l > 0
+             && Str.string_match (Str.regexp ".*venkaee sh.*") l 0)
+           lines))
+
+let test_extract_top_k () =
+  with_temp_dir (fun dir ->
+      let dict = paper_dict_file dir and doc = paper_doc_file dir in
+      let status, lines =
+        run_cli [ "extract"; "-d"; dict; "-s"; "ed=2"; "-q"; "2"; "--top"; "2"; doc ]
+      in
+      check_bool "exit 0" true (status = Unix.WEXITED 0);
+      check_int "exactly k lines" 2 (List.length lines))
+
+let test_extract_select_non_overlapping () =
+  with_temp_dir (fun dir ->
+      let dict = paper_dict_file dir and doc = paper_doc_file dir in
+      let _, raw = run_cli [ "extract"; "-d"; dict; "-s"; "ed=2"; "-q"; "2"; doc ] in
+      let _, selected =
+        run_cli [ "extract"; "-d"; dict; "-s"; "ed=2"; "-q"; "2"; "--select"; doc ]
+      in
+      (* "surauijt ch" overlaps the "chadhuri" cluster, so selection keeps
+         one span per region: venkatesh's plus the better of the two. *)
+      check_bool "selection shrinks output" true
+        (List.length selected < List.length raw && List.length selected >= 2))
+
+let test_index_roundtrip_cli () =
+  with_temp_dir (fun dir ->
+      let dict = paper_dict_file dir and doc = paper_doc_file dir in
+      let idx = Filename.concat dir "dict.fidx" in
+      let status, _ =
+        run_cli [ "index"; "-d"; dict; "-s"; "ed=2"; "-q"; "2"; "-o"; idx ]
+      in
+      check_bool "index exit 0" true (status = Unix.WEXITED 0);
+      check_bool "index file written" true (Sys.file_exists idx);
+      let _, from_dict = run_cli [ "extract"; "-d"; dict; "-s"; "ed=2"; "-q"; "2"; doc ] in
+      let _, from_index = run_cli [ "extract"; "-x"; idx; "-s"; "ed=2"; doc ] in
+      (* Output lines are identical except the first column (file name). *)
+      let strip l = String.concat "\t" (List.tl (String.split_on_char '\t' l)) in
+      Alcotest.(check (list string))
+        "same matches" (List.map strip from_dict) (List.map strip from_index))
+
+let test_stats_reports_counts () =
+  with_temp_dir (fun dir ->
+      let dict = paper_dict_file dir in
+      let status, lines = run_cli [ "stats"; "-d"; dict; "-s"; "ed=2"; "-q"; "2" ] in
+      check_bool "exit 0" true (status = Unix.WEXITED 0);
+      check_bool "entity count reported" true
+        (List.exists (fun l -> Str.string_match (Str.regexp "entities: *5") l 0) lines))
+
+let test_gen_writes_corpus () =
+  with_temp_dir (fun dir ->
+      let out = Filename.concat dir "corpus" in
+      let status, _ =
+        run_cli
+          [ "gen"; "--profile"; "dblp"; "--entities"; "50"; "--documents"; "3";
+            "-o"; out ]
+      in
+      check_bool "exit 0" true (status = Unix.WEXITED 0);
+      check_bool "entities.txt" true
+        (Sys.file_exists (Filename.concat out "entities.txt"));
+      check_int "3 documents" 3
+        (Array.length (Sys.readdir (Filename.concat out "docs"))))
+
+let test_missing_source_fails () =
+  let status, _ = run_cli [ "extract"; "-s"; "ed=1"; "/dev/null" ] in
+  check_bool "non-zero exit" true (status <> Unix.WEXITED 0)
+
+let test_bad_sim_spec_fails () =
+  with_temp_dir (fun dir ->
+      let dict = paper_dict_file dir in
+      let status, _ = run_cli [ "extract"; "-d"; dict; "-s"; "nonsense"; "/dev/null" ] in
+      check_bool "non-zero exit" true (status <> Unix.WEXITED 0))
+
+let () =
+  Alcotest.run "faerie_cli"
+    [
+      ( "cli",
+        [
+          Alcotest.test_case "extract paper matches" `Quick test_extract_finds_paper_matches;
+          Alcotest.test_case "extract --top" `Quick test_extract_top_k;
+          Alcotest.test_case "extract --select" `Quick test_extract_select_non_overlapping;
+          Alcotest.test_case "index roundtrip" `Quick test_index_roundtrip_cli;
+          Alcotest.test_case "stats" `Quick test_stats_reports_counts;
+          Alcotest.test_case "gen" `Quick test_gen_writes_corpus;
+          Alcotest.test_case "missing source" `Quick test_missing_source_fails;
+          Alcotest.test_case "bad sim spec" `Quick test_bad_sim_spec_fails;
+        ] );
+    ]

@@ -1,0 +1,350 @@
+(* Tests for Faerie_datagen — and the end-to-end recall guarantee: a mention
+   planted with at most k character edits must be recovered by an
+   edit-distance extraction with tau >= k. *)
+
+module S = Faerie_sim
+module Sim = S.Sim
+module Core = Faerie_core
+module Datagen = Faerie_datagen
+module Vocab = Datagen.Vocab
+module Noise = Datagen.Noise
+module Corpus = Datagen.Corpus
+module Xorshift = Faerie_util.Xorshift
+module Tokenizer = Faerie_tokenize.Tokenizer
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Vocab                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_word_nonempty_lowercase () =
+  let rng = Xorshift.create 1 in
+  for _ = 1 to 100 do
+    let w = Vocab.word rng ~min_syllables:1 ~max_syllables:3 in
+    check_bool "nonempty" true (String.length w > 0);
+    String.iter (fun c -> check_bool "lowercase" true (c >= 'a' && c <= 'z')) w
+  done
+
+let test_person_name_shape () =
+  let rng = Xorshift.create 2 in
+  for _ = 1 to 100 do
+    let name = Vocab.person_name rng in
+    let parts = String.split_on_char ' ' name in
+    check_bool "2-3 parts" true (List.length parts >= 2 && List.length parts <= 3)
+  done
+
+let test_title_word_count () =
+  let rng = Xorshift.create 3 in
+  let pool = Vocab.tech_word_pool rng ~size:50 in
+  for _ = 1 to 100 do
+    let t = Vocab.title rng ~pool ~min_words:4 ~max_words:7 () in
+    let n = List.length (String.split_on_char ' ' t) in
+    check_bool "4-7 words" true (n >= 4 && n <= 7)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Zipf                                                                *)
+(* ------------------------------------------------------------------ *)
+
+module Zipf = Datagen.Zipf
+
+let test_zipf_probabilities_sum_to_one () =
+  let z = Zipf.create ~n:50 () in
+  let total = ref 0. in
+  for k = 0 to 49 do
+    total := !total +. Zipf.probability z k
+  done;
+  Alcotest.(check (float 1e-9)) "sums to 1" 1.0 !total
+
+let test_zipf_monotone () =
+  let z = Zipf.create ~n:30 () in
+  for k = 0 to 28 do
+    check_bool "non-increasing" true
+      (Zipf.probability z k >= Zipf.probability z (k + 1) -. 1e-12)
+  done
+
+let test_zipf_skew () =
+  let z = Zipf.create ~n:100 () in
+  let rng = Xorshift.create 42 in
+  let hits = Array.make 100 0 in
+  for _ = 1 to 20_000 do
+    let k = Zipf.sample z rng in
+    check_bool "in range" true (k >= 0 && k < 100);
+    hits.(k) <- hits.(k) + 1
+  done;
+  (* Rank 0 has probability ~0.193 under Zipf(1, n=100) vs 0.01 uniform. *)
+  check_bool "rank 0 heavily favoured" true (hits.(0) > 2_000);
+  check_bool "tail rank rare" true (hits.(99) < 500)
+
+let test_zipf_exponent_zero_uniform () =
+  let z = Zipf.create ~exponent:0. ~n:10 () in
+  for k = 0 to 9 do
+    Alcotest.(check (float 1e-9)) "uniform" 0.1 (Zipf.probability z k)
+  done
+
+let test_zipf_invalid_args () =
+  check_bool "n=0" true
+    (try
+       ignore (Zipf.create ~n:0 ());
+       false
+     with Invalid_argument _ -> true);
+  check_bool "negative exponent" true
+    (try
+       ignore (Zipf.create ~exponent:(-1.) ~n:5 ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_zipf_single_rank () =
+  let z = Zipf.create ~n:1 () in
+  let rng = Xorshift.create 1 in
+  for _ = 1 to 20 do
+    check_int "always 0" 0 (Zipf.sample z rng)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Noise                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let prop_perturb_within_edits =
+  QCheck.Test.make ~count:500 ~name:"perturb_chars stays within edit budget"
+    QCheck.(pair (string_gen_of_size (QCheck.Gen.int_range 1 12) QCheck.Gen.printable) (int_bound 3))
+    (fun (s, edits) ->
+      let rng = Xorshift.create (Hashtbl.hash (s, edits)) in
+      let s' = Noise.perturb_chars rng ~edits s in
+      S.Edit_distance.distance s s' <= edits)
+
+let test_perturb_zero_identity () =
+  let rng = Xorshift.create 4 in
+  Alcotest.(check string) "no edits" "hello" (Noise.perturb_chars rng ~edits:0 "hello")
+
+let test_drop_tokens_never_empties () =
+  let rng = Xorshift.create 5 in
+  for _ = 1 to 50 do
+    let s = Noise.drop_tokens rng ~drops:5 "a b c" in
+    check_bool "at least one token" true (String.length s > 0)
+  done
+
+let test_drop_tokens_submultiset () =
+  let rng = Xorshift.create 6 in
+  let s = "alpha beta gamma delta" in
+  let s' = Noise.drop_tokens rng ~drops:2 s in
+  let toks x = String.split_on_char ' ' x |> List.filter (( <> ) "") in
+  check_int "two fewer" 2 (List.length (toks s) - List.length (toks s'));
+  List.iter (fun t -> check_bool "kept token from source" true (List.mem t (toks s))) (toks s')
+
+let test_swap_preserves_multiset () =
+  let rng = Xorshift.create 7 in
+  let s = "one two three" in
+  let s' = Noise.swap_adjacent_tokens rng s in
+  let sorted x = List.sort compare (String.split_on_char ' ' x) in
+  check_bool "same multiset" true (sorted s = sorted s')
+
+(* ------------------------------------------------------------------ *)
+(* Corpus                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let small_dblp ?(seed = 11) () = Corpus.dblp ~seed ~n_entities:60 ~n_documents:15 ()
+
+let test_corpus_deterministic () =
+  let a = small_dblp () and b = small_dblp () in
+  check_bool "same entities" true (a.Corpus.entities = b.Corpus.entities);
+  check_bool "same documents" true
+    (Array.for_all2
+       (fun (x : Corpus.document) y -> x.Corpus.text = y.Corpus.text)
+       a.Corpus.documents b.Corpus.documents)
+
+let test_corpus_seeds_differ () =
+  let a = small_dblp ~seed:1 () and b = small_dblp ~seed:2 () in
+  check_bool "different" true (a.Corpus.entities <> b.Corpus.entities)
+
+let test_mention_extents_valid () =
+  let c = small_dblp () in
+  Array.iter
+    (fun (d : Corpus.document) ->
+      List.iter
+        (fun (m : Corpus.mention) ->
+          check_bool "extent within doc" true
+            (m.Corpus.char_start >= 0
+            && m.Corpus.char_start + m.Corpus.char_len <= String.length d.Corpus.text))
+        d.Corpus.mentions)
+    c.Corpus.documents
+
+let test_mention_noise_bookkeeping () =
+  (* With no token drops, the planted text is within the recorded edit
+     budget of the entity. *)
+  let c = small_dblp () in
+  Array.iter
+    (fun (d : Corpus.document) ->
+      List.iter
+        (fun (m : Corpus.mention) ->
+          if m.Corpus.token_drops = 0 then begin
+            let planted =
+              String.sub d.Corpus.text m.Corpus.char_start m.Corpus.char_len
+            in
+            let entity = c.Corpus.entities.(m.Corpus.entity) in
+            check_bool "within recorded edits" true
+              (S.Edit_distance.distance
+                 (Tokenizer.normalize entity)
+                 (Tokenizer.normalize planted)
+              <= m.Corpus.char_edits)
+          end)
+        d.Corpus.mentions)
+    c.Corpus.documents
+
+let test_corpus_stats_shapes () =
+  let c = Corpus.dblp ~seed:3 ~n_entities:300 ~n_documents:40 () in
+  let s = Corpus.stats c in
+  check_int "entities" 300 s.Corpus.n_entities;
+  check_bool "name tokens 2-3.2" true
+    (s.Corpus.avg_entity_tokens >= 2.0 && s.Corpus.avg_entity_tokens <= 3.2);
+  let p = Corpus.stats (Corpus.pubmed ~seed:3 ~n_entities:200 ~n_documents:20 ()) in
+  check_bool "title tokens 5-9" true
+    (p.Corpus.avg_entity_tokens >= 5.0 && p.Corpus.avg_entity_tokens <= 9.0);
+  let w = Corpus.stats (Corpus.webpage ~seed:3 ~n_entities:100 ~n_documents:3 ()) in
+  check_bool "webpage docs are long" true (w.Corpus.avg_document_tokens > 500.)
+
+(* ------------------------------------------------------------------ *)
+(* Recall guarantee (end-to-end with the extractor)                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_recall_planted_mentions_ed () =
+  let c = small_dblp () in
+  let ex =
+    Core.Extractor.create ~sim:(Sim.Edit_distance 2) ~q:2
+      (Array.to_list c.Corpus.entities)
+  in
+  Array.iter
+    (fun (d : Corpus.document) ->
+      let results = Core.Extractor.extract ex d.Corpus.text in
+      List.iter
+        (fun (m : Corpus.mention) ->
+          if m.Corpus.char_edits <= 2 && m.Corpus.token_drops = 0 then
+            check_bool
+              (Printf.sprintf "mention of e%d at %d recovered" m.Corpus.entity
+                 m.Corpus.char_start)
+              true
+              (List.exists
+                 (fun (r : Core.Extractor.result) ->
+                   r.Core.Extractor.entity_id = m.Corpus.entity
+                   && r.Core.Extractor.start_char = m.Corpus.char_start
+                   && r.Core.Extractor.len_chars = m.Corpus.char_len)
+                 results))
+        d.Corpus.mentions)
+    c.Corpus.documents
+
+let test_recall_exact_mentions_jaccard_one () =
+  let c = Corpus.pubmed ~seed:9 ~n_entities:40 ~n_documents:8 () in
+  let ex = Core.Extractor.create ~sim:(Sim.Jaccard 1.0) (Array.to_list c.Corpus.entities) in
+  Array.iter
+    (fun (d : Corpus.document) ->
+      let results = Core.Extractor.extract ex d.Corpus.text in
+      List.iter
+        (fun (m : Corpus.mention) ->
+          if m.Corpus.char_edits = 0 && m.Corpus.token_drops = 0 then
+            check_bool "exact mention recovered at delta=1" true
+              (List.exists
+                 (fun (r : Core.Extractor.result) ->
+                   r.Core.Extractor.entity_id = m.Corpus.entity
+                   && r.Core.Extractor.start_char = m.Corpus.char_start)
+                 results))
+        d.Corpus.mentions)
+    c.Corpus.documents
+
+(* ------------------------------------------------------------------ *)
+(* Eval                                                                *)
+(* ------------------------------------------------------------------ *)
+
+module Eval = Datagen.Eval
+
+let corpus_matches corpus ~sim ~q =
+  let ex = Core.Extractor.create ~sim ~q (Array.to_list corpus.Corpus.entities) in
+  fun doc_id ->
+    let text = corpus.Corpus.documents.(doc_id).Corpus.text in
+    Core.Extractor.extract ex text
+    |> List.map (fun (r : Core.Extractor.result) ->
+           {
+             Core.Types.c_entity = r.Core.Extractor.entity_id;
+             c_start = r.Core.Extractor.start_char;
+             c_len = r.Core.Extractor.len_chars;
+             c_score = r.Core.Extractor.score;
+           })
+
+let test_eval_full_recall_within_budget () =
+  let corpus = small_dblp () in
+  let matches_of = corpus_matches corpus ~sim:(Sim.Edit_distance 2) ~q:2 in
+  let o =
+    Eval.evaluate
+      ~recoverable:(fun m -> m.Corpus.char_edits <= 2 && m.Corpus.token_drops = 0)
+      ~corpus ~matches_of ()
+  in
+  Alcotest.(check (float 1e-9)) "guaranteed recall" 1.0 (Eval.recall o);
+  check_bool "precision within [0,1]" true
+    (Eval.precision o >= 0. && Eval.precision o <= 1.);
+  check_bool "f1 within [0,1]" true (Eval.f1 o >= 0. && Eval.f1 o <= 1.)
+
+let test_eval_empty_matches () =
+  let corpus = small_dblp () in
+  let o = Eval.evaluate ~corpus ~matches_of:(fun _ -> []) () in
+  check_int "nothing recovered" 0 o.Eval.recovered;
+  check_bool "planted counted" true (o.Eval.planted > 0);
+  Alcotest.(check (float 1e-9)) "precision of empty is 1" 1.0 (Eval.precision o);
+  Alcotest.(check (float 1e-9)) "recall 0" 0.0 (Eval.recall o)
+
+let test_eval_recoverable_filter () =
+  let corpus = small_dblp () in
+  let all = Eval.evaluate ~corpus ~matches_of:(fun _ -> []) () in
+  let none = Eval.evaluate ~recoverable:(fun _ -> false) ~corpus ~matches_of:(fun _ -> []) () in
+  check_int "filter removes all" 0 none.Eval.planted;
+  check_bool "default counts all" true (all.Eval.planted >= none.Eval.planted);
+  Alcotest.(check (float 1e-9)) "vacuous recall is 1" 1.0 (Eval.recall none)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "faerie_datagen"
+    [
+      ( "vocab",
+        [
+          Alcotest.test_case "word shape" `Quick test_word_nonempty_lowercase;
+          Alcotest.test_case "person name" `Quick test_person_name_shape;
+          Alcotest.test_case "title words" `Quick test_title_word_count;
+        ] );
+      ( "zipf",
+        [
+          Alcotest.test_case "sums to one" `Quick test_zipf_probabilities_sum_to_one;
+          Alcotest.test_case "monotone" `Quick test_zipf_monotone;
+          Alcotest.test_case "skew" `Quick test_zipf_skew;
+          Alcotest.test_case "exponent zero" `Quick test_zipf_exponent_zero_uniform;
+          Alcotest.test_case "invalid args" `Quick test_zipf_invalid_args;
+          Alcotest.test_case "single rank" `Quick test_zipf_single_rank;
+        ] );
+      ( "noise",
+        [
+          Alcotest.test_case "perturb zero" `Quick test_perturb_zero_identity;
+          Alcotest.test_case "drop never empties" `Quick test_drop_tokens_never_empties;
+          Alcotest.test_case "drop submultiset" `Quick test_drop_tokens_submultiset;
+          Alcotest.test_case "swap multiset" `Quick test_swap_preserves_multiset;
+          q prop_perturb_within_edits;
+        ] );
+      ( "corpus",
+        [
+          Alcotest.test_case "deterministic" `Quick test_corpus_deterministic;
+          Alcotest.test_case "seeds differ" `Quick test_corpus_seeds_differ;
+          Alcotest.test_case "mention extents" `Quick test_mention_extents_valid;
+          Alcotest.test_case "noise bookkeeping" `Quick test_mention_noise_bookkeeping;
+          Alcotest.test_case "stats shapes" `Quick test_corpus_stats_shapes;
+        ] );
+      ( "eval",
+        [
+          Alcotest.test_case "full recall in budget" `Quick test_eval_full_recall_within_budget;
+          Alcotest.test_case "empty matches" `Quick test_eval_empty_matches;
+          Alcotest.test_case "recoverable filter" `Quick test_eval_recoverable_filter;
+        ] );
+      ( "recall",
+        [
+          Alcotest.test_case "planted mentions (ed)" `Quick test_recall_planted_mentions_ed;
+          Alcotest.test_case "exact mentions (jac=1)" `Quick
+            test_recall_exact_mentions_jaccard_one;
+        ] );
+    ]

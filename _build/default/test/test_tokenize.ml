@@ -1,0 +1,276 @@
+(* Tests for Faerie_tokenize: interner, tokenizers, document model. *)
+
+module Tk = Faerie_tokenize
+module Interner = Tk.Interner
+module Tokenizer = Tk.Tokenizer
+module Document = Tk.Document
+module Span = Tk.Span
+module Token_ops = Tk.Token_ops
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Interner                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_intern_dense_ids () =
+  let i = Interner.create () in
+  check_int "first id" 0 (Interner.intern i "alpha");
+  check_int "second id" 1 (Interner.intern i "beta");
+  check_int "repeat id" 0 (Interner.intern i "alpha");
+  check_int "size" 2 (Interner.size i)
+
+let test_intern_roundtrip () =
+  let i = Interner.create () in
+  let id = Interner.intern i "gamma" in
+  check_str "roundtrip" "gamma" (Interner.to_string i id)
+
+let test_find_opt_no_alloc () =
+  let i = Interner.create () in
+  ignore (Interner.intern i "x");
+  check_bool "known" true (Interner.find_opt i "x" = Some 0);
+  check_bool "unknown" true (Interner.find_opt i "y" = None);
+  check_int "find_opt does not allocate ids" 1 (Interner.size i)
+
+let test_to_string_unknown () =
+  let i = Interner.create () in
+  check_bool "raises" true
+    (try
+       ignore (Interner.to_string i 0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_heap_bytes_grows () =
+  let i = Interner.create () in
+  let b0 = Interner.heap_bytes i in
+  for k = 0 to 99 do
+    ignore (Interner.intern i (string_of_int k))
+  done;
+  check_bool "grows" true (Interner.heap_bytes i > b0)
+
+(* ------------------------------------------------------------------ *)
+(* Tokenizer                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_normalize () =
+  check_str "lowercase" "abc12 -x" (Tokenizer.normalize "AbC12 -X")
+
+let test_word_offsets () =
+  Alcotest.(check (list (pair int int)))
+    "offsets" [ (0, 5); (6, 2); (11, 3) ]
+    (Tokenizer.word_offsets "hello my...dog")
+
+let test_word_offsets_empty () =
+  Alcotest.(check (list (pair int int))) "no words" [] (Tokenizer.word_offsets " .,!")
+
+let test_words_intern () =
+  let i = Interner.create () in
+  let spans = Tokenizer.words_intern i "Dong Xin, dong" in
+  check_int "three words" 3 (Array.length spans);
+  check_int "dong id" 0 spans.(0).Span.token;
+  check_int "xin id" 1 spans.(1).Span.token;
+  check_int "case-folded repeat" 0 spans.(2).Span.token
+
+let test_words_lookup_missing () =
+  let i = Interner.create () in
+  ignore (Interner.intern i "known");
+  let spans = Tokenizer.words_lookup i "known stranger" in
+  check_int "known resolves" 0 spans.(0).Span.token;
+  check_int "unknown is missing" Span.missing spans.(1).Span.token;
+  check_int "interner untouched" 1 (Interner.size i)
+
+let test_qgrams_paper_example () =
+  (* 2-grams of "surajit_ch" from Section 2.2 (underscore = space). *)
+  let i = Interner.create () in
+  let spans = Tokenizer.qgrams_intern i ~q:2 "surajit ch" in
+  check_int "9 grams" 9 (Array.length spans);
+  let grams =
+    Array.to_list spans
+    |> List.map (fun s -> Interner.to_string i s.Span.token)
+  in
+  Alcotest.(check (list string))
+    "grams"
+    [ "su"; "ur"; "ra"; "aj"; "ji"; "it"; "t "; " c"; "ch" ]
+    grams
+
+let test_qgrams_gram_count () =
+  let i = Interner.create () in
+  check_int "len - q + 1" 4 (Array.length (Tokenizer.qgrams_intern i ~q:3 "abcdef"))
+
+let test_qgrams_short_string () =
+  let i = Interner.create () in
+  check_int "shorter than q" 0 (Array.length (Tokenizer.qgrams_intern i ~q:5 "abc"))
+
+let test_qgrams_invalid_q () =
+  let i = Interner.create () in
+  check_bool "q=0 rejected" true
+    (try
+       ignore (Tokenizer.qgrams_intern i ~q:0 "abc");
+       false
+     with Invalid_argument _ -> true)
+
+let test_qgrams_offsets () =
+  let i = Interner.create () in
+  let spans = Tokenizer.qgrams_intern i ~q:2 "abc" in
+  Alcotest.(check (list (pair int int)))
+    "offsets" [ (0, 2); (1, 2) ]
+    (Array.to_list spans |> List.map (fun s -> (s.Span.start_pos, s.Span.len)))
+
+(* ------------------------------------------------------------------ *)
+(* Document                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let word_doc text =
+  let i = Interner.create () in
+  List.iter (fun w -> ignore (Interner.intern i w)) [ "dong"; "xin"; "chaudhuri" ];
+  Document.of_words i text
+
+let test_document_word_tokens () =
+  let doc = word_doc "Dong Xin, unknown person" in
+  check_int "4 tokens" 4 (Document.n_tokens doc);
+  check_int "dong" 0 (Document.token_id doc 0);
+  check_int "missing" Span.missing (Document.token_id doc 2)
+
+let test_document_substring () =
+  let doc = word_doc "Dong Xin, chaudhuri" in
+  check_str "substring across comma" "dong xin" (Document.substring doc ~start:0 ~len:2);
+  check_str "single token" "chaudhuri" (Document.substring doc ~start:2 ~len:1)
+
+let test_document_char_extent () =
+  let doc = word_doc "  Dong   Xin " in
+  Alcotest.(check (pair int int)) "extent" (2, 10) (Document.char_extent doc ~start:0 ~len:2)
+
+let test_document_bad_range () =
+  let doc = word_doc "dong xin" in
+  check_bool "raises" true
+    (try
+       ignore (Document.char_extent doc ~start:1 ~len:2);
+       false
+     with Invalid_argument _ -> true)
+
+let test_document_token_multiset () =
+  let doc = word_doc "xin dong xin zzz" in
+  Alcotest.(check (array int))
+    "sorted multiset with missing"
+    [| Span.missing; 0; 1; 1 |]
+    (Document.token_multiset doc ~start:0 ~len:4)
+
+let test_document_gram_mode () =
+  let i = Interner.create () in
+  ignore (Tokenizer.qgrams_intern i ~q:2 "abab");
+  let doc = Document.of_grams i ~q:2 "xabay" in
+  check_int "grams" 4 (Document.n_tokens doc);
+  check_str "gram substring" "aba" (Document.substring doc ~start:1 ~len:2)
+
+let test_document_mode () =
+  let i = Interner.create () in
+  check_bool "word mode" true (Document.mode (Document.of_words i "x") = Document.Word);
+  check_bool "gram mode" true
+    (Document.mode (Document.of_grams i ~q:3 "xyz") = Document.Gram 3)
+
+(* ------------------------------------------------------------------ *)
+(* Token_ops                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_multiset_overlap_basic () =
+  check_int "overlap" 2 (Token_ops.multiset_overlap [| 1; 2; 2; 5 |] [| 2; 2; 3 |])
+
+let test_multiset_overlap_missing_ignored () =
+  check_int "missing never matches" 1
+    (Token_ops.multiset_overlap [| Span.missing; 4 |] [| Span.missing; 4 |])
+
+let test_multiset_overlap_empty () =
+  check_int "empty" 0 (Token_ops.multiset_overlap [||] [| 1; 2 |])
+
+let test_distinct () =
+  Alcotest.(check (array int))
+    "distinct drops missing and dups" [| 1; 3 |]
+    (Token_ops.distinct [| 3; Span.missing; 1; 3; 1 |])
+
+let prop_overlap_commutes =
+  QCheck.Test.make ~count:300 ~name:"multiset overlap commutes"
+    QCheck.(pair (list (int_bound 6)) (list (int_bound 6)))
+    (fun (a, b) ->
+      let arr l = Array.of_list (List.sort compare l) in
+      Token_ops.multiset_overlap (arr a) (arr b)
+      = Token_ops.multiset_overlap (arr b) (arr a))
+
+let prop_overlap_bounded =
+  QCheck.Test.make ~count:300 ~name:"overlap <= min length"
+    QCheck.(pair (list (int_bound 6)) (list (int_bound 6)))
+    (fun (a, b) ->
+      let arr l = Array.of_list (List.sort compare l) in
+      let o = Token_ops.multiset_overlap (arr a) (arr b) in
+      o <= min (List.length a) (List.length b) && o >= 0)
+
+(* Reference multiset intersection via sorted association counting. *)
+let prop_overlap_reference =
+  QCheck.Test.make ~count:300 ~name:"overlap matches counting reference"
+    QCheck.(pair (list (int_bound 5)) (list (int_bound 5)))
+    (fun (a, b) ->
+      let counts l =
+        let h = Hashtbl.create 8 in
+        List.iter
+          (fun x ->
+            Hashtbl.replace h x (1 + Option.value ~default:0 (Hashtbl.find_opt h x)))
+          l;
+        h
+      in
+      let ca = counts a and cb = counts b in
+      let expected =
+        Hashtbl.fold
+          (fun k v acc ->
+            acc + min v (Option.value ~default:0 (Hashtbl.find_opt cb k)))
+          ca 0
+      in
+      let arr l = Array.of_list (List.sort compare l) in
+      Token_ops.multiset_overlap (arr a) (arr b) = expected)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "faerie_tokenize"
+    [
+      ( "interner",
+        [
+          Alcotest.test_case "dense ids" `Quick test_intern_dense_ids;
+          Alcotest.test_case "roundtrip" `Quick test_intern_roundtrip;
+          Alcotest.test_case "find_opt" `Quick test_find_opt_no_alloc;
+          Alcotest.test_case "unknown id" `Quick test_to_string_unknown;
+          Alcotest.test_case "heap bytes" `Quick test_heap_bytes_grows;
+        ] );
+      ( "tokenizer",
+        [
+          Alcotest.test_case "normalize" `Quick test_normalize;
+          Alcotest.test_case "word offsets" `Quick test_word_offsets;
+          Alcotest.test_case "word offsets empty" `Quick test_word_offsets_empty;
+          Alcotest.test_case "words intern" `Quick test_words_intern;
+          Alcotest.test_case "words lookup missing" `Quick test_words_lookup_missing;
+          Alcotest.test_case "qgrams paper example" `Quick test_qgrams_paper_example;
+          Alcotest.test_case "qgram count" `Quick test_qgrams_gram_count;
+          Alcotest.test_case "qgrams short string" `Quick test_qgrams_short_string;
+          Alcotest.test_case "qgrams invalid q" `Quick test_qgrams_invalid_q;
+          Alcotest.test_case "qgram offsets" `Quick test_qgrams_offsets;
+        ] );
+      ( "document",
+        [
+          Alcotest.test_case "word tokens" `Quick test_document_word_tokens;
+          Alcotest.test_case "substring" `Quick test_document_substring;
+          Alcotest.test_case "char extent" `Quick test_document_char_extent;
+          Alcotest.test_case "bad range" `Quick test_document_bad_range;
+          Alcotest.test_case "token multiset" `Quick test_document_token_multiset;
+          Alcotest.test_case "gram mode" `Quick test_document_gram_mode;
+          Alcotest.test_case "mode" `Quick test_document_mode;
+        ] );
+      ( "token_ops",
+        [
+          Alcotest.test_case "overlap basic" `Quick test_multiset_overlap_basic;
+          Alcotest.test_case "missing ignored" `Quick test_multiset_overlap_missing_ignored;
+          Alcotest.test_case "overlap empty" `Quick test_multiset_overlap_empty;
+          Alcotest.test_case "distinct" `Quick test_distinct;
+          q prop_overlap_commutes;
+          q prop_overlap_bounded;
+          q prop_overlap_reference;
+        ] );
+    ]
