@@ -9,28 +9,43 @@ module Sim = Faerie_sim.Sim
 module Extractor = Faerie_core.Extractor
 module Types = Faerie_core.Types
 module Problem = Faerie_core.Problem
+module Parallel = Faerie_core.Parallel
+module Outcome = Faerie_core.Outcome
 module Ix = Faerie_index
 module Corpus = Faerie_datagen.Corpus
 module Bytesize = Faerie_util.Bytesize
+module Budget = Faerie_util.Budget
 open Cmdliner
 
 let read_lines path =
   let ic = open_in path in
-  let rec loop acc =
-    match input_line ic with
-    | line -> loop (if String.trim line = "" then acc else String.trim line :: acc)
-    | exception End_of_file ->
-        close_in ic;
-        List.rev acc
-  in
-  loop []
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec loop acc =
+        match input_line ic with
+        | line ->
+            loop (if String.trim line = "" then acc else String.trim line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      loop [])
 
 let read_file path =
   let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  s
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Map expected IO failures (missing file, permission denied, corrupt index)
+   to clean one-line errors instead of uncaught exceptions with backtraces. *)
+let guard f =
+  try f () with
+  | Sys_error msg ->
+      Printf.eprintf "faerie: %s\n" msg;
+      2
+  | Ix.Codec.Corrupt msg ->
+      Printf.eprintf "faerie: corrupt index: %s\n" msg;
+      2
 
 (* ---- shared arguments ---- *)
 
@@ -113,46 +128,92 @@ let extract_cmd =
     in
     Arg.(value & flag & info [ "select" ] ~doc)
   in
-  let run sim q dict_file index_file doc_files pruning show_stats top select =
+  let timeout_arg =
+    let doc =
+      "Per-document wall-clock budget in milliseconds. A document that \
+       exceeds it yields the partial matches found so far, flagged degraded \
+       on stderr."
+    in
+    Arg.(value & opt (some int) None & info [ "timeout-ms" ] ~docv:"MS" ~doc)
+  in
+  let max_doc_bytes_arg =
+    let doc =
+      "Documents larger than this many bytes are processed with \
+       bounded-memory chunked extraction (results complete, flagged \
+       degraded on stderr)."
+    in
+    Arg.(
+      value & opt (some int) None & info [ "max-doc-bytes" ] ~docv:"BYTES" ~doc)
+  in
+  let keep_going_arg =
+    let doc =
+      "Keep processing remaining documents after a document fails; the exit \
+       status is non-zero only if every document failed."
+    in
+    Arg.(value & flag & info [ "k"; "keep-going" ] ~doc)
+  in
+  let run sim q dict_file index_file doc_files pruning show_stats top select
+      timeout_ms max_doc_bytes keep_going =
+    guard @@ fun () ->
     let problem = problem_of_source sim q dict_file index_file in
-    let ex = Extractor.of_problem problem in
-    let process name text =
-      let doc = Extractor.tokenize ex text in
-      let results, stats =
-        match top with
-        | Some k ->
-            ( Extractor.results_of_char_matches ex doc
-                (Faerie_core.Topk.top_k ~pruning ~k problem doc),
-              Types.new_stats () )
-        | None -> Extractor.extract_document ~pruning ex doc
-      in
-      let results =
-        if not select then results
-        else begin
-          let as_char =
-            List.map
-              (fun (r : Extractor.result) ->
-                {
-                  Types.c_entity = r.Extractor.entity_id;
-                  c_start = r.Extractor.start_char;
-                  c_len = r.Extractor.len_chars;
-                  c_score = r.Extractor.score;
-                })
-              results
-          in
-          Extractor.results_of_char_matches ex doc
-            (Faerie_core.Span_select.select as_char)
-        end
-      in
+    let dict = Problem.dictionary problem in
+    let budget = { Budget.spec_unlimited with timeout_ms; max_bytes = max_doc_bytes } in
+    let n_docs = ref 0 and n_failed = ref 0 in
+    (* Best-first ordering used by --top (same as Topk.top_k): better score
+       first, ties toward the earlier, shorter, lower-id match. *)
+    let best_first (a : Types.char_match) (b : Types.char_match) =
+      let c = Faerie_sim.Verify.Score.compare a.Types.c_score b.Types.c_score in
+      if c <> 0 then c
+      else
+        compare
+          (a.Types.c_start, a.Types.c_len, a.Types.c_entity)
+          (b.Types.c_start, b.Types.c_len, b.Types.c_entity)
+    in
+    let positional (a : Types.char_match) (b : Types.char_match) =
+      compare
+        (a.Types.c_start, a.Types.c_len, a.Types.c_entity)
+        (b.Types.c_start, b.Types.c_len, b.Types.c_entity)
+    in
+    let take k l =
+      List.filteri (fun i _ -> i < k) l
+    in
+    let print_matches name text ms =
+      let normalized = Faerie_tokenize.Tokenizer.normalize text in
       List.iter
-        (fun (r : Extractor.result) ->
-          Printf.printf "%s\t%d\t%d\t%s\t%s\t%s\n" name r.Extractor.start_char
-            (r.Extractor.start_char + r.Extractor.len_chars)
-            (Format.asprintf "%a" Faerie_sim.Verify.Score.pp r.Extractor.score)
-            r.Extractor.entity r.Extractor.matched_text)
-        results;
-      if show_stats then
-        Format.eprintf "%s: %a@." name Types.pp_stats stats
+        (fun (m : Types.char_match) ->
+          let e = Ix.Dictionary.entity dict m.Types.c_entity in
+          Printf.printf "%s\t%d\t%d\t%s\t%s\t%s\n" name m.Types.c_start
+            (m.Types.c_start + m.Types.c_len)
+            (Format.asprintf "%a" Faerie_sim.Verify.Score.pp m.Types.c_score)
+            e.Ix.Entity.raw
+            (String.sub normalized m.Types.c_start m.Types.c_len))
+        (List.sort positional ms)
+    in
+    (* Returns [true] when processing may continue with the next document. *)
+    let process idx name text =
+      incr n_docs;
+      let stats = Types.new_stats () in
+      match
+        Parallel.extract_one_outcome ~pruning ~budget ~stats ~doc_id:idx
+          problem text
+      with
+      | Outcome.Failed err ->
+          incr n_failed;
+          Printf.eprintf "faerie: %s: %s\n%!" name
+            (Outcome.error_to_string err);
+          keep_going
+      | Outcome.Ok ms | Outcome.Degraded (ms, _) as outcome ->
+          (match outcome with
+          | Outcome.Degraded (_, why) ->
+              Printf.eprintf "faerie: %s: %s\n%!" name
+                (Outcome.degradation_to_string why)
+          | _ -> ());
+          let ms = match top with Some k -> take k (List.sort best_first ms) | None -> ms in
+          let ms = if select then Faerie_core.Span_select.select ms else ms in
+          print_matches name text ms;
+          if show_stats then
+            Format.eprintf "%s: %a@." name Types.pp_stats stats;
+          true
     in
     (match doc_files with
     | [] ->
@@ -162,21 +223,31 @@ let extract_cmd =
              Buffer.add_channel buf stdin 1
            done
          with End_of_file -> ());
-        process "<stdin>" (Buffer.contents buf)
-    | files -> List.iter (fun f -> process f (read_file f)) files);
-    0
+        ignore (process 0 "<stdin>" (Buffer.contents buf))
+    | files ->
+        let rec loop idx = function
+          | [] -> ()
+          | f :: rest ->
+              if process idx f (read_file f) then loop (idx + 1) rest
+        in
+        loop 0 files);
+    if !n_failed = 0 then 0
+    else if keep_going && !n_failed < !n_docs then 0
+    else 1
   in
   let doc = "Extract approximate entity matches from documents." in
   Cmd.v
     (Cmd.info "extract" ~doc)
     Term.(
       const run $ sim_arg $ q_arg $ dict_opt_arg $ index_opt_arg $ docs_arg
-      $ pruning_arg $ show_stats_arg $ top_arg $ select_arg)
+      $ pruning_arg $ show_stats_arg $ top_arg $ select_arg $ timeout_arg
+      $ max_doc_bytes_arg $ keep_going_arg)
 
 (* ---- stats ---- *)
 
 let stats_cmd =
   let run sim q dict_file =
+    guard @@ fun () ->
     let entities = read_lines dict_file in
     let problem = Problem.create ~sim ~q entities in
     let dict = Problem.dictionary problem in
@@ -207,6 +278,7 @@ let index_cmd =
     Arg.(required & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc)
   in
   let run sim q dict_file out =
+    guard @@ fun () ->
     let problem = Problem.create ~sim ~q (read_lines dict_file) in
     Ix.Codec.save (Problem.dictionary problem) (Problem.index problem) out;
     let bytes = (Unix.stat out).Unix.st_size in
@@ -239,6 +311,7 @@ let gen_cmd =
     Arg.(value & opt string "corpus" & info [ "o"; "out" ] ~docv:"DIR" ~doc:"Output directory.")
   in
   let run profile n_entities n_documents seed out =
+    guard @@ fun () ->
     let corpus =
       match profile with
       | `Dblp -> Corpus.dblp ~seed ~n_entities ~n_documents ()
@@ -246,16 +319,19 @@ let gen_cmd =
       | `Webpage -> Corpus.webpage ~seed ~n_entities ~n_documents ()
     in
     if not (Sys.file_exists out) then Sys.mkdir out 0o755;
-    let oc = open_out (Filename.concat out "entities.txt") in
-    Array.iter (fun e -> output_string oc (e ^ "\n")) corpus.Corpus.entities;
-    close_out oc;
+    let write_file path f =
+      let oc = open_out path in
+      Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> f oc)
+    in
+    write_file (Filename.concat out "entities.txt") (fun oc ->
+        Array.iter (fun e -> output_string oc (e ^ "\n")) corpus.Corpus.entities);
     let docs_dir = Filename.concat out "docs" in
     if not (Sys.file_exists docs_dir) then Sys.mkdir docs_dir 0o755;
     Array.iteri
       (fun i (d : Corpus.document) ->
-        let oc = open_out (Filename.concat docs_dir (Printf.sprintf "doc%04d.txt" i)) in
-        output_string oc d.Corpus.text;
-        close_out oc)
+        write_file
+          (Filename.concat docs_dir (Printf.sprintf "doc%04d.txt" i))
+          (fun oc -> output_string oc d.Corpus.text))
       corpus.Corpus.documents;
     Format.printf "wrote %s: %a@." out Corpus.pp_stats (Corpus.stats corpus);
     0

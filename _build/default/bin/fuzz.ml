@@ -2,7 +2,17 @@
    agree with the brute-force oracle. The qcheck suites run bounded counts
    under `dune runtest`; this binary runs open-ended campaigns.
 
-   Usage: dune exec bin/fuzz.exe -- [iterations] [seed]                     *)
+   On any oracle disagreement or crash, a self-contained reproduction
+   (seed, sim, q, entities, document) is dumped to stderr and to a file.
+
+   Usage: dune exec bin/fuzz.exe -- [--faults] [iterations] [seed]
+
+   With --faults, the campaign instead runs with deterministic fault
+   injection armed (sites: tokenize, heap_merge, verify, codec_io) and
+   asserts containment: every injected fault must surface as a structured
+   Failed outcome for exactly the affected document — never a process
+   crash — and fault-free documents of the same batch must produce results
+   identical to a run with injection disabled.                              *)
 
 module Sim = Faerie_sim.Sim
 module Core = Faerie_core
@@ -13,6 +23,10 @@ module Naive = Faerie_baselines.Naive
 module Ngpp = Faerie_baselines.Ngpp
 module Ish = Faerie_baselines.Ish
 module Xorshift = Faerie_util.Xorshift
+module Fault = Faerie_util.Fault
+module Ix = Faerie_index
+module Parallel = Core.Parallel
+module Outcome = Core.Outcome
 
 let alphabet = [| 'a'; 'b'; 'c' |]
 
@@ -131,14 +145,42 @@ let check_instance inst =
   | Sim.Cosine _ | Sim.Dice _ -> ());
   !failures
 
-let () =
-  let iterations =
-    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 2_000
-  in
-  let seed =
-    if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2)
-    else (int_of_float (Unix.gettimeofday () *. 1000.)) land 0xFFFFFF
-  in
+(* ---- reproduction dumps ---- *)
+
+let repro_text ~seed ~iteration inst ~trouble =
+  let b = Buffer.create 512 in
+  Printf.bprintf b "==== FAERIE FUZZ REPRO ====\n";
+  Printf.bprintf b "trouble:   %s\n" trouble;
+  Printf.bprintf b "seed:      %d\n" seed;
+  Printf.bprintf b "iteration: %d\n" iteration;
+  Printf.bprintf b "sim:       %s\n" (Sim.to_string inst.sim);
+  Printf.bprintf b "q:         %d\n" inst.q;
+  Printf.bprintf b "entities:\n";
+  List.iter (fun e -> Printf.bprintf b "  %S\n" e) inst.entities;
+  Printf.bprintf b "document:  %S\n" inst.document;
+  Printf.bprintf b "rerun:     dune exec bin/fuzz.exe -- %d %d\n" iteration seed;
+  Printf.bprintf b "===========================\n";
+  Buffer.contents b
+
+let dump_repro ~seed ~iteration inst ~trouble =
+  let text = repro_text ~seed ~iteration inst ~trouble in
+  prerr_string text;
+  flush stderr;
+  try
+    let path, oc =
+      Filename.open_temp_file
+        (Printf.sprintf "faerie-fuzz-repro-%d-%d-" seed iteration)
+        ".txt"
+    in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc text);
+    Printf.eprintf "repro written to %s\n%!" path
+  with Sys_error msg -> Printf.eprintf "could not write repro file: %s\n%!" msg
+
+(* ---- differential campaign (default mode) ---- *)
+
+let run_differential iterations seed =
   Printf.printf "fuzzing %d instances (seed %d)\n%!" iterations seed;
   let rng = Xorshift.create seed in
   let failed = ref 0 in
@@ -148,15 +190,132 @@ let () =
     | [] -> ()
     | names ->
         incr failed;
-        Printf.printf
-          "MISMATCH [%s] at iteration %d:\n  sim=%s q=%d\n  dict=[%s]\n  doc=%S\n%!"
-          (String.concat "," names) i (Sim.to_string inst.sim) inst.q
-          (String.concat "; " inst.entities)
-          inst.document);
+        dump_repro ~seed ~iteration:i inst
+          ~trouble:("oracle mismatch: " ^ String.concat "," names)
+    | exception exn ->
+        incr failed;
+        dump_repro ~seed ~iteration:i inst
+          ~trouble:("crash: " ^ Printexc.to_string exn));
     if i mod 500 = 0 then Printf.printf "  %d/%d ok so far\n%!" (i - !failed) i
   done;
-  if !failed = 0 then Printf.printf "all %d instances agree with the oracle\n" iterations
+  if !failed = 0 then
+    Printf.printf "all %d instances agree with the oracle\n" iterations
   else begin
-    Printf.printf "%d mismatching instances\n" !failed;
+    Printf.printf "%d failing instances\n" !failed;
     exit 1
   end
+
+(* ---- fault-injection campaign (--faults) ---- *)
+
+let fault_rates =
+  [ ("tokenize", 0.2); ("heap_merge", 0.2); ("verify", 0.03); ("codec_io", 0.3) ]
+
+let mix_seed seed i = (seed * 0x9e3779b1) lxor (i * 0x85ebca77) land 0x3FFFFFFF
+
+let run_fault_campaign iterations seed =
+  Printf.printf "fault campaign: %d instances (seed %d), sites %s\n%!"
+    iterations seed
+    (String.concat "," (List.map fst fault_rates));
+  let rng = Xorshift.create seed in
+  let escapes = ref 0 and mismatches = ref 0 in
+  let failed_docs = ref 0 and ok_docs = ref 0 in
+  Fault.reset_counts ();
+  for i = 1 to iterations do
+    let inst = random_instance rng in
+    let doc_of_kind () =
+      if Faerie_sim.Sim.char_based inst.sim then random_string rng 5 40
+      else random_words rng 3 20
+    in
+    let docs =
+      Array.append [| inst.document |] (Array.init 3 (fun _ -> doc_of_kind ()))
+    in
+    (match Problem.create ~sim:inst.sim ~q:inst.q inst.entities with
+    | problem -> (
+        (* Baseline with injection disabled, then the same batch armed. *)
+        Fault.disarm ();
+        let baseline, _ = Parallel.extract_all_outcomes ~domains:2 problem docs in
+        Fault.configure { Fault.seed = mix_seed seed i; rates = fault_rates };
+        (match Parallel.extract_all_outcomes ~domains:2 problem docs with
+        | outcomes, _ ->
+            Array.iteri
+              (fun j outcome ->
+                match (outcome, baseline.(j)) with
+                | Outcome.Failed (Outcome.Injected_fault _), _ ->
+                    incr failed_docs
+                | Outcome.Ok got, Outcome.Ok want ->
+                    incr ok_docs;
+                    if got <> want then begin
+                      incr mismatches;
+                      dump_repro ~seed ~iteration:i inst
+                        ~trouble:
+                          (Printf.sprintf
+                             "fault isolation violated: fault-free document \
+                              %d differs from injection-disabled run"
+                             j)
+                    end
+                | _ ->
+                    incr escapes;
+                    dump_repro ~seed ~iteration:i inst
+                      ~trouble:
+                        (Printf.sprintf "unexpected outcome for document %d" j))
+              outcomes
+        | exception exn ->
+            incr escapes;
+            dump_repro ~seed ~iteration:i inst
+              ~trouble:("fault escaped the pipeline: " ^ Printexc.to_string exn));
+        (* Codec decode under injection must fail only as Injected/Corrupt. *)
+        let data =
+          Ix.Codec.encode (Problem.dictionary problem) (Problem.index problem)
+        in
+        (match
+           Fault.with_context (1_000_000 + i) (fun () -> Ix.Codec.decode data)
+         with
+        | _ -> ()
+        | exception Fault.Injected _ -> incr failed_docs
+        | exception Ix.Codec.Corrupt _ -> ()
+        | exception exn ->
+            incr escapes;
+            dump_repro ~seed ~iteration:i inst
+              ~trouble:("codec fault escaped: " ^ Printexc.to_string exn));
+        Fault.disarm ())
+    | exception exn ->
+        Fault.disarm ();
+        incr escapes;
+        dump_repro ~seed ~iteration:i inst
+          ~trouble:("problem build crashed: " ^ Printexc.to_string exn));
+    if i mod 500 = 0 then Printf.printf "  %d/%d instances\n%!" i iterations
+  done;
+  let injected = Fault.injected_count () in
+  Printf.printf
+    "injected %d faults: %d contained as Failed outcomes, %d fault-free \
+     documents identical to the disabled run\n"
+    injected !failed_docs !ok_docs;
+  if injected <> !failed_docs then begin
+    Printf.printf "CONTAINMENT LEAK: %d injected but %d surfaced\n" injected
+      !failed_docs;
+    exit 1
+  end;
+  if !escapes > 0 || !mismatches > 0 then begin
+    Printf.printf "%d escapes, %d isolation mismatches\n" !escapes !mismatches;
+    exit 1
+  end;
+  Printf.printf "fault containment holds on all %d instances\n" iterations
+
+let () =
+  let faults = ref false in
+  let positional = ref [] in
+  Array.iteri
+    (fun i arg ->
+      if i > 0 then
+        if arg = "--faults" then faults := true
+        else positional := int_of_string arg :: !positional)
+    Sys.argv;
+  let positional = List.rev !positional in
+  let iterations = match positional with n :: _ -> n | [] -> 2_000 in
+  let seed =
+    match positional with
+    | _ :: s :: _ -> s
+    | _ -> int_of_float (Unix.gettimeofday () *. 1000.) land 0xFFFFFF
+  in
+  if !faults then run_fault_campaign iterations seed
+  else run_differential iterations seed

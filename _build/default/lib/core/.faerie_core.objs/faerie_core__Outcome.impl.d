@@ -1,0 +1,1 @@
+lib/core/outcome.ml: Array Faerie_util Format List Printexc Printf

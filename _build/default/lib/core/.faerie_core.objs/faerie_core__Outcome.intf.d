@@ -1,0 +1,1 @@
+lib/core/outcome.mli: Faerie_util Format

@@ -1,1 +1,1 @@
-lib/core/parallel.ml: Array Atomic Domain Faerie_tokenize Fallback List Problem Single_heap Types
+lib/core/parallel.ml: Array Atomic Chunked Domain Faerie_tokenize Faerie_util Fallback Fun List Outcome Printexc Problem Seq Single_heap String Types

@@ -1,1 +1,1 @@
-lib/core/parallel.mli: Problem Types
+lib/core/parallel.mli: Faerie_util Outcome Problem Types

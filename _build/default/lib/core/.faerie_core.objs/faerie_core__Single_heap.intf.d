@@ -1,1 +1,1 @@
-lib/core/single_heap.mli: Faerie_heaps Faerie_tokenize Problem Types
+lib/core/single_heap.mli: Faerie_heaps Faerie_tokenize Faerie_util Problem Types

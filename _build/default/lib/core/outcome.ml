@@ -1,0 +1,85 @@
+module Budget = Faerie_util.Budget
+
+type exn_info = { exn_name : string; message : string; backtrace : string }
+
+let exn_info_of ?backtrace exn =
+  {
+    exn_name = Printexc.exn_slot_name exn;
+    message = Printexc.to_string exn;
+    backtrace =
+      (match backtrace with Some b -> b | None -> Printexc.get_backtrace ());
+  }
+
+type error =
+  | Doc_too_large of { bytes : int; limit : int }
+  | Budget_exhausted of Budget.exhaustion
+  | Tokenize_error of string
+  | Corrupt_index of string
+  | Injected_fault of string
+  | Worker_crash of exn_info
+
+type degradation =
+  | Oversize_chunked of { bytes : int; limit : int }
+  | Partial of Budget.exhaustion
+
+type 'a t = Ok of 'a | Degraded of 'a * degradation | Failed of error
+
+let is_ok = function Ok _ -> true | Degraded _ | Failed _ -> false
+
+let is_failed = function Failed _ -> true | Ok _ | Degraded _ -> false
+
+let matches = function
+  | Ok v | Degraded (v, _) -> Some v
+  | Failed _ -> None
+
+let error_to_string = function
+  | Doc_too_large { bytes; limit } ->
+      Printf.sprintf "document too large (%d bytes, limit %d)" bytes limit
+  | Budget_exhausted e ->
+      Printf.sprintf "budget exhausted (%s)" (Budget.exhaustion_to_string e)
+  | Tokenize_error msg -> Printf.sprintf "tokenization failed: %s" msg
+  | Corrupt_index msg -> Printf.sprintf "corrupt index: %s" msg
+  | Injected_fault site -> Printf.sprintf "injected fault at site %S" site
+  | Worker_crash { exn_name; message; _ } ->
+      Printf.sprintf "worker crashed: %s (%s)" exn_name message
+
+let degradation_to_string = function
+  | Oversize_chunked { bytes; limit } ->
+      Printf.sprintf "oversize document (%d bytes > %d): chunked processing"
+        bytes limit
+  | Partial e ->
+      Printf.sprintf "partial results: %s budget exhausted"
+        (Budget.exhaustion_to_string e)
+
+let pp_error ppf e = Format.pp_print_string ppf (error_to_string e)
+
+type summary = {
+  n_docs : int;
+  n_ok : int;
+  n_degraded : int;
+  n_failed : int;
+  failures : (int * error) list;
+}
+
+let summarize outcomes =
+  let n_ok = ref 0 and n_degraded = ref 0 and n_failed = ref 0 in
+  let failures = ref [] in
+  Array.iteri
+    (fun i -> function
+      | Ok _ -> incr n_ok
+      | Degraded _ -> incr n_degraded
+      | Failed err ->
+          incr n_failed;
+          failures := (i, err) :: !failures)
+    outcomes;
+  {
+    n_docs = Array.length outcomes;
+    n_ok = !n_ok;
+    n_degraded = !n_degraded;
+    n_failed = !n_failed;
+    failures = List.rev !failures;
+  }
+
+let pp_summary ppf s =
+  Format.fprintf ppf "%d documents: %d ok, %d degraded, %d failed" s.n_docs
+    s.n_ok s.n_degraded s.n_failed

@@ -1,0 +1,64 @@
+(** Structured per-document extraction outcomes.
+
+    The pipeline boundary ({!Parallel}) never lets an exception cross a
+    document: every document maps to exactly one outcome —
+
+    - [Ok matches]: full, exact result set;
+    - [Degraded (matches, why)]: a sound but possibly partial (budget
+      exhaustion) or memory-bounded (oversize chunking) result, with the
+      reason attached — partial work is reported, never silently dropped;
+    - [Failed error]: no usable result; the error taxonomy says why.
+
+    A batch of outcomes folds into a {!summary} for reporting and exit
+    policy. *)
+
+type exn_info = { exn_name : string; message : string; backtrace : string }
+(** Printable capture of an unexpected exception (the exception itself is
+    not kept: outcomes may cross domain boundaries and be persisted). *)
+
+val exn_info_of : ?backtrace:string -> exn -> exn_info
+
+type error =
+  | Doc_too_large of { bytes : int; limit : int }
+      (** document over the byte limit and oversize policy is [`Reject] *)
+  | Budget_exhausted of Faerie_util.Budget.exhaustion
+      (** a budget tripped at a point where no partial results exist *)
+  | Tokenize_error of string  (** document tokenization rejected the input *)
+  | Corrupt_index of string  (** {!Faerie_index.Codec.Corrupt} at load *)
+  | Injected_fault of string  (** a {!Faerie_util.Fault} site fired *)
+  | Worker_crash of exn_info  (** any other exception, contained *)
+
+type degradation =
+  | Oversize_chunked of { bytes : int; limit : int }
+      (** document exceeded [max_bytes]; processed via bounded-memory
+          {!Chunked} extraction (results complete, peak memory bounded) *)
+  | Partial of Faerie_util.Budget.exhaustion
+      (** a budget tripped mid-filter; results found before the trip are
+          verified and reported (always a subset of the full result set) *)
+
+type 'a t = Ok of 'a | Degraded of 'a * degradation | Failed of error
+
+val is_ok : 'a t -> bool
+
+val is_failed : 'a t -> bool
+
+val matches : 'a t -> 'a option
+(** The carried value, for both [Ok] and [Degraded]. *)
+
+val error_to_string : error -> string
+
+val degradation_to_string : degradation -> string
+
+val pp_error : Format.formatter -> error -> unit
+
+type summary = {
+  n_docs : int;
+  n_ok : int;
+  n_degraded : int;
+  n_failed : int;
+  failures : (int * error) list;  (** document index, error — input order *)
+}
+
+val summarize : 'a t array -> summary
+
+val pp_summary : Format.formatter -> summary -> unit

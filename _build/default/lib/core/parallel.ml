@@ -1,21 +1,76 @@
 module Tk = Faerie_tokenize
+module Fault = Faerie_util.Fault
+module Budget = Faerie_util.Budget
 open Types
 
-let extract_one ?pruning problem text =
-  let doc = Problem.tokenize_document problem text in
-  let matches, _ = Single_heap.run ?pruning problem doc in
-  let main =
-    List.map
-      (fun (m : token_match) ->
-        let c_start, c_len =
-          Tk.Document.char_extent doc ~start:m.m_start ~len:m.m_len
-        in
-        { c_entity = m.m_entity; c_start; c_len; c_score = m.m_score })
-      matches
-  in
-  List.sort_uniq compare_char_match (Fallback.run problem doc @ main)
+type outcome = char_match list Outcome.t
 
-let extract_all ?pruning ?domains problem docs =
+(* Slice an oversize document into bounded pieces for chunked extraction. *)
+let pieces_of_string text piece_len =
+  let n = String.length text in
+  let rec at i () =
+    if i >= n then Seq.Nil
+    else
+      let len = min piece_len (n - i) in
+      Seq.Cons (String.sub text i len, at (i + len))
+  in
+  at 0
+
+exception Tokenize_exn of string
+
+let tokenize_checked problem text =
+  try Problem.tokenize_document problem text with
+  | (Fault.Injected _ | Budget.Exhausted _) as e -> raise e
+  | Invalid_argument msg | Failure msg -> raise (Tokenize_exn msg)
+
+let extract_one_outcome ?pruning ?(budget = Budget.spec_unlimited)
+    ?(oversize = `Chunk) ?stats ~doc_id problem text : outcome =
+  Fault.with_context doc_id @@ fun () ->
+  try
+    let bytes = String.length text in
+    match budget.Budget.max_bytes with
+    | Some limit when bytes > limit -> (
+        match oversize with
+        | `Reject -> Outcome.Failed (Outcome.Doc_too_large { bytes; limit })
+        | `Chunk ->
+            (* Degrade to bounded-memory streaming extraction: results are
+               still complete, but peak memory is capped near [limit]. *)
+            let ms =
+              Chunked.extract_seq ?pruning ~min_buffer_chars:limit problem
+                (pieces_of_string text (max 1 (min limit 65536)))
+            in
+            Outcome.Degraded (ms, Outcome.Oversize_chunked { bytes; limit }))
+    | _ ->
+        let b = Budget.start budget in
+        let doc = tokenize_checked problem text in
+        let matches, st, aborted =
+          Single_heap.run_budgeted ?pruning ~budget:b problem doc
+        in
+        (match stats with Some dst -> blit_stats ~src:st ~dst | None -> ());
+        let main =
+          List.map
+            (fun (m : token_match) ->
+              let c_start, c_len =
+                Tk.Document.char_extent doc ~start:m.m_start ~len:m.m_len
+              in
+              { c_entity = m.m_entity; c_start; c_len; c_score = m.m_score })
+            matches
+        in
+        let all =
+          List.sort_uniq compare_char_match (Fallback.run problem doc @ main)
+        in
+        (match aborted with
+        | None -> Outcome.Ok all
+        | Some e -> Outcome.Degraded (all, Outcome.Partial e))
+  with
+  | Fault.Injected site -> Outcome.Failed (Outcome.Injected_fault site)
+  | Budget.Exhausted e -> Outcome.Failed (Outcome.Budget_exhausted e)
+  | Tokenize_exn msg -> Outcome.Failed (Outcome.Tokenize_error msg)
+  | exn ->
+      let backtrace = Printexc.get_backtrace () in
+      Outcome.Failed (Outcome.Worker_crash (Outcome.exn_info_of ~backtrace exn))
+
+let extract_all_outcomes ?pruning ?domains ?budget ?oversize problem docs =
   let n = Array.length docs in
   let requested =
     match domains with
@@ -23,9 +78,22 @@ let extract_all ?pruning ?domains problem docs =
     | None -> Domain.recommended_domain_count ()
   in
   let workers = max 1 (min requested n) in
-  let results = Array.make n [] in
+  let results = Array.make n (Outcome.Ok [] : outcome) in
+  let process i =
+    results.(i) <-
+      (try
+         extract_one_outcome ?pruning ?budget ?oversize ~doc_id:i problem
+           docs.(i)
+       with exn ->
+         (* extract_one_outcome already contains everything; this is the
+            last-resort belt under the braces (e.g. allocation failure while
+            building the outcome itself). *)
+         Outcome.Failed (Outcome.Worker_crash (Outcome.exn_info_of exn)))
+  in
   if workers <= 1 || n = 0 then
-    Array.iteri (fun i text -> results.(i) <- extract_one ?pruning problem text) docs
+    for i = 0 to n - 1 do
+      process i
+    done
   else begin
     (* Work stealing via a shared atomic counter: documents vary wildly in
        size, so static slicing would leave domains idle. *)
@@ -34,14 +102,32 @@ let extract_all ?pruning ?domains problem docs =
       let rec loop () =
         let i = Atomic.fetch_and_add next 1 in
         if i < n then begin
-          results.(i) <- extract_one ?pruning problem docs.(i);
+          process i;
           loop ()
         end
       in
       loop ()
     in
     let spawned = List.init (workers - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
-    List.iter Domain.join spawned
+    (* Every spawned domain is joined even if the main-thread worker raises
+       (it should not: [process] swallows everything) — a leaked domain
+       would keep stealing work against a collection the caller believes is
+       finished. A crashed domain's exception is already reflected in the
+       per-document outcomes, so the join itself must not re-raise. *)
+    Fun.protect
+      ~finally:(fun () ->
+        List.iter
+          (fun d -> match Domain.join d with () -> () | exception _ -> ())
+          spawned)
+      worker
   end;
-  results
+  (results, Outcome.summarize results)
+
+let extract_all ?pruning ?domains problem docs =
+  let outcomes, _ = extract_all_outcomes ?pruning ?domains problem docs in
+  Array.map
+    (function
+      | Outcome.Ok ms | Outcome.Degraded (ms, _) -> ms
+      | Outcome.Failed err ->
+          failwith ("Parallel.extract_all: " ^ Outcome.error_to_string err))
+    outcomes

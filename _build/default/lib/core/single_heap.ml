@@ -3,6 +3,7 @@ module S = Faerie_sim
 module Heaps = Faerie_heaps
 module Ix = Faerie_index
 module Dynarray = Faerie_util.Dynarray
+module Budget = Faerie_util.Budget
 open Types
 
 (* Occurrence counting for one entity over one slice of its position list,
@@ -104,35 +105,56 @@ let dedup_candidates acc =
     acc;
   List.rev !out
 
-let collect ?merger ~pruning problem doc =
+let collect ?merger ?(budget = Budget.unlimited) ~pruning problem doc =
   let stats = new_stats () in
   let index = Problem.index problem in
   let n_tokens = Tk.Document.n_tokens doc in
   let acc = Dynarray.create () in
-  Heaps.Multiway.iter_entity_positions ?merger ~n_positions:n_tokens
-    ~list_at:(Ix.Inverted_index.document_lists index doc)
-    ~f:(fun ~entity ~positions ->
-      let positions = Dynarray.to_array positions in
-      process_entity problem stats ~pruning ~entity ~positions ~n_tokens
-        ~emit:(fun c -> Dynarray.push acc c))
-    ();
+  let aborted = ref None in
+  (* Budget exhaustion aborts the merge mid-stream; the candidates already
+     in [acc] are kept and flagged as partial by the caller. *)
+  (try
+     Heaps.Multiway.iter_entity_positions ?merger ~n_positions:n_tokens
+       ~list_at:(Ix.Inverted_index.document_lists index doc)
+       ~f:(fun ~entity ~positions ->
+         Budget.tick budget;
+         let positions = Dynarray.to_array positions in
+         process_entity problem stats ~pruning ~entity ~positions ~n_tokens
+           ~emit:(fun c ->
+             Budget.charge_candidates budget 1;
+             Dynarray.push acc c))
+       ()
+   with Budget.Exhausted e -> aborted := Some e);
   let survivors = dedup_candidates acc in
   stats.survivors <- List.length survivors;
+  (survivors, stats, !aborted)
+
+let candidates ?merger ~pruning problem doc =
+  let survivors, stats, _ = collect ?merger ~pruning problem doc in
   (survivors, stats)
 
-let candidates ?merger ~pruning problem doc = collect ?merger ~pruning problem doc
+let run_budgeted ?merger ?(pruning = Binary_window) ?(budget = Budget.unlimited)
+    problem doc =
+  let survivors, stats, aborted = collect ?merger ~budget ~pruning problem doc in
+  let aborted = ref aborted in
+  (* Verification also respects the deadline: a trip keeps the matches
+     verified so far (a subset of the full set, reported as partial). *)
+  let matches = ref [] in
+  (try
+     List.iter
+       (fun (c : candidate) ->
+         Budget.tick budget;
+         let score = Problem.verify_candidate problem doc c in
+         if S.Verify.Score.passes (Problem.sim problem) score then
+           matches :=
+             { m_entity = c.entity; m_start = c.start; m_len = c.len; m_score = score }
+             :: !matches)
+       survivors
+   with Budget.Exhausted e -> if !aborted = None then aborted := Some e);
+  let matches = List.rev !matches in
+  stats.verified <- List.length matches;
+  (matches, stats, !aborted)
 
 let run ?merger ?(pruning = Binary_window) problem doc =
-  let survivors, stats = collect ?merger ~pruning problem doc in
-  let matches =
-    List.filter_map
-      (fun (c : candidate) ->
-        let score = Problem.verify_candidate problem doc c in
-        if S.Verify.Score.passes (Problem.sim problem) score then
-          Some
-            { m_entity = c.entity; m_start = c.start; m_len = c.len; m_score = score }
-        else None)
-      survivors
-  in
-  stats.verified <- List.length matches;
+  let matches, stats, _ = run_budgeted ?merger ~pruning problem doc in
   (matches, stats)

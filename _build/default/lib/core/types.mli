@@ -58,6 +58,10 @@ type stats = {
 
 val new_stats : unit -> stats
 
+val blit_stats : src:stats -> dst:stats -> unit
+(** Copy every counter of [src] into [dst] (used to surface the stats of a
+    run performed behind the outcome pipeline boundary). *)
+
 val pp_stats : Format.formatter -> stats -> unit
 
 val compare_candidate : candidate -> candidate -> int

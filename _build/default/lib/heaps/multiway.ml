@@ -91,6 +91,7 @@ let run_tournament ~n_positions ~lists ~shift ~mask ~f =
       consume ~shift ~mask ~next ~f
 
 let iter_entity_positions ?(merger = Binary_heap) ~n_positions ~list_at ~f () =
+  Faerie_util.Fault.site "heap_merge";
   if n_positions > 0 then begin
     let shift = max 1 (bits_for n_positions 0) in
     let mask = (1 lsl shift) - 1 in

@@ -51,8 +51,19 @@ let encode dict index =
 
 let decode data =
   let fail msg = raise (Corrupt msg) in
+  Faerie_util.Fault.site "codec_io";
   try
     let r = Varint.reader data in
+    (* Every claimed element count is validated against the bytes still
+       unread before any [Array.init] / [Interner.create] sized by it: each
+       element costs at least one encoded byte, so a count larger than the
+       remaining input is corrupt by construction. Without this, an
+       adversarial length field triggers a multi-GB allocation (or
+       [Out_of_memory]) before the trailing checksum is ever consulted. *)
+    let check_count what n =
+      if n < 0 || n > String.length data - Varint.pos r then
+        fail (Printf.sprintf "%s count %d exceeds input" what n)
+    in
     Varint.expect r magic;
     let v = Varint.read r in
     if v <> version then fail (Printf.sprintf "unsupported version %d" v);
@@ -65,16 +76,19 @@ let decode data =
       | k -> fail (Printf.sprintf "unknown mode tag %d" k)
     in
     let n_tokens = Varint.read r in
+    check_count "token" n_tokens;
     let interner = Tk.Interner.create ~initial_capacity:(max 16 n_tokens) () in
     for expected = 0 to n_tokens - 1 do
       let id = Tk.Interner.intern interner (Varint.read_string r) in
       if id <> expected then fail "duplicate token string"
     done;
     let n_entities = Varint.read r in
+    check_count "entity" n_entities;
     let entities =
       Array.init n_entities (fun id ->
           let raw = Varint.read_string r in
           let n = Varint.read r in
+          check_count "entity token" n;
           let tokens =
             Array.init n (fun _ ->
                 let tok = Varint.read r in
@@ -88,6 +102,7 @@ let decode data =
     let lists =
       Array.init n_lists (fun _ ->
           let n = Varint.read r in
+          check_count "postings" n;
           let prev = ref 0 in
           Array.init n (fun i ->
               let delta = Varint.read r in

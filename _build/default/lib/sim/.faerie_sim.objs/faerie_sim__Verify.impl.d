@@ -1,1 +1,1 @@
-lib/sim/verify.ml: Array Edit_distance Faerie_tokenize Float Format Sim Stdlib String
+lib/sim/verify.ml: Array Edit_distance Faerie_tokenize Faerie_util Float Format Sim Stdlib String

@@ -24,6 +24,7 @@ module Score = struct
 end
 
 let token_score sim ~e_tokens ~s_tokens =
+  Faerie_util.Fault.site "verify";
   let e = Array.length e_tokens and s = Array.length s_tokens in
   let o = float_of_int (Token_ops.multiset_overlap e_tokens s_tokens) in
   let e = float_of_int e and s = float_of_int s in
@@ -39,6 +40,7 @@ let token_score sim ~e_tokens ~s_tokens =
       invalid_arg "Verify.token_score: character-based function"
 
 let char_score sim ~e_str ~s_str =
+  Faerie_util.Fault.site "verify";
   match sim with
   | Sim.Edit_distance tau -> (
       match Edit_distance.distance_upto ~cap:tau e_str s_str with

@@ -1,1 +1,1 @@
-lib/tokenize/document.ml: Array Printf Span String Tokenizer
+lib/tokenize/document.ml: Array Faerie_util Printf Span String Tokenizer

@@ -3,10 +3,12 @@ type mode = Word | Gram of int
 type t = { text : string; spans : Span.t array; mode : mode }
 
 let of_words interner raw =
+  Faerie_util.Fault.site "tokenize";
   let text = Tokenizer.normalize raw in
   { text; spans = Tokenizer.words_lookup interner raw; mode = Word }
 
 let of_grams interner ~q raw =
+  Faerie_util.Fault.site "tokenize";
   let text = Tokenizer.normalize raw in
   { text; spans = Tokenizer.qgrams_lookup interner ~q raw; mode = Gram q }
 

@@ -1,0 +1,1 @@
+lib/util/budget.ml: Option Unix

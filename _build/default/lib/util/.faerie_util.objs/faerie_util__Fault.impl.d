@@ -1,0 +1,1 @@
+lib/util/fault.ml: Atomic Domain Fun Hashtbl Int64 List

@@ -1,0 +1,83 @@
+type exhaustion = Deadline | Bytes | Candidates
+
+let exhaustion_to_string = function
+  | Deadline -> "deadline"
+  | Bytes -> "bytes"
+  | Candidates -> "candidates"
+
+exception Exhausted of exhaustion
+
+type spec = {
+  timeout_ms : int option;
+  max_bytes : int option;
+  max_candidates : int option;
+}
+
+let spec_unlimited = { timeout_ms = None; max_bytes = None; max_candidates = None }
+
+let is_spec_unlimited s =
+  s.timeout_ms = None && s.max_bytes = None && s.max_candidates = None
+
+type t = {
+  limited : bool;
+  deadline : float;  (* absolute gettimeofday; infinity when unbounded *)
+  mutable bytes_left : int;
+  mutable cands_left : int;
+  mutable ticks : int;
+  mutable tripped : exhaustion option;
+}
+
+let unlimited =
+  {
+    limited = false;
+    deadline = infinity;
+    bytes_left = max_int;
+    cands_left = max_int;
+    ticks = 0;
+    tripped = None;
+  }
+
+let start spec =
+  if is_spec_unlimited spec then unlimited
+  else
+    {
+      limited = true;
+      deadline =
+        (match spec.timeout_ms with
+        | None -> infinity
+        | Some ms -> Unix.gettimeofday () +. (float_of_int ms /. 1000.));
+      bytes_left = Option.value spec.max_bytes ~default:max_int;
+      cands_left = Option.value spec.max_candidates ~default:max_int;
+      ticks = 0;
+      tripped = None;
+    }
+
+let is_unlimited t = not t.limited
+
+let trip t what =
+  t.tripped <- Some what;
+  raise (Exhausted what)
+
+let charge_bytes t n =
+  if t.limited then begin
+    t.bytes_left <- t.bytes_left - n;
+    if t.bytes_left < 0 then trip t Bytes
+  end
+
+let charge_candidates t n =
+  if t.limited then begin
+    t.cands_left <- t.cands_left - n;
+    if t.cands_left < 0 then trip t Candidates
+  end
+
+let check_deadline t =
+  if t.limited && t.deadline < infinity && Unix.gettimeofday () > t.deadline
+  then trip t Deadline
+
+let tick t =
+  if t.limited && t.deadline < infinity then begin
+    t.ticks <- t.ticks + 1;
+    if t.ticks land 255 = 0 then check_deadline t
+  end
+
+let exhausted t = t.tripped

@@ -1,0 +1,1 @@
+test/test_robustness.ml: Alcotest Array Buffer Char Faerie_core Faerie_index Faerie_sim Faerie_util Fun List Printf String Unix

@@ -50,6 +50,14 @@ let new_stats () =
     verified = 0;
   }
 
+let blit_stats ~src ~dst =
+  dst.entities_seen <- src.entities_seen;
+  dst.entities_pruned_lazy <- src.entities_pruned_lazy;
+  dst.buckets_pruned <- src.buckets_pruned;
+  dst.candidates <- src.candidates;
+  dst.survivors <- src.survivors;
+  dst.verified <- src.verified
+
 let pp_stats ppf s =
   Format.fprintf ppf
     "{seen=%d; lazy_pruned=%d; buckets_pruned=%d; candidates=%d; survivors=%d; verified=%d}"
