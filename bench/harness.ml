@@ -32,7 +32,15 @@ let write_csv name ~header ~rows =
       let line cells = output_string oc (String.concat "," (List.map quote cells) ^ "\n") in
       line header;
       List.iter line rows;
-      close_out oc
+      close_out oc;
+      (* One metrics snapshot per exported table, then a reset: each
+         <name>.metrics.jsonl attributes pipeline counters (candidates,
+         heap pops, verify calls, ...) to exactly the exhibit that produced
+         them. *)
+      let oc = open_out (Filename.concat dir (name ^ ".metrics.jsonl")) in
+      output_string oc (Faerie_obs.Metrics.to_jsonl ());
+      close_out oc;
+      Faerie_obs.Metrics.reset ()
 
 (* Render one table: first column = x label, then one column per series.
    Column widths adapt to the longest cell. [csv] names the exported file

@@ -152,9 +152,39 @@ let extract_cmd =
     in
     Arg.(value & flag & info [ "k"; "keep-going" ] ~doc)
   in
+  let metrics_arg =
+    let doc =
+      "Write a JSON-lines snapshot of the metrics registry after the run, to \
+       $(docv) ('-' or no value: stderr)."
+    in
+    Arg.(
+      value
+      & opt ~vopt:(Some "-") (some string) None
+      & info [ "metrics" ] ~docv:"FILE" ~doc)
+  in
+  let trace_arg =
+    let doc =
+      "Record trace spans during the run and write them as JSON lines to \
+       $(docv) ('-' or no value: stderr)."
+    in
+    Arg.(
+      value
+      & opt ~vopt:(Some "-") (some string) None
+      & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  let write_sink sink content =
+    match sink with
+    | "-" -> output_string stderr content
+    | path ->
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () -> output_string oc content)
+  in
   let run sim q dict_file index_file doc_files pruning show_stats top select
-      timeout_ms max_doc_bytes keep_going =
+      timeout_ms max_doc_bytes keep_going metrics trace =
     guard @@ fun () ->
+    if trace <> None then Faerie_obs.Trace.enable ();
     let problem = problem_of_source sim q dict_file index_file in
     let dict = Problem.dictionary problem in
     let budget = { Budget.spec_unlimited with timeout_ms; max_bytes = max_doc_bytes } in
@@ -231,6 +261,13 @@ let extract_cmd =
               if process idx f (read_file f) then loop (idx + 1) rest
         in
         loop 0 files);
+    (match metrics with
+    | None -> ()
+    | Some sink -> write_sink sink (Faerie_obs.Metrics.to_jsonl ()));
+    (match trace with
+    | None -> ()
+    | Some sink ->
+        write_sink sink (Faerie_obs.Trace.to_jsonl (Faerie_obs.Trace.drain ())));
     if !n_failed = 0 then 0
     else if keep_going && !n_failed < !n_docs then 0
     else 1
@@ -241,7 +278,7 @@ let extract_cmd =
     Term.(
       const run $ sim_arg $ q_arg $ dict_opt_arg $ index_opt_arg $ docs_arg
       $ pruning_arg $ show_stats_arg $ top_arg $ select_arg $ timeout_arg
-      $ max_doc_bytes_arg $ keep_going_arg)
+      $ max_doc_bytes_arg $ keep_going_arg $ metrics_arg $ trace_arg)
 
 (* ---- stats ---- *)
 

@@ -7,6 +7,7 @@
 
 module Sim = Faerie_sim.Sim
 module Extractor = Faerie_core.Extractor
+module Outcome = Faerie_core.Outcome
 module Types = Faerie_core.Types
 module Corpus = Faerie_datagen.Corpus
 
@@ -25,9 +26,13 @@ let () =
     Array.iter
       (fun text ->
         let doc = Extractor.tokenize ex text in
-        let results, (stats : Types.stats) = Extractor.extract_document ex doc in
+        let report = Extractor.run ex (`Doc doc) in
+        let results =
+          Option.value ~default:[] (Outcome.matches report.Extractor.outcome)
+        in
         total_matches := !total_matches + List.length results;
-        total_candidates := !total_candidates + stats.Types.candidates)
+        total_candidates :=
+          !total_candidates + report.Extractor.stats.Types.candidates)
       documents;
     let dt = Unix.gettimeofday () -. t0 in
     Printf.printf "%-16s matches=%-6d candidates=%-8d time=%.3fs\n"

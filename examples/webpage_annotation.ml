@@ -7,6 +7,7 @@
 
 module Sim = Faerie_sim.Sim
 module Extractor = Faerie_core.Extractor
+module Outcome = Faerie_core.Outcome
 module Types = Faerie_core.Types
 module Corpus = Faerie_datagen.Corpus
 
@@ -23,7 +24,10 @@ let () =
      spans to one best span per region (weighted interval scheduling). *)
   let page = corpus.Corpus.documents.(0).Corpus.text in
   let doc = Extractor.tokenize ex page in
-  let results, _ = Extractor.extract_document ex doc in
+  let results =
+    let report = Extractor.run ex (`Doc doc) in
+    Option.value ~default:[] (Outcome.matches report.Extractor.outcome)
+  in
   let as_char =
     List.map
       (fun (r : Extractor.result) ->
@@ -59,10 +63,12 @@ let () =
       Array.iter
         (fun (d : Corpus.document) ->
           let doc = Extractor.tokenize ex d.Corpus.text in
-          let _, (stats : Types.stats) =
-            Extractor.extract_document ~pruning ex doc
+          let report =
+            Extractor.run
+              ~opts:{ Extractor.default_opts with Extractor.pruning }
+              ex (`Doc doc)
           in
-          candidates := !candidates + stats.Types.candidates)
+          candidates := !candidates + report.Extractor.stats.Types.candidates)
         corpus.Corpus.documents;
       let dt = Unix.gettimeofday () -. t0 in
       Printf.printf "%-15s %-12d %.3fs\n" (Types.pruning_name pruning) !candidates dt)

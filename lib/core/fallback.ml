@@ -13,15 +13,25 @@ let char_length_bounds sim ~e_chars =
   | S.Sim.Jaccard _ | S.Sim.Cosine _ | S.Sim.Dice _ ->
       invalid_arg "Fallback.char_length_bounds: token-based function"
 
+let m_fallback_verify =
+  Faerie_obs.Metrics.counter
+    ~help:"scored substrings on the exhaustive fallback path"
+    "fallback_verify_calls"
+
 let run problem doc =
   match Problem.fallback_entities problem with
   | [] -> []
   | fallback ->
+      Faerie_obs.Trace.with_span "fallback" @@ fun () ->
       let sim = Problem.sim problem in
       let text = Tk.Document.text doc in
       let n = String.length text in
       let dict = Problem.dictionary problem in
       let acc = ref [] in
+      let scored = ref 0 in
+      Fun.protect ~finally:(fun () ->
+          Faerie_obs.Metrics.add m_fallback_verify !scored)
+      @@ fun () ->
       List.iter
         (fun id ->
           let e = Ix.Dictionary.entity dict id in
@@ -30,6 +40,7 @@ let run problem doc =
           for len = lo to min hi n do
             for start = 0 to n - len do
               let s_str = String.sub text start len in
+              scored := !scored + 1;
               let score = S.Verify.char_score sim ~e_str ~s_str in
               if S.Verify.Score.passes sim score then
                 acc :=

@@ -59,9 +59,10 @@ type summary = {
   n_degraded : int;
   n_failed : int;
   failures : (int * error) list;
+  elapsed_ns : int64;
 }
 
-let summarize outcomes =
+let summarize ?(elapsed_ns = 0L) outcomes =
   let n_ok = ref 0 and n_degraded = ref 0 and n_failed = ref 0 in
   let failures = ref [] in
   Array.iteri
@@ -78,8 +79,12 @@ let summarize outcomes =
     n_degraded = !n_degraded;
     n_failed = !n_failed;
     failures = List.rev !failures;
+    elapsed_ns;
   }
 
 let pp_summary ppf s =
   Format.fprintf ppf "%d documents: %d ok, %d degraded, %d failed" s.n_docs
-    s.n_ok s.n_degraded s.n_failed
+    s.n_ok s.n_degraded s.n_failed;
+  if s.elapsed_ns > 0L then
+    Format.fprintf ppf " in %.1f ms"
+      (Int64.to_float s.elapsed_ns /. 1e6)

@@ -57,8 +57,11 @@ type summary = {
   n_degraded : int;
   n_failed : int;
   failures : (int * error) list;  (** document index, error — input order *)
+  elapsed_ns : int64;  (** batch wall time; [0L] when the caller did not time *)
 }
 
-val summarize : 'a t array -> summary
+val summarize : ?elapsed_ns:int64 -> 'a t array -> summary
+(** [elapsed_ns] (default [0L]) stamps the batch wall time into the
+    summary; {!Parallel.extract_all_outcomes} passes the measured value. *)
 
 val pp_summary : Format.formatter -> summary -> unit

@@ -1,76 +1,61 @@
-module Tk = Faerie_tokenize
-module Fault = Faerie_util.Fault
 module Budget = Faerie_util.Budget
+module Metrics = Faerie_obs.Metrics
+module Trace = Faerie_obs.Trace
 open Types
 
 type outcome = char_match list Outcome.t
 
-(* Slice an oversize document into bounded pieces for chunked extraction. *)
-let pieces_of_string text piece_len =
-  let n = String.length text in
-  let rec at i () =
-    if i >= n then Seq.Nil
-    else
-      let len = min piece_len (n - i) in
-      Seq.Cons (String.sub text i len, at (i + len))
+let m_batches =
+  Metrics.counter ~help:"parallel extraction batches" "parallel_batches"
+
+let m_docs_per_worker =
+  Metrics.histogram ~help:"documents processed per worker domain in a batch"
+    ~buckets:[| 1.; 2.; 5.; 10.; 20.; 50.; 100.; 1000.; 10000. |]
+    "docs_per_worker"
+
+let char_match_of_result (r : Extractor.result) =
+  {
+    c_entity = r.Extractor.entity_id;
+    c_start = r.Extractor.start_char;
+    c_len = r.Extractor.len_chars;
+    c_score = r.Extractor.score;
+  }
+
+let outcome_of_report (r : Extractor.report) : outcome =
+  let conv rs = List.sort compare_char_match (List.map char_match_of_result rs) in
+  match r.Extractor.outcome with
+  | Outcome.Ok rs -> Outcome.Ok (conv rs)
+  | Outcome.Degraded (rs, why) -> Outcome.Degraded (conv rs, why)
+  | Outcome.Failed err -> Outcome.Failed err
+
+(* The containment boundary lives in {!Extractor.run}; this layer only
+   translates results back to character matches and aggregates batches. *)
+let run_one ex ?pruning ~budget ~oversize ?stats ~doc_id text : outcome =
+  let opts =
+    {
+      Extractor.default_opts with
+      Extractor.pruning = Option.value pruning ~default:Binary_window;
+      budget;
+      oversize;
+      doc_id;
+    }
   in
-  at 0
-
-exception Tokenize_exn of string
-
-let tokenize_checked problem text =
-  try Problem.tokenize_document problem text with
-  | (Fault.Injected _ | Budget.Exhausted _) as e -> raise e
-  | Invalid_argument msg | Failure msg -> raise (Tokenize_exn msg)
+  let report = Extractor.run ~opts ex (`Text text) in
+  (match stats with
+  | Some dst -> blit_stats ~src:report.Extractor.stats ~dst
+  | None -> ());
+  outcome_of_report report
 
 let extract_one_outcome ?pruning ?(budget = Budget.spec_unlimited)
     ?(oversize = `Chunk) ?stats ~doc_id problem text : outcome =
-  Fault.with_context doc_id @@ fun () ->
-  try
-    let bytes = String.length text in
-    match budget.Budget.max_bytes with
-    | Some limit when bytes > limit -> (
-        match oversize with
-        | `Reject -> Outcome.Failed (Outcome.Doc_too_large { bytes; limit })
-        | `Chunk ->
-            (* Degrade to bounded-memory streaming extraction: results are
-               still complete, but peak memory is capped near [limit]. *)
-            let ms =
-              Chunked.extract_seq ?pruning ~min_buffer_chars:limit problem
-                (pieces_of_string text (max 1 (min limit 65536)))
-            in
-            Outcome.Degraded (ms, Outcome.Oversize_chunked { bytes; limit }))
-    | _ ->
-        let b = Budget.start budget in
-        let doc = tokenize_checked problem text in
-        let matches, st, aborted =
-          Single_heap.run_budgeted ?pruning ~budget:b problem doc
-        in
-        (match stats with Some dst -> blit_stats ~src:st ~dst | None -> ());
-        let main =
-          List.map
-            (fun (m : token_match) ->
-              let c_start, c_len =
-                Tk.Document.char_extent doc ~start:m.m_start ~len:m.m_len
-              in
-              { c_entity = m.m_entity; c_start; c_len; c_score = m.m_score })
-            matches
-        in
-        let all =
-          List.sort_uniq compare_char_match (Fallback.run problem doc @ main)
-        in
-        (match aborted with
-        | None -> Outcome.Ok all
-        | Some e -> Outcome.Degraded (all, Outcome.Partial e))
-  with
-  | Fault.Injected site -> Outcome.Failed (Outcome.Injected_fault site)
-  | Budget.Exhausted e -> Outcome.Failed (Outcome.Budget_exhausted e)
-  | Tokenize_exn msg -> Outcome.Failed (Outcome.Tokenize_error msg)
-  | exn ->
-      let backtrace = Printexc.get_backtrace () in
-      Outcome.Failed (Outcome.Worker_crash (Outcome.exn_info_of ~backtrace exn))
+  run_one (Extractor.of_problem problem) ?pruning ~budget ~oversize ?stats
+    ~doc_id text
 
-let extract_all_outcomes ?pruning ?domains ?budget ?oversize problem docs =
+let extract_all_outcomes ?pruning ?domains ?(budget = Budget.spec_unlimited)
+    ?(oversize = `Chunk) problem docs =
+  let t0 = Trace.now_ns () in
+  Metrics.incr m_batches;
+  let ex = Extractor.of_problem problem in
   let n = Array.length docs in
   let requested =
     match domains with
@@ -81,32 +66,35 @@ let extract_all_outcomes ?pruning ?domains ?budget ?oversize problem docs =
   let results = Array.make n (Outcome.Ok [] : outcome) in
   let process i =
     results.(i) <-
-      (try
-         extract_one_outcome ?pruning ?budget ?oversize ~doc_id:i problem
-           docs.(i)
+      (try run_one ex ?pruning ~budget ~oversize ~doc_id:i docs.(i)
        with exn ->
-         (* extract_one_outcome already contains everything; this is the
+         (* Extractor.run already contains everything; this is the
             last-resort belt under the braces (e.g. allocation failure while
             building the outcome itself). *)
          Outcome.Failed (Outcome.Worker_crash (Outcome.exn_info_of exn)))
   in
-  if workers <= 1 || n = 0 then
+  if workers <= 1 || n = 0 then begin
     for i = 0 to n - 1 do
       process i
-    done
+    done;
+    if n > 0 then Metrics.observe m_docs_per_worker (float_of_int n)
+  end
   else begin
     (* Work stealing via a shared atomic counter: documents vary wildly in
        size, so static slicing would leave domains idle. *)
     let next = Atomic.make 0 in
     let worker () =
+      let mine = ref 0 in
       let rec loop () =
         let i = Atomic.fetch_and_add next 1 in
         if i < n then begin
           process i;
+          mine := !mine + 1;
           loop ()
         end
       in
-      loop ()
+      loop ();
+      Metrics.observe m_docs_per_worker (float_of_int !mine)
     in
     let spawned = List.init (workers - 1) (fun _ -> Domain.spawn worker) in
     (* Every spawned domain is joined even if the main-thread worker raises
@@ -121,7 +109,8 @@ let extract_all_outcomes ?pruning ?domains ?budget ?oversize problem docs =
           spawned)
       worker
   end;
-  (results, Outcome.summarize results)
+  let elapsed_ns = Int64.sub (Trace.now_ns ()) t0 in
+  (results, Outcome.summarize ~elapsed_ns results)
 
 let extract_all ?pruning ?domains problem docs =
   let outcomes, _ = extract_all_outcomes ?pruning ?domains problem docs in

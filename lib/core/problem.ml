@@ -130,7 +130,12 @@ let overlap_t t ~e_len ~s_len = S.Thresholds.overlap t.sim ~q:t.q ~e_len ~s_len
 
 let tokenize_document t raw = Ix.Dictionary.tokenize_document t.dict raw
 
+let m_verify_calls =
+  Faerie_obs.Metrics.counter
+    ~help:"candidate verifications on the indexed path" "verify_calls"
+
 let verify_candidate t doc (c : Types.candidate) =
+  Faerie_obs.Metrics.incr m_verify_calls;
   let e = Ix.Dictionary.entity t.dict c.Types.entity in
   if S.Sim.char_based t.sim then
     S.Verify.char_score t.sim ~e_str:e.Ix.Entity.text

@@ -4,7 +4,59 @@ module Heaps = Faerie_heaps
 module Ix = Faerie_index
 module Dynarray = Faerie_util.Dynarray
 module Budget = Faerie_util.Budget
+module Metrics = Faerie_obs.Metrics
+module Trace = Faerie_obs.Trace
 open Types
+
+type report = {
+  matches : Types.token_match list;
+  stats : Types.stats;
+  exhausted : Budget.exhaustion option;
+}
+
+let m_candidates =
+  Metrics.counter ~help:"candidate substrings generated, all pruning levels"
+    "candidates_generated"
+
+let m_cand_none =
+  Metrics.counter ~help:"candidates generated at pruning level none"
+    "candidates_generated_none"
+
+let m_cand_lazy =
+  Metrics.counter ~help:"candidates generated at pruning level lazy"
+    "candidates_generated_lazy"
+
+let m_cand_bucket =
+  Metrics.counter ~help:"candidates generated at pruning level bucket"
+    "candidates_generated_bucket"
+
+let m_cand_binary =
+  Metrics.counter ~help:"candidates generated at pruning level binary"
+    "candidates_generated_binary"
+
+let m_cand_level = function
+  | No_prune -> m_cand_none
+  | Lazy_count -> m_cand_lazy
+  | Bucket_count -> m_cand_bucket
+  | Binary_window -> m_cand_binary
+
+let m_entities_seen =
+  Metrics.counter ~help:"indexed entities streamed off the heap" "entities_seen"
+
+let m_pruned_lazy =
+  Metrics.counter ~help:"entities pruned by the lazy-count bound"
+    "entities_pruned_lazy"
+
+let m_buckets_pruned =
+  Metrics.counter ~help:"position buckets pruned by the bucket-count bound"
+    "buckets_pruned"
+
+let m_survivors =
+  Metrics.counter ~help:"deduplicated candidates surviving the filter"
+    "filter_survivors"
+
+let m_matches =
+  Metrics.counter ~help:"candidates confirmed by verification" "matches_verified"
 
 (* Occurrence counting for one entity over one slice of its position list,
    at one substring length: emit survivors with count >= T. *)
@@ -106,6 +158,7 @@ let dedup_candidates acc =
   List.rev !out
 
 let collect ?merger ?(budget = Budget.unlimited) ~pruning problem doc =
+  Trace.with_span "filter" @@ fun () ->
   let stats = new_stats () in
   let index = Problem.index problem in
   let n_tokens = Tk.Document.n_tokens doc in
@@ -127,6 +180,14 @@ let collect ?merger ?(budget = Budget.unlimited) ~pruning problem doc =
    with Budget.Exhausted e -> aborted := Some e);
   let survivors = dedup_candidates acc in
   stats.survivors <- List.length survivors;
+  (* Flush once per filter run, after [stats] is final, so registry counters
+     agree exactly with the per-run [Types.stats] a caller aggregates. *)
+  Metrics.add m_candidates stats.candidates;
+  Metrics.add (m_cand_level pruning) stats.candidates;
+  Metrics.add m_entities_seen stats.entities_seen;
+  Metrics.add m_pruned_lazy stats.entities_pruned_lazy;
+  Metrics.add m_buckets_pruned stats.buckets_pruned;
+  Metrics.add m_survivors stats.survivors;
   (survivors, stats, !aborted)
 
 let candidates ?merger ~pruning problem doc =
@@ -141,20 +202,27 @@ let run_budgeted ?merger ?(pruning = Binary_window) ?(budget = Budget.unlimited)
      verified so far (a subset of the full set, reported as partial). *)
   let matches = ref [] in
   (try
-     List.iter
-       (fun (c : candidate) ->
-         Budget.tick budget;
-         let score = Problem.verify_candidate problem doc c in
-         if S.Verify.Score.passes (Problem.sim problem) score then
-           matches :=
-             { m_entity = c.entity; m_start = c.start; m_len = c.len; m_score = score }
-             :: !matches)
-       survivors
+     Trace.with_span "verify" (fun () ->
+         List.iter
+           (fun (c : candidate) ->
+             Budget.tick budget;
+             let score = Problem.verify_candidate problem doc c in
+             if S.Verify.Score.passes (Problem.sim problem) score then
+               matches :=
+                 {
+                   m_entity = c.entity;
+                   m_start = c.start;
+                   m_len = c.len;
+                   m_score = score;
+                 }
+                 :: !matches)
+           survivors)
    with Budget.Exhausted e -> if !aborted = None then aborted := Some e);
   let matches = List.rev !matches in
   stats.verified <- List.length matches;
-  (matches, stats, !aborted)
+  Metrics.add m_matches stats.verified;
+  { matches; stats; exhausted = !aborted }
 
 let run ?merger ?(pruning = Binary_window) problem doc =
-  let matches, stats, _ = run_budgeted ?merger ~pruning problem doc in
-  (matches, stats)
+  let r = run_budgeted ?merger ~pruning problem doc in
+  (r.matches, r.stats)

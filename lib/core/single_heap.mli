@@ -20,18 +20,27 @@ val run :
     statistics. Default pruning is [Binary_window]; [merger] selects the
     multiway merge engine (default binary heap). *)
 
+type report = {
+  matches : Types.token_match list;
+      (** verified matches, deduplicated, sorted by (entity, start, len) *)
+  stats : Types.stats;  (** filtering statistics for this run *)
+  exhausted : Faerie_util.Budget.exhaustion option;
+      (** [Some _] when a budget limit tripped and [matches] is a sound
+          subset of the full result set (never a superset) *)
+}
+
 val run_budgeted :
   ?merger:Faerie_heaps.Multiway.merger ->
   ?pruning:Types.pruning ->
   ?budget:Faerie_util.Budget.t ->
   Problem.t ->
   Faerie_tokenize.Document.t ->
-  Types.token_match list * Types.stats * Faerie_util.Budget.exhaustion option
+  report
 (** Like {!run}, but charges the filter loop (one candidate per emitted
     candidate, one deadline tick per entity and per verification) against
     [budget]. If a limit trips, filtering/verification stops early and the
-    matches verified so far are returned together with the exhaustion
-    reason — a sound subset of the full result set, never a superset. *)
+    matches verified so far are returned in {!report.matches} together with
+    the exhaustion reason. *)
 
 val candidates :
   ?merger:Faerie_heaps.Multiway.merger ->

@@ -1,13 +1,22 @@
+module Metrics = Faerie_obs.Metrics
+
+let m_probes =
+  Metrics.counter ~help:"binary-search probes in span/shift window search"
+    "window_probes"
+
 let binary_span ~positions ~upper i =
   let m = Array.length positions in
   let bound = positions.(i) + upper - 1 in
   (* Largest x in [i, min(m-1, i+upper-1)] with positions.(x) <= bound.
      positions are strictly increasing, so x <= i + upper - 1. *)
   let lo = ref i and hi = ref (min (m - 1) (i + upper - 1)) in
+  let probes = ref 0 in
   while !lo < !hi do
+    probes := !probes + 1;
     let mid = (!lo + !hi + 1) / 2 in
     if positions.(mid) <= bound then lo := mid else hi := mid - 1
   done;
+  Metrics.add m_probes !probes;
   !lo
 
 let rec binary_shift ~positions ~tl ~upper i =
@@ -24,12 +33,15 @@ let rec binary_shift ~positions ~tl ~upper i =
          safely skipped (Lemma 4). F''(j) = j - i + 1 = tl <= upper holds
          whenever any window can fit, so the search is well defined. *)
       let lo = ref i and hi = ref j in
+      let probes = ref 0 in
       while !lo < !hi do
+        probes := !probes + 1;
         let mid = (!lo + !hi) / 2 in
         if positions.(j) + (mid - i) - positions.(mid) + 1 > upper then
           lo := mid + 1
         else hi := mid
       done;
+      Metrics.add m_probes !probes;
       let mid = !lo in
       if mid + tl - 1 >= m then m
       else if positions.(mid + tl - 1) - positions.(mid) + 1 <= upper then mid

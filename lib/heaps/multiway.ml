@@ -1,6 +1,23 @@
 module Dynarray = Faerie_util.Dynarray
+module Metrics = Faerie_obs.Metrics
+module Trace = Faerie_obs.Trace
 
 type merger = Binary_heap | Tournament_tree
+
+let m_pops = Metrics.counter ~help:"keys popped from the merge frontier" "heap_pops"
+
+let m_advances =
+  Metrics.counter ~help:"inverted-list cursor advances during merge"
+    "heap_list_advances"
+
+let m_runs = Metrics.counter ~help:"multiway merge runs" "heap_merge_runs"
+
+let m_runs_binary =
+  Metrics.counter ~help:"merge runs using the binary heap" "heap_merge_runs_binary"
+
+let m_runs_tournament =
+  Metrics.counter ~help:"merge runs using the tournament tree"
+    "heap_merge_runs_tournament"
 
 (* Number of bits needed to address [n] positions. *)
 let rec bits_for n acc = if n <= 1 then acc else bits_for ((n + 1) / 2) (acc + 1)
@@ -32,7 +49,7 @@ let consume ~shift ~mask ~next ~f =
   loop ();
   flush ()
 
-let run_binary_heap ~n_positions ~lists ~shift ~mask ~f =
+let run_binary_heap ~pops ~advances ~n_positions ~lists ~shift ~mask ~f =
   let heap = Int_heap.create ~capacity:n_positions () in
   let cursor = Array.make n_positions 0 in
   for pos = 0 to n_positions - 1 do
@@ -46,8 +63,10 @@ let run_binary_heap ~n_positions ~lists ~shift ~mask ~f =
       let pos = key land mask in
       let l = lists.(pos) in
       let i = cursor.(pos) + 1 in
+      pops := !pops + 1;
       if i < Array.length l then begin
         cursor.(pos) <- i;
+        advances := !advances + 1;
         Int_heap.replace_top heap ((l.(i) lsl shift) lor pos)
       end
       else ignore (Int_heap.pop_exn heap);
@@ -56,7 +75,7 @@ let run_binary_heap ~n_positions ~lists ~shift ~mask ~f =
   in
   consume ~shift ~mask ~next ~f
 
-let run_tournament ~n_positions ~lists ~shift ~mask ~f =
+let run_tournament ~pops ~advances ~n_positions ~lists ~shift ~mask ~f =
   (* One tournament leaf per non-empty list. *)
   let leaves = ref [] in
   for pos = n_positions - 1 downto 0 do
@@ -79,8 +98,10 @@ let run_tournament ~n_positions ~lists ~shift ~mask ~f =
           let key = keys.(j) in
           let l = lists.(leaf_pos.(j)) in
           let i = cursor.(j) + 1 in
+          pops := !pops + 1;
           if i < Array.length l then begin
             cursor.(j) <- i;
+            advances := !advances + 1;
             keys.(j) <- (l.(i) lsl shift) lor leaf_pos.(j)
           end
           else keys.(j) <- max_int;
@@ -98,9 +119,25 @@ let iter_entity_positions ?(merger = Binary_heap) ~n_positions ~list_at ~f () =
     (* Materialize the lists once: [list_at] may recompute (token lookup +
        postings fetch) and the merge revisits each list per posting. *)
     let lists = Array.init n_positions list_at in
-    match merger with
-    | Binary_heap -> run_binary_heap ~n_positions ~lists ~shift ~mask ~f
-    | Tournament_tree -> run_tournament ~n_positions ~lists ~shift ~mask ~f
+    Metrics.incr m_runs;
+    Metrics.incr
+      (match merger with
+      | Binary_heap -> m_runs_binary
+      | Tournament_tree -> m_runs_tournament);
+    (* Accumulate locally and flush once per run; [f] can abort the merge
+       mid-stream (budget exhaustion), so flush under protection. *)
+    let pops = ref 0 and advances = ref 0 in
+    Fun.protect
+      ~finally:(fun () ->
+        Metrics.add m_pops !pops;
+        Metrics.add m_advances !advances)
+      (fun () ->
+        Trace.with_span "heap_merge" (fun () ->
+            match merger with
+            | Binary_heap ->
+                run_binary_heap ~pops ~advances ~n_positions ~lists ~shift ~mask ~f
+            | Tournament_tree ->
+                run_tournament ~pops ~advances ~n_positions ~lists ~shift ~mask ~f))
   end
 
 let heap_stats ~n_positions ~list_at =

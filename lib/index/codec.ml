@@ -1,13 +1,26 @@
 module Tk = Faerie_tokenize
 module Varint = Faerie_util.Varint
+module Metrics = Faerie_obs.Metrics
+module Trace = Faerie_obs.Trace
 
 exception Corrupt of string
+
+let m_save_bytes =
+  Metrics.counter ~help:"bytes produced by index encoding" "codec_save_bytes"
+
+let m_load_bytes =
+  Metrics.counter ~help:"bytes consumed by index decoding" "codec_load_bytes"
+
+let m_corrupt =
+  Metrics.counter ~help:"decode attempts rejected as corrupt"
+    "codec_corrupt_rejects"
 
 let magic = "FAERIEIX"
 
 let version = 1
 
 let encode dict index =
+  Trace.with_span "codec_encode" @@ fun () ->
   let buf = Buffer.create (1 lsl 16) in
   Buffer.add_string buf magic;
   Varint.write buf version;
@@ -47,11 +60,18 @@ let encode dict index =
   let out = Buffer.create (String.length payload + 10) in
   Buffer.add_string out payload;
   Varint.write out (Varint.fnv1a payload);
-  Buffer.contents out
+  let data = Buffer.contents out in
+  Metrics.add m_save_bytes (String.length data);
+  data
 
 let decode data =
-  let fail msg = raise (Corrupt msg) in
+  Trace.with_span "codec_decode" @@ fun () ->
+  let fail msg =
+    Metrics.incr m_corrupt;
+    raise (Corrupt msg)
+  in
   Faerie_util.Fault.site "codec_io";
+  Metrics.add m_load_bytes (String.length data);
   try
     let r = Varint.reader data in
     (* Every claimed element count is validated against the bytes still

@@ -1,0 +1,409 @@
+type kind = Counter | Gauge | Hist of float array
+
+type def = { name : string; help : string; kind : kind; slot : int }
+
+(* One histogram cell: per-shard bucket counts plus running sum/count.
+   [buckets] has one extra slot for observations above the last bound. *)
+type hcell = {
+  bounds : float array;
+  buckets : int array;
+  mutable hsum : float;
+  mutable hcount : int;
+}
+
+type shard = {
+  mutable counters : int array;
+  mutable gauges : float array;
+  mutable hists : hcell array;
+}
+
+type registry = {
+  lock : Mutex.t;
+  mutable defs : def list; (* reverse registration order *)
+  by_name : (string, def) Hashtbl.t;
+  mutable n_counters : int;
+  mutable n_gauges : int;
+  mutable n_hists : int;
+  mutable hist_bounds : float array array; (* indexed by histogram slot *)
+  mutable shards : shard list;
+  (* Domain-local pointer to this domain's live shard. [with_suppressed]
+     swaps it to a scratch shard that is registered nowhere, so writes
+     vanish without any extra branch on the hot path. *)
+  shard_slot : shard option ref Domain.DLS.key;
+  scratch_slot : shard option ref Domain.DLS.key;
+}
+
+type counter = { creg : registry; cslot : int }
+
+type gauge = { greg : registry; gslot : int }
+
+type histogram = { hreg : registry; hslot : int }
+
+let create () =
+  {
+    lock = Mutex.create ();
+    defs = [];
+    by_name = Hashtbl.create 64;
+    n_counters = 0;
+    n_gauges = 0;
+    n_hists = 0;
+    hist_bounds = [||];
+    shards = [];
+    shard_slot = Domain.DLS.new_key (fun () -> ref None);
+    scratch_slot = Domain.DLS.new_key (fun () -> ref None);
+  }
+
+let default = create ()
+
+let locked reg f =
+  Mutex.lock reg.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock reg.lock) f
+
+let new_hcell bounds =
+  { bounds; buckets = Array.make (Array.length bounds + 1) 0; hsum = 0.; hcount = 0 }
+
+(* Shard arrays are sized for the metrics registered at creation time and
+   grown on demand when a metric registered later is first written. *)
+let new_shard reg =
+  {
+    counters = Array.make (max 1 reg.n_counters) 0;
+    gauges = Array.make (max 1 reg.n_gauges) 0.;
+    hists = Array.init reg.n_hists (fun i -> new_hcell reg.hist_bounds.(i));
+  }
+
+let shard_of reg =
+  let slot = Domain.DLS.get reg.shard_slot in
+  match !slot with
+  | Some s -> s
+  | None ->
+      locked reg (fun () ->
+          let s = new_shard reg in
+          reg.shards <- s :: reg.shards;
+          slot := Some s;
+          s)
+
+let with_suppressed ?(registry = default) f =
+  let slot = Domain.DLS.get registry.shard_slot in
+  let saved = !slot in
+  let scratch_ref = Domain.DLS.get registry.scratch_slot in
+  let scratch =
+    match !scratch_ref with
+    | Some s -> s
+    | None ->
+        (* Not added to [registry.shards]: writes are never read back. *)
+        let s = locked registry (fun () -> new_shard registry) in
+        scratch_ref := Some s;
+        s
+  in
+  slot := Some scratch;
+  Fun.protect ~finally:(fun () -> slot := saved) f
+
+(* ---- registration ---- *)
+
+let kind_name = function Counter -> "counter" | Gauge -> "gauge" | Hist _ -> "histogram"
+
+let register reg ~name ~help kind =
+  locked reg (fun () ->
+      match Hashtbl.find_opt reg.by_name name with
+      | Some d ->
+          let compatible =
+            match (d.kind, kind) with
+            | Counter, Counter | Gauge, Gauge -> true
+            | Hist a, Hist b -> a = b
+            | _ -> false
+          in
+          if not compatible then
+            invalid_arg
+              (Printf.sprintf "Metrics: %S already registered as a %s" name
+                 (kind_name d.kind));
+          d
+      | None ->
+          let slot =
+            match kind with
+            | Counter ->
+                let s = reg.n_counters in
+                reg.n_counters <- s + 1;
+                s
+            | Gauge ->
+                let s = reg.n_gauges in
+                reg.n_gauges <- s + 1;
+                s
+            | Hist bounds ->
+                let s = reg.n_hists in
+                reg.n_hists <- s + 1;
+                reg.hist_bounds <- Array.append reg.hist_bounds [| bounds |];
+                s
+          in
+          let d = { name; help; kind; slot } in
+          Hashtbl.add reg.by_name name d;
+          reg.defs <- d :: reg.defs;
+          d)
+
+let counter ?(registry = default) ?(help = "") name =
+  let d = register registry ~name ~help Counter in
+  { creg = registry; cslot = d.slot }
+
+let gauge ?(registry = default) ?(help = "") name =
+  let d = register registry ~name ~help Gauge in
+  { greg = registry; gslot = d.slot }
+
+let default_buckets = [| 1.; 10.; 100.; 1e3; 1e4; 1e5; 1e6; 1e7; 1e8; 1e9 |]
+
+let histogram ?(registry = default) ?(help = "") ?(buckets = default_buckets) name =
+  if Array.length buckets = 0 then
+    invalid_arg "Metrics.histogram: buckets must be non-empty";
+  Array.iteri
+    (fun i b ->
+      if i > 0 && buckets.(i - 1) >= b then
+        invalid_arg "Metrics.histogram: buckets must be strictly ascending")
+    buckets;
+  let d = register registry ~name ~help (Hist (Array.copy buckets)) in
+  { hreg = registry; hslot = d.slot }
+
+(* ---- hot-path writes ---- *)
+
+let grow_counters reg sh =
+  locked reg (fun () ->
+      let n = Array.length sh.counters in
+      if reg.n_counters > n then begin
+        let a = Array.make reg.n_counters 0 in
+        Array.blit sh.counters 0 a 0 n;
+        sh.counters <- a
+      end)
+
+let grow_gauges reg sh =
+  locked reg (fun () ->
+      let n = Array.length sh.gauges in
+      if reg.n_gauges > n then begin
+        let a = Array.make reg.n_gauges 0. in
+        Array.blit sh.gauges 0 a 0 n;
+        sh.gauges <- a
+      end)
+
+let grow_hists reg sh =
+  locked reg (fun () ->
+      let n = Array.length sh.hists in
+      if reg.n_hists > n then begin
+        let a =
+          Array.init reg.n_hists (fun i ->
+              if i < n then sh.hists.(i) else new_hcell reg.hist_bounds.(i))
+        in
+        sh.hists <- a
+      end)
+
+let add c n =
+  if n < 0 then invalid_arg "Metrics.add: counters are monotonic";
+  if n > 0 then begin
+    let sh = shard_of c.creg in
+    if c.cslot >= Array.length sh.counters then grow_counters c.creg sh;
+    sh.counters.(c.cslot) <- sh.counters.(c.cslot) + n
+  end
+
+let incr c = add c 1
+
+let set g v =
+  let sh = shard_of g.greg in
+  if g.gslot >= Array.length sh.gauges then grow_gauges g.greg sh;
+  sh.gauges.(g.gslot) <- v
+
+let add_gauge g v =
+  let sh = shard_of g.greg in
+  if g.gslot >= Array.length sh.gauges then grow_gauges g.greg sh;
+  sh.gauges.(g.gslot) <- sh.gauges.(g.gslot) +. v
+
+let observe h v =
+  let sh = shard_of h.hreg in
+  if h.hslot >= Array.length sh.hists then grow_hists h.hreg sh;
+  let cell = sh.hists.(h.hslot) in
+  let n = Array.length cell.bounds in
+  (* First bucket whose upper bound admits [v]; the extra last cell is the
+     overflow bucket. Bucket counts are few (fixed layout) — linear scan. *)
+  let i = ref 0 in
+  while !i < n && v > cell.bounds.(!i) do
+    i := !i + 1
+  done;
+  cell.buckets.(!i) <- cell.buckets.(!i) + 1;
+  cell.hsum <- cell.hsum +. v;
+  cell.hcount <- cell.hcount + 1
+
+(* ---- snapshot / export ---- *)
+
+type histogram_snapshot = {
+  upper : float array;
+  counts : int array;
+  sum : float;
+  count : int;
+}
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  histograms : (string * histogram_snapshot) list;
+}
+
+(* Reads of other domains' shard cells are plain (non-atomic) loads of
+   immediate values: never torn, possibly a few increments stale — fine for
+   monitoring, and tests snapshot only quiescent registries. *)
+let snapshot ?(registry = default) () =
+  locked registry (fun () ->
+      let defs = List.rev registry.defs in
+      let shards = registry.shards in
+      let counters = ref [] and gauges = ref [] and histograms = ref [] in
+      List.iter
+        (fun d ->
+          match d.kind with
+          | Counter ->
+              let v =
+                List.fold_left
+                  (fun acc (sh : shard) ->
+                    if d.slot < Array.length sh.counters then
+                      acc + sh.counters.(d.slot)
+                    else acc)
+                  0 shards
+              in
+              counters := (d.name, v) :: !counters
+          | Gauge ->
+              let v =
+                List.fold_left
+                  (fun acc (sh : shard) ->
+                    if d.slot < Array.length sh.gauges then
+                      acc +. sh.gauges.(d.slot)
+                    else acc)
+                  0. shards
+              in
+              gauges := (d.name, v) :: !gauges
+          | Hist bounds ->
+              let counts = Array.make (Array.length bounds + 1) 0 in
+              let sum = ref 0. and count = ref 0 in
+              List.iter
+                (fun (sh : shard) ->
+                  if d.slot < Array.length sh.hists then begin
+                    let cell = sh.hists.(d.slot) in
+                    Array.iteri
+                      (fun i c -> counts.(i) <- counts.(i) + c)
+                      cell.buckets;
+                    sum := !sum +. cell.hsum;
+                    count := !count + cell.hcount
+                  end)
+                shards;
+              histograms :=
+                (d.name, { upper = bounds; counts; sum = !sum; count = !count })
+                :: !histograms)
+        defs;
+      {
+        counters = List.rev !counters;
+        gauges = List.rev !gauges;
+        histograms = List.rev !histograms;
+      })
+
+let counter_value snap name =
+  match List.assoc_opt name snap.counters with Some v -> v | None -> 0
+
+let reset ?(registry = default) () =
+  locked registry (fun () ->
+      List.iter
+        (fun (sh : shard) ->
+          Array.fill sh.counters 0 (Array.length sh.counters) 0;
+          Array.fill sh.gauges 0 (Array.length sh.gauges) 0.;
+          Array.iter
+            (fun cell ->
+              Array.fill cell.buckets 0 (Array.length cell.buckets) 0;
+              cell.hsum <- 0.;
+              cell.hcount <- 0)
+            sh.hists)
+        registry.shards)
+
+(* %.17g round-trips every float; trim the common integral case so counters
+   of observations read naturally ("5" not "5.0000000000000000"). *)
+let json_float v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.17g" v
+
+let json_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let to_jsonl ?(registry = default) () =
+  let snap = snapshot ~registry () in
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (name, v) ->
+      Buffer.add_string buf
+        (Printf.sprintf "{\"type\":\"counter\",\"name\":%s,\"value\":%d}\n"
+           (json_string name) v))
+    snap.counters;
+  List.iter
+    (fun (name, v) ->
+      Buffer.add_string buf
+        (Printf.sprintf "{\"type\":\"gauge\",\"name\":%s,\"value\":%s}\n"
+           (json_string name) (json_float v)))
+    snap.gauges;
+  List.iter
+    (fun (name, h) ->
+      let arr f a =
+        "[" ^ String.concat "," (Array.to_list (Array.map f a)) ^ "]"
+      in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"type\":\"histogram\",\"name\":%s,\"upper\":%s,\"counts\":%s,\"sum\":%s,\"count\":%d}\n"
+           (json_string name) (arr json_float h.upper) (arr string_of_int h.counts)
+           (json_float h.sum) h.count))
+    snap.histograms;
+  Buffer.contents buf
+
+let to_prometheus ?(registry = default) () =
+  let help_of =
+    locked registry (fun () ->
+        let tbl = Hashtbl.create 32 in
+        List.iter (fun d -> Hashtbl.replace tbl d.name d.help) registry.defs;
+        tbl)
+  in
+  let snap = snapshot ~registry () in
+  let buf = Buffer.create 1024 in
+  let header name typ =
+    (match Hashtbl.find_opt help_of name with
+    | Some h when h <> "" -> Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name h)
+    | _ -> ());
+    Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name typ)
+  in
+  List.iter
+    (fun (name, v) ->
+      header name "counter";
+      Buffer.add_string buf (Printf.sprintf "%s %d\n" name v))
+    snap.counters;
+  List.iter
+    (fun (name, v) ->
+      header name "gauge";
+      Buffer.add_string buf (Printf.sprintf "%s %s\n" name (json_float v)))
+    snap.gauges;
+  List.iter
+    (fun (name, h) ->
+      header name "histogram";
+      let cum = ref 0 in
+      Array.iteri
+        (fun i c ->
+          cum := !cum + c;
+          Buffer.add_string buf
+            (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" name
+               (json_float h.upper.(i)) !cum))
+        (Array.sub h.counts 0 (Array.length h.upper));
+      cum := !cum + h.counts.(Array.length h.upper);
+      Buffer.add_string buf (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" name !cum);
+      Buffer.add_string buf (Printf.sprintf "%s_sum %s\n" name (json_float h.sum));
+      Buffer.add_string buf (Printf.sprintf "%s_count %d\n" name h.count))
+    snap.histograms;
+  Buffer.contents buf

@@ -1,0 +1,104 @@
+(** Process-wide, domain-safe metrics registry.
+
+    Three metric kinds — monotonic {e counters}, {e gauges} and fixed-bucket
+    {e histograms} — live in a registry. Writes go to a per-domain {e shard}
+    (plain mutable arrays reached through domain-local storage), so the hot
+    path takes no lock and performs no atomic read-modify-write; a snapshot
+    merges every shard under the registry lock. Merge semantics: counters
+    and histogram cells sum across shards; gauges also sum (treat a gauge as
+    each domain's contribution to a total, and set it from one domain when
+    you mean an absolute value).
+
+    Metric handles are cheap value records; register them once at module
+    initialization ([let m = Metrics.counter "name"]) and use them from any
+    domain. Registering the same name twice returns the same metric (the
+    kinds must agree).
+
+    Snapshots export as JSON-lines ({!to_jsonl}, one object per metric) and
+    Prometheus text ({!to_prometheus}). Both list metrics in registration
+    order, so output is deterministic for a given binary.
+
+    The [default] registry is the one all library instrumentation writes
+    to; {!create} builds private registries for tests. *)
+
+type registry
+
+val default : registry
+(** The process-wide registry used by all Faerie instrumentation. *)
+
+val create : unit -> registry
+(** A fresh, empty, independent registry (for tests). *)
+
+type counter
+
+type gauge
+
+type histogram
+
+val counter : ?registry:registry -> ?help:string -> string -> counter
+(** Register (or look up) a monotonic counter.
+    @raise Invalid_argument if [name] exists with a different kind. *)
+
+val gauge : ?registry:registry -> ?help:string -> string -> gauge
+
+val histogram :
+  ?registry:registry -> ?help:string -> ?buckets:float array -> string -> histogram
+(** [buckets] are the ascending upper bounds of the histogram cells; an
+    implicit overflow cell captures observations above the last bound.
+    Default: decades from [1.] to [1e9].
+    @raise Invalid_argument on an empty or non-ascending [buckets], or if
+    [name] exists with a different kind or bucket layout. *)
+
+val add : counter -> int -> unit
+(** Lock-free (per-domain shard) add. Negative deltas are rejected with
+    [Invalid_argument]: counters are monotonic. *)
+
+val incr : counter -> unit
+
+val set : gauge -> float -> unit
+
+val add_gauge : gauge -> float -> unit
+
+val observe : histogram -> float -> unit
+
+val with_suppressed : ?registry:registry -> (unit -> 'a) -> 'a
+(** Run [f] with this domain's writes to the registry discarded (they land
+    in a scratch shard that no snapshot reads). Nests; affects only the
+    calling domain. *)
+
+(** {1 Snapshots and export} *)
+
+type histogram_snapshot = {
+  upper : float array;  (** bucket upper bounds, ascending *)
+  counts : int array;  (** per-cell counts; length = [Array.length upper + 1],
+                           the extra cell is the overflow bucket *)
+  sum : float;  (** sum of all observed values *)
+  count : int;  (** number of observations = sum of [counts] *)
+}
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  histograms : (string * histogram_snapshot) list;
+}
+(** All lists are in registration order. *)
+
+val snapshot : ?registry:registry -> unit -> snapshot
+
+val counter_value : snapshot -> string -> int
+(** Value of a counter in a snapshot; [0] when not present. *)
+
+val to_jsonl : ?registry:registry -> unit -> string
+(** One JSON object per line, schema (locked by [test_obs]):
+    {v
+    {"type":"counter","name":N,"value":V}
+    {"type":"gauge","name":N,"value":V}
+    {"type":"histogram","name":N,"upper":[...],"counts":[...],"sum":S,"count":C}
+    v} *)
+
+val to_prometheus : ?registry:registry -> unit -> string
+(** Prometheus text exposition format ([# HELP] / [# TYPE] comments,
+    cumulative [_bucket{le="..."}] cells for histograms). *)
+
+val reset : ?registry:registry -> unit -> unit
+(** Zero every metric in every shard (registrations are kept). *)

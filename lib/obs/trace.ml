@@ -1,0 +1,135 @@
+type span = {
+  name : string;
+  start_ns : int64;
+  dur_ns : int64;
+  depth : int;
+  domain : int;
+  ok : bool;
+  attrs : (string * string) list;
+}
+
+let recording = Atomic.make false
+
+let clock : (unit -> int64) option Atomic.t = Atomic.make None
+
+let real_now () = Int64.of_float (Unix.gettimeofday () *. 1e9)
+
+let now_ns () =
+  match Atomic.get clock with Some f -> f () | None -> real_now ()
+
+let set_clock f = Atomic.set clock f
+
+let enable () = Atomic.set recording true
+
+let disable () = Atomic.set recording false
+
+let enabled () = Atomic.get recording
+
+(* Per-domain recording state; registered in a global list under a mutex on
+   first use so [drain] can reach every domain's buffer. *)
+type buf = { mutable spans : span list; mutable depth : int }
+
+let lock = Mutex.create ()
+
+let bufs : buf list ref = ref []
+
+let buf_slot : buf option ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref None)
+
+let my_buf () =
+  let slot = Domain.DLS.get buf_slot in
+  match !slot with
+  | Some b -> b
+  | None ->
+      let b = { spans = []; depth = 0 } in
+      Mutex.lock lock;
+      bufs := b :: !bufs;
+      Mutex.unlock lock;
+      slot := Some b;
+      b
+
+let with_span ?(attrs = []) name f =
+  if not (Atomic.get recording) then f ()
+  else begin
+    let b = my_buf () in
+    let depth = b.depth in
+    b.depth <- depth + 1;
+    let t0 = now_ns () in
+    let close ok =
+      let t1 = now_ns () in
+      b.depth <- depth;
+      b.spans <-
+        {
+          name;
+          start_ns = t0;
+          dur_ns = Int64.sub t1 t0;
+          depth;
+          domain = (Domain.self () :> int);
+          ok;
+          attrs;
+        }
+        :: b.spans
+    in
+    match f () with
+    | v ->
+        close true;
+        v
+    | exception e ->
+        close false;
+        raise e
+  end
+
+let compare_span a b =
+  let c = Int64.compare a.start_ns b.start_ns in
+  if c <> 0 then c
+  else
+    let c = compare a.depth b.depth in
+    if c <> 0 then c else compare a.name b.name
+
+let drain () =
+  Mutex.lock lock;
+  let all =
+    List.concat_map
+      (fun b ->
+        let s = b.spans in
+        b.spans <- [];
+        s)
+      !bufs
+  in
+  Mutex.unlock lock;
+  List.sort compare_span all
+
+let reset () = ignore (drain ())
+
+let json_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let to_jsonl spans =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun s ->
+      let attrs =
+        String.concat ","
+          (List.map
+             (fun (k, v) -> Printf.sprintf "%s:%s" (json_string k) (json_string v))
+             s.attrs)
+      in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"name\":%s,\"start_ns\":%Ld,\"dur_ns\":%Ld,\"depth\":%d,\"domain\":%d,\"ok\":%b,\"attrs\":{%s}}\n"
+           (json_string s.name) s.start_ns s.dur_ns s.depth s.domain s.ok attrs))
+    spans;
+  Buffer.contents buf

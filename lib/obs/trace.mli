@@ -1,0 +1,56 @@
+(** Named, nested trace spans with an injectable monotonic clock.
+
+    Tracing is off by default: a disabled {!with_span} is one atomic load
+    plus the call to the wrapped function. When enabled, each completed
+    span is recorded into a per-domain buffer (no locks on the hot path)
+    and {!drain} collects, clears and time-orders all buffers.
+
+    A span is recorded when it {e closes} — including closure by exception
+    ([ok = false]), so a fault injected deep in the pipeline still leaves a
+    complete, properly nested span tree behind (asserted by [test_obs]).
+
+    The clock is process-wide and injectable ({!set_clock}); tests and the
+    fault/fuzz harness install a deterministic counter so span timings (and
+    anything else derived from {!now_ns}, e.g. report timings) reproduce
+    exactly. *)
+
+val now_ns : unit -> int64
+(** Current time in nanoseconds from the installed clock (default: the
+    system clock scaled to ns). Monotonicity is the clock's contract. *)
+
+val set_clock : (unit -> int64) option -> unit
+(** [set_clock (Some f)] installs [f] as the clock; [set_clock None]
+    restores the default system clock. *)
+
+val enable : unit -> unit
+
+val disable : unit -> unit
+(** Stop recording. Buffered spans are kept until {!drain} or {!reset}. *)
+
+val enabled : unit -> bool
+
+type span = {
+  name : string;
+  start_ns : int64;
+  dur_ns : int64;
+  depth : int;  (** nesting depth within the recording domain, 0 = root *)
+  domain : int;  (** numeric id of the recording domain *)
+  ok : bool;  (** [false] when the span closed by exception *)
+  attrs : (string * string) list;
+}
+
+val with_span : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** Run the function inside a span. Always re-raises; never swallows. *)
+
+val drain : unit -> span list
+(** All completed spans from every domain, cleared from the buffers,
+    sorted by (start_ns, depth, name). *)
+
+val reset : unit -> unit
+(** Drop buffered spans (keeps the enabled state and clock). *)
+
+val to_jsonl : span list -> string
+(** One JSON object per line, schema (locked by [test_obs]):
+    {v
+    {"name":N,"start_ns":S,"dur_ns":D,"depth":P,"domain":I,"ok":B,"attrs":{...}}
+    v} *)

@@ -1,4 +1,13 @@
 module Token_ops = Faerie_tokenize.Token_ops
+module Metrics = Faerie_obs.Metrics
+
+let m_scores =
+  Metrics.counter ~help:"similarity scores computed (token or char)"
+    "verify_scores"
+
+let m_early_exits =
+  Metrics.counter ~help:"banded edit-distance computations cut off at the cap"
+    "verify_early_exits"
 
 module Score = struct
   type t = Similarity of float | Distance of int
@@ -25,6 +34,7 @@ end
 
 let token_score sim ~e_tokens ~s_tokens =
   Faerie_util.Fault.site "verify";
+  Metrics.incr m_scores;
   let e = Array.length e_tokens and s = Array.length s_tokens in
   let o = float_of_int (Token_ops.multiset_overlap e_tokens s_tokens) in
   let e = float_of_int e and s = float_of_int s in
@@ -41,11 +51,14 @@ let token_score sim ~e_tokens ~s_tokens =
 
 let char_score sim ~e_str ~s_str =
   Faerie_util.Fault.site "verify";
+  Metrics.incr m_scores;
   match sim with
   | Sim.Edit_distance tau -> (
       match Edit_distance.distance_upto ~cap:tau e_str s_str with
       | Some d -> Score.Distance d
-      | None -> Score.Distance (tau + 1))
+      | None ->
+          Metrics.incr m_early_exits;
+          Score.Distance (tau + 1))
   | Sim.Edit_similarity d ->
       let maxlen = max (String.length e_str) (String.length s_str) in
       if maxlen = 0 then Score.Similarity 1.0
@@ -58,6 +71,7 @@ let char_score sim ~e_str ~s_str =
         | Some ed ->
             Score.Similarity (1. -. (float_of_int ed /. float_of_int maxlen))
         | None ->
+            Metrics.incr m_early_exits;
             Score.Similarity
               (1. -. (float_of_int (cap + 1) /. float_of_int maxlen))
       end

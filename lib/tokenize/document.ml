@@ -2,15 +2,36 @@ type mode = Word | Gram of int
 
 type t = { text : string; spans : Span.t array; mode : mode }
 
+module Metrics = Faerie_obs.Metrics
+module Trace = Faerie_obs.Trace
+
+let m_calls = Metrics.counter ~help:"document tokenizations" "tokenize_calls"
+
+let m_tokens =
+  Metrics.counter ~help:"tokens produced across all documents" "tokenize_tokens"
+
+let m_doc_tokens =
+  Metrics.histogram ~help:"tokens per tokenized document" "doc_tokens"
+
+let finish t =
+  Metrics.incr m_calls;
+  let n = Array.length t.spans in
+  Metrics.add m_tokens n;
+  Metrics.observe m_doc_tokens (float_of_int n);
+  t
+
 let of_words interner raw =
-  Faerie_util.Fault.site "tokenize";
-  let text = Tokenizer.normalize raw in
-  { text; spans = Tokenizer.words_lookup interner raw; mode = Word }
+  Trace.with_span "tokenize" (fun () ->
+      Faerie_util.Fault.site "tokenize";
+      let text = Tokenizer.normalize raw in
+      finish { text; spans = Tokenizer.words_lookup interner raw; mode = Word })
 
 let of_grams interner ~q raw =
-  Faerie_util.Fault.site "tokenize";
-  let text = Tokenizer.normalize raw in
-  { text; spans = Tokenizer.qgrams_lookup interner ~q raw; mode = Gram q }
+  Trace.with_span "tokenize" (fun () ->
+      Faerie_util.Fault.site "tokenize";
+      let text = Tokenizer.normalize raw in
+      finish
+        { text; spans = Tokenizer.qgrams_lookup interner ~q raw; mode = Gram q })
 
 let mode t = t.mode
 

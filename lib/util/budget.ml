@@ -54,8 +54,27 @@ let start spec =
 
 let is_unlimited t = not t.limited
 
+module Metrics = Faerie_obs.Metrics
+
+let m_trips = Metrics.counter ~help:"budget exhaustions, any cause" "budget_trips"
+
+let m_trips_deadline =
+  Metrics.counter ~help:"budget exhaustions: deadline" "budget_trips_deadline"
+
+let m_trips_bytes =
+  Metrics.counter ~help:"budget exhaustions: byte cap" "budget_trips_bytes"
+
+let m_trips_candidates =
+  Metrics.counter ~help:"budget exhaustions: candidate cap" "budget_trips_candidates"
+
 let trip t what =
   t.tripped <- Some what;
+  Metrics.incr m_trips;
+  Metrics.incr
+    (match what with
+    | Deadline -> m_trips_deadline
+    | Bytes -> m_trips_bytes
+    | Candidates -> m_trips_candidates);
   raise (Exhausted what)
 
 let charge_bytes t n =

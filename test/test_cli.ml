@@ -140,6 +140,53 @@ let test_bad_sim_spec_fails () =
       let status, _ = run_cli [ "extract"; "-d"; dict; "-s"; "nonsense"; "/dev/null" ] in
       check_bool "non-zero exit" true (status <> Unix.WEXITED 0))
 
+let test_extract_metrics_file () =
+  with_temp_dir (fun dir ->
+      let dict = paper_dict_file dir and doc = paper_doc_file dir in
+      let metrics_file = Filename.concat dir "metrics.jsonl" in
+      let trace_file = Filename.concat dir "trace.jsonl" in
+      let status, _ =
+        run_cli
+          [ "extract"; "-d"; dict; "-s"; "ed=2"; "-q"; "2";
+            "--metrics=" ^ metrics_file; "--trace=" ^ trace_file; doc ]
+      in
+      check_int "exit 0" 0 (match status with Unix.WEXITED n -> n | _ -> -1);
+      let read_lines path =
+        let ic = open_in path in
+        let rec go acc =
+          match input_line ic with
+          | l -> go (l :: acc)
+          | exception End_of_file ->
+              close_in ic;
+              List.rev acc
+        in
+        go []
+      in
+      let metrics = read_lines metrics_file in
+      let has re = List.exists (fun l ->
+          try ignore (Str.search_forward (Str.regexp re) l 0); true
+          with Not_found -> false)
+          metrics
+      in
+      check_bool "docs_processed counted" true
+        (has "\"name\":\"docs_processed\",\"value\":1");
+      check_bool "candidates counted" true
+        (has "\"name\":\"candidates_generated\",\"value\":[1-9]");
+      check_bool "every line is an object" true
+        (List.for_all
+           (fun l ->
+             String.length l > 1 && l.[0] = '{' && l.[String.length l - 1] = '}')
+           metrics);
+      let traces = read_lines trace_file in
+      check_bool "trace has filter span" true
+        (List.exists
+           (fun l ->
+             try
+               ignore (Str.search_forward (Str.regexp "\"name\":\"filter\"") l 0);
+               true
+             with Not_found -> false)
+           traces))
+
 let () =
   Alcotest.run "faerie_cli"
     [
@@ -153,5 +200,7 @@ let () =
           Alcotest.test_case "gen" `Quick test_gen_writes_corpus;
           Alcotest.test_case "missing source" `Quick test_missing_source_fails;
           Alcotest.test_case "bad sim spec" `Quick test_bad_sim_spec_fails;
+          Alcotest.test_case "extract --metrics/--trace" `Quick
+            test_extract_metrics_file;
         ] );
     ]

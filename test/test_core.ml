@@ -14,6 +14,7 @@ module Single_heap = Core.Single_heap
 module Multi_heap = Core.Multi_heap
 module Fallback = Core.Fallback
 module Extractor = Core.Extractor
+module Outcome = Core.Outcome
 module Naive = Faerie_baselines.Naive
 
 let check_int = Alcotest.(check int)
@@ -560,9 +561,12 @@ let test_extract_results_sorted () =
 let test_extract_stats_populated () =
   let ex = Extractor.create ~sim:(Sim.Edit_distance 2) ~q:2 paper_dict in
   let doc = Extractor.tokenize ex paper_doc in
-  let _, (stats : Types.stats) = Extractor.extract_document ex doc in
+  let report = Extractor.run ex (`Doc doc) in
+  let stats = report.Extractor.stats in
   check_bool "entities seen" true (stats.Types.entities_seen > 0);
-  check_bool "verified counted" true (stats.Types.verified > 0)
+  check_bool "verified counted" true (stats.Types.verified > 0);
+  check_bool "outcome ok" true (Outcome.is_ok report.Extractor.outcome);
+  check_bool "elapsed non-negative" true (report.Extractor.elapsed_ns >= 0L)
 
 let test_extract_duplicate_entities_both_reported () =
   (* Duplicate dictionary strings keep distinct ids; both must match. *)

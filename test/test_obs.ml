@@ -1,0 +1,309 @@
+(* Observability tests: metrics registry vs. pipeline statistics, shard
+   merging across domains, trace span nesting under injected faults, and
+   the exported JSON schemas (locked with a deterministic clock). *)
+
+module Metrics = Faerie_obs.Metrics
+module Trace = Faerie_obs.Trace
+module Fault = Faerie_util.Fault
+module Sim = Faerie_sim.Sim
+module Core = Faerie_core
+module Types = Core.Types
+module Problem = Core.Problem
+module Single_heap = Core.Single_heap
+module Extractor = Core.Extractor
+module Parallel = Core.Parallel
+module Outcome = Core.Outcome
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let paper_dict =
+  [ "kaushik ch"; "chakrabarti"; "chaudhuri"; "venkatesh"; "surajit ch" ]
+
+let paper_doc =
+  "an efficient filter for approximate membership checking. venkaee shga \
+   kamunshik kabarati, dong xin, surauijt chadhurisigmod."
+
+(* ------------------------------------------------------------------ *)
+(* (a) registry counters agree with Types.stats at every pruning level *)
+(* ------------------------------------------------------------------ *)
+
+let counter_name_of_level = function
+  | Types.No_prune -> "candidates_generated_none"
+  | Types.Lazy_count -> "candidates_generated_lazy"
+  | Types.Bucket_count -> "candidates_generated_bucket"
+  | Types.Binary_window -> "candidates_generated_binary"
+
+let test_counters_match_stats () =
+  let problem = Problem.create ~sim:(Sim.Edit_distance 2) ~q:2 paper_dict in
+  let doc = Problem.tokenize_document problem paper_doc in
+  List.iter
+    (fun pruning ->
+      Metrics.reset ();
+      let r = Single_heap.run_budgeted ~pruning problem doc in
+      let stats = r.Single_heap.stats in
+      let snap = Metrics.snapshot () in
+      let level = Types.pruning_name pruning in
+      let eq name v = check_int (level ^ ": " ^ name) v (Metrics.counter_value snap name) in
+      eq "candidates_generated" stats.Types.candidates;
+      eq (counter_name_of_level pruning) stats.Types.candidates;
+      eq "entities_seen" stats.Types.entities_seen;
+      eq "entities_pruned_lazy" stats.Types.entities_pruned_lazy;
+      eq "buckets_pruned" stats.Types.buckets_pruned;
+      eq "filter_survivors" stats.Types.survivors;
+      (* Every surviving candidate is verified exactly once on the indexed
+         path, so the verify-call counter equals the survivor count. *)
+      eq "verify_calls" stats.Types.survivors;
+      eq "matches_verified" stats.Types.verified)
+    Types.all_prunings
+
+let test_metrics_suppressed_run () =
+  let ex = Extractor.create ~sim:(Sim.Edit_distance 2) ~q:2 paper_dict in
+  Metrics.reset ();
+  let opts = { Extractor.default_opts with Extractor.metrics = false } in
+  let report = Extractor.run ~opts ex (`Text paper_doc) in
+  check_bool "run succeeded" true (Outcome.is_ok report.Extractor.outcome);
+  check_bool "stats still populated" true (report.Extractor.stats.Types.candidates > 0);
+  let snap = Metrics.snapshot () in
+  check_int "no candidates recorded" 0 (Metrics.counter_value snap "candidates_generated");
+  check_int "no docs recorded" 0 (Metrics.counter_value snap "docs_processed");
+  (* Suppression is per-run, not sticky. *)
+  let report2 = Extractor.run ex (`Text paper_doc) in
+  check_bool "second run ok" true (Outcome.is_ok report2.Extractor.outcome);
+  let snap2 = Metrics.snapshot () in
+  check_int "second run recorded" 1 (Metrics.counter_value snap2 "docs_processed")
+
+(* ------------------------------------------------------------------ *)
+(* (b) histogram bucket totals equal observation counts                *)
+(* ------------------------------------------------------------------ *)
+
+let test_histogram_totals () =
+  let reg = Metrics.create () in
+  let h = Metrics.histogram ~registry:reg ~buckets:[| 1.; 2.; 5. |] "h" in
+  List.iter (Metrics.observe h) [ 0.5; 1.; 1.5; 2.; 4.9; 5.; 100.; 1000. ];
+  let snap = Metrics.snapshot ~registry:reg () in
+  match snap.Metrics.histograms with
+  | [ ("h", hs) ] ->
+      check_int "count" 8 hs.Metrics.count;
+      check_int "cells" 4 (Array.length hs.Metrics.counts);
+      check_int "bucket totals = count" hs.Metrics.count
+        (Array.fold_left ( + ) 0 hs.Metrics.counts);
+      Alcotest.(check (array int)) "per-cell" [| 2; 2; 2; 2 |] hs.Metrics.counts;
+      Alcotest.(check (float 1e-9)) "sum" 1114.9 hs.Metrics.sum
+  | _ -> Alcotest.fail "expected exactly one histogram"
+
+let test_pipeline_histogram_totals () =
+  Metrics.reset ();
+  let ex = Extractor.create ~sim:(Sim.Jaccard 0.8) paper_dict in
+  let _ = Extractor.run ex (`Text paper_doc) in
+  let snap = Metrics.snapshot () in
+  check_bool "has histograms" true (snap.Metrics.histograms <> []);
+  List.iter
+    (fun (name, hs) ->
+      check_int
+        (name ^ ": bucket totals = count")
+        hs.Metrics.count
+        (Array.fold_left ( + ) 0 hs.Metrics.counts))
+    snap.Metrics.histograms
+
+(* ------------------------------------------------------------------ *)
+(* (c) spans nest and close correctly under an injected fault          *)
+(* ------------------------------------------------------------------ *)
+
+let with_deterministic_clock f =
+  let t = ref 0L in
+  Trace.set_clock (Some (fun () -> t := Int64.add !t 10L; !t));
+  Trace.enable ();
+  ignore (Trace.drain ());
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.disable ();
+      Trace.set_clock None;
+      ignore (Trace.drain ()))
+    f
+
+let test_spans_nest_under_fault () =
+  with_deterministic_clock @@ fun () ->
+  let ex = Extractor.create ~sim:(Sim.Edit_distance 2) ~q:2 paper_dict in
+  ignore (Trace.drain ());
+  Fault.configure { Fault.seed = 1; rates = [ ("heap_merge", 1.0) ] };
+  let report =
+    Fun.protect ~finally:Fault.disarm (fun () ->
+        Extractor.run ex (`Text paper_doc))
+  in
+  (match report.Extractor.outcome with
+  | Outcome.Failed (Outcome.Injected_fault "heap_merge") -> ()
+  | _ -> Alcotest.fail "expected Failed (Injected_fault heap_merge)");
+  let spans = Trace.drain () in
+  let find name =
+    match List.find_opt (fun s -> s.Trace.name = name) spans with
+    | Some s -> s
+    | None -> Alcotest.fail ("missing span " ^ name)
+  in
+  let root = find "extract_doc" in
+  let tokenize = find "tokenize" in
+  let filter = find "filter" in
+  (* The fault fires at the heap_merge site before the merge span opens, so
+     the filter span is the innermost one crossed by the exception. *)
+  check_int "root depth" 0 root.Trace.depth;
+  check_int "tokenize depth" 1 tokenize.Trace.depth;
+  check_int "filter depth" 1 filter.Trace.depth;
+  check_bool "root closed ok (fault contained inside)" true root.Trace.ok;
+  check_bool "tokenize ok" true tokenize.Trace.ok;
+  check_bool "filter closed by exception" false filter.Trace.ok;
+  let inside inner outer =
+    inner.Trace.start_ns >= outer.Trace.start_ns
+    && Int64.add inner.Trace.start_ns inner.Trace.dur_ns
+       <= Int64.add outer.Trace.start_ns outer.Trace.dur_ns
+  in
+  check_bool "tokenize inside root" true (inside tokenize root);
+  check_bool "filter inside root" true (inside filter root);
+  check_bool "every span closed (drain empty)" true (Trace.drain () = [])
+
+(* ------------------------------------------------------------------ *)
+(* (d) multi-domain shard merge loses no counts                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_parallel_shard_merge () =
+  let problem = Problem.create ~sim:(Sim.Edit_distance 2) ~q:2 paper_dict in
+  let docs =
+    Array.init 12 (fun i ->
+        if i mod 3 = 0 then paper_doc
+        else if i mod 3 = 1 then "surauijt chadhuri and venkatesh"
+        else "no entities here at all")
+  in
+  let tracked =
+    [
+      "docs_processed"; "docs_ok"; "tokenize_calls"; "tokenize_tokens";
+      "heap_pops"; "heap_merge_runs"; "candidates_generated"; "verify_calls";
+      "filter_survivors"; "matches_verified"; "entities_seen";
+    ]
+  in
+  let totals domains =
+    Metrics.reset ();
+    let outcomes, summary =
+      Parallel.extract_all_outcomes ~domains problem docs
+    in
+    check_int "all docs processed" 12 (Array.length outcomes);
+    check_int "all ok" 12 summary.Outcome.n_ok;
+    let snap = Metrics.snapshot () in
+    List.map (fun name -> (name, Metrics.counter_value snap name)) tracked
+  in
+  let sequential = totals 1 in
+  let parallel = totals 4 in
+  List.iter2
+    (fun (name, a) (name', b) ->
+      check_string "same counter" name name';
+      check_int ("4-domain total matches sequential: " ^ name) a b)
+    sequential parallel;
+  check_int "docs_processed"
+    (List.assoc "docs_processed" parallel)
+    (Array.length docs)
+
+(* ------------------------------------------------------------------ *)
+(* Exported JSON schemas (locked)                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_metrics_jsonl_schema () =
+  let reg = Metrics.create () in
+  let c = Metrics.counter ~registry:reg ~help:"a counter" "alpha" in
+  let g = Metrics.gauge ~registry:reg "beta" in
+  let h = Metrics.histogram ~registry:reg ~buckets:[| 1.; 2. |] "gamma" in
+  Metrics.add c 3;
+  Metrics.set g 1.5;
+  Metrics.observe h 0.5;
+  Metrics.observe h 3.;
+  check_string "jsonl schema"
+    ("{\"type\":\"counter\",\"name\":\"alpha\",\"value\":3}\n"
+   ^ "{\"type\":\"gauge\",\"name\":\"beta\",\"value\":1.5}\n"
+   ^ "{\"type\":\"histogram\",\"name\":\"gamma\",\"upper\":[1,2],\"counts\":[1,0,1],\"sum\":3.5,\"count\":2}\n"
+    )
+    (Metrics.to_jsonl ~registry:reg ())
+
+let test_prometheus_schema () =
+  let reg = Metrics.create () in
+  let c = Metrics.counter ~registry:reg ~help:"a counter" "alpha" in
+  let h = Metrics.histogram ~registry:reg ~buckets:[| 1.; 2. |] "gamma" in
+  Metrics.add c 3;
+  Metrics.observe h 0.5;
+  Metrics.observe h 3.;
+  check_string "prometheus schema"
+    ("# HELP alpha a counter\n# TYPE alpha counter\nalpha 3\n"
+   ^ "# TYPE gamma histogram\n"
+   ^ "gamma_bucket{le=\"1\"} 1\ngamma_bucket{le=\"2\"} 1\n"
+   ^ "gamma_bucket{le=\"+Inf\"} 2\ngamma_sum 3.5\ngamma_count 2\n")
+    (Metrics.to_prometheus ~registry:reg ())
+
+let test_trace_jsonl_schema () =
+  with_deterministic_clock @@ fun () ->
+  Trace.with_span "outer" (fun () ->
+      Trace.with_span ~attrs:[ ("k", "v\"w") ] "inner" (fun () -> ()));
+  let spans = Trace.drain () in
+  let domain = (Domain.self () :> int) in
+  check_string "trace jsonl schema"
+    (Printf.sprintf
+       "{\"name\":\"outer\",\"start_ns\":10,\"dur_ns\":30,\"depth\":0,\"domain\":%d,\"ok\":true,\"attrs\":{}}\n\
+        {\"name\":\"inner\",\"start_ns\":20,\"dur_ns\":10,\"depth\":1,\"domain\":%d,\"ok\":true,\"attrs\":{\"k\":\"v\\\"w\"}}\n"
+       domain domain)
+    (Trace.to_jsonl spans)
+
+(* ------------------------------------------------------------------ *)
+(* Registry mechanics                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_registry_mechanics () =
+  let reg = Metrics.create () in
+  let c = Metrics.counter ~registry:reg "c" in
+  let c' = Metrics.counter ~registry:reg "c" in
+  Metrics.incr c;
+  Metrics.incr c';
+  let snap = Metrics.snapshot ~registry:reg () in
+  check_int "same name = same counter" 2 (Metrics.counter_value snap "c");
+  (match Metrics.gauge ~registry:reg "c" with
+  | _ -> Alcotest.fail "kind mismatch must be rejected"
+  | exception Invalid_argument _ -> ());
+  (* Late registration after a shard exists grows the shard on write. *)
+  let d = Metrics.counter ~registry:reg "late" in
+  Metrics.add d 7;
+  let snap = Metrics.snapshot ~registry:reg () in
+  check_int "late counter" 7 (Metrics.counter_value snap "late");
+  Metrics.reset ~registry:reg ();
+  let snap = Metrics.snapshot ~registry:reg () in
+  check_int "reset zeroes" 0 (Metrics.counter_value snap "c");
+  (match Metrics.add c (-1) with
+  | () -> Alcotest.fail "negative add must be rejected"
+  | exception Invalid_argument _ -> ())
+
+let () =
+  Alcotest.run "faerie_obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "counters match stats at every pruning level"
+            `Quick test_counters_match_stats;
+          Alcotest.test_case "metrics:false suppresses the run" `Quick
+            test_metrics_suppressed_run;
+          Alcotest.test_case "histogram bucket totals" `Quick
+            test_histogram_totals;
+          Alcotest.test_case "pipeline histogram totals" `Quick
+            test_pipeline_histogram_totals;
+          Alcotest.test_case "registry mechanics" `Quick test_registry_mechanics;
+        ] );
+      ( "shards",
+        [
+          Alcotest.test_case "4-domain batch merges without losing counts"
+            `Quick test_parallel_shard_merge;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "spans nest and close under injected fault"
+            `Quick test_spans_nest_under_fault;
+        ] );
+      ( "schema",
+        [
+          Alcotest.test_case "metrics jsonl" `Quick test_metrics_jsonl_schema;
+          Alcotest.test_case "prometheus text" `Quick test_prometheus_schema;
+          Alcotest.test_case "trace jsonl" `Quick test_trace_jsonl_schema;
+        ] );
+    ]
