@@ -602,6 +602,37 @@ let micro () =
   flush stdout
 
 (* ------------------------------------------------------------------ *)
+(* Smoke workload (fixed size, CI regression gate)                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Deliberately independent of FAERIE_SCALE: the CI gate compares its
+   wall time against a checked-in baseline, so the workload must be the
+   same on every run. Uses Extractor.run so the doc_wall_ns histogram
+   (and hence the snapshot's latency percentiles) is populated. *)
+let smoke () =
+  H.section ~exhibit:"smoke" ~title:"fixed-size smoke workload (CI gate)";
+  let corpus = Corpus.dblp ~seed:7 ~n_entities:400 ~n_documents:30 () in
+  let sim = Sim.Edit_distance 2 in
+  let q = 4 in
+  let ents =
+    W.indexed_subset ~sim ~q (Array.to_list corpus.Corpus.entities)
+  in
+  let extractor = Core.Extractor.of_problem (Problem.create ~sim ~q ents) in
+  let matches = ref 0 and failed = ref 0 in
+  Array.iteri
+    (fun i (d : Corpus.document) ->
+      let opts = { Core.Extractor.default_opts with doc_id = i } in
+      let report = Core.Extractor.run ~opts extractor (`Text d.Corpus.text) in
+      match report.Core.Extractor.outcome with
+      | Core.Outcome.Ok rs | Core.Outcome.Degraded (rs, _) ->
+          matches := !matches + List.length rs
+      | Core.Outcome.Failed _ -> incr failed)
+    corpus.Corpus.documents;
+  Printf.printf "smoke: %d matches, %d failures over %d documents\n%!" !matches
+    !failed
+    (Array.length corpus.Corpus.documents)
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -610,28 +641,75 @@ let sections =
     ("table4", table4); ("fig13", fig13); ("fig14", fig14_15);
     ("fig15", fig14_15); ("fig16", fig16); ("index_sizes", index_sizes);
     ("fig17", fig17); ("table5", table5); ("ablations", ablations);
-    ("micro", micro);
+    ("micro", micro); ("smoke", smoke);
   ]
 
 let default_order =
   [ "table4"; "fig13"; "fig14"; "fig16"; "index_sizes"; "fig17"; "table5";
     "ablations"; "micro" ]
 
+module Perf = Faerie_obs.Perf
+
+let run_section name f =
+  let dt = H.timed f in
+  Printf.printf "\n[section %s finished in %s]\n%!" name (H.fmt_time dt);
+  dt
+
 let () =
   Printf.printf "Faerie benchmark harness (FAERIE_SCALE=%g, %d entities)\n"
     W.scale W.n_entities;
-  let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> default_order
+  (* --json[=FILE]: after the selected sections, write one machine-readable
+     faerie-bench-v1 snapshot (per-exhibit wall time, throughput, pipeline
+     counters, latency percentiles). Counters are attributed per section by
+     resetting the registry before each one. *)
+  let json_out = ref None in
+  let names =
+    List.filter
+      (fun a ->
+        if a = "--json" then begin
+          json_out := Some "BENCH_faerie.json";
+          false
+        end
+        else if String.length a > 7 && String.sub a 0 7 = "--json=" then begin
+          json_out := Some (String.sub a 7 (String.length a - 7));
+          false
+        end
+        else true)
+      (List.tl (Array.to_list Sys.argv))
   in
+  let requested = match names with [] -> default_order | names -> names in
+  let exhibits = ref [] in
   List.iter
     (fun name ->
       match List.assoc_opt name sections with
       | Some f ->
-          let dt = H.timed f in
-          Printf.printf "\n[section %s finished in %s]\n%!" name (H.fmt_time dt)
+          if !json_out = None then ignore (run_section name f)
+          else begin
+            Faerie_obs.Metrics.reset ();
+            let dt = run_section name f in
+            let snap = Faerie_obs.Metrics.snapshot () in
+            exhibits :=
+              Perf.exhibit_of_snapshot ~name ~wall_s:dt snap :: !exhibits
+          end
       | None ->
           Printf.eprintf "unknown section %S; available: %s\n" name
             (String.concat ", " (List.map fst sections)))
-    requested
+    requested;
+  match !json_out with
+  | None -> ()
+  | Some path ->
+      let bench =
+        {
+          Perf.schema = Perf.schema_version;
+          git_rev = H.git_rev ();
+          scale = W.scale;
+          ocaml = Sys.ocaml_version;
+          exhibits = List.rev !exhibits;
+        }
+      in
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc (Perf.bench_to_json bench));
+      Printf.printf "\nwrote %s (%d exhibits)\n%!" path
+        (List.length bench.Perf.exhibits)

@@ -2,7 +2,9 @@
 
    Subcommands:
      extract   find approximate entity matches in documents
+     explain   audit the filter cascade on one document
      stats     report dictionary / index statistics
+     regress   compare two bench snapshots for wall-time regressions
      gen       generate a synthetic corpus (entities + documents)          *)
 
 module Sim = Faerie_sim.Sim
@@ -11,6 +13,8 @@ module Types = Faerie_core.Types
 module Problem = Faerie_core.Problem
 module Parallel = Faerie_core.Parallel
 module Outcome = Faerie_core.Outcome
+module Explain = Faerie_obs.Explain
+module Perf = Faerie_obs.Perf
 module Ix = Faerie_index
 module Corpus = Faerie_datagen.Corpus
 module Bytesize = Faerie_util.Bytesize
@@ -35,6 +39,16 @@ let read_file path =
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
+
+(* '-' means stderr (match output stays on stdout). *)
+let write_sink sink content =
+  match sink with
+  | "-" -> output_string stderr content
+  | path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc content)
 
 (* Map expected IO failures (missing file, permission denied, corrupt index)
    to clean one-line errors instead of uncaught exceptions with backtraces. *)
@@ -172,21 +186,37 @@ let extract_cmd =
       & opt ~vopt:(Some "-") (some string) None
       & info [ "trace" ] ~docv:"FILE" ~doc)
   in
-  let write_sink sink content =
-    match sink with
-    | "-" -> output_string stderr content
-    | path ->
-        let oc = open_out path in
-        Fun.protect
-          ~finally:(fun () -> close_out_noerr oc)
-          (fun () -> output_string oc content)
+  let metrics_format_arg =
+    let doc =
+      "Format for the --metrics snapshot: jsonl (JSON lines) or prom \
+       (Prometheus text exposition)."
+    in
+    Arg.(
+      value
+      & opt (enum [ ("jsonl", `Jsonl); ("prom", `Prom) ]) `Jsonl
+      & info [ "metrics-format" ] ~docv:"FMT" ~doc)
+  in
+  let explain_arg =
+    let doc =
+      "Audit the filter cascade: with no value (or '-') print a human \
+       waterfall report to stderr after the run; with $(docv), write the \
+       JSONL event dump there instead."
+    in
+    Arg.(
+      value
+      & opt ~vopt:(Some "-") (some string) None
+      & info [ "explain" ] ~docv:"FILE" ~doc)
   in
   let run sim q dict_file index_file doc_files pruning show_stats top select
-      timeout_ms max_doc_bytes keep_going metrics trace =
+      timeout_ms max_doc_bytes keep_going metrics metrics_format trace explain =
     guard @@ fun () ->
     if trace <> None then Faerie_obs.Trace.enable ();
     let problem = problem_of_source sim q dict_file index_file in
     let dict = Problem.dictionary problem in
+    let extractor = Extractor.of_problem problem in
+    (* One sink audits the whole run; per-document [Doc] events delimit
+       documents in the JSONL dump. *)
+    let sink = match explain with None -> None | Some _ -> Some (Explain.create ()) in
     let budget = { Budget.spec_unlimited with timeout_ms; max_bytes = max_doc_bytes } in
     let n_docs = ref 0 and n_failed = ref 0 in
     (* Best-first ordering used by --top (same as Topk.top_k): better score
@@ -219,30 +249,46 @@ let extract_cmd =
             (String.sub normalized m.Types.c_start m.Types.c_len))
         (List.sort positional ms)
     in
+    let char_match_of_result (r : Extractor.result) =
+      {
+        Types.c_entity = r.Extractor.entity_id;
+        c_start = r.Extractor.start_char;
+        c_len = r.Extractor.len_chars;
+        c_score = r.Extractor.score;
+      }
+    in
     (* Returns [true] when processing may continue with the next document. *)
     let process idx name text =
       incr n_docs;
-      let stats = Types.new_stats () in
-      match
-        Parallel.extract_one_outcome ~pruning ~budget ~stats ~doc_id:idx
-          problem text
-      with
+      let opts =
+        {
+          Extractor.default_opts with
+          pruning;
+          budget;
+          doc_id = idx;
+          explain = sink;
+        }
+      in
+      let report = Extractor.run ~opts extractor (`Text text) in
+      match report.Extractor.outcome with
       | Outcome.Failed err ->
           incr n_failed;
           Printf.eprintf "faerie: %s: %s\n%!" name
             (Outcome.error_to_string err);
           keep_going
-      | Outcome.Ok ms | Outcome.Degraded (ms, _) as outcome ->
+      | Outcome.Ok rs | Outcome.Degraded (rs, _) as outcome ->
           (match outcome with
           | Outcome.Degraded (_, why) ->
               Printf.eprintf "faerie: %s: %s\n%!" name
                 (Outcome.degradation_to_string why)
           | _ -> ());
+          let ms = List.map char_match_of_result rs in
           let ms = match top with Some k -> take k (List.sort best_first ms) | None -> ms in
           let ms = if select then Faerie_core.Span_select.select ms else ms in
           print_matches name text ms;
           if show_stats then
-            Format.eprintf "%s: %a@." name Types.pp_stats stats;
+            Format.eprintf "%s: %a@." name Types.pp_stats
+              report.Extractor.stats;
           true
     in
     (match doc_files with
@@ -261,13 +307,25 @@ let extract_cmd =
               if process idx f (read_file f) then loop (idx + 1) rest
         in
         loop 0 files);
+    (match (explain, sink) with
+    | Some dest, Some s ->
+        let name_of id = (Ix.Dictionary.entity dict id).Ix.Entity.raw in
+        if dest = "-" then output_string stderr (Explain.render ~name_of s)
+        else write_sink dest (Explain.to_jsonl s)
+    | _ -> ());
     (match metrics with
     | None -> ()
-    | Some sink -> write_sink sink (Faerie_obs.Metrics.to_jsonl ()));
+    | Some dest ->
+        let content =
+          match metrics_format with
+          | `Jsonl -> Faerie_obs.Metrics.to_jsonl ()
+          | `Prom -> Faerie_obs.Metrics.to_prometheus ()
+        in
+        write_sink dest content);
     (match trace with
     | None -> ()
-    | Some sink ->
-        write_sink sink (Faerie_obs.Trace.to_jsonl (Faerie_obs.Trace.drain ())));
+    | Some dest ->
+        write_sink dest (Faerie_obs.Trace.to_jsonl (Faerie_obs.Trace.drain ())));
     if !n_failed = 0 then 0
     else if keep_going && !n_failed < !n_docs then 0
     else 1
@@ -278,7 +336,108 @@ let extract_cmd =
     Term.(
       const run $ sim_arg $ q_arg $ dict_opt_arg $ index_opt_arg $ docs_arg
       $ pruning_arg $ show_stats_arg $ top_arg $ select_arg $ timeout_arg
-      $ max_doc_bytes_arg $ keep_going_arg $ metrics_arg $ trace_arg)
+      $ max_doc_bytes_arg $ keep_going_arg $ metrics_arg $ metrics_format_arg
+      $ trace_arg $ explain_arg)
+
+(* ---- explain ---- *)
+
+let explain_cmd =
+  let dict_pos =
+    let doc = "Dictionary file: one entity per line." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"DICT" ~doc)
+  in
+  let doc_pos =
+    let doc = "Document file to audit." in
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"DOC" ~doc)
+  in
+  let pruning_arg =
+    let doc = "Pruning level: none, lazy, bucket or binary (full Faerie)." in
+    Arg.(value & opt pruning_conv Types.Binary_window & info [ "pruning" ] ~doc)
+  in
+  let jsonl_arg =
+    let doc =
+      "Dump the raw event log as JSON lines instead of the waterfall report, \
+       to $(docv) ('-' or no value: stdout)."
+    in
+    Arg.(
+      value
+      & opt ~vopt:(Some "-") (some string) None
+      & info [ "jsonl" ] ~docv:"FILE" ~doc)
+  in
+  let top_arg =
+    let doc = "Most-expensive entities listed in the waterfall report." in
+    Arg.(value & opt int 5 & info [ "top" ] ~docv:"K" ~doc)
+  in
+  let run sim q pruning dict_file doc_file jsonl top =
+    guard @@ fun () ->
+    let problem = Problem.create ~sim ~q (read_lines dict_file) in
+    let extractor = Extractor.of_problem problem in
+    let sink = Explain.create () in
+    let opts = { Extractor.default_opts with pruning; explain = Some sink } in
+    let report = Extractor.run ~opts extractor (`Text (read_file doc_file)) in
+    (match report.Extractor.outcome with
+    | Outcome.Failed err ->
+        Printf.eprintf "faerie: %s\n" (Outcome.error_to_string err)
+    | Outcome.Degraded (_, why) ->
+        Printf.eprintf "faerie: %s\n" (Outcome.degradation_to_string why)
+    | Outcome.Ok _ -> ());
+    let dict = Problem.dictionary problem in
+    let name_of id = (Ix.Dictionary.entity dict id).Ix.Entity.raw in
+    (match jsonl with
+    | Some "-" -> print_string (Explain.to_jsonl sink)
+    | Some path -> write_sink path (Explain.to_jsonl sink)
+    | None -> print_string (Explain.render ~top ~name_of sink));
+    match report.Extractor.outcome with Outcome.Failed _ -> 1 | _ -> 0
+  in
+  let doc =
+    "Audit the filter cascade on one document: per-filter selectivity \
+     waterfall, prune reasons, verification outcomes."
+  in
+  Cmd.v
+    (Cmd.info "explain" ~doc)
+    Term.(
+      const run $ sim_arg $ q_arg $ pruning_arg $ dict_pos $ doc_pos
+      $ jsonl_arg $ top_arg)
+
+(* ---- regress ---- *)
+
+let regress_cmd =
+  let old_pos =
+    let doc = "Baseline bench snapshot (BENCH_faerie.json)." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"OLD" ~doc)
+  in
+  let new_pos =
+    let doc = "Current bench snapshot to compare against the baseline." in
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"NEW" ~doc)
+  in
+  let max_ratio_arg =
+    let doc =
+      "Maximum tolerated wall-time ratio current/baseline per exhibit."
+    in
+    Arg.(value & opt float 1.5 & info [ "max-ratio" ] ~docv:"R" ~doc)
+  in
+  let run old_file new_file max_ratio =
+    guard @@ fun () ->
+    let load path =
+      match Perf.bench_of_json (read_file path) with
+      | Ok b -> b
+      | Error e ->
+          Printf.eprintf "faerie: %s: %s\n" path e;
+          exit 2
+    in
+    let baseline = load old_file in
+    let current = load new_file in
+    let c = Perf.compare_benches ~max_ratio ~baseline ~current () in
+    print_string (Perf.render_comparison ~max_ratio c);
+    if c.Perf.any_regressed then 1 else 0
+  in
+  let doc =
+    "Compare two bench --json snapshots; exit 1 when any exhibit's wall time \
+     regressed beyond --max-ratio (exit 2 on malformed snapshots)."
+  in
+  Cmd.v
+    (Cmd.info "regress" ~doc)
+    Term.(const run $ old_pos $ new_pos $ max_ratio_arg)
 
 (* ---- stats ---- *)
 
@@ -381,4 +540,7 @@ let gen_cmd =
 let () =
   let doc = "Approximate dictionary-based entity extraction (Faerie)." in
   let info = Cmd.info "faerie" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ extract_cmd; stats_cmd; gen_cmd; index_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ extract_cmd; explain_cmd; stats_cmd; regress_cmd; gen_cmd; index_cmd ]))

@@ -6,6 +6,7 @@ module Fault = Faerie_util.Fault
 module Budget = Faerie_util.Budget
 module Metrics = Faerie_obs.Metrics
 module Trace = Faerie_obs.Trace
+module Explain = Faerie_obs.Explain
 open Types
 
 type t = { problem : Problem.t }
@@ -121,6 +122,7 @@ type opts = {
   oversize : [ `Chunk | `Reject ];
   merger : Heaps.Multiway.merger;
   metrics : bool;
+  explain : Explain.t option;
   doc_id : int;
 }
 
@@ -139,6 +141,7 @@ let default_opts =
     oversize = `Chunk;
     merger = Heaps.Multiway.Binary_heap;
     metrics = true;
+    explain = None;
     doc_id = 0;
   }
 
@@ -252,7 +255,15 @@ let run ?(opts = default_opts) t input =
       | Outcome.Failed _ -> m_docs_failed);
     { outcome; stats; elapsed_ns }
   in
-  if opts.metrics then body () else Metrics.with_suppressed body
+  let body () =
+    if opts.metrics then body () else Metrics.with_suppressed body
+  in
+  match opts.explain with
+  | None -> body ()
+  | Some sink ->
+      Explain.with_sink sink (fun () ->
+          Explain.emit sink (Explain.Doc { doc_id = opts.doc_id });
+          body ())
 
 let result_to_string t r =
   ignore t;

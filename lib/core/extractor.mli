@@ -85,6 +85,13 @@ type opts = {
   metrics : bool;
       (** when [false], the run writes nothing to the metrics registry
           (timings in the report are unaffected); default [true] *)
+  explain : Faerie_obs.Explain.t option;
+      (** audit sink for the filter cascade: when set, the run records
+          structured decision events (entities streamed, prune reasons,
+          per-candidate count tests, verification outcomes) into the sink
+          for {!Faerie_obs.Explain.render} / [to_jsonl]. Default [None] —
+          disabled, the hot path pays a single flag check and allocates
+          nothing extra *)
   doc_id : int;
       (** keys the {!Faerie_util.Fault} context; set it to the document's
           batch index so fault campaigns are deterministic *)
@@ -92,7 +99,8 @@ type opts = {
 
 val default_opts : opts
 (** [Binary_window], unlimited budget, [`Chunk], binary heap, metrics on,
-    [doc_id = 0]. Override fields with [{ default_opts with ... }]. *)
+    explain off, [doc_id = 0]. Override fields with
+    [{ default_opts with ... }]. *)
 
 type input = [ `Text of string | `Doc of Faerie_tokenize.Document.t ]
 (** A raw document string, or one already tokenized by {!tokenize} (the

@@ -3,6 +3,7 @@ module S = Faerie_sim
 module Heaps = Faerie_heaps
 module Ix = Faerie_index
 module Dynarray = Faerie_util.Dynarray
+module Explain = Faerie_obs.Explain
 open Types
 
 (* Merge the inverted lists of tokens [a .. a+l-1], calling [f entity count]
@@ -68,6 +69,7 @@ let collect ?(algorithm = Heap_count) problem doc =
   let lo = max 1 (Problem.global_lower problem) in
   let hi = min (Problem.global_upper problem) n_tokens in
   let acc = Dynarray.create () in
+  let ex = Explain.current () in
   let consider ~a ~l entity count =
     let info = Problem.info problem entity in
     if
@@ -77,6 +79,12 @@ let collect ?(algorithm = Heap_count) problem doc =
     then begin
       stats.candidates <- stats.candidates + 1;
       let t = Problem.overlap_t problem ~e_len:info.Problem.e_len ~s_len:l in
+      (match ex with
+      | None -> ()
+      | Some sink ->
+          Explain.emit sink
+            (Explain.Candidate
+               { entity; start = a; len = l; count; t; survived = count >= t }));
       if count >= t then Dynarray.push acc { entity; start = a; len = l }
     end
   in
@@ -108,17 +116,29 @@ let collect ?(algorithm = Heap_count) problem doc =
   let survivors = Dynarray.to_list acc in
   let survivors = List.sort_uniq compare_candidate survivors in
   stats.survivors <- List.length survivors;
+  (match ex with
+  | None -> ()
+  | Some sink ->
+      Explain.emit sink (Explain.Filter_done { survivors = stats.survivors }));
   (survivors, stats)
 
 let candidates ?algorithm problem doc = collect ?algorithm problem doc
 
 let run ?algorithm problem doc =
   let survivors, stats = collect ?algorithm problem doc in
+  let ex = Explain.current () in
   let matches =
     List.filter_map
       (fun (c : candidate) ->
         let score = Problem.verify_candidate problem doc c in
-        if S.Verify.Score.passes (Problem.sim problem) score then
+        let passed = S.Verify.Score.passes (Problem.sim problem) score in
+        (match ex with
+        | None -> ()
+        | Some sink ->
+            Explain.emit sink
+              (Explain.Verify
+                 { entity = c.entity; start = c.start; len = c.len; matched = passed }));
+        if passed then
           Some
             { m_entity = c.entity; m_start = c.start; m_len = c.len; m_score = score }
         else None)

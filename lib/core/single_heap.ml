@@ -6,6 +6,7 @@ module Dynarray = Faerie_util.Dynarray
 module Budget = Faerie_util.Budget
 module Metrics = Faerie_obs.Metrics
 module Trace = Faerie_obs.Trace
+module Explain = Faerie_obs.Explain
 open Types
 
 type report = {
@@ -58,15 +59,27 @@ let m_survivors =
 let m_matches =
   Metrics.counter ~help:"candidates confirmed by verification" "matches_verified"
 
+(* Auditing: [ex] is the explain sink resolved once per filter run
+   ([Explain.current] at the top of [collect]). Disabled it is [None] and
+   every hook below is a single immediate-value branch — the candidate hot
+   path allocates nothing extra. *)
+let note_candidate ex ~entity ~start ~len ~count ~t =
+  match ex with
+  | None -> ()
+  | Some sink ->
+      Explain.emit sink
+        (Explain.Candidate { entity; start; len; count; t; survived = count >= t })
+
 (* Occurrence counting for one entity over one slice of its position list,
    at one substring length: emit survivors with count >= T. *)
-let count_slice problem (stats : stats) ~entity ~(info : Problem.entity_info)
-    ~positions ~first ~last ~n_tokens ~emit =
+let count_slice problem (stats : stats) ~ex ~entity
+    ~(info : Problem.entity_info) ~positions ~first ~last ~n_tokens ~emit =
   for len = info.lower to min info.upper n_tokens do
     let t = Problem.overlap_t problem ~e_len:info.e_len ~s_len:len in
     Counting.iter_nonzero ~positions ~first ~last ~len ~n_tokens
       ~f:(fun ~start ~count ->
         stats.candidates <- stats.candidates + 1;
+        note_candidate ex ~entity ~start ~len ~count ~t;
         if count >= t then emit { entity; start; len })
   done
 
@@ -75,7 +88,7 @@ let count_slice problem (stats : stats) ~entity ~(info : Problem.entity_info)
    restricted to (p_{first-1}, p_first] so each candidate substring is
    produced exactly once, at the window whose first element is the first
    position it contains. *)
-let enumerate_window problem (stats : stats) ~entity
+let enumerate_window problem (stats : stats) ~ex ~entity
     ~(info : Problem.entity_info) ~positions ~first ~last ~n_tokens ~emit =
   let p_first = positions.(first) in
   let prev = if first = 0 then -1 else positions.(first - 1) in
@@ -101,13 +114,14 @@ let enumerate_window problem (stats : stats) ~entity
         if t <= max_count then begin
           stats.candidates <- stats.candidates + 1;
           let count = !k - first + 1 in
+          note_candidate ex ~entity ~start:a ~len ~count ~t;
           if count >= t then emit { entity; start = a; len }
         end
       done
     end
   done
 
-let process_entity problem (stats : stats) ~pruning ~entity ~positions
+let process_entity problem (stats : stats) ~ex ~pruning ~entity ~positions
     ~n_tokens ~emit =
   let info = Problem.info problem entity in
   match info.path with
@@ -115,35 +129,67 @@ let process_entity problem (stats : stats) ~pruning ~entity ~positions
   | Problem.Indexed -> (
       stats.entities_seen <- stats.entities_seen + 1;
       let m = Array.length positions in
+      (match ex with
+      | None -> ()
+      | Some sink ->
+          (* Entity context makes the window-search hooks in Windows
+             attributable without threading the sink through them. *)
+          Explain.set_entity sink entity;
+          Explain.emit sink
+            (Explain.Entity { entity; e_len = info.e_len; n_positions = m }));
+      let note_lazy () =
+        match ex with
+        | None -> ()
+        | Some sink ->
+            Explain.emit sink
+              (Explain.Pruned
+                 { entity; reason = Explain.Lazy_bound { tl = info.tl; count = m } })
+      in
       match pruning with
       | No_prune ->
-          count_slice problem stats ~entity ~info ~positions ~first:0
+          count_slice problem stats ~ex ~entity ~info ~positions ~first:0
             ~last:(m - 1) ~n_tokens ~emit
       | Lazy_count ->
-          if m < info.tl then
-            stats.entities_pruned_lazy <- stats.entities_pruned_lazy + 1
+          if m < info.tl then begin
+            stats.entities_pruned_lazy <- stats.entities_pruned_lazy + 1;
+            note_lazy ()
+          end
           else
-            count_slice problem stats ~entity ~info ~positions ~first:0
+            count_slice problem stats ~ex ~entity ~info ~positions ~first:0
               ~last:(m - 1) ~n_tokens ~emit
       | Bucket_count ->
-          if m < info.tl then
-            stats.entities_pruned_lazy <- stats.entities_pruned_lazy + 1
+          if m < info.tl then begin
+            stats.entities_pruned_lazy <- stats.entities_pruned_lazy + 1;
+            note_lazy ()
+          end
           else
             List.iter
               (fun (first, last) ->
-                if last - first + 1 < info.tl then
-                  stats.buckets_pruned <- stats.buckets_pruned + 1
+                if last - first + 1 < info.tl then begin
+                  stats.buckets_pruned <- stats.buckets_pruned + 1;
+                  match ex with
+                  | None -> ()
+                  | Some sink ->
+                      Explain.emit sink
+                        (Explain.Pruned { entity; reason = Explain.Bucket_pruned })
+                end
                 else
-                  count_slice problem stats ~entity ~info ~positions ~first
+                  count_slice problem stats ~ex ~entity ~info ~positions ~first
                     ~last ~n_tokens ~emit)
               (Position_list.buckets ~positions ~gap:info.gap)
       | Binary_window ->
-          if m < info.tl then
-            stats.entities_pruned_lazy <- stats.entities_pruned_lazy + 1
+          if m < info.tl then begin
+            stats.entities_pruned_lazy <- stats.entities_pruned_lazy + 1;
+            note_lazy ()
+          end
           else
             Windows.iter_windows ~positions ~tl:info.tl ~upper:info.upper
               ~f:(fun ~first ~last ->
-                enumerate_window problem stats ~entity ~info ~positions
+                (match ex with
+                | None -> ()
+                | Some sink ->
+                    Explain.emit sink (Explain.Window { entity; first; last }));
+                enumerate_window problem stats ~ex ~entity ~info ~positions
                   ~first ~last ~n_tokens ~emit))
 
 let dedup_candidates acc =
@@ -160,6 +206,9 @@ let dedup_candidates acc =
 let collect ?merger ?(budget = Budget.unlimited) ~pruning problem doc =
   Trace.with_span "filter" @@ fun () ->
   let stats = new_stats () in
+  (* Resolved once per run: [None] (the production state) keeps every
+     per-candidate audit hook down to one branch on an immediate value. *)
+  let ex = Explain.current () in
   let index = Problem.index problem in
   let n_tokens = Tk.Document.n_tokens doc in
   let acc = Dynarray.create () in
@@ -172,7 +221,7 @@ let collect ?merger ?(budget = Budget.unlimited) ~pruning problem doc =
        ~f:(fun ~entity ~positions ->
          Budget.tick budget;
          let positions = Dynarray.to_array positions in
-         process_entity problem stats ~pruning ~entity ~positions ~n_tokens
+         process_entity problem stats ~ex ~pruning ~entity ~positions ~n_tokens
            ~emit:(fun c ->
              Budget.charge_candidates budget 1;
              Dynarray.push acc c))
@@ -180,6 +229,10 @@ let collect ?merger ?(budget = Budget.unlimited) ~pruning problem doc =
    with Budget.Exhausted e -> aborted := Some e);
   let survivors = dedup_candidates acc in
   stats.survivors <- List.length survivors;
+  (match ex with
+  | None -> ()
+  | Some sink ->
+      Explain.emit sink (Explain.Filter_done { survivors = stats.survivors }));
   (* Flush once per filter run, after [stats] is final, so registry counters
      agree exactly with the per-run [Types.stats] a caller aggregates. *)
   Metrics.add m_candidates stats.candidates;
@@ -201,13 +254,26 @@ let run_budgeted ?merger ?(pruning = Binary_window) ?(budget = Budget.unlimited)
   (* Verification also respects the deadline: a trip keeps the matches
      verified so far (a subset of the full set, reported as partial). *)
   let matches = ref [] in
+  let ex = Explain.current () in
   (try
      Trace.with_span "verify" (fun () ->
          List.iter
            (fun (c : candidate) ->
              Budget.tick budget;
              let score = Problem.verify_candidate problem doc c in
-             if S.Verify.Score.passes (Problem.sim problem) score then
+             let passed = S.Verify.Score.passes (Problem.sim problem) score in
+             (match ex with
+             | None -> ()
+             | Some sink ->
+                 Explain.emit sink
+                   (Explain.Verify
+                      {
+                        entity = c.entity;
+                        start = c.start;
+                        len = c.len;
+                        matched = passed;
+                      }));
+             if passed then
                matches :=
                  {
                    m_entity = c.entity;

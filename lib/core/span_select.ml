@@ -1,4 +1,5 @@
 module S = Faerie_sim
+module Explain = Faerie_obs.Explain
 open Types
 
 let default_weight m =
@@ -20,7 +21,10 @@ let select ?(weight = default_weight) ms =
     |> Array.of_list
   in
   let n = Array.length spans in
-  if n = 0 then []
+  if n = 0 then begin
+    if Explain.armed () then Explain.record (Explain.Selection { total = 0; kept = 0 });
+    []
+  end
   else begin
     let w = Array.map weight spans in
     Array.iter
@@ -54,7 +58,10 @@ let select ?(weight = default_weight) ms =
       else if take.(i) then walk pred.(i) (spans.(i) :: acc)
       else walk (i - 1) acc
     in
-    walk (n - 1) []
+    let kept = walk (n - 1) [] in
+    if Explain.armed () then
+      Explain.record (Explain.Selection { total = n; kept = List.length kept });
+    kept
   end
 
 let overlaps a b = a.c_start < span_end b && b.c_start < span_end a

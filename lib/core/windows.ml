@@ -1,4 +1,5 @@
 module Metrics = Faerie_obs.Metrics
+module Explain = Faerie_obs.Explain
 
 let m_probes =
   Metrics.counter ~help:"binary-search probes in span/shift window search"
@@ -78,9 +79,16 @@ let iter_windows ~positions ~tl ~upper ~f =
         i := i0 + 1
       end
       else begin
+        (* [armed] is one atomic load; the window search itself carries no
+           sink, so skip events attribute to the entity context set by the
+           caller (Single_heap sets it before streaming each entity). *)
+        if Explain.armed () then Explain.skip Explain.Span_pruned;
         let next = binary_shift ~positions ~tl ~upper i0 in
         (* binary_shift never returns a start before i0. *)
-        i := max next (i0 + 1)
+        let next = max next (i0 + 1) in
+        if next > i0 + 1 && Explain.armed () then
+          Explain.skip (Explain.Shift_jumped (next - i0));
+        i := next
       end
     done
   end

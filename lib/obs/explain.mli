@@ -1,0 +1,143 @@
+(** EXPLAIN-style auditor for the filter cascade.
+
+    A {!t} is a per-run event sink. Extraction code emits structured
+    decision events — which entities the heap merge streamed, why an
+    entity (or bucket, or window start) was pruned, every candidate's
+    count-vs-threshold test, every verification outcome — and the sink
+    renders them as a human "waterfall" report ({!render}) or a JSONL
+    event dump ({!to_jsonl}).
+
+    Arming is per-domain and dynamically scoped: {!with_sink} installs a
+    sink for the calling domain, instrumented code reaches it through
+    {!current}. Disarmed (the production state) every hook is a single
+    flag check ({!armed} is one atomic load) and allocates nothing; the
+    candidate hot path pays nothing until a sink is installed.
+    [Extractor.opts.explain] is the normal way to arm a run.
+
+    The sink is an append-only event log owned by one domain at a time —
+    it is not synchronized. Audit single runs (or reuse one sink across
+    sequential documents); parallel batch workers do not record. *)
+
+type reason =
+  | Lazy_bound of { tl : int; count : int }
+      (** entity pruned: its position list holds [count] < [tl] entries
+          (Section 4.1's lazy-count bound) *)
+  | Bucket_pruned
+      (** a position-list bucket shorter than [Tl] was discarded
+          (Section 4.1's bucket-count bound) *)
+  | Span_pruned
+      (** a window start failed the binary-span test: the [Tl]-sized
+          window starting there already spans more than [⌈e] tokens
+          (Section 4.2) *)
+  | Shift_jumped of int
+      (** binary shift skipped this many window starts in one jump
+          (Section 4.2, Lemma 4) *)
+
+type event =
+  | Doc of { doc_id : int }  (** start of a document's run *)
+  | Entity of { entity : int; e_len : int; n_positions : int }
+      (** the heap merge streamed this entity's position list *)
+  | Pruned of { entity : int; reason : reason }
+  | Window of { entity : int; first : int; last : int }
+      (** a maximal valid window [positions[first..last]] survived the
+          span test and went to candidate enumeration *)
+  | Window_skip of { entity : int; reason : reason }
+  | Candidate of {
+      entity : int;
+      start : int;
+      len : int;
+      count : int;
+      t : int;
+      survived : bool;  (** [count >= t]: passed the count filter *)
+    }
+  | Filter_done of { survivors : int }
+      (** filter finished; [survivors] candidates remain after dedup *)
+  | Verify of { entity : int; start : int; len : int; matched : bool }
+      (** exact verification of one surviving candidate; [matched =
+          false] is a wasted verification (filter false positive) *)
+  | Selection of { total : int; kept : int }
+      (** overlap resolution ({!Span_select.select}) kept [kept] of
+          [total] spans *)
+
+type t
+
+val create : unit -> t
+
+val with_sink : t -> (unit -> 'a) -> 'a
+(** Install [t] as the calling domain's sink for the duration of the
+    callback (restores the previous sink on exit, including by
+    exception). *)
+
+val armed : unit -> bool
+(** Cheap global check (one atomic load): is any sink installed in any
+    domain? Use as the guard before building event payloads on hot
+    paths; {!record} re-checks the calling domain's sink. *)
+
+val current : unit -> t option
+(** The calling domain's installed sink, if any. Resolve once per run
+    and thread the result when emitting from a loop. *)
+
+val emit : t -> event -> unit
+
+val record : event -> unit
+(** [emit] to the calling domain's current sink; no-op when none. *)
+
+val set_entity : t -> int -> unit
+(** Set the entity context used by {!skip} (window-search hooks don't
+    know which entity's position list they are scanning). *)
+
+val skip : reason -> unit
+(** Record a [Window_skip] against the current sink's entity context;
+    no-op when no sink is installed. *)
+
+val events : t -> event list
+(** All events, in emission order. *)
+
+val length : t -> int
+
+val clear : t -> unit
+
+(** {1 Reporting} *)
+
+type summary = {
+  docs : int;
+  entities_seen : int;  (** = [Types.stats.entities_seen] *)
+  pruned_lazy : int;  (** = [Types.stats.entities_pruned_lazy] *)
+  buckets_pruned : int;  (** = [Types.stats.buckets_pruned] *)
+  windows : int;
+  span_pruned : int;
+  shift_jumped : int;
+  candidates : int;  (** = [Types.stats.candidates] *)
+  candidates_survived : int;  (** passed the count test, before dedup *)
+  survivors : int;  (** = [Types.stats.survivors] (post-dedup) *)
+  verify_calls : int;
+  matched : int;  (** = [Types.stats.verified] *)
+}
+(** Per-level totals folded from the event log. The fields marked [=]
+    agree exactly with the [Types.stats] of the audited run(s)
+    (test-asserted at every pruning level, summed across documents when
+    one sink audits several runs). *)
+
+val summarize : t -> summary
+
+val render : ?top:int -> ?name_of:(int -> string) -> t -> string
+(** Human waterfall report: candidates surviving each cascade level with
+    per-filter selectivity, per-entity-length-group heap-merge stats,
+    and the [top] (default 5) most expensive entities (by candidates
+    generated + verifications). [name_of] renders entity ids. *)
+
+val to_jsonl : t -> string
+(** One JSON object per event, schema (locked by [test_cli]):
+    {v
+    {"ev":"doc","doc_id":0}
+    {"ev":"entity","entity":3,"e_len":2,"positions":5}
+    {"ev":"pruned","entity":3,"reason":"lazy","tl":2,"count":1}
+    {"ev":"pruned","entity":4,"reason":"bucket"}
+    {"ev":"window","entity":3,"first":0,"last":4}
+    {"ev":"window_skip","entity":3,"reason":"span"}
+    {"ev":"window_skip","entity":3,"reason":"shift","jump":5}
+    {"ev":"candidate","entity":3,"start":7,"len":2,"count":2,"t":2,"survived":true}
+    {"ev":"filter_done","survivors":12}
+    {"ev":"verify","entity":3,"start":7,"len":2,"matched":true}
+    {"ev":"selection","total":9,"kept":4}
+    v} *)

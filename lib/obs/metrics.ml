@@ -365,6 +365,29 @@ let to_jsonl ?(registry = default) () =
     snap.histograms;
   Buffer.contents buf
 
+(* Prometheus exposition format escaping for HELP text: only backslash and
+   line feed are escaped (the format is line-oriented; quotes are legal in
+   HELP). *)
+let prom_escape_help s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Float rendering for exposition-format sample values and [le] labels.
+   Deliberately decoupled from [json_float]: Prometheus conventions
+   (shortest round-trip decimal, integral bounds without a fraction part)
+   must not drift if the JSON formatter changes. *)
+let prom_float v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.17g" v
+
 let to_prometheus ?(registry = default) () =
   let help_of =
     locked registry (fun () ->
@@ -376,7 +399,9 @@ let to_prometheus ?(registry = default) () =
   let buf = Buffer.create 1024 in
   let header name typ =
     (match Hashtbl.find_opt help_of name with
-    | Some h when h <> "" -> Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name h)
+    | Some h when h <> "" ->
+        Buffer.add_string buf
+          (Printf.sprintf "# HELP %s %s\n" name (prom_escape_help h))
     | _ -> ());
     Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name typ)
   in
@@ -388,7 +413,7 @@ let to_prometheus ?(registry = default) () =
   List.iter
     (fun (name, v) ->
       header name "gauge";
-      Buffer.add_string buf (Printf.sprintf "%s %s\n" name (json_float v)))
+      Buffer.add_string buf (Printf.sprintf "%s %s\n" name (prom_float v)))
     snap.gauges;
   List.iter
     (fun (name, h) ->
@@ -399,11 +424,11 @@ let to_prometheus ?(registry = default) () =
           cum := !cum + c;
           Buffer.add_string buf
             (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" name
-               (json_float h.upper.(i)) !cum))
+               (prom_float h.upper.(i)) !cum))
         (Array.sub h.counts 0 (Array.length h.upper));
       cum := !cum + h.counts.(Array.length h.upper);
       Buffer.add_string buf (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" name !cum);
-      Buffer.add_string buf (Printf.sprintf "%s_sum %s\n" name (json_float h.sum));
+      Buffer.add_string buf (Printf.sprintf "%s_sum %s\n" name (prom_float h.sum));
       Buffer.add_string buf (Printf.sprintf "%s_count %d\n" name h.count))
     snap.histograms;
   Buffer.contents buf

@@ -1,0 +1,481 @@
+(* ---- percentile estimation ---- *)
+
+let quantile (h : Metrics.histogram_snapshot) q =
+  if not (q >= 0. && q <= 1.) then
+    invalid_arg "Perf.quantile: q must be in [0, 1]";
+  if h.count = 0 then nan
+  else begin
+    let rank = q *. float_of_int h.count in
+    let n = Array.length h.upper in
+    let cum = ref 0 in
+    let result = ref nan in
+    (try
+       for i = 0 to Array.length h.counts - 1 do
+         let prev = float_of_int !cum in
+         cum := !cum + h.counts.(i);
+         if float_of_int !cum >= rank && h.counts.(i) > 0 then begin
+           if i >= n then
+             (* Overflow bucket: no upper bound, report its lower bound. *)
+             result := h.upper.(n - 1)
+           else begin
+             let lo = if i = 0 then 0. else h.upper.(i - 1) in
+             let hi = h.upper.(i) in
+             let frac =
+               (rank -. prev) /. float_of_int h.counts.(i)
+             in
+             let frac = Float.max 0. (Float.min 1. frac) in
+             result := lo +. (frac *. (hi -. lo))
+           end;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    !result
+  end
+
+(* ---- minimal JSON ---- *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  exception Fail of int * string
+
+  let parse (s : string) : (t, string) result =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg = raise (Fail (!pos, msg)) in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let skip_ws () =
+      while
+        !pos < n
+        && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+      do
+        advance ()
+      done
+    in
+    let expect c =
+      match peek () with
+      | Some c' when c' = c -> advance ()
+      | _ -> fail (Printf.sprintf "expected %C" c)
+    in
+    let literal word value =
+      let l = String.length word in
+      if !pos + l <= n && String.sub s !pos l = word then begin
+        pos := !pos + l;
+        value
+      end
+      else fail (Printf.sprintf "expected %s" word)
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec loop () =
+        if !pos >= n then fail "unterminated string";
+        let c = s.[!pos] in
+        advance ();
+        match c with
+        | '"' -> Buffer.contents buf
+        | '\\' -> (
+            if !pos >= n then fail "unterminated escape";
+            let e = s.[!pos] in
+            advance ();
+            match e with
+            | '"' -> Buffer.add_char buf '"'; loop ()
+            | '\\' -> Buffer.add_char buf '\\'; loop ()
+            | '/' -> Buffer.add_char buf '/'; loop ()
+            | 'n' -> Buffer.add_char buf '\n'; loop ()
+            | 't' -> Buffer.add_char buf '\t'; loop ()
+            | 'r' -> Buffer.add_char buf '\r'; loop ()
+            | 'b' -> Buffer.add_char buf '\b'; loop ()
+            | 'f' -> Buffer.add_char buf '\012'; loop ()
+            | 'u' ->
+                if !pos + 4 > n then fail "truncated \\u escape";
+                let hex = String.sub s !pos 4 in
+                pos := !pos + 4;
+                let code =
+                  match int_of_string_opt ("0x" ^ hex) with
+                  | Some c -> c
+                  | None -> fail "bad \\u escape"
+                in
+                (* Encode the code point as UTF-8 (BMP only; surrogate
+                   pairs in bench files don't occur — we never write
+                   them). *)
+                if code < 0x80 then Buffer.add_char buf (Char.chr code)
+                else if code < 0x800 then begin
+                  Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+                  Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+                end
+                else begin
+                  Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+                  Buffer.add_char buf
+                    (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+                  Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+                end;
+                loop ()
+            | _ -> fail "unknown escape")
+        | c -> Buffer.add_char buf c; loop ()
+      in
+      loop ()
+    in
+    let parse_number () =
+      let start = !pos in
+      let numchar c =
+        match c with
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while !pos < n && numchar s.[!pos] do
+        advance ()
+      done;
+      let tok = String.sub s start (!pos - start) in
+      match float_of_string_opt tok with
+      | Some f -> Num f
+      | None -> fail (Printf.sprintf "bad number %S" tok)
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some '"' -> Str (parse_string ())
+      | Some '{' -> parse_obj ()
+      | Some '[' -> parse_arr ()
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some ('-' | '0' .. '9') -> parse_number ()
+      | Some c -> fail (Printf.sprintf "unexpected %C" c)
+    and parse_obj () =
+      expect '{';
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let fields = ref [] in
+        let rec loop () =
+          skip_ws ();
+          let key = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          fields := (key, v) :: !fields;
+          skip_ws ();
+          match peek () with
+          | Some ',' -> advance (); loop ()
+          | Some '}' -> advance ()
+          | _ -> fail "expected ',' or '}'"
+        in
+        loop ();
+        Obj (List.rev !fields)
+      end
+    and parse_arr () =
+      expect '[';
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        Arr []
+      end
+      else begin
+        let items = ref [] in
+        let rec loop () =
+          let v = parse_value () in
+          items := v :: !items;
+          skip_ws ();
+          match peek () with
+          | Some ',' -> advance (); loop ()
+          | Some ']' -> advance ()
+          | _ -> fail "expected ',' or ']'"
+        in
+        loop ();
+        Arr (List.rev !items)
+      end
+    in
+    match
+      let v = parse_value () in
+      skip_ws ();
+      if !pos <> n then fail "trailing input";
+      v
+    with
+    | v -> Ok v
+    | exception Fail (at, msg) ->
+        Error (Printf.sprintf "JSON parse error at byte %d: %s" at msg)
+
+  let escape_string s =
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+
+  let number_to_string v =
+    if Float.is_nan v then "null"
+    else if Float.is_integer v && Float.abs v < 1e15 then
+      Printf.sprintf "%.0f" v
+    else Printf.sprintf "%.17g" v
+
+  let rec to_string = function
+    | Null -> "null"
+    | Bool b -> if b then "true" else "false"
+    | Num v -> number_to_string v
+    | Str s -> escape_string s
+    | Arr items -> "[" ^ String.concat "," (List.map to_string items) ^ "]"
+    | Obj fields ->
+        "{"
+        ^ String.concat ","
+            (List.map
+               (fun (k, v) -> escape_string k ^ ":" ^ to_string v)
+               fields)
+        ^ "}"
+
+  let member key = function
+    | Obj fields -> List.assoc_opt key fields
+    | _ -> None
+
+  let to_float = function Num v -> Some v | _ -> None
+
+  let to_int = function
+    | Num v when Float.is_integer v -> Some (int_of_float v)
+    | _ -> None
+
+  let to_str = function Str s -> Some s | _ -> None
+
+  let to_list = function Arr items -> Some items | _ -> None
+end
+
+(* ---- bench snapshots ---- *)
+
+type exhibit = {
+  ex_name : string;
+  wall_s : float;
+  tokens : int;
+  tokens_per_s : float;
+  candidates : int;
+  pruned : int;
+  verify_calls : int;
+  matches : int;
+  p50_ns : float;
+  p90_ns : float;
+  p99_ns : float;
+}
+
+type bench = {
+  schema : string;
+  git_rev : string;
+  scale : float;
+  ocaml : string;
+  exhibits : exhibit list;
+}
+
+let schema_version = "faerie-bench-v1"
+
+let exhibit_of_snapshot ~name ~wall_s (snap : Metrics.snapshot) =
+  let c n = Metrics.counter_value snap n in
+  let tokens = c "tokenize_tokens" in
+  let p50, p90, p99 =
+    match List.assoc_opt "doc_wall_ns" snap.histograms with
+    | Some h when h.count > 0 ->
+        (quantile h 0.5, quantile h 0.9, quantile h 0.99)
+    | _ -> (nan, nan, nan)
+  in
+  {
+    ex_name = name;
+    wall_s;
+    tokens;
+    tokens_per_s =
+      (if wall_s > 0. then float_of_int tokens /. wall_s else 0.);
+    candidates = c "candidates_generated";
+    pruned = c "entities_pruned_lazy" + c "buckets_pruned";
+    verify_calls = c "verify_calls";
+    matches = c "matches_verified";
+    p50_ns = p50;
+    p90_ns = p90;
+    p99_ns = p99;
+  }
+
+let num_or_null v = if Float.is_nan v then Json.Null else Json.Num v
+
+let json_of_exhibit (e : exhibit) =
+  Json.Obj
+    [
+      ("name", Json.Str e.ex_name);
+      ("wall_s", Json.Num e.wall_s);
+      ("tokens", Json.Num (float_of_int e.tokens));
+      ("tokens_per_s", Json.Num e.tokens_per_s);
+      ("candidates", Json.Num (float_of_int e.candidates));
+      ("pruned", Json.Num (float_of_int e.pruned));
+      ("verify_calls", Json.Num (float_of_int e.verify_calls));
+      ("matches", Json.Num (float_of_int e.matches));
+      ( "doc_wall_ns",
+        Json.Obj
+          [
+            ("p50", num_or_null e.p50_ns);
+            ("p90", num_or_null e.p90_ns);
+            ("p99", num_or_null e.p99_ns);
+          ] );
+    ]
+
+let bench_to_json (b : bench) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "{\"schema\":%s,\"git_rev\":%s,\"scale\":%s,\"ocaml\":%s,\"exhibits\":[\n"
+       (Json.escape_string b.schema)
+       (Json.escape_string b.git_rev)
+       (Json.number_to_string b.scale)
+       (Json.escape_string b.ocaml));
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf (Json.to_string (json_of_exhibit e)))
+    b.exhibits;
+  Buffer.add_string buf "\n]}\n";
+  Buffer.contents buf
+
+let exhibit_of_json j =
+  let ( let* ) = Option.bind in
+  let* name = Option.bind (Json.member "name" j) Json.to_str in
+  let* wall_s = Option.bind (Json.member "wall_s" j) Json.to_float in
+  let int_field k = Option.bind (Json.member k j) Json.to_int in
+  let* tokens = int_field "tokens" in
+  let* tokens_per_s = Option.bind (Json.member "tokens_per_s" j) Json.to_float in
+  let* candidates = int_field "candidates" in
+  let* pruned = int_field "pruned" in
+  let* verify_calls = int_field "verify_calls" in
+  let* matches = int_field "matches" in
+  let pct k =
+    match Option.bind (Json.member "doc_wall_ns" j) (Json.member k) with
+    | Some (Json.Num v) -> v
+    | _ -> nan
+  in
+  Some
+    {
+      ex_name = name;
+      wall_s;
+      tokens;
+      tokens_per_s;
+      candidates;
+      pruned;
+      verify_calls;
+      matches;
+      p50_ns = pct "p50";
+      p90_ns = pct "p90";
+      p99_ns = pct "p99";
+    }
+
+let bench_of_json s =
+  match Json.parse s with
+  | Error e -> Error e
+  | Ok j -> (
+      match Option.bind (Json.member "schema" j) Json.to_str with
+      | None -> Error "missing \"schema\" field"
+      | Some v when v <> schema_version ->
+          Error
+            (Printf.sprintf "unsupported schema %S (want %S)" v schema_version)
+      | Some schema -> (
+          let str_field k ~default =
+            Option.value ~default (Option.bind (Json.member k j) Json.to_str)
+          in
+          let scale =
+            Option.value ~default:1.0
+              (Option.bind (Json.member "scale" j) Json.to_float)
+          in
+          match Option.bind (Json.member "exhibits" j) Json.to_list with
+          | None -> Error "missing \"exhibits\" array"
+          | Some items -> (
+              let parsed = List.map exhibit_of_json items in
+              if List.exists Option.is_none parsed then
+                Error "malformed exhibit entry"
+              else
+                Ok
+                  {
+                    schema;
+                    git_rev = str_field "git_rev" ~default:"unknown";
+                    scale;
+                    ocaml = str_field "ocaml" ~default:"unknown";
+                    exhibits = List.filter_map Fun.id parsed;
+                  })))
+
+(* ---- regression comparison ---- *)
+
+type verdict = {
+  v_name : string;
+  baseline_s : float;
+  current_s : float;
+  ratio : float;
+  regressed : bool;
+}
+
+type comparison = {
+  verdicts : verdict list;
+  missing : string list;
+  any_regressed : bool;
+}
+
+let compare_benches ?(max_ratio = 1.5) ~baseline ~current () =
+  let find name =
+    List.find_opt (fun e -> e.ex_name = name) current.exhibits
+  in
+  let verdicts, missing =
+    List.fold_left
+      (fun (vs, ms) b ->
+        match find b.ex_name with
+        | None -> (vs, b.ex_name :: ms)
+        | Some c ->
+            let ratio =
+              if b.wall_s > 0. then c.wall_s /. b.wall_s
+              else if c.wall_s > 0. then infinity
+              else 1.
+            in
+            let v =
+              {
+                v_name = b.ex_name;
+                baseline_s = b.wall_s;
+                current_s = c.wall_s;
+                ratio;
+                regressed = ratio > max_ratio;
+              }
+            in
+            (v :: vs, ms))
+      ([], []) baseline.exhibits
+  in
+  let verdicts = List.rev verdicts and missing = List.rev missing in
+  {
+    verdicts;
+    missing;
+    any_regressed =
+      missing <> [] || List.exists (fun v -> v.regressed) verdicts;
+  }
+
+let render_comparison ~max_ratio c =
+  let buf = Buffer.create 256 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "%-24s %12s %12s %8s" "exhibit" "baseline_s" "current_s" "ratio";
+  List.iter
+    (fun v ->
+      line "%-24s %12.4f %12.4f %7.2fx%s" v.v_name v.baseline_s v.current_s
+        v.ratio
+        (if v.regressed then "  REGRESSED" else ""))
+    c.verdicts;
+  List.iter (fun name -> line "%-24s MISSING from current snapshot" name) c.missing;
+  line "%s (max-ratio %.2f)"
+    (if c.any_regressed then "REGRESSED" else "PASS")
+    max_ratio;
+  Buffer.contents buf

@@ -1,0 +1,119 @@
+(** Machine-readable performance snapshots.
+
+    Three pieces: percentile estimation over {!Metrics.histogram_snapshot},
+    a minimal JSON codec (the library stack has no JSON dependency), and
+    the [faerie-bench-v1] snapshot schema written by [bench --json] and
+    compared by [faerie_cli regress]. *)
+
+val quantile : Metrics.histogram_snapshot -> float -> float
+(** [quantile h q] estimates the [q]-quantile ([0. <= q <= 1.]) of the
+    observations recorded in [h] by walking the cumulative bucket counts
+    and interpolating linearly inside the bucket holding the target rank
+    (the first bucket interpolates from [0.], the overflow bucket reports
+    its lower bound — the histogram carries no upper limit there).
+    Returns [nan] when the histogram is empty.
+    @raise Invalid_argument if [q] is outside [0., 1.]. *)
+
+(** {1 Minimal JSON} *)
+
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  val parse : string -> (t, string) result
+  (** Strict parser for the JSON this library itself writes (objects,
+      arrays, strings with the common escapes, numbers, booleans, null).
+      Errors carry a byte offset. Trailing whitespace is allowed; any
+      other trailing input is an error. *)
+
+  val to_string : t -> string
+  (** Compact (no whitespace) rendering. Object fields keep their order. *)
+
+  val member : string -> t -> t option
+  (** Field lookup; [None] on missing field or non-object. *)
+
+  val to_float : t -> float option
+
+  val to_int : t -> int option
+
+  val to_str : t -> string option
+
+  val to_list : t -> t list option
+end
+
+(** {1 Bench snapshots (schema [faerie-bench-v1])} *)
+
+type exhibit = {
+  ex_name : string;
+  wall_s : float;  (** wall time for the whole exhibit *)
+  tokens : int;  (** [tokenize_tokens] counter *)
+  tokens_per_s : float;
+  candidates : int;  (** [candidates_generated] *)
+  pruned : int;  (** [entities_pruned_lazy] + [buckets_pruned] *)
+  verify_calls : int;  (** [verify_calls] *)
+  matches : int;  (** [matches_verified] *)
+  p50_ns : float;  (** per-document wall-time percentiles from the *)
+  p90_ns : float;  (** [doc_wall_ns] histogram; [nan] (serialized as *)
+  p99_ns : float;  (** [null]) when no document timings were recorded *)
+}
+
+type bench = {
+  schema : string;  (** ["faerie-bench-v1"] *)
+  git_rev : string;
+  scale : float;  (** [FAERIE_SCALE] in effect *)
+  ocaml : string;  (** [Sys.ocaml_version] *)
+  exhibits : exhibit list;
+}
+
+val schema_version : string
+
+val exhibit_of_snapshot :
+  name:string -> wall_s:float -> Metrics.snapshot -> exhibit
+(** Pull the exhibit counters and [doc_wall_ns] percentiles out of a
+    metrics snapshot taken at the end of the exhibit (reset the registry
+    before the exhibit so the counts are per-exhibit). *)
+
+val bench_to_json : bench -> string
+(** Pretty-ish (one exhibit per line) rendering of the v1 schema:
+    {v
+    {"schema":"faerie-bench-v1","git_rev":R,"scale":N,"ocaml":V,"exhibits":[
+    {"name":...,"wall_s":...,"tokens":...,"tokens_per_s":...,"candidates":...,
+     "pruned":...,"verify_calls":...,"matches":...,
+     "doc_wall_ns":{"p50":...,"p90":...,"p99":...}},
+    ...]}
+    v} *)
+
+val bench_of_json : string -> (bench, string) result
+(** Inverse of {!bench_to_json} (accepts any field order); rejects
+    snapshots whose ["schema"] is not {!schema_version}. *)
+
+(** {1 Regression comparison} *)
+
+type verdict = {
+  v_name : string;
+  baseline_s : float;
+  current_s : float;
+  ratio : float;  (** [current_s /. baseline_s]; [infinity] on a 0 baseline *)
+  regressed : bool;  (** [ratio > max_ratio] *)
+}
+
+type comparison = {
+  verdicts : verdict list;  (** exhibits present in both snapshots *)
+  missing : string list;  (** baseline exhibits absent from current *)
+  any_regressed : bool;  (** some verdict regressed, or some exhibit missing *)
+}
+
+val compare_benches :
+  ?max_ratio:float -> baseline:bench -> current:bench -> unit -> comparison
+(** Per-exhibit wall-time ratio check; [max_ratio] defaults to [1.5].
+    Exhibits only in [current] are ignored (new exhibits are not
+    regressions); exhibits only in [baseline] are reported missing and
+    count as a regression. *)
+
+val render_comparison : max_ratio:float -> comparison -> string
+(** Human table: one line per verdict plus a final PASS/REGRESSED line. *)

@@ -187,6 +187,139 @@ let test_extract_metrics_file () =
              with Not_found -> false)
            traces))
 
+let read_lines path =
+  let ic = open_in path in
+  let rec go acc =
+    match input_line ic with
+    | l -> go (l :: acc)
+    | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+  in
+  go []
+
+let has_match re lines =
+  List.exists
+    (fun l ->
+      try
+        ignore (Str.search_forward (Str.regexp re) l 0);
+        true
+      with Not_found -> false)
+    lines
+
+let exit_code = function Unix.WEXITED n -> n | _ -> -1
+
+let test_explain_waterfall () =
+  with_temp_dir (fun dir ->
+      let dict = paper_dict_file dir and doc = paper_doc_file dir in
+      let status, lines =
+        run_cli [ "explain"; dict; doc; "-s"; "ed=2"; "-q"; "2" ]
+      in
+      check_int "exit 0" 0 (exit_code status);
+      check_bool "waterfall header" true
+        (has_match "filter-cascade waterfall" lines);
+      check_bool "heap stage reported" true
+        (has_match "entities streamed off the heap" lines);
+      check_bool "verify stage reported" true
+        (has_match "verified matches" lines))
+
+let test_explain_jsonl () =
+  with_temp_dir (fun dir ->
+      let dict = paper_dict_file dir and doc = paper_doc_file dir in
+      let out = Filename.concat dir "events.jsonl" in
+      (* Positionals first: --jsonl with no '=' would swallow the next
+         token as its optional value. *)
+      let status, _ =
+        run_cli
+          [ "explain"; dict; doc; "-s"; "ed=2"; "-q"; "2"; "--jsonl=" ^ out ]
+      in
+      check_int "exit 0" 0 (exit_code status);
+      let events = read_lines out in
+      check_bool "events recorded" true (List.length events > 3);
+      (match events with
+      | first :: _ ->
+          Alcotest.(check string) "opens with the doc marker"
+            "{\"ev\":\"doc\",\"doc_id\":0}" first
+      | [] -> Alcotest.fail "empty event dump");
+      check_bool "every line is a tagged event" true
+        (List.for_all
+           (fun l ->
+             String.length l > 8
+             && String.sub l 0 7 = "{\"ev\":\""
+             && l.[String.length l - 1] = '}')
+           events);
+      check_bool "candidates audited" true
+        (has_match "\"ev\":\"candidate\"" events);
+      check_bool "filter completion audited" true
+        (has_match "\"ev\":\"filter_done\"" events);
+      check_bool "verification audited" true
+        (has_match "\"ev\":\"verify\"" events))
+
+let test_extract_explain_file () =
+  with_temp_dir (fun dir ->
+      let dict = paper_dict_file dir and doc = paper_doc_file dir in
+      let out = Filename.concat dir "explain.jsonl" in
+      let status, lines =
+        run_cli
+          [ "extract"; "-d"; dict; "-s"; "ed=2"; "-q"; "2";
+            "--explain=" ^ out; doc ]
+      in
+      check_int "exit 0" 0 (exit_code status);
+      check_bool "matches still printed" true (List.length lines >= 3);
+      let events = read_lines out in
+      check_bool "doc event present" true (has_match "\"ev\":\"doc\"" events);
+      check_bool "verify events present" true
+        (has_match "\"ev\":\"verify\"" events))
+
+let test_extract_metrics_prom () =
+  with_temp_dir (fun dir ->
+      let dict = paper_dict_file dir and doc = paper_doc_file dir in
+      let out = Filename.concat dir "metrics.prom" in
+      let status, _ =
+        run_cli
+          [ "extract"; "-d"; dict; "-s"; "ed=2"; "-q"; "2";
+            "--metrics=" ^ out; "--metrics-format=prom"; doc ]
+      in
+      check_int "exit 0" 0 (exit_code status);
+      let lines = read_lines out in
+      check_bool "type comments present" true
+        (has_match "^# TYPE docs_processed counter" lines);
+      check_bool "counter sample present" true
+        (has_match "^docs_processed 1$" lines);
+      check_bool "histogram cells present" true
+        (has_match "_bucket{le=\"\\+Inf\"}" lines))
+
+let bench_snapshot ~wall_s =
+  Printf.sprintf
+    "{\"schema\":\"faerie-bench-v1\",\"git_rev\":\"test\",\"scale\":1,\"ocaml\":\"5.1.1\",\"exhibits\":[\n\
+     {\"name\":\"smoke\",\"wall_s\":%s,\"tokens\":100,\"tokens_per_s\":100,\"candidates\":10,\"pruned\":2,\"verify_calls\":8,\"matches\":3,\"doc_wall_ns\":{\"p50\":null,\"p90\":null,\"p99\":null}}\n\
+     ]}\n"
+    wall_s
+
+let test_regress_exit_codes () =
+  with_temp_dir (fun dir ->
+      let file name contents =
+        let path = Filename.concat dir name in
+        write_file path contents;
+        path
+      in
+      let baseline = file "base.json" (bench_snapshot ~wall_s:"1.0") in
+      let same = file "same.json" (bench_snapshot ~wall_s:"1.0") in
+      let slow = file "slow.json" (bench_snapshot ~wall_s:"2.5") in
+      let bad = file "bad.json" "this is not a bench snapshot" in
+      let status, lines = run_cli [ "regress"; baseline; same ] in
+      check_int "identical snapshot passes" 0 (exit_code status);
+      check_bool "PASS line printed" true (has_match "^PASS" lines);
+      let status, lines = run_cli [ "regress"; baseline; slow ] in
+      check_int "2.5x slowdown fails" 1 (exit_code status);
+      check_bool "REGRESSED reported" true (has_match "REGRESSED" lines);
+      let status, _ =
+        run_cli [ "regress"; baseline; slow; "--max-ratio"; "3.0" ]
+      in
+      check_int "generous gate tolerates it" 0 (exit_code status);
+      let status, _ = run_cli [ "regress"; baseline; bad ] in
+      check_int "malformed snapshot exits 2" 2 (exit_code status))
+
 let () =
   Alcotest.run "faerie_cli"
     [
@@ -202,5 +335,14 @@ let () =
           Alcotest.test_case "bad sim spec" `Quick test_bad_sim_spec_fails;
           Alcotest.test_case "extract --metrics/--trace" `Quick
             test_extract_metrics_file;
+          Alcotest.test_case "explain waterfall" `Quick test_explain_waterfall;
+          Alcotest.test_case "explain --jsonl event schema" `Quick
+            test_explain_jsonl;
+          Alcotest.test_case "extract --explain=FILE" `Quick
+            test_extract_explain_file;
+          Alcotest.test_case "extract --metrics-format=prom" `Quick
+            test_extract_metrics_prom;
+          Alcotest.test_case "regress exit codes" `Quick
+            test_regress_exit_codes;
         ] );
     ]

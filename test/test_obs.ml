@@ -4,6 +4,8 @@
 
 module Metrics = Faerie_obs.Metrics
 module Trace = Faerie_obs.Trace
+module Explain = Faerie_obs.Explain
+module Perf = Faerie_obs.Perf
 module Fault = Faerie_util.Fault
 module Sim = Faerie_sim.Sim
 module Core = Faerie_core
@@ -249,6 +251,318 @@ let test_trace_jsonl_schema () =
     (Trace.to_jsonl spans)
 
 (* ------------------------------------------------------------------ *)
+(* (e) Explain waterfall agrees with Types.stats at every level        *)
+(* ------------------------------------------------------------------ *)
+
+let test_explain_matches_stats () =
+  List.iter
+    (fun pruning ->
+      let ex = Extractor.create ~sim:(Sim.Edit_distance 2) ~q:2 paper_dict in
+      let sink = Explain.create () in
+      let opts =
+        { Extractor.default_opts with Extractor.pruning; explain = Some sink }
+      in
+      let report = Extractor.run ~opts ex (`Text paper_doc) in
+      check_bool "run succeeded" true (Outcome.is_ok report.Extractor.outcome);
+      let stats = report.Extractor.stats in
+      let s = Explain.summarize sink in
+      let level = Types.pruning_name pruning in
+      let eq name a b = check_int (level ^ ": " ^ name) a b in
+      eq "docs" 1 s.Explain.docs;
+      eq "entities_seen" stats.Types.entities_seen s.Explain.entities_seen;
+      eq "pruned_lazy" stats.Types.entities_pruned_lazy s.Explain.pruned_lazy;
+      eq "buckets_pruned" stats.Types.buckets_pruned s.Explain.buckets_pruned;
+      eq "candidates" stats.Types.candidates s.Explain.candidates;
+      eq "survivors" stats.Types.survivors s.Explain.survivors;
+      eq "verify_calls" stats.Types.survivors s.Explain.verify_calls;
+      eq "matched" stats.Types.verified s.Explain.matched;
+      (* Dedup can only shrink the surviving candidate set. *)
+      check_bool (level ^ ": dedup shrinks") true
+        (s.Explain.candidates_survived >= s.Explain.survivors);
+      (* The log itself is well-formed: opens with the document marker. *)
+      (match Explain.events sink with
+      | Explain.Doc { doc_id = 0 } :: _ -> ()
+      | _ -> Alcotest.fail (level ^ ": first event must be Doc"));
+      check_bool (level ^ ": events recorded") true (Explain.length sink > 1))
+    Types.all_prunings
+
+let test_explain_sink_reuse_accumulates () =
+  let ex = Extractor.create ~sim:(Sim.Edit_distance 2) ~q:2 paper_dict in
+  let sink = Explain.create () in
+  let opts = { Extractor.default_opts with Extractor.explain = Some sink } in
+  let r1 = Extractor.run ~opts ex (`Text paper_doc) in
+  let r2 = Extractor.run ~opts ex (`Text paper_doc) in
+  check_bool "both ok" true
+    (Outcome.is_ok r1.Extractor.outcome && Outcome.is_ok r2.Extractor.outcome);
+  let s = Explain.summarize sink in
+  check_int "two docs audited" 2 s.Explain.docs;
+  check_int "stats sum across documents"
+    (r1.Extractor.stats.Types.candidates + r2.Extractor.stats.Types.candidates)
+    s.Explain.candidates;
+  Explain.clear sink;
+  check_int "clear empties the log" 0 (Explain.length sink)
+
+let test_explain_disarmed_is_inert () =
+  check_bool "disarmed by default" false (Explain.armed ());
+  check_bool "no current sink" true (Explain.current () = None);
+  (* Hook entry points are no-ops without a sink. *)
+  Explain.record (Explain.Filter_done { survivors = 1 });
+  Explain.skip Explain.Span_pruned;
+  let sink = Explain.create () in
+  (try
+     Explain.with_sink sink (fun () ->
+         check_bool "armed inside" true (Explain.armed ());
+         check_bool "current inside" true (Explain.current () = Some sink);
+         failwith "boom")
+   with Failure _ -> ());
+  check_bool "disarmed after exception" false (Explain.armed ());
+  check_bool "no sink after exception" true (Explain.current () = None);
+  check_int "stray records went nowhere" 0 (Explain.length sink)
+
+let test_explain_jsonl_schema () =
+  let sink = Explain.create () in
+  List.iter
+    (Explain.emit sink)
+    [
+      Explain.Doc { doc_id = 0 };
+      Explain.Entity { entity = 3; e_len = 2; n_positions = 5 };
+      Explain.Pruned
+        { entity = 3; reason = Explain.Lazy_bound { tl = 2; count = 1 } };
+      Explain.Pruned { entity = 4; reason = Explain.Bucket_pruned };
+      Explain.Window { entity = 3; first = 0; last = 4 };
+      Explain.Window_skip { entity = 3; reason = Explain.Span_pruned };
+      Explain.Window_skip { entity = 3; reason = Explain.Shift_jumped 5 };
+      Explain.Candidate
+        { entity = 3; start = 7; len = 2; count = 2; t = 2; survived = true };
+      Explain.Filter_done { survivors = 12 };
+      Explain.Verify { entity = 3; start = 7; len = 2; matched = true };
+      Explain.Selection { total = 9; kept = 4 };
+    ];
+  check_string "explain jsonl schema"
+    "{\"ev\":\"doc\",\"doc_id\":0}\n\
+     {\"ev\":\"entity\",\"entity\":3,\"e_len\":2,\"positions\":5}\n\
+     {\"ev\":\"pruned\",\"entity\":3,\"reason\":\"lazy\",\"tl\":2,\"count\":1}\n\
+     {\"ev\":\"pruned\",\"entity\":4,\"reason\":\"bucket\"}\n\
+     {\"ev\":\"window\",\"entity\":3,\"first\":0,\"last\":4}\n\
+     {\"ev\":\"window_skip\",\"entity\":3,\"reason\":\"span\"}\n\
+     {\"ev\":\"window_skip\",\"entity\":3,\"reason\":\"shift\",\"jump\":5}\n\
+     {\"ev\":\"candidate\",\"entity\":3,\"start\":7,\"len\":2,\"count\":2,\"t\":2,\"survived\":true}\n\
+     {\"ev\":\"filter_done\",\"survivors\":12}\n\
+     {\"ev\":\"verify\",\"entity\":3,\"start\":7,\"len\":2,\"matched\":true}\n\
+     {\"ev\":\"selection\",\"total\":9,\"kept\":4}\n"
+    (Explain.to_jsonl sink)
+
+(* ------------------------------------------------------------------ *)
+(* (f) Perf: quantiles, bench snapshot codec, regression comparison    *)
+(* ------------------------------------------------------------------ *)
+
+let hist ~upper ~counts =
+  {
+    Metrics.upper;
+    counts;
+    sum = 0.;
+    count = Array.fold_left ( + ) 0 counts;
+  }
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_quantile () =
+  let h = hist ~upper:[| 10.; 20.; 30. |] ~counts:[| 1; 1; 1; 0 |] in
+  check_float "median interpolates" 15. (Perf.quantile h 0.5);
+  check_float "q=1 hits last bound" 30. (Perf.quantile h 1.0);
+  let skewed = hist ~upper:[| 10.; 20.; 30. |] ~counts:[| 10; 0; 0; 0 |] in
+  check_float "all mass in first bucket" 5. (Perf.quantile skewed 0.5);
+  let overflow = hist ~upper:[| 10.; 20.; 30. |] ~counts:[| 0; 0; 0; 2 |] in
+  check_float "overflow reports last bound" 30. (Perf.quantile overflow 0.5);
+  let empty = hist ~upper:[| 10. |] ~counts:[| 0; 0 |] in
+  check_bool "empty is nan" true (Float.is_nan (Perf.quantile empty 0.5));
+  (match Perf.quantile h 1.5 with
+  | _ -> Alcotest.fail "q out of range must be rejected"
+  | exception Invalid_argument _ -> ())
+
+let sample_bench =
+  {
+    Perf.schema = Perf.schema_version;
+    git_rev = "abc1234";
+    scale = 1.0;
+    ocaml = "5.1.1";
+    exhibits =
+      [
+        {
+          Perf.ex_name = "smoke";
+          wall_s = 0.5;
+          tokens = 100;
+          tokens_per_s = 200.;
+          candidates = 10;
+          pruned = 4;
+          verify_calls = 8;
+          matches = 3;
+          p50_ns = 1500.;
+          p90_ns = 2000.;
+          p99_ns = nan;
+        };
+      ];
+  }
+
+let test_bench_json_schema () =
+  check_string "bench json schema"
+    "{\"schema\":\"faerie-bench-v1\",\"git_rev\":\"abc1234\",\"scale\":1,\"ocaml\":\"5.1.1\",\"exhibits\":[\n\
+     {\"name\":\"smoke\",\"wall_s\":0.5,\"tokens\":100,\"tokens_per_s\":200,\"candidates\":10,\"pruned\":4,\"verify_calls\":8,\"matches\":3,\"doc_wall_ns\":{\"p50\":1500,\"p90\":2000,\"p99\":null}}\n\
+     ]}\n"
+    (Perf.bench_to_json sample_bench)
+
+let test_bench_json_roundtrip () =
+  match Perf.bench_of_json (Perf.bench_to_json sample_bench) with
+  | Error e -> Alcotest.fail ("roundtrip failed: " ^ e)
+  | Ok b -> (
+      check_string "schema" sample_bench.Perf.schema b.Perf.schema;
+      check_string "git_rev" "abc1234" b.Perf.git_rev;
+      check_float "scale" 1.0 b.Perf.scale;
+      check_string "ocaml" "5.1.1" b.Perf.ocaml;
+      match b.Perf.exhibits with
+      | [ e ] ->
+          let o = List.hd sample_bench.Perf.exhibits in
+          check_string "name" o.Perf.ex_name e.Perf.ex_name;
+          check_float "wall_s" o.Perf.wall_s e.Perf.wall_s;
+          check_int "tokens" o.Perf.tokens e.Perf.tokens;
+          check_float "tokens_per_s" o.Perf.tokens_per_s e.Perf.tokens_per_s;
+          check_int "candidates" o.Perf.candidates e.Perf.candidates;
+          check_int "pruned" o.Perf.pruned e.Perf.pruned;
+          check_int "verify_calls" o.Perf.verify_calls e.Perf.verify_calls;
+          check_int "matches" o.Perf.matches e.Perf.matches;
+          check_float "p50" o.Perf.p50_ns e.Perf.p50_ns;
+          check_float "p90" o.Perf.p90_ns e.Perf.p90_ns;
+          check_bool "null p99 roundtrips to nan" true
+            (Float.is_nan e.Perf.p99_ns)
+      | l -> Alcotest.failf "expected 1 exhibit, got %d" (List.length l))
+
+let test_bench_json_rejects () =
+  (match Perf.bench_of_json "not json at all" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage must not parse");
+  (match
+     Perf.bench_of_json "{\"schema\":\"faerie-bench-v0\",\"exhibits\":[]}"
+   with
+  | Error e ->
+      let contains hay needle =
+        let nh = String.length hay and nn = String.length needle in
+        let rec go i =
+          i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+        in
+        go 0
+      in
+      check_bool "schema version named" true (contains e "faerie-bench-v0")
+  | Ok _ -> Alcotest.fail "wrong schema version must be rejected");
+  match Perf.bench_of_json "{\"schema\":\"faerie-bench-v1\"}" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing exhibits must be rejected"
+
+let test_compare_benches () =
+  let with_wall w =
+    {
+      sample_bench with
+      Perf.exhibits =
+        List.map
+          (fun e -> { e with Perf.wall_s = w })
+          sample_bench.Perf.exhibits;
+    }
+  in
+  (* Identical snapshot: pass, ratio 1. *)
+  let c =
+    Perf.compare_benches ~baseline:sample_bench ~current:sample_bench ()
+  in
+  check_bool "identical passes" false c.Perf.any_regressed;
+  (match c.Perf.verdicts with
+  | [ v ] ->
+      check_float "ratio 1" 1.0 v.Perf.ratio;
+      check_bool "not regressed" false v.Perf.regressed
+  | _ -> Alcotest.fail "expected one verdict");
+  (* Synthetic 2x slowdown: flagged at the default 1.5 ratio. *)
+  let c =
+    Perf.compare_benches ~baseline:sample_bench ~current:(with_wall 1.0) ()
+  in
+  check_bool "2x slowdown regresses" true c.Perf.any_regressed;
+  (match c.Perf.verdicts with
+  | [ v ] ->
+      check_float "ratio 2" 2.0 v.Perf.ratio;
+      check_bool "flagged" true v.Perf.regressed
+  | _ -> Alcotest.fail "expected one verdict");
+  (* A generous gate tolerates the same slowdown. *)
+  let c =
+    Perf.compare_benches ~max_ratio:3.0 ~baseline:sample_bench
+      ~current:(with_wall 1.0) ()
+  in
+  check_bool "max-ratio 3 tolerates 2x" false c.Perf.any_regressed;
+  (* A baseline exhibit missing from current is a regression. *)
+  let c =
+    Perf.compare_benches ~baseline:sample_bench
+      ~current:{ sample_bench with Perf.exhibits = [] }
+      ()
+  in
+  check_bool "missing exhibit regresses" true c.Perf.any_regressed;
+  Alcotest.(check (list string)) "missing named" [ "smoke" ] c.Perf.missing;
+  (* Extra exhibits in current are not regressions. *)
+  let c =
+    Perf.compare_benches
+      ~baseline:{ sample_bench with Perf.exhibits = [] }
+      ~current:sample_bench ()
+  in
+  check_bool "new exhibit ignored" false c.Perf.any_regressed;
+  check_int "no verdicts" 0 (List.length c.Perf.verdicts)
+
+(* ------------------------------------------------------------------ *)
+(* (g) Prometheus escaping, trace drain ordering, suppression nesting  *)
+(* ------------------------------------------------------------------ *)
+
+let test_prometheus_hostile_help () =
+  let reg = Metrics.create () in
+  let c = Metrics.counter ~registry:reg ~help:"line1\nline2\\end" "hostile" in
+  Metrics.add c 2;
+  check_string "help newline and backslash escaped"
+    "# HELP hostile line1\\nline2\\\\end\n# TYPE hostile counter\nhostile 2\n"
+    (Metrics.to_prometheus ~registry:reg ())
+
+let test_trace_drain_cross_domain () =
+  with_deterministic_clock @@ fun () ->
+  Trace.with_span "alpha" (fun () -> ());
+  Domain.join
+    (Domain.spawn (fun () -> Trace.with_span "beta" (fun () -> ())));
+  Domain.join
+    (Domain.spawn (fun () -> Trace.with_span "gamma" (fun () -> ())));
+  Trace.with_span "delta" (fun () -> ());
+  let spans = Trace.drain () in
+  Alcotest.(check (list string))
+    "time-ordered across domains"
+    [ "alpha"; "beta"; "gamma"; "delta" ]
+    (List.map (fun s -> s.Trace.name) spans);
+  (* The injected clock ticks 10ns per read; each span reads it twice, so
+     start times are fully determined. *)
+  Alcotest.(check (list int))
+    "deterministic start times" [ 10; 30; 50; 70 ]
+    (List.map (fun s -> Int64.to_int s.Trace.start_ns) spans);
+  let dom i = (List.nth spans i).Trace.domain in
+  check_bool "beta recorded on its own domain" true (dom 1 <> dom 0);
+  check_bool "gamma on a third buffer" true (dom 2 <> dom 0);
+  check_bool "drain cleared every buffer" true (Trace.drain () = [])
+
+let test_suppressed_nesting_exception () =
+  let reg = Metrics.create () in
+  let c = Metrics.counter ~registry:reg "c" in
+  Metrics.with_suppressed ~registry:reg (fun () ->
+      Metrics.incr c;
+      (try
+         Metrics.with_suppressed ~registry:reg (fun () ->
+             Metrics.incr c;
+             failwith "boom")
+       with Failure _ -> ());
+      (* The inner exception must not tear down the outer suppression. *)
+      Metrics.incr c);
+  Metrics.incr c;
+  let snap = Metrics.snapshot ~registry:reg () in
+  check_int "only the unsuppressed write lands" 1
+    (Metrics.counter_value snap "c")
+
+(* ------------------------------------------------------------------ *)
 (* Registry mechanics                                                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -289,6 +603,32 @@ let () =
           Alcotest.test_case "pipeline histogram totals" `Quick
             test_pipeline_histogram_totals;
           Alcotest.test_case "registry mechanics" `Quick test_registry_mechanics;
+          Alcotest.test_case "prometheus escapes hostile help strings" `Quick
+            test_prometheus_hostile_help;
+          Alcotest.test_case "with_suppressed nests across an exception"
+            `Quick test_suppressed_nesting_exception;
+        ] );
+      ( "explain",
+        [
+          Alcotest.test_case "waterfall equals stats at every pruning level"
+            `Quick test_explain_matches_stats;
+          Alcotest.test_case "one sink accumulates across documents" `Quick
+            test_explain_sink_reuse_accumulates;
+          Alcotest.test_case "disarmed hooks are inert" `Quick
+            test_explain_disarmed_is_inert;
+          Alcotest.test_case "event jsonl schema" `Quick
+            test_explain_jsonl_schema;
+        ] );
+      ( "perf",
+        [
+          Alcotest.test_case "quantile estimation" `Quick test_quantile;
+          Alcotest.test_case "bench json schema" `Quick test_bench_json_schema;
+          Alcotest.test_case "bench json roundtrip" `Quick
+            test_bench_json_roundtrip;
+          Alcotest.test_case "bench json rejects bad input" `Quick
+            test_bench_json_rejects;
+          Alcotest.test_case "regression comparison" `Quick
+            test_compare_benches;
         ] );
       ( "shards",
         [
@@ -299,6 +639,8 @@ let () =
         [
           Alcotest.test_case "spans nest and close under injected fault"
             `Quick test_spans_nest_under_fault;
+          Alcotest.test_case "drain orders deterministically across domains"
+            `Quick test_trace_drain_cross_domain;
         ] );
       ( "schema",
         [
