@@ -18,11 +18,22 @@ let subsection name = Printf.printf "\n--- %s ---\n%!" name
    CSV file, ready for plotting. *)
 let csv_dir = Sys.getenv_opt "FAERIE_CSV_DIR"
 
+(* Recursive and race-tolerant: a nested FAERIE_CSV_DIR (out/csv) needs
+   its parents, and a concurrent creator winning the race is success, not
+   an error. [Sys.mkdir] surfaces EEXIST as Sys_error. *)
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    try Sys.mkdir dir 0o755
+    with Sys_error _ when Sys.file_exists dir -> ()
+  end
+
 let write_csv name ~header ~rows =
   match csv_dir with
   | None -> ()
   | Some dir ->
-      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      mkdir_p dir;
       let oc = open_out (Filename.concat dir (name ^ ".csv")) in
       let quote cell =
         if String.exists (fun c -> c = ',' || c = '"') cell then

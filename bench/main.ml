@@ -656,12 +656,17 @@ let run_section name f =
   dt
 
 let () =
+  (* GC/allocation telemetry rides along for every section: exhibits that
+     route through Extractor.run (smoke) get per-doc gc blocks in the
+     --json snapshot; Prof's overhead is two Gc.quick_stat calls per
+     instrumented stage, noise at bench granularity. *)
+  Faerie_obs.Prof.enable ();
   Printf.printf "Faerie benchmark harness (FAERIE_SCALE=%g, %d entities)\n"
     W.scale W.n_entities;
   (* --json[=FILE]: after the selected sections, write one machine-readable
-     faerie-bench-v1 snapshot (per-exhibit wall time, throughput, pipeline
-     counters, latency percentiles). Counters are attributed per section by
-     resetting the registry before each one. *)
+     faerie-bench-v2 snapshot (per-exhibit wall time, throughput, pipeline
+     counters, latency/allocation percentiles, gc telemetry). Counters are
+     attributed per section by resetting the registry before each one. *)
   let json_out = ref None in
   let names =
     List.filter

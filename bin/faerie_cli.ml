@@ -3,8 +3,9 @@
    Subcommands:
      extract   find approximate entity matches in documents
      explain   audit the filter cascade on one document
+     flame     profile one extraction into a folded-stack flame profile
      stats     report dictionary / index statistics
-     regress   compare two bench snapshots for wall-time regressions
+     regress   compare two bench snapshots for wall-time/alloc regressions
      gen       generate a synthetic corpus (entities + documents)          *)
 
 module Sim = Faerie_sim.Sim
@@ -399,6 +400,66 @@ let explain_cmd =
       const run $ sim_arg $ q_arg $ pruning_arg $ dict_pos $ doc_pos
       $ jsonl_arg $ top_arg)
 
+(* ---- flame ---- *)
+
+let flame_cmd =
+  let dict_pos =
+    let doc = "Dictionary file: one entity per line." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"DICT" ~doc)
+  in
+  let doc_pos =
+    let doc = "Document file to profile." in
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"DOC" ~doc)
+  in
+  let pruning_arg =
+    let doc = "Pruning level: none, lazy, bucket or binary (full Faerie)." in
+    Arg.(value & opt pruning_conv Types.Binary_window & info [ "pruning" ] ~doc)
+  in
+  let folded_arg =
+    let doc =
+      "Write the folded-stack profile ('stack;stack SELF_NS' lines, \
+       consumable by flamegraph.pl or speedscope) to $(docv) ('-': stderr)."
+    in
+    Arg.(value & opt (some string) None & info [ "folded" ] ~docv:"FILE" ~doc)
+  in
+  let top_arg =
+    let doc = "Rows in the self-time table printed to stdout." in
+    Arg.(value & opt int 10 & info [ "top" ] ~docv:"K" ~doc)
+  in
+  let run sim q pruning dict_file doc_file folded top =
+    guard @@ fun () ->
+    let module Trace = Faerie_obs.Trace in
+    let module Prof = Faerie_obs.Prof in
+    Trace.enable ();
+    Prof.enable ();
+    let problem = Problem.create ~sim ~q (read_lines dict_file) in
+    let extractor = Extractor.of_problem problem in
+    ignore (Trace.drain ());
+    let opts = { Extractor.default_opts with pruning } in
+    let report = Extractor.run ~opts extractor (`Text (read_file doc_file)) in
+    (match report.Extractor.outcome with
+    | Outcome.Failed err ->
+        Printf.eprintf "faerie: %s\n" (Outcome.error_to_string err)
+    | Outcome.Degraded (_, why) ->
+        Printf.eprintf "faerie: %s\n" (Outcome.degradation_to_string why)
+    | Outcome.Ok _ -> ());
+    let frames = Prof.flame_of_spans (Trace.drain ()) in
+    print_string (Prof.render_top ~top frames);
+    (match folded with
+    | None -> ()
+    | Some dest -> write_sink dest (Prof.to_folded frames));
+    match report.Extractor.outcome with Outcome.Failed _ -> 1 | _ -> 0
+  in
+  let doc =
+    "Profile one extraction: aggregate its trace spans into a flame profile \
+     (top self-time table on stdout, folded stacks via --folded)."
+  in
+  Cmd.v
+    (Cmd.info "flame" ~doc)
+    Term.(
+      const run $ sim_arg $ q_arg $ pruning_arg $ dict_pos $ doc_pos
+      $ folded_arg $ top_arg)
+
 (* ---- regress ---- *)
 
 let regress_cmd =
@@ -416,7 +477,18 @@ let regress_cmd =
     in
     Arg.(value & opt float 1.5 & info [ "max-ratio" ] ~docv:"R" ~doc)
   in
-  let run old_file new_file max_ratio =
+  let max_alloc_ratio_arg =
+    let doc =
+      "Also gate allocation: maximum tolerated minor-words ratio \
+       current/baseline per exhibit (requires gc blocks in the baseline's \
+       exhibits; v1 baselines are exempt)."
+    in
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "max-alloc-ratio" ] ~docv:"R" ~doc)
+  in
+  let run old_file new_file max_ratio max_alloc_ratio =
     guard @@ fun () ->
     let load path =
       match Perf.bench_of_json (read_file path) with
@@ -427,17 +499,20 @@ let regress_cmd =
     in
     let baseline = load old_file in
     let current = load new_file in
-    let c = Perf.compare_benches ~max_ratio ~baseline ~current () in
-    print_string (Perf.render_comparison ~max_ratio c);
+    let c =
+      Perf.compare_benches ~max_ratio ?max_alloc_ratio ~baseline ~current ()
+    in
+    print_string (Perf.render_comparison ~max_ratio ?max_alloc_ratio c);
     if c.Perf.any_regressed then 1 else 0
   in
   let doc =
     "Compare two bench --json snapshots; exit 1 when any exhibit's wall time \
-     regressed beyond --max-ratio (exit 2 on malformed snapshots)."
+     regressed beyond --max-ratio or its allocation beyond --max-alloc-ratio \
+     (exit 2 on malformed snapshots)."
   in
   Cmd.v
     (Cmd.info "regress" ~doc)
-    Term.(const run $ old_pos $ new_pos $ max_ratio_arg)
+    Term.(const run $ old_pos $ new_pos $ max_ratio_arg $ max_alloc_ratio_arg)
 
 (* ---- stats ---- *)
 
@@ -543,4 +618,7 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ extract_cmd; explain_cmd; stats_cmd; regress_cmd; gen_cmd; index_cmd ]))
+          [
+            extract_cmd; explain_cmd; flame_cmd; stats_cmd; regress_cmd;
+            gen_cmd; index_cmd;
+          ]))

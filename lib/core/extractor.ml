@@ -6,6 +6,7 @@ module Fault = Faerie_util.Fault
 module Budget = Faerie_util.Budget
 module Metrics = Faerie_obs.Metrics
 module Trace = Faerie_obs.Trace
+module Prof = Faerie_obs.Prof
 module Explain = Faerie_obs.Explain
 open Types
 
@@ -241,6 +242,7 @@ let run_contained opts t input =
 
 let run ?(opts = default_opts) t input =
   let body () =
+    Prof.with_doc @@ fun () ->
     let t0 = Trace.now_ns () in
     let outcome, stats =
       Trace.with_span "extract_doc" (fun () -> run_contained opts t input)

@@ -1,6 +1,7 @@
 module Budget = Faerie_util.Budget
 module Metrics = Faerie_obs.Metrics
 module Trace = Faerie_obs.Trace
+module Prof = Faerie_obs.Prof
 open Types
 
 type outcome = char_match list Outcome.t
@@ -77,7 +78,8 @@ let extract_all_outcomes ?pruning ?domains ?(budget = Budget.spec_unlimited)
     for i = 0 to n - 1 do
       process i
     done;
-    if n > 0 then Metrics.observe m_docs_per_worker (float_of_int n)
+    if n > 0 then Metrics.observe m_docs_per_worker (float_of_int n);
+    Prof.note_top_heap ()
   end
   else begin
     (* Work stealing via a shared atomic counter: documents vary wildly in
@@ -94,7 +96,10 @@ let extract_all_outcomes ?pruning ?domains ?(budget = Budget.spec_unlimited)
         end
       in
       loop ();
-      Metrics.observe m_docs_per_worker (float_of_int !mine)
+      Metrics.observe m_docs_per_worker (float_of_int !mine);
+      (* Flush this domain's heap watermark into the max-merged gauge
+         before the domain retires. *)
+      Prof.note_top_heap ()
     in
     let spawned = List.init (workers - 1) (fun _ -> Domain.spawn worker) in
     (* Every spawned domain is joined even if the main-thread worker raises

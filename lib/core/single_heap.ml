@@ -6,6 +6,7 @@ module Dynarray = Faerie_util.Dynarray
 module Budget = Faerie_util.Budget
 module Metrics = Faerie_obs.Metrics
 module Trace = Faerie_obs.Trace
+module Prof = Faerie_obs.Prof
 module Explain = Faerie_obs.Explain
 open Types
 
@@ -183,14 +184,16 @@ let process_entity problem (stats : stats) ~ex ~pruning ~entity ~positions
             note_lazy ()
           end
           else
-            Windows.iter_windows ~positions ~tl:info.tl ~upper:info.upper
-              ~f:(fun ~first ~last ->
-                (match ex with
-                | None -> ()
-                | Some sink ->
-                    Explain.emit sink (Explain.Window { entity; first; last }));
-                enumerate_window problem stats ~ex ~entity ~info ~positions
-                  ~first ~last ~n_tokens ~emit))
+            Prof.with_stage Prof.Windows (fun () ->
+                Windows.iter_windows ~positions ~tl:info.tl ~upper:info.upper
+                  ~f:(fun ~first ~last ->
+                    (match ex with
+                    | None -> ()
+                    | Some sink ->
+                        Explain.emit sink
+                          (Explain.Window { entity; first; last }));
+                    enumerate_window problem stats ~ex ~entity ~info ~positions
+                      ~first ~last ~n_tokens ~emit)))
 
 let dedup_candidates acc =
   Dynarray.sort compare_candidate acc;
@@ -256,6 +259,7 @@ let run_budgeted ?merger ?(pruning = Binary_window) ?(budget = Budget.unlimited)
   let matches = ref [] in
   let ex = Explain.current () in
   (try
+     Prof.with_stage Prof.Verify @@ fun () ->
      Trace.with_span "verify" (fun () ->
          List.iter
            (fun (c : candidate) ->

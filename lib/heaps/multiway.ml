@@ -1,6 +1,7 @@
 module Dynarray = Faerie_util.Dynarray
 module Metrics = Faerie_obs.Metrics
 module Trace = Faerie_obs.Trace
+module Prof = Faerie_obs.Prof
 
 type merger = Binary_heap | Tournament_tree
 
@@ -132,12 +133,15 @@ let iter_entity_positions ?(merger = Binary_heap) ~n_positions ~list_at ~f () =
         Metrics.add m_pops !pops;
         Metrics.add m_advances !advances)
       (fun () ->
-        Trace.with_span "heap_merge" (fun () ->
-            match merger with
-            | Binary_heap ->
-                run_binary_heap ~pops ~advances ~n_positions ~lists ~shift ~mask ~f
-            | Tournament_tree ->
-                run_tournament ~pops ~advances ~n_positions ~lists ~shift ~mask ~f))
+        Prof.with_stage Prof.Heap_merge (fun () ->
+            Trace.with_span "heap_merge" (fun () ->
+                match merger with
+                | Binary_heap ->
+                    run_binary_heap ~pops ~advances ~n_positions ~lists ~shift
+                      ~mask ~f
+                | Tournament_tree ->
+                    run_tournament ~pops ~advances ~n_positions ~lists ~shift
+                      ~mask ~f)))
   end
 
 let heap_stats ~n_positions ~list_at =

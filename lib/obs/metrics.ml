@@ -1,4 +1,6 @@
-type kind = Counter | Gauge | Hist of float array
+type agg = Sum | Max
+
+type kind = Counter | Gauge of agg | Hist of float array
 
 type def = { name : string; help : string; kind : kind; slot : int }
 
@@ -100,7 +102,10 @@ let with_suppressed ?(registry = default) f =
 
 (* ---- registration ---- *)
 
-let kind_name = function Counter -> "counter" | Gauge -> "gauge" | Hist _ -> "histogram"
+let kind_name = function
+  | Counter -> "counter"
+  | Gauge _ -> "gauge"
+  | Hist _ -> "histogram"
 
 let register reg ~name ~help kind =
   locked reg (fun () ->
@@ -108,7 +113,8 @@ let register reg ~name ~help kind =
       | Some d ->
           let compatible =
             match (d.kind, kind) with
-            | Counter, Counter | Gauge, Gauge -> true
+            | Counter, Counter -> true
+            | Gauge a, Gauge b -> a = b
             | Hist a, Hist b -> a = b
             | _ -> false
           in
@@ -124,7 +130,7 @@ let register reg ~name ~help kind =
                 let s = reg.n_counters in
                 reg.n_counters <- s + 1;
                 s
-            | Gauge ->
+            | Gauge _ ->
                 let s = reg.n_gauges in
                 reg.n_gauges <- s + 1;
                 s
@@ -143,8 +149,9 @@ let counter ?(registry = default) ?(help = "") name =
   let d = register registry ~name ~help Counter in
   { creg = registry; cslot = d.slot }
 
-let gauge ?(registry = default) ?(help = "") name =
-  let d = register registry ~name ~help Gauge in
+let gauge ?(registry = default) ?(help = "") ?(agg = `Sum) name =
+  let agg = match agg with `Sum -> Sum | `Max -> Max in
+  let d = register registry ~name ~help (Gauge agg) in
   { greg = registry; gslot = d.slot }
 
 let default_buckets = [| 1.; 10.; 100.; 1e3; 1e4; 1e5; 1e6; 1e7; 1e8; 1e9 |]
@@ -211,6 +218,13 @@ let add_gauge g v =
   if g.gslot >= Array.length sh.gauges then grow_gauges g.greg sh;
   sh.gauges.(g.gslot) <- sh.gauges.(g.gslot) +. v
 
+(* Raise this domain's cell to at least [v]. Together with [`Max] merge
+   semantics this yields a process-wide high-water mark. *)
+let set_max g v =
+  let sh = shard_of g.greg in
+  if g.gslot >= Array.length sh.gauges then grow_gauges g.greg sh;
+  if v > sh.gauges.(g.gslot) then sh.gauges.(g.gslot) <- v
+
 let observe h v =
   let sh = shard_of h.hreg in
   if h.hslot >= Array.length sh.hists then grow_hists h.hreg sh;
@@ -262,12 +276,15 @@ let snapshot ?(registry = default) () =
                   0 shards
               in
               counters := (d.name, v) :: !counters
-          | Gauge ->
+          | Gauge agg ->
+              let combine =
+                match agg with Sum -> ( +. ) | Max -> Float.max
+              in
               let v =
                 List.fold_left
                   (fun acc (sh : shard) ->
                     if d.slot < Array.length sh.gauges then
-                      acc +. sh.gauges.(d.slot)
+                      combine acc sh.gauges.(d.slot)
                     else acc)
                   0. shards
               in
@@ -298,6 +315,9 @@ let snapshot ?(registry = default) () =
 
 let counter_value snap name =
   match List.assoc_opt name snap.counters with Some v -> v | None -> 0
+
+let gauge_value snap name =
+  match List.assoc_opt name snap.gauges with Some v -> v | None -> 0.
 
 let reset ?(registry = default) () =
   locked registry (fun () ->

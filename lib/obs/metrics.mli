@@ -5,9 +5,11 @@
     (plain mutable arrays reached through domain-local storage), so the hot
     path takes no lock and performs no atomic read-modify-write; a snapshot
     merges every shard under the registry lock. Merge semantics: counters
-    and histogram cells sum across shards; gauges also sum (treat a gauge as
-    each domain's contribution to a total, and set it from one domain when
-    you mean an absolute value).
+    and histogram cells sum across shards; gauges merge according to their
+    [agg] mode — [`Sum] gauges sum (treat the gauge as each domain's
+    contribution to a total, and set it from one domain when you mean an
+    absolute value), [`Max] gauges take the maximum across shards
+    (high-water marks such as heap watermarks).
 
     Metric handles are cheap value records; register them once at module
     initialization ([let m = Metrics.counter "name"]) and use them from any
@@ -39,7 +41,12 @@ val counter : ?registry:registry -> ?help:string -> string -> counter
 (** Register (or look up) a monotonic counter.
     @raise Invalid_argument if [name] exists with a different kind. *)
 
-val gauge : ?registry:registry -> ?help:string -> string -> gauge
+val gauge :
+  ?registry:registry -> ?help:string -> ?agg:[ `Sum | `Max ] -> string -> gauge
+(** Register (or look up) a gauge. [agg] picks the cross-shard merge used
+    by {!snapshot}: [`Sum] (default) adds the per-domain cells, [`Max]
+    keeps the largest. Re-registration must agree on [agg].
+    @raise Invalid_argument if [name] exists with a different kind/agg. *)
 
 val histogram :
   ?registry:registry -> ?help:string -> ?buckets:float array -> string -> histogram
@@ -58,6 +65,10 @@ val incr : counter -> unit
 val set : gauge -> float -> unit
 
 val add_gauge : gauge -> float -> unit
+
+val set_max : gauge -> float -> unit
+(** Raise this domain's cell to at least the given value. On a [`Max]
+    gauge this records a process-wide high-water mark once shards merge. *)
 
 val observe : histogram -> float -> unit
 
@@ -87,6 +98,9 @@ val snapshot : ?registry:registry -> unit -> snapshot
 
 val counter_value : snapshot -> string -> int
 (** Value of a counter in a snapshot; [0] when not present. *)
+
+val gauge_value : snapshot -> string -> float
+(** Value of a gauge in a snapshot; [0.] when not present. *)
 
 val to_jsonl : ?registry:registry -> unit -> string
 (** One JSON object per line, schema (locked by [test_obs]):

@@ -263,6 +263,14 @@ end
 
 (* ---- bench snapshots ---- *)
 
+type gc = {
+  minor_words : float;
+  promoted_words : float;
+  major_collections : int;
+  top_heap_bytes : int;
+  words_per_token : float;
+}
+
 type exhibit = {
   ex_name : string;
   wall_s : float;
@@ -275,6 +283,10 @@ type exhibit = {
   p50_ns : float;
   p90_ns : float;
   p99_ns : float;
+  a50_w : float;
+  a90_w : float;
+  a99_w : float;
+  gc : gc option;
 }
 
 type bench = {
@@ -285,16 +297,38 @@ type bench = {
   exhibits : exhibit list;
 }
 
-let schema_version = "faerie-bench-v1"
+let schema_version = "faerie-bench-v2"
+
+let schema_v1 = "faerie-bench-v1"
 
 let exhibit_of_snapshot ~name ~wall_s (snap : Metrics.snapshot) =
   let c n = Metrics.counter_value snap n in
   let tokens = c "tokenize_tokens" in
-  let p50, p90, p99 =
-    match List.assoc_opt "doc_wall_ns" snap.histograms with
+  let pcts hist_name =
+    match List.assoc_opt hist_name snap.histograms with
     | Some h when h.count > 0 ->
         (quantile h 0.5, quantile h 0.9, quantile h 0.99)
     | _ -> (nan, nan, nan)
+  in
+  let p50, p90, p99 = pcts "doc_wall_ns" in
+  let a50, a90, a99 = pcts "doc_alloc_words" in
+  (* The gc block exists only when Prof actually captured document-level
+     deltas during the exhibit (doc_alloc_words observed at least once);
+     an unprofiled exhibit serializes "gc":null. *)
+  let gc =
+    match List.assoc_opt "doc_alloc_words" snap.histograms with
+    | Some h when h.count > 0 ->
+        Some
+          {
+            minor_words = float_of_int (c "gc_minor_words");
+            promoted_words = float_of_int (c "gc_promoted_words");
+            major_collections = c "gc_major_collections";
+            top_heap_bytes =
+              int_of_float (Metrics.gauge_value snap "gc_top_heap_bytes");
+            words_per_token =
+              (if tokens > 0 then h.sum /. float_of_int tokens else 0.);
+          }
+    | _ -> None
   in
   {
     ex_name = name;
@@ -309,6 +343,10 @@ let exhibit_of_snapshot ~name ~wall_s (snap : Metrics.snapshot) =
     p50_ns = p50;
     p90_ns = p90;
     p99_ns = p99;
+    a50_w = a50;
+    a90_w = a90;
+    a99_w = a99;
+    gc;
   }
 
 let num_or_null v = if Float.is_nan v then Json.Null else Json.Num v
@@ -331,6 +369,26 @@ let json_of_exhibit (e : exhibit) =
             ("p90", num_or_null e.p90_ns);
             ("p99", num_or_null e.p99_ns);
           ] );
+      ( "alloc_per_doc",
+        Json.Obj
+          [
+            ("p50", num_or_null e.a50_w);
+            ("p90", num_or_null e.a90_w);
+            ("p99", num_or_null e.a99_w);
+          ] );
+      ( "gc",
+        match e.gc with
+        | None -> Json.Null
+        | Some g ->
+            Json.Obj
+              [
+                ("minor_words", Json.Num g.minor_words);
+                ("promoted_words", Json.Num g.promoted_words);
+                ( "major_collections",
+                  Json.Num (float_of_int g.major_collections) );
+                ("top_heap_bytes", Json.Num (float_of_int g.top_heap_bytes));
+                ("words_per_token", Json.Num g.words_per_token);
+              ] );
     ]
 
 let bench_to_json (b : bench) =
@@ -360,10 +418,30 @@ let exhibit_of_json j =
   let* pruned = int_field "pruned" in
   let* verify_calls = int_field "verify_calls" in
   let* matches = int_field "matches" in
-  let pct k =
-    match Option.bind (Json.member "doc_wall_ns" j) (Json.member k) with
+  let pct block k =
+    match Option.bind (Json.member block j) (Json.member k) with
     | Some (Json.Num v) -> v
     | _ -> nan
+  in
+  (* v1 exhibits have neither block: percentiles decay to nan, gc to None. *)
+  let gc =
+    match Json.member "gc" j with
+    | Some (Json.Obj _ as g) ->
+        let f k =
+          Option.value ~default:0. (Option.bind (Json.member k g) Json.to_float)
+        in
+        let i k =
+          Option.value ~default:0 (Option.bind (Json.member k g) Json.to_int)
+        in
+        Some
+          {
+            minor_words = f "minor_words";
+            promoted_words = f "promoted_words";
+            major_collections = i "major_collections";
+            top_heap_bytes = i "top_heap_bytes";
+            words_per_token = f "words_per_token";
+          }
+    | _ -> None
   in
   Some
     {
@@ -375,9 +453,13 @@ let exhibit_of_json j =
       pruned;
       verify_calls;
       matches;
-      p50_ns = pct "p50";
-      p90_ns = pct "p90";
-      p99_ns = pct "p99";
+      p50_ns = pct "doc_wall_ns" "p50";
+      p90_ns = pct "doc_wall_ns" "p90";
+      p99_ns = pct "doc_wall_ns" "p99";
+      a50_w = pct "alloc_per_doc" "p50";
+      a90_w = pct "alloc_per_doc" "p90";
+      a99_w = pct "alloc_per_doc" "p99";
+      gc;
     }
 
 let bench_of_json s =
@@ -386,9 +468,10 @@ let bench_of_json s =
   | Ok j -> (
       match Option.bind (Json.member "schema" j) Json.to_str with
       | None -> Error "missing \"schema\" field"
-      | Some v when v <> schema_version ->
+      | Some v when v <> schema_version && v <> schema_v1 ->
           Error
-            (Printf.sprintf "unsupported schema %S (want %S)" v schema_version)
+            (Printf.sprintf "unsupported schema %S (want %S or %S)" v
+               schema_version schema_v1)
       | Some schema -> (
           let str_field k ~default =
             Option.value ~default (Option.bind (Json.member k j) Json.to_str)
@@ -421,6 +504,8 @@ type verdict = {
   current_s : float;
   ratio : float;
   regressed : bool;
+  alloc_ratio : float option;
+  alloc_regressed : bool;
 }
 
 type comparison = {
@@ -429,7 +514,7 @@ type comparison = {
   any_regressed : bool;
 }
 
-let compare_benches ?(max_ratio = 1.5) ~baseline ~current () =
+let compare_benches ?(max_ratio = 1.5) ?max_alloc_ratio ~baseline ~current () =
   let find name =
     List.find_opt (fun e -> e.ex_name = name) current.exhibits
   in
@@ -444,6 +529,25 @@ let compare_benches ?(max_ratio = 1.5) ~baseline ~current () =
               else if c.wall_s > 0. then infinity
               else 1.
             in
+            (* Allocation gate on minor words (the bulk of allocation and
+               the least noisy GC stat). A v1/no-gc baseline cannot gate;
+               a baseline with gc but a current without it means
+               profiling silently went dark — fail loudly. *)
+            let alloc_ratio, alloc_regressed =
+              match (max_alloc_ratio, b.gc, c.gc) with
+              | None, Some bg, Some cg when bg.minor_words > 0. ->
+                  (Some (cg.minor_words /. bg.minor_words), false)
+              | None, _, _ -> (None, false)
+              | Some _, None, _ -> (None, false)
+              | Some _, Some _, None -> (Some infinity, true)
+              | Some r, Some bg, Some cg ->
+                  let ar =
+                    if bg.minor_words > 0. then cg.minor_words /. bg.minor_words
+                    else if cg.minor_words > 0. then infinity
+                    else 1.
+                  in
+                  (Some ar, ar > r)
+            in
             let v =
               {
                 v_name = b.ex_name;
@@ -451,6 +555,8 @@ let compare_benches ?(max_ratio = 1.5) ~baseline ~current () =
                 current_s = c.wall_s;
                 ratio;
                 regressed = ratio > max_ratio;
+                alloc_ratio;
+                alloc_regressed;
               }
             in
             (v :: vs, ms))
@@ -461,21 +567,32 @@ let compare_benches ?(max_ratio = 1.5) ~baseline ~current () =
     verdicts;
     missing;
     any_regressed =
-      missing <> [] || List.exists (fun v -> v.regressed) verdicts;
+      missing <> []
+      || List.exists (fun v -> v.regressed || v.alloc_regressed) verdicts;
   }
 
-let render_comparison ~max_ratio c =
+let render_comparison ~max_ratio ?max_alloc_ratio c =
   let buf = Buffer.create 256 in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
-  line "%-24s %12s %12s %8s" "exhibit" "baseline_s" "current_s" "ratio";
+  line "%-24s %12s %12s %8s %8s" "exhibit" "baseline_s" "current_s" "ratio"
+    "alloc";
   List.iter
     (fun v ->
-      line "%-24s %12.4f %12.4f %7.2fx%s" v.v_name v.baseline_s v.current_s
-        v.ratio
-        (if v.regressed then "  REGRESSED" else ""))
+      let alloc =
+        match v.alloc_ratio with
+        | None -> "-"
+        | Some r when r = infinity -> "inf"
+        | Some r -> Printf.sprintf "%.2fx" r
+      in
+      line "%-24s %12.4f %12.4f %7.2fx %8s%s" v.v_name v.baseline_s
+        v.current_s v.ratio alloc
+        (if v.regressed || v.alloc_regressed then "  REGRESSED" else ""))
     c.verdicts;
   List.iter (fun name -> line "%-24s MISSING from current snapshot" name) c.missing;
-  line "%s (max-ratio %.2f)"
+  line "%s (max-ratio %.2f%s)"
     (if c.any_regressed then "REGRESSED" else "PASS")
-    max_ratio;
+    max_ratio
+    (match max_alloc_ratio with
+    | None -> ""
+    | Some r -> Printf.sprintf ", max-alloc-ratio %.2f" r);
   Buffer.contents buf

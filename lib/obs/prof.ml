@@ -1,0 +1,206 @@
+type stage = Tokenize | Heap_merge | Windows | Verify
+
+let stage_name = function
+  | Tokenize -> "tokenize"
+  | Heap_merge -> "heap_merge"
+  | Windows -> "windows"
+  | Verify -> "verify"
+
+let stage_idx = function
+  | Tokenize -> 0
+  | Heap_merge -> 1
+  | Windows -> 2
+  | Verify -> 3
+
+let stages = [| Tokenize; Heap_merge; Windows; Verify |]
+
+let on = Atomic.make false
+let enable () = Atomic.set on true
+let disable () = Atomic.set on false
+let enabled () = Atomic.get on
+
+let n_captures = Atomic.make 0
+let captures () = Atomic.get n_captures
+
+(* [quick_stat] fields are flushed only at GC events, so a short stage
+   that triggers no minor collection would read a zero delta. The
+   dedicated [minor_words] counter is precise (it adds the current
+   allocation-pointer offset), and minor words dominate every derived
+   quantity, so splice it in. *)
+let capture () =
+  Atomic.incr n_captures;
+  let s = Gc.quick_stat () in
+  { s with Gc.minor_words = Gc.minor_words () }
+
+let word_bytes = Sys.word_size / 8
+
+let m_minor =
+  Metrics.counter ~help:"minor words allocated across profiled documents"
+    "gc_minor_words"
+
+let m_promoted =
+  Metrics.counter
+    ~help:"words promoted to the major heap across profiled documents"
+    "gc_promoted_words"
+
+let m_major =
+  Metrics.counter ~help:"major collections across profiled documents"
+    "gc_major_collections"
+
+let m_top_heap =
+  Metrics.gauge ~agg:`Max
+    ~help:"largest heap watermark observed by any domain (bytes)"
+    "gc_top_heap_bytes"
+
+let m_doc_alloc =
+  Metrics.histogram ~help:"words allocated per document (minor+major-promoted)"
+    ~buckets:[| 1e3; 1e4; 1e5; 1e6; 1e7; 1e8; 1e9; 1e10 |]
+    "doc_alloc_words"
+
+let m_stage_minor =
+  Array.map
+    (fun st ->
+      Metrics.counter
+        ~help:("minor words allocated in stage " ^ stage_name st)
+        ("gc_minor_words_" ^ stage_name st))
+    stages
+
+let m_stage_promoted =
+  Array.map
+    (fun st ->
+      Metrics.counter
+        ~help:("words promoted in stage " ^ stage_name st)
+        ("gc_promoted_words_" ^ stage_name st))
+    stages
+
+(* GC stat fields are floats; counters are ints. Deltas from a single
+   domain's quick_stat are non-negative in practice, but clamp anyway —
+   [Metrics.add] rejects negatives. *)
+let clampi f = if f > 0. then int_of_float f else 0
+
+let note_watermark (s : Gc.stat) =
+  Metrics.set_max m_top_heap (float_of_int (s.top_heap_words * word_bytes))
+
+let with_stage st f =
+  if not (Atomic.get on) then f ()
+  else begin
+    let s0 = capture () in
+    Fun.protect
+      ~finally:(fun () ->
+        let s1 = capture () in
+        let i = stage_idx st in
+        Metrics.add m_stage_minor.(i) (clampi (s1.minor_words -. s0.minor_words));
+        Metrics.add m_stage_promoted.(i)
+          (clampi (s1.promoted_words -. s0.promoted_words)))
+      f
+  end
+
+let allocated (s : Gc.stat) = s.minor_words +. s.major_words -. s.promoted_words
+
+let with_doc f =
+  if not (Atomic.get on) then f ()
+  else begin
+    let s0 = capture () in
+    Fun.protect
+      ~finally:(fun () ->
+        let s1 = capture () in
+        Metrics.add m_minor (clampi (s1.minor_words -. s0.minor_words));
+        Metrics.add m_promoted
+          (clampi (s1.promoted_words -. s0.promoted_words));
+        Metrics.add m_major (max 0 (s1.major_collections - s0.major_collections));
+        Metrics.observe m_doc_alloc (Float.max 0. (allocated s1 -. allocated s0));
+        note_watermark s1)
+      f
+  end
+
+let note_top_heap () = if Atomic.get on then note_watermark (capture ())
+
+(* ------------------------------------------------------------------ *)
+(* Flame profiles                                                      *)
+
+type frame = { stack : string list; self_ns : int64; calls : int }
+
+let flame_of_spans spans =
+  (* Regroup per domain, preserving drain order (start_ns-sorted) within
+     each: nesting only makes sense inside one domain's span stream. *)
+  let by_domain = Hashtbl.create 7 in
+  let domains = ref [] in
+  List.iter
+    (fun (s : Trace.span) ->
+      match Hashtbl.find_opt by_domain s.domain with
+      | Some r -> r := s :: !r
+      | None ->
+          Hashtbl.add by_domain s.domain (ref [ s ]);
+          domains := s.domain :: !domains)
+    spans;
+  let acc = Hashtbl.create 32 in
+  let bump path dself dcalls =
+    match Hashtbl.find_opt acc path with
+    | Some (s, c) ->
+        s := Int64.add !s dself;
+        c := !c + dcalls
+    | None -> Hashtbl.add acc path (ref dself, ref dcalls)
+  in
+  List.iter
+    (fun dom ->
+      let dspans = List.rev !(Hashtbl.find by_domain dom) in
+      (* Enclosing spans, innermost first: (span, end_ns, path). A span
+         on the stack encloses the next one iff it is strictly shallower
+         and its interval still covers the next start. *)
+      let stack = ref [] in
+      List.iter
+        (fun (s : Trace.span) ->
+          let rec pop () =
+            match !stack with
+            | ((top : Trace.span), top_end, _) :: rest
+              when top.depth >= s.depth || Int64.compare top_end s.start_ns <= 0
+              ->
+                stack := rest;
+                pop ()
+            | _ -> ()
+          in
+          pop ();
+          let parent = match !stack with (_, _, p) :: _ -> Some p | [] -> None in
+          let path =
+            match parent with Some p -> p @ [ s.name ] | None -> [ s.name ]
+          in
+          bump path s.dur_ns 1;
+          (* Self time = own duration minus children's durations: charge
+             this span's full duration to its frame, discharge it from
+             the parent's. *)
+          (match parent with
+          | Some p -> bump p (Int64.neg s.dur_ns) 0
+          | None -> ());
+          stack := (s, Int64.add s.start_ns s.dur_ns, path) :: !stack)
+        dspans)
+    (List.rev !domains);
+  Hashtbl.fold
+    (fun path (s, c) l -> { stack = path; self_ns = !s; calls = !c } :: l)
+    acc []
+  |> List.sort (fun a b -> compare a.stack b.stack)
+
+let to_folded frames =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun f ->
+      if Int64.compare f.self_ns 0L > 0 then
+        Buffer.add_string buf
+          (Printf.sprintf "%s %Ld\n" (String.concat ";" f.stack) f.self_ns))
+    frames;
+  Buffer.contents buf
+
+let render_top ?(top = 10) frames =
+  let by_self =
+    List.sort (fun a b -> Int64.compare b.self_ns a.self_ns) frames
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "%12s %8s  %s\n" "SELF_NS" "CALLS" "STACK");
+  List.iteri
+    (fun i f ->
+      if i < top then
+        Buffer.add_string buf
+          (Printf.sprintf "%12Ld %8d  %s\n" (Int64.max 0L f.self_ns) f.calls
+             (String.concat ";" f.stack)))
+    by_self;
+  Buffer.contents buf

@@ -4,6 +4,7 @@ type t = { text : string; spans : Span.t array; mode : mode }
 
 module Metrics = Faerie_obs.Metrics
 module Trace = Faerie_obs.Trace
+module Prof = Faerie_obs.Prof
 
 let m_calls = Metrics.counter ~help:"document tokenizations" "tokenize_calls"
 
@@ -21,17 +22,20 @@ let finish t =
   t
 
 let of_words interner raw =
-  Trace.with_span "tokenize" (fun () ->
-      Faerie_util.Fault.site "tokenize";
-      let text = Tokenizer.normalize raw in
-      finish { text; spans = Tokenizer.words_lookup interner raw; mode = Word })
+  Prof.with_stage Prof.Tokenize (fun () ->
+      Trace.with_span "tokenize" (fun () ->
+          Faerie_util.Fault.site "tokenize";
+          let text = Tokenizer.normalize raw in
+          finish
+            { text; spans = Tokenizer.words_lookup interner raw; mode = Word }))
 
 let of_grams interner ~q raw =
-  Trace.with_span "tokenize" (fun () ->
-      Faerie_util.Fault.site "tokenize";
-      let text = Tokenizer.normalize raw in
-      finish
-        { text; spans = Tokenizer.qgrams_lookup interner ~q raw; mode = Gram q })
+  Prof.with_stage Prof.Tokenize (fun () ->
+      Trace.with_span "tokenize" (fun () ->
+          Faerie_util.Fault.site "tokenize";
+          let text = Tokenizer.normalize raw in
+          finish
+            { text; spans = Tokenizer.qgrams_lookup interner ~q raw; mode = Gram q }))
 
 let mode t = t.mode
 

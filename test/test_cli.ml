@@ -320,6 +320,78 @@ let test_regress_exit_codes () =
       let status, _ = run_cli [ "regress"; baseline; bad ] in
       check_int "malformed snapshot exits 2" 2 (exit_code status))
 
+(* v2 snapshot with a gc block; wall time fixed so only the allocation
+   gate can fire. *)
+let bench_snapshot_v2 ~minor_words =
+  Printf.sprintf
+    "{\"schema\":\"faerie-bench-v2\",\"git_rev\":\"test\",\"scale\":1,\"ocaml\":\"5.1.1\",\"exhibits\":[\n\
+     {\"name\":\"smoke\",\"wall_s\":1.0,\"tokens\":100,\"tokens_per_s\":100,\"candidates\":10,\"pruned\":2,\"verify_calls\":8,\"matches\":3,\"doc_wall_ns\":{\"p50\":null,\"p90\":null,\"p99\":null},\"alloc_per_doc\":{\"p50\":1000,\"p90\":2000,\"p99\":null},\"gc\":{\"minor_words\":%s,\"promoted_words\":100,\"major_collections\":0,\"top_heap_bytes\":1048576,\"words_per_token\":120}}\n\
+     ]}\n"
+    minor_words
+
+let test_regress_alloc_gate () =
+  with_temp_dir (fun dir ->
+      let file name contents =
+        let path = Filename.concat dir name in
+        write_file path contents;
+        path
+      in
+      let baseline = file "base.json" (bench_snapshot_v2 ~minor_words:"100000") in
+      let bloated = file "bloat.json" (bench_snapshot_v2 ~minor_words:"200000") in
+      let v1 = file "v1.json" (bench_snapshot ~wall_s:"1.0") in
+      (* No alloc gate: a pure allocation regression passes the wall gate. *)
+      let status, _ = run_cli [ "regress"; baseline; bloated ] in
+      check_int "no gate ignores allocation" 0 (exit_code status);
+      let status, lines =
+        run_cli [ "regress"; baseline; bloated; "--max-alloc-ratio"; "1.5" ]
+      in
+      check_int "2x allocation fails the gate" 1 (exit_code status);
+      check_bool "REGRESSED reported" true (has_match "REGRESSED" lines);
+      let status, lines =
+        run_cli [ "regress"; baseline; bloated; "--max-alloc-ratio"; "3.0" ]
+      in
+      check_int "generous alloc gate tolerates 2x" 0 (exit_code status);
+      check_bool "PASS line printed" true (has_match "^PASS" lines);
+      (* v1 baseline: nothing to gate against, even with the flag on. *)
+      let status, _ =
+        run_cli [ "regress"; v1; bloated; "--max-alloc-ratio"; "1.5" ]
+      in
+      check_int "v1 baseline exempt from alloc gate" 0 (exit_code status);
+      (* gc present in baseline but absent in current: gate must fail. *)
+      let status, _ =
+        run_cli [ "regress"; baseline; v1; "--max-alloc-ratio"; "1.5" ]
+      in
+      check_int "vanished gc fails the gate" 1 (exit_code status))
+
+let test_flame_profile () =
+  with_temp_dir (fun dir ->
+      let dict = paper_dict_file dir and doc = paper_doc_file dir in
+      let folded = Filename.concat dir "prof.folded" in
+      let status, lines =
+        run_cli
+          [ "flame"; dict; doc; "-s"; "ed=2"; "-q"; "2";
+            "--folded=" ^ folded; "--top"; "10" ]
+      in
+      check_int "exit 0" 0 (exit_code status);
+      check_bool "self-time table on stdout" true
+        (has_match "extract_doc" lines);
+      let stacks = read_lines folded in
+      check_bool "folded file non-empty" true (stacks <> []);
+      (* Every folded line is "frame(;frame)* SELF_NS". *)
+      check_bool "folded line grammar" true
+        (List.for_all
+           (fun l ->
+             Str.string_match
+               (Str.regexp "^[a-z_]+\\(;[a-z_]+\\)* [0-9]+$")
+               l 0)
+           stacks);
+      check_bool "root stack present" true
+        (List.exists
+           (fun l -> Str.string_match (Str.regexp "^extract_doc ") l 0)
+           stacks);
+      check_bool "nested stack present" true
+        (has_match "^extract_doc;filter" stacks))
+
 let () =
   Alcotest.run "faerie_cli"
     [
@@ -344,5 +416,8 @@ let () =
             test_extract_metrics_prom;
           Alcotest.test_case "regress exit codes" `Quick
             test_regress_exit_codes;
+          Alcotest.test_case "regress --max-alloc-ratio" `Quick
+            test_regress_alloc_gate;
+          Alcotest.test_case "flame profile" `Quick test_flame_profile;
         ] );
     ]

@@ -20,6 +20,11 @@ let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
 let check_string = Alcotest.(check string)
 
+let has_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
 let paper_dict =
   [ "kaushik ch"; "chakrabarti"; "chaudhuri"; "venkatesh"; "surajit ch" ]
 
@@ -369,16 +374,24 @@ let check_float = Alcotest.(check (float 1e-9))
 let test_quantile () =
   let h = hist ~upper:[| 10.; 20.; 30. |] ~counts:[| 1; 1; 1; 0 |] in
   check_float "median interpolates" 15. (Perf.quantile h 0.5);
+  check_float "q=0 is the distribution floor" 0. (Perf.quantile h 0.0);
   check_float "q=1 hits last bound" 30. (Perf.quantile h 1.0);
   let skewed = hist ~upper:[| 10.; 20.; 30. |] ~counts:[| 10; 0; 0; 0 |] in
   check_float "all mass in first bucket" 5. (Perf.quantile skewed 0.5);
   let overflow = hist ~upper:[| 10.; 20.; 30. |] ~counts:[| 0; 0; 0; 2 |] in
   check_float "overflow reports last bound" 30. (Perf.quantile overflow 0.5);
+  check_float "overflow at q=1 still last bound" 30. (Perf.quantile overflow 1.0);
+  check_float "overflow at q=0 still last bound" 30. (Perf.quantile overflow 0.0);
   let empty = hist ~upper:[| 10. |] ~counts:[| 0; 0 |] in
   check_bool "empty is nan" true (Float.is_nan (Perf.quantile empty 0.5));
+  check_bool "empty at q=0 is nan" true (Float.is_nan (Perf.quantile empty 0.0));
+  check_bool "empty at q=1 is nan" true (Float.is_nan (Perf.quantile empty 1.0));
   (match Perf.quantile h 1.5 with
   | _ -> Alcotest.fail "q out of range must be rejected"
-  | exception Invalid_argument _ -> ())
+  | exception Invalid_argument _ -> ());
+  match Perf.quantile h (-0.1) with
+  | _ -> Alcotest.fail "negative q must be rejected"
+  | exception Invalid_argument _ -> ()
 
 let sample_bench =
   {
@@ -400,16 +413,43 @@ let sample_bench =
           p50_ns = 1500.;
           p90_ns = 2000.;
           p99_ns = nan;
+          a50_w = 900.;
+          a90_w = 9000.;
+          a99_w = nan;
+          gc =
+            Some
+              {
+                Perf.minor_words = 120000.;
+                promoted_words = 8000.;
+                major_collections = 2;
+                top_heap_bytes = 1048576;
+                words_per_token = 1200.;
+              };
         };
       ];
   }
 
 let test_bench_json_schema () =
   check_string "bench json schema"
-    "{\"schema\":\"faerie-bench-v1\",\"git_rev\":\"abc1234\",\"scale\":1,\"ocaml\":\"5.1.1\",\"exhibits\":[\n\
-     {\"name\":\"smoke\",\"wall_s\":0.5,\"tokens\":100,\"tokens_per_s\":200,\"candidates\":10,\"pruned\":4,\"verify_calls\":8,\"matches\":3,\"doc_wall_ns\":{\"p50\":1500,\"p90\":2000,\"p99\":null}}\n\
+    "{\"schema\":\"faerie-bench-v2\",\"git_rev\":\"abc1234\",\"scale\":1,\"ocaml\":\"5.1.1\",\"exhibits\":[\n\
+     {\"name\":\"smoke\",\"wall_s\":0.5,\"tokens\":100,\"tokens_per_s\":200,\"candidates\":10,\"pruned\":4,\"verify_calls\":8,\"matches\":3,\"doc_wall_ns\":{\"p50\":1500,\"p90\":2000,\"p99\":null},\"alloc_per_doc\":{\"p50\":900,\"p90\":9000,\"p99\":null},\"gc\":{\"minor_words\":120000,\"promoted_words\":8000,\"major_collections\":2,\"top_heap_bytes\":1048576,\"words_per_token\":1200}}\n\
      ]}\n"
-    (Perf.bench_to_json sample_bench)
+    (Perf.bench_to_json sample_bench);
+  (* An unprofiled exhibit serializes an explicit null gc block. *)
+  let no_gc =
+    {
+      sample_bench with
+      Perf.exhibits =
+        List.map
+          (fun e -> { e with Perf.gc = None; a50_w = nan; a90_w = nan })
+          sample_bench.Perf.exhibits;
+    }
+  in
+  let js = Perf.bench_to_json no_gc in
+  check_bool "gc null when unprofiled" true
+    (has_substring js "\"gc\":null");
+  check_bool "alloc percentiles null when unprofiled" true
+    (has_substring js "\"alloc_per_doc\":{\"p50\":null,\"p90\":null,\"p99\":null}")
 
 let test_bench_json_roundtrip () =
   match Perf.bench_of_json (Perf.bench_to_json sample_bench) with
@@ -433,7 +473,43 @@ let test_bench_json_roundtrip () =
           check_float "p50" o.Perf.p50_ns e.Perf.p50_ns;
           check_float "p90" o.Perf.p90_ns e.Perf.p90_ns;
           check_bool "null p99 roundtrips to nan" true
-            (Float.is_nan e.Perf.p99_ns)
+            (Float.is_nan e.Perf.p99_ns);
+          check_float "a50" o.Perf.a50_w e.Perf.a50_w;
+          check_float "a90" o.Perf.a90_w e.Perf.a90_w;
+          check_bool "null a99 roundtrips to nan" true
+            (Float.is_nan e.Perf.a99_w);
+          (match (o.Perf.gc, e.Perf.gc) with
+          | Some og, Some eg ->
+              check_float "gc minor" og.Perf.minor_words eg.Perf.minor_words;
+              check_float "gc promoted" og.Perf.promoted_words
+                eg.Perf.promoted_words;
+              check_int "gc major" og.Perf.major_collections
+                eg.Perf.major_collections;
+              check_int "gc top heap" og.Perf.top_heap_bytes
+                eg.Perf.top_heap_bytes;
+              check_float "gc words/token" og.Perf.words_per_token
+                eg.Perf.words_per_token
+          | _ -> Alcotest.fail "gc block must roundtrip")
+      | l -> Alcotest.failf "expected 1 exhibit, got %d" (List.length l))
+
+(* A v1 snapshot (no alloc_per_doc, no gc) must still parse: the gc
+   fields decay to absent rather than failing the whole file. *)
+let test_bench_json_v1_compat () =
+  let v1 =
+    "{\"schema\":\"faerie-bench-v1\",\"git_rev\":\"abc1234\",\"scale\":1,\"ocaml\":\"5.1.1\",\"exhibits\":[\n\
+     {\"name\":\"smoke\",\"wall_s\":0.5,\"tokens\":100,\"tokens_per_s\":200,\"candidates\":10,\"pruned\":4,\"verify_calls\":8,\"matches\":3,\"doc_wall_ns\":{\"p50\":1500,\"p90\":2000,\"p99\":null}}\n\
+     ]}\n"
+  in
+  match Perf.bench_of_json v1 with
+  | Error e -> Alcotest.fail ("v1 snapshot must parse: " ^ e)
+  | Ok b -> (
+      check_string "v1 schema kept" "faerie-bench-v1" b.Perf.schema;
+      match b.Perf.exhibits with
+      | [ e ] ->
+          check_float "v1 wall_s" 0.5 e.Perf.wall_s;
+          check_float "v1 p50" 1500. e.Perf.p50_ns;
+          check_bool "v1 a50 is nan" true (Float.is_nan e.Perf.a50_w);
+          check_bool "v1 gc absent" true (e.Perf.gc = None)
       | l -> Alcotest.failf "expected 1 exhibit, got %d" (List.length l))
 
 let test_bench_json_rejects () =
@@ -509,6 +585,205 @@ let test_compare_benches () =
   in
   check_bool "new exhibit ignored" false c.Perf.any_regressed;
   check_int "no verdicts" 0 (List.length c.Perf.verdicts)
+
+let test_compare_alloc_gate () =
+  let with_minor mw =
+    {
+      sample_bench with
+      Perf.exhibits =
+        List.map
+          (fun e ->
+            {
+              e with
+              Perf.gc =
+                Option.map
+                  (fun g -> { g with Perf.minor_words = mw })
+                  e.Perf.gc;
+            })
+          sample_bench.Perf.exhibits;
+    }
+  in
+  let strip_gc b =
+    {
+      b with
+      Perf.exhibits =
+        List.map (fun e -> { e with Perf.gc = None }) b.Perf.exhibits;
+    }
+  in
+  (* Same wall time, double the allocation: invisible without the gate,
+     flagged with it. *)
+  let doubled = with_minor 240000. in
+  let c = Perf.compare_benches ~baseline:sample_bench ~current:doubled () in
+  check_bool "no gate, no alloc regression" false c.Perf.any_regressed;
+  let c =
+    Perf.compare_benches ~max_alloc_ratio:1.5 ~baseline:sample_bench
+      ~current:doubled ()
+  in
+  check_bool "alloc gate fires" true c.Perf.any_regressed;
+  (match c.Perf.verdicts with
+  | [ v ] ->
+      check_bool "wall not regressed" false v.Perf.regressed;
+      check_bool "alloc regressed" true v.Perf.alloc_regressed;
+      (match v.Perf.alloc_ratio with
+      | Some r -> check_float "alloc ratio 2" 2.0 r
+      | None -> Alcotest.fail "alloc ratio expected")
+  | _ -> Alcotest.fail "expected one verdict");
+  let c =
+    Perf.compare_benches ~max_alloc_ratio:3.0 ~baseline:sample_bench
+      ~current:doubled ()
+  in
+  check_bool "generous alloc gate tolerates 2x" false c.Perf.any_regressed;
+  (* A v1/no-gc baseline has nothing to compare against: exempt. *)
+  let c =
+    Perf.compare_benches ~max_alloc_ratio:1.5
+      ~baseline:(strip_gc sample_bench) ~current:doubled ()
+  in
+  check_bool "no-gc baseline exempt" false c.Perf.any_regressed;
+  (* The baseline has gc data but the current doesn't: profiling went
+     dark, which the gate must refuse to wave through. *)
+  let c =
+    Perf.compare_benches ~max_alloc_ratio:1.5 ~baseline:sample_bench
+      ~current:(strip_gc sample_bench) ()
+  in
+  check_bool "gc disappearing regresses" true c.Perf.any_regressed;
+  (match c.Perf.verdicts with
+  | [ v ] -> check_bool "ratio pegged" true (v.Perf.alloc_ratio = Some infinity)
+  | _ -> Alcotest.fail "expected one verdict");
+  let rendered = Perf.render_comparison ~max_ratio:1.5 ~max_alloc_ratio:1.5 c in
+  check_bool "footer names both gates" true
+    (has_substring rendered "max-alloc-ratio 1.50")
+
+(* ------------------------------------------------------------------ *)
+(* (f') Prof: GC telemetry and flame folding                           *)
+(* ------------------------------------------------------------------ *)
+
+module Prof = Faerie_obs.Prof
+
+let test_prof_disabled_zero_captures () =
+  check_bool "prof off by default" false (Prof.enabled ());
+  let before = Prof.captures () in
+  let ex = Extractor.create ~sim:(Sim.Edit_distance 2) ~q:2 paper_dict in
+  let report = Extractor.run ex (`Text paper_doc) in
+  check_bool "run ok" true (Outcome.is_ok report.Extractor.outcome);
+  check_int "zero Gc.quick_stat calls while disabled" before (Prof.captures ())
+
+let with_prof f =
+  Prof.enable ();
+  Fun.protect ~finally:Prof.disable f
+
+let test_prof_enabled_populates_metrics () =
+  with_prof @@ fun () ->
+  Metrics.reset ();
+  let ex = Extractor.create ~sim:(Sim.Edit_distance 2) ~q:2 paper_dict in
+  let before = Prof.captures () in
+  let report = Extractor.run ex (`Text paper_doc) in
+  check_bool "run ok" true (Outcome.is_ok report.Extractor.outcome);
+  check_bool "captures taken" true (Prof.captures () > before);
+  let snap = Metrics.snapshot () in
+  check_bool "minor words counted" true
+    (Metrics.counter_value snap "gc_minor_words" > 0);
+  check_bool "tokenize stage counted" true
+    (Metrics.counter_value snap "gc_minor_words_tokenize" > 0);
+  check_bool "heap watermark recorded" true
+    (Metrics.gauge_value snap "gc_top_heap_bytes" > 0.);
+  match List.assoc_opt "doc_alloc_words" snap.Metrics.histograms with
+  | Some h ->
+      check_int "one doc observed" 1 h.Metrics.count;
+      check_bool "allocation observed" true (h.Metrics.sum > 0.)
+  | None -> Alcotest.fail "doc_alloc_words histogram missing"
+
+(* The per-doc allocation histogram must aggregate deterministically
+   across worker domains: 12 documents are 12 observations whether one
+   domain or four processed them, and the totals/watermark survive the
+   shard merge. *)
+let test_prof_parallel_aggregation () =
+  with_prof @@ fun () ->
+  let problem = Problem.create ~sim:(Sim.Edit_distance 2) ~q:2 paper_dict in
+  let docs =
+    Array.init 12 (fun i ->
+        if i mod 3 = 0 then paper_doc
+        else if i mod 3 = 1 then "surauijt chadhuri and venkatesh"
+        else "no entities here at all")
+  in
+  let observe domains =
+    Metrics.reset ();
+    let outcomes, _ = Parallel.extract_all_outcomes ~domains problem docs in
+    check_int "all docs processed" 12 (Array.length outcomes);
+    let snap = Metrics.snapshot () in
+    let count =
+      match List.assoc_opt "doc_alloc_words" snap.Metrics.histograms with
+      | Some h -> h.Metrics.count
+      | None -> 0
+    in
+    check_bool
+      (Printf.sprintf "minor words counted (%d domains)" domains)
+      true
+      (Metrics.counter_value snap "gc_minor_words" > 0);
+    check_bool
+      (Printf.sprintf "watermark positive (%d domains)" domains)
+      true
+      (Metrics.gauge_value snap "gc_top_heap_bytes" > 0.);
+    count
+  in
+  check_int "sequential: one observation per doc" 12 (observe 1);
+  check_int "4 domains: one observation per doc" 12 (observe 4)
+
+let test_gauge_max_merge () =
+  let reg = Metrics.create () in
+  let g = Metrics.gauge ~registry:reg ~agg:`Max "peak" in
+  Metrics.set_max g 10.;
+  Metrics.set_max g 4.;
+  Domain.join (Domain.spawn (fun () -> Metrics.set_max g 25.));
+  Domain.join (Domain.spawn (fun () -> Metrics.set_max g 7.));
+  let snap = Metrics.snapshot ~registry:reg () in
+  check_float "max across domains" 25. (Metrics.gauge_value snap "peak");
+  (* Re-registration must agree on the merge mode. *)
+  (match Metrics.gauge ~registry:reg "peak" with
+  | _ -> Alcotest.fail "agg mismatch must be rejected"
+  | exception Invalid_argument _ -> ());
+  (* Sum gauges still sum across domains. *)
+  let s = Metrics.gauge ~registry:reg "total" in
+  Metrics.add_gauge s 1.;
+  Domain.join (Domain.spawn (fun () -> Metrics.add_gauge s 2.));
+  let snap = Metrics.snapshot ~registry:reg () in
+  check_float "sum across domains" 3. (Metrics.gauge_value snap "total")
+
+(* Locked folded-stack schema: with the deterministic clock the whole
+   profile is fully determined, including self-time subtraction of the
+   nested spans. *)
+let test_flame_folded_locked () =
+  with_deterministic_clock @@ fun () ->
+  Trace.with_span "extract_doc" (fun () ->
+      Trace.with_span "tokenize" (fun () -> ());
+      Trace.with_span "filter" (fun () ->
+          Trace.with_span "heap_merge" (fun () -> ())));
+  let spans = Trace.drain () in
+  let frames = Prof.flame_of_spans spans in
+  check_string "folded schema"
+    "extract_doc 30\n\
+     extract_doc;filter 20\n\
+     extract_doc;filter;heap_merge 10\n\
+     extract_doc;tokenize 10\n"
+    (Prof.to_folded frames);
+  (* Every span contributed one call to its frame. *)
+  List.iter (fun f -> check_int "one call per frame" 1 f.Prof.calls) frames;
+  (* render_top ranks by self time: the root's 30ns of self time wins. *)
+  let top = Prof.render_top ~top:2 frames in
+  check_bool "top table has the root" true (has_substring top "extract_doc");
+  check_bool "top table is capped" false (has_substring top "tokenize")
+
+let test_flame_merges_across_domains () =
+  with_deterministic_clock @@ fun () ->
+  let work () = Trace.with_span "outer" (fun () -> ()) in
+  work ();
+  Domain.join (Domain.spawn work);
+  let frames = Prof.flame_of_spans (Trace.drain ()) in
+  match frames with
+  | [ f ] ->
+      Alcotest.(check (list string)) "one merged stack" [ "outer" ] f.Prof.stack;
+      check_int "both calls counted" 2 f.Prof.calls;
+      check_string "self times summed" "outer 20\n" (Prof.to_folded frames)
+  | l -> Alcotest.failf "expected 1 frame, got %d" (List.length l)
 
 (* ------------------------------------------------------------------ *)
 (* (g) Prometheus escaping, trace drain ordering, suppression nesting  *)
@@ -603,6 +878,8 @@ let () =
           Alcotest.test_case "pipeline histogram totals" `Quick
             test_pipeline_histogram_totals;
           Alcotest.test_case "registry mechanics" `Quick test_registry_mechanics;
+          Alcotest.test_case "max gauges merge by maximum" `Quick
+            test_gauge_max_merge;
           Alcotest.test_case "prometheus escapes hostile help strings" `Quick
             test_prometheus_hostile_help;
           Alcotest.test_case "with_suppressed nests across an exception"
@@ -627,8 +904,24 @@ let () =
             test_bench_json_roundtrip;
           Alcotest.test_case "bench json rejects bad input" `Quick
             test_bench_json_rejects;
+          Alcotest.test_case "v1 snapshots still parse" `Quick
+            test_bench_json_v1_compat;
           Alcotest.test_case "regression comparison" `Quick
             test_compare_benches;
+          Alcotest.test_case "allocation gate" `Quick test_compare_alloc_gate;
+        ] );
+      ( "prof",
+        [
+          Alcotest.test_case "disabled means zero Gc.quick_stat calls" `Quick
+            test_prof_disabled_zero_captures;
+          Alcotest.test_case "enabled populates gc metrics" `Quick
+            test_prof_enabled_populates_metrics;
+          Alcotest.test_case "aggregation is deterministic across domains"
+            `Quick test_prof_parallel_aggregation;
+          Alcotest.test_case "folded flame schema" `Quick
+            test_flame_folded_locked;
+          Alcotest.test_case "flame merges identical stacks across domains"
+            `Quick test_flame_merges_across_domains;
         ] );
       ( "shards",
         [
