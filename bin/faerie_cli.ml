@@ -6,7 +6,9 @@
      flame     profile one extraction into a folded-stack flame profile
      stats     report dictionary / index statistics
      regress   compare two bench snapshots for wall-time/alloc regressions
-     gen       generate a synthetic corpus (entities + documents)          *)
+     gen       generate a synthetic corpus (entities + documents)
+     index     build and save a binary index for later runs
+     serve     long-running NDJSON extraction service (supervised pool)    *)
 
 module Sim = Faerie_sim.Sim
 module Extractor = Faerie_core.Extractor
@@ -41,6 +43,20 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
+(* Slurp a non-seekable channel (stdin, pipes) in 64 KiB chunks. *)
+let read_channel ic =
+  let chunk = 65536 in
+  let bytes = Bytes.create chunk in
+  let buf = Buffer.create chunk in
+  let rec loop () =
+    match input ic bytes 0 chunk with
+    | 0 -> Buffer.contents buf
+    | n ->
+        Buffer.add_subbytes buf bytes 0 n;
+        loop ()
+  in
+  loop ()
+
 (* '-' means stderr (match output stays on stdout). *)
 let write_sink sink content =
   match sink with
@@ -61,22 +77,17 @@ let guard f =
   | Ix.Codec.Corrupt msg ->
       Printf.eprintf "faerie: corrupt index: %s\n" msg;
       2
+  | Ix.Codec.Truncated { at; len } ->
+      Printf.eprintf
+        "faerie: truncated index (consistent up to byte %d of %d; torn \
+         write?)\n"
+        at len;
+      2
 
 (* ---- shared arguments ---- *)
 
 let sim_conv =
-  let parse s =
-    match String.split_on_char '=' s with
-    | [ "jac"; d ] -> Ok (Sim.Jaccard (float_of_string d))
-    | [ "cos"; d ] -> Ok (Sim.Cosine (float_of_string d))
-    | [ "dice"; d ] -> Ok (Sim.Dice (float_of_string d))
-    | [ "ed"; t ] -> Ok (Sim.Edit_distance (int_of_string t))
-    | [ "eds"; d ] -> Ok (Sim.Edit_similarity (float_of_string d))
-    | _ ->
-        Error
-          (`Msg
-            "expected FUNC=THRESH with FUNC one of jac|cos|dice|eds (delta) or ed (tau)")
-  in
+  let parse s = Result.map_error (fun e -> `Msg e) (Sim.of_spec s) in
   let print ppf sim = Format.fprintf ppf "%s" (Sim.to_string sim) in
   Arg.conv (parse, print)
 
@@ -293,14 +304,7 @@ let extract_cmd =
           true
     in
     (match doc_files with
-    | [] ->
-        let buf = Buffer.create 4096 in
-        (try
-           while true do
-             Buffer.add_channel buf stdin 1
-           done
-         with End_of_file -> ());
-        ignore (process 0 "<stdin>" (Buffer.contents buf))
+    | [] -> ignore (process 0 "<stdin>" (read_channel stdin))
     | files ->
         let rec loop idx = function
           | [] -> ()
@@ -564,6 +568,266 @@ let index_cmd =
   in
   Cmd.v (Cmd.info "index" ~doc) Term.(const run $ sim_arg $ q_arg $ dict_arg $ out_arg)
 
+(* ---- serve ---- *)
+
+module Supervisor = Faerie_core.Supervisor
+module Serve_proto = Faerie_core.Serve_proto
+module Metrics = Faerie_obs.Metrics
+
+let m_index_reloads =
+  Metrics.counter ~help:"successful hot index reloads in serve mode"
+    "index_reloads"
+
+let g_index_generation =
+  Metrics.gauge ~help:"current index snapshot generation in serve mode"
+    ~agg:`Max "index_generation"
+
+(* --inject SEED:site=rate[,site=rate...] — arm the deterministic fault
+   registry for the whole serve session (testing hook; the serve smoke CI
+   job and the quarantine tests drive it). *)
+let inject_conv =
+  let parse s =
+    let fail () = Error (`Msg "expected SEED:site=rate[,site=rate...]") in
+    match String.index_opt s ':' with
+    | None -> fail ()
+    | Some i -> (
+        let seed_s = String.sub s 0 i in
+        let rest = String.sub s (i + 1) (String.length s - i - 1) in
+        match int_of_string_opt seed_s with
+        | None -> fail ()
+        | Some seed ->
+            let rates =
+              List.fold_left
+                (fun acc part ->
+                  match (acc, String.split_on_char '=' part) with
+                  | Some acc, [ site; rate ] -> (
+                      match float_of_string_opt rate with
+                      | Some r -> Some ((site, r) :: acc)
+                      | None -> None)
+                  | _ -> None)
+                (Some []) (String.split_on_char ',' rest)
+            in
+            (match rates with
+            | Some rates ->
+                Ok { Faerie_util.Fault.seed; rates = List.rev rates }
+            | None -> fail ()))
+  in
+  let print ppf (c : Faerie_util.Fault.config) =
+    Format.fprintf ppf "%d:%s" c.Faerie_util.Fault.seed
+      (String.concat ","
+         (List.map
+            (fun (s, r) -> Printf.sprintf "%s=%g" s r)
+            c.Faerie_util.Fault.rates))
+  in
+  Arg.conv (parse, print)
+
+let serve_cmd =
+  let pruning_arg =
+    let doc = "Pruning level: none, lazy, bucket or binary (full Faerie)." in
+    Arg.(value & opt pruning_conv Types.Binary_window & info [ "pruning" ] ~doc)
+  in
+  let domains_arg =
+    let doc = "Worker domains in the supervised pool." in
+    Arg.(
+      value
+      & opt int Supervisor.default_config.Supervisor.domains
+      & info [ "domains" ] ~docv:"N" ~doc)
+  in
+  let retries_arg =
+    let doc = "Max re-attempts per document after a transient failure." in
+    Arg.(value & opt int 2 & info [ "retries" ] ~docv:"N" ~doc)
+  in
+  let backoff_arg =
+    let doc =
+      "Base retry backoff in milliseconds (exponential with full jitter); 0 \
+       disables backoff sleeps."
+    in
+    Arg.(value & opt int 10 & info [ "backoff-ms" ] ~docv:"MS" ~doc)
+  in
+  let backoff_max_arg =
+    let doc = "Cap on the retry backoff window in milliseconds." in
+    Arg.(value & opt int 1000 & info [ "backoff-max-ms" ] ~docv:"MS" ~doc)
+  in
+  let quarantine_arg =
+    let doc =
+      "Dead-letter NDJSON file: documents that fail every retry are appended \
+       here as self-contained repros (replayable with fuzz.exe --replay)."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "quarantine" ] ~docv:"FILE" ~doc)
+  in
+  let shed_arg =
+    let doc =
+      "Enable load shedding: refuse documents when the admission queue is \
+       full, and refuse queued documents whose deadline already expired, \
+       instead of blocking / running them."
+    in
+    Arg.(value & flag & info [ "shed" ] ~doc)
+  in
+  let timeout_arg =
+    let doc =
+      "Default per-document wall-clock budget in milliseconds (a request's \
+       own timeout_ms field overrides it)."
+    in
+    Arg.(value & opt (some int) None & info [ "timeout-ms" ] ~docv:"MS" ~doc)
+  in
+  let max_doc_bytes_arg =
+    let doc = "Chunked-extraction threshold, as in extract." in
+    Arg.(
+      value & opt (some int) None & info [ "max-doc-bytes" ] ~docv:"BYTES" ~doc)
+  in
+  let queue_arg =
+    let doc = "Admission queue capacity." in
+    Arg.(value & opt int 64 & info [ "queue" ] ~docv:"N" ~doc)
+  in
+  let inject_arg =
+    let doc =
+      "Arm deterministic fault injection: SEED:site=rate[,site=rate...] \
+       (sites: tokenize, heap_merge, verify, codec_io, supervisor_worker, \
+       codec_rename, serve_decode). Testing hook."
+    in
+    Arg.(
+      value & opt (some inject_conv) None & info [ "inject" ] ~docv:"SPEC" ~doc)
+  in
+  let run sim q dict_file index_file pruning domains retries backoff_ms
+      backoff_max_ms quarantine shed timeout_ms max_doc_bytes queue inject =
+    guard @@ fun () ->
+    (match inject with
+    | Some cfg -> Faerie_util.Fault.configure cfg
+    | None -> ());
+    let load_problem () = problem_of_source sim q dict_file index_file in
+    let ex_ref = Atomic.make (Extractor.of_problem (load_problem ())) in
+    let gen = Atomic.make 0 in
+    Metrics.set g_index_generation 0.;
+    let reloads = ref 0 in
+    (* Hot reload triggers: SIGHUP (flag checked between requests) or a
+       changed mtime on the --index snapshot. A failed reload (torn write,
+       corruption, missing file) keeps the current generation serving. *)
+    let index_mtime =
+      match index_file with
+      | Some p -> (
+          try Some (ref (Unix.stat p).Unix.st_mtime)
+          with Unix.Unix_error _ -> None)
+      | None -> None
+    in
+    let sighup = Atomic.make false in
+    (try
+       ignore
+         (Sys.signal Sys.sighup
+            (Sys.Signal_handle (fun _ -> Atomic.set sighup true)))
+     with Invalid_argument _ | Sys_error _ -> ());
+    let reload () =
+      match load_problem () with
+      | p ->
+          Atomic.set ex_ref (Extractor.of_problem p);
+          let g = 1 + Atomic.fetch_and_add gen 1 in
+          incr reloads;
+          Metrics.incr m_index_reloads;
+          Metrics.set g_index_generation (float_of_int g);
+          Printf.eprintf "faerie: serve: reloaded index (generation %d)\n%!" g
+      | exception e ->
+          let msg =
+            match e with
+            | Ix.Codec.Corrupt m -> "corrupt index: " ^ m
+            | Ix.Codec.Truncated { at; len } ->
+                Printf.sprintf "truncated index (byte %d of %d)" at len
+            | Sys_error m -> m
+            | e -> raise e
+          in
+          Printf.eprintf
+            "faerie: serve: reload failed, keeping generation %d: %s\n%!"
+            (Atomic.get gen) msg
+    in
+    let maybe_reload () =
+      if Atomic.exchange sighup false then reload ()
+      else
+        match (index_file, index_mtime) with
+        | Some p, Some mt -> (
+            match (try Some (Unix.stat p).Unix.st_mtime with Unix.Unix_error _ -> None) with
+            | Some m when m <> !mt ->
+                mt := m;
+                reload ()
+            | _ -> ())
+        | _ -> ()
+    in
+    let config =
+      {
+        Supervisor.domains;
+        retry = { Supervisor.retries; backoff_ms; backoff_max_ms; seed = 0 };
+        queue_capacity = queue;
+        quarantine;
+        shed;
+      }
+    in
+    let pool = Supervisor.create ~config (fun () -> Atomic.get ex_ref) in
+    let out_lock = Mutex.create () in
+    let print_line s =
+      Mutex.lock out_lock;
+      print_string s;
+      print_newline ();
+      flush stdout;
+      Mutex.unlock out_lock
+    in
+    let done_lock = Mutex.create () in
+    let outcomes = ref [] in
+    let record out =
+      Mutex.lock done_lock;
+      outcomes := out :: !outcomes;
+      Mutex.unlock done_lock
+    in
+    let ord = ref 0 in
+    (try
+       while true do
+         let line = input_line stdin in
+         maybe_reload ();
+         if String.trim line <> "" then begin
+           let o = !ord in
+           incr ord;
+           match Serve_proto.parse_request ~ord:o line with
+           | Error msg -> print_line (Serve_proto.error_json ~ord:o msg)
+           | Ok req ->
+               let budget =
+                 {
+                   Budget.spec_unlimited with
+                   timeout_ms =
+                     (match req.Serve_proto.timeout_ms with
+                     | Some _ as t -> t
+                     | None -> timeout_ms);
+                   max_bytes = max_doc_bytes;
+                 }
+               in
+               let opts = { Extractor.default_opts with pruning; budget } in
+               let id = req.Serve_proto.id in
+               ignore
+                 (Supervisor.submit pool ?id ~opts ~doc_id:o
+                    req.Serve_proto.text ~on_done:(fun out ->
+                      record out;
+                      print_line
+                        (Serve_proto.response_json ~ord:o ~id
+                           ~gen:(Atomic.get gen) out)))
+         end
+       done
+     with End_of_file -> ());
+    Supervisor.shutdown pool;
+    let summary = Outcome.summarize (Array.of_list !outcomes) in
+    prerr_endline (Serve_proto.summary_json ~reloads:!reloads summary);
+    0
+  in
+  let doc =
+    "Long-running extraction service: NDJSON requests on stdin \
+     ({\"text\":..., \"id\":..., \"timeout_ms\":...}), one NDJSON response \
+     per document on stdout, supervised worker pool with retry, quarantine \
+     and load shedding, hot index reload on SIGHUP or --index mtime change. \
+     A summary JSON line goes to stderr at EOF."
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ sim_arg $ q_arg $ dict_opt_arg $ index_opt_arg $ pruning_arg
+      $ domains_arg $ retries_arg $ backoff_arg $ backoff_max_arg
+      $ quarantine_arg $ shed_arg $ timeout_arg $ max_doc_bytes_arg $ queue_arg
+      $ inject_arg)
+
 (* ---- gen ---- *)
 
 let gen_cmd =
@@ -620,5 +884,5 @@ let () =
        (Cmd.group info
           [
             extract_cmd; explain_cmd; flame_cmd; stats_cmd; regress_cmd;
-            gen_cmd; index_cmd;
+            gen_cmd; index_cmd; serve_cmd;
           ]))

@@ -6,13 +6,24 @@
    (seed, sim, q, entities, document) is dumped to stderr and to a file.
 
    Usage: dune exec bin/fuzz.exe -- [--faults] [iterations] [seed]
+          dune exec bin/fuzz.exe -- --replay=FILE --dict=FILE
 
    With --faults, the campaign instead runs with deterministic fault
    injection armed (sites: tokenize, heap_merge, verify, codec_io) and
    asserts containment: every injected fault must surface as a structured
    Failed outcome for exactly the affected document — never a process
    crash — and fault-free documents of the same batch must produce results
-   identical to a run with injection disabled.                              *)
+   identical to a run with injection disabled. Two further phases cover
+   the serving layer: a supervised-pool campaign (site supervisor_worker:
+   worker deaths mid-batch must lose no documents) and a request-decode
+   campaign (site serve_decode: poison request lines must surface as
+   parse errors, never crashes).
+
+   With --replay, each NDJSON quarantine record written by the supervisor
+   (faerie serve --quarantine) is replayed against the dictionary in
+   --dict: the recorded fault campaign is re-armed and the poison document
+   re-extracted under its original fault key; exit 0 iff every record
+   reproduces a failure.                                                    *)
 
 module Sim = Faerie_sim.Sim
 module Core = Faerie_core
@@ -301,14 +312,286 @@ let run_fault_campaign iterations seed =
   end;
   Printf.printf "fault containment holds on all %d instances\n" iterations
 
+(* ---- supervised-pool campaign (part of --faults) ---- *)
+
+module Supervisor = Core.Supervisor
+module Serve_proto = Core.Serve_proto
+module Extractor = Core.Extractor
+module Metrics = Faerie_obs.Metrics
+
+let supervisor_rates = [ ("supervisor_worker", 0.3); ("tokenize", 0.2) ]
+
+(* Worker-death containment: under supervisor_worker faults (which kill the
+   worker domain holding the document, outside the per-document containment
+   boundary) every submitted document must still reach exactly one outcome,
+   quarantine must absorb retry-exhausted documents (no plain Failed when a
+   dead-letter sink is armed and every fault is transient), and fault-free
+   documents must match a clean run. *)
+let run_supervisor_campaign iterations seed =
+  Printf.printf "supervisor campaign: %d instances (seed %d), sites %s\n%!"
+    iterations seed
+    (String.concat "," (List.map fst supervisor_rates));
+  let rng = Xorshift.create seed in
+  let problems = ref 0 in
+  let quarantine = Filename.temp_file "faerie-fuzz-quarantine-" ".ndjson" in
+  let total_quarantined = ref 0 in
+  let before = Metrics.snapshot () in
+  let config =
+    {
+      Supervisor.domains = 3;
+      retry = { Supervisor.default_retry with retries = 1; backoff_ms = 0 };
+      queue_capacity = 16;
+      quarantine = Some quarantine;
+      shed = false;
+    }
+  in
+  for i = 1 to iterations do
+    let inst = random_instance rng in
+    let doc_of_kind () =
+      if Faerie_sim.Sim.char_based inst.sim then random_string rng 5 40
+      else random_words rng 3 20
+    in
+    let docs =
+      Array.append [| inst.document |] (Array.init 7 (fun _ -> doc_of_kind ()))
+    in
+    (match Problem.create ~sim:inst.sim ~q:inst.q inst.entities with
+    | problem -> (
+        Fault.disarm ();
+        let baseline, _ = Parallel.extract_all_outcomes ~domains:2 problem docs in
+        Fault.configure
+          { Fault.seed = mix_seed seed i; rates = supervisor_rates };
+        (match Supervisor.run_batch ~config problem docs with
+        | outcomes, summary ->
+            if Array.length outcomes <> Array.length docs then begin
+              incr problems;
+              dump_repro ~seed ~iteration:i inst
+                ~trouble:"supervisor lost or duplicated documents"
+            end;
+            if
+              summary.Outcome.n_ok + summary.Outcome.n_degraded
+              + summary.Outcome.n_failed + summary.Outcome.n_shed
+              + summary.Outcome.n_quarantined
+              <> summary.Outcome.n_docs
+            then begin
+              incr problems;
+              dump_repro ~seed ~iteration:i inst
+                ~trouble:"summary classes do not sum to n_docs"
+            end;
+            total_quarantined := !total_quarantined + summary.Outcome.n_quarantined;
+            Array.iteri
+              (fun j outcome ->
+                match (outcome, baseline.(j)) with
+                | Outcome.Failed (Outcome.Quarantined _), _ -> ()
+                | Outcome.Failed err, _ ->
+                    (* All armed sites produce transient errors and a
+                       quarantine sink is configured, so a plain Failed
+                       means a document slipped past the dead-letter path. *)
+                    incr problems;
+                    dump_repro ~seed ~iteration:i inst
+                      ~trouble:
+                        (Printf.sprintf
+                           "document %d ended plain Failed (%s) despite \
+                            quarantine"
+                           j
+                           (Outcome.error_to_string err))
+                | Outcome.Ok got, Outcome.Ok want ->
+                    if got <> want then begin
+                      incr problems;
+                      dump_repro ~seed ~iteration:i inst
+                        ~trouble:
+                          (Printf.sprintf
+                             "supervised document %d differs from clean run" j)
+                    end
+                | _ -> ())
+              outcomes
+        | exception exn ->
+            incr problems;
+            dump_repro ~seed ~iteration:i inst
+              ~trouble:
+                ("worker death escaped the supervisor: "
+                ^ Printexc.to_string exn));
+        Fault.disarm ())
+    | exception exn ->
+        Fault.disarm ();
+        incr problems;
+        dump_repro ~seed ~iteration:i inst
+          ~trouble:("problem build crashed: " ^ Printexc.to_string exn))
+  done;
+  let after = Metrics.snapshot () in
+  let delta name =
+    Metrics.counter_value after name - Metrics.counter_value before name
+  in
+  let restarts = delta "worker_restarts" in
+  let quarantined = delta "docs_quarantined" in
+  Printf.printf
+    "supervisor: %d worker restarts, %d retries, %d quarantined, %d shed\n"
+    restarts (delta "doc_retries") quarantined (delta "docs_shed");
+  if quarantined <> !total_quarantined then begin
+    Printf.printf "QUARANTINE MISCOUNT: counter %d vs summaries %d\n"
+      quarantined !total_quarantined;
+    exit 1
+  end;
+  (* Every dead-letter line must be a parseable, self-contained record. *)
+  let lines = ref [] in
+  let ic = open_in quarantine in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  if List.length !lines <> !total_quarantined then begin
+    Printf.printf "QUARANTINE FILE MISCOUNT: %d lines vs %d outcomes\n"
+      (List.length !lines) !total_quarantined;
+    exit 1
+  end;
+  List.iter
+    (fun line ->
+      match Supervisor.Quarantine.of_json line with
+      | Ok _ -> ()
+      | Error e ->
+          Printf.printf "UNPARSEABLE QUARANTINE RECORD (%s): %s\n" e line;
+          exit 1)
+    !lines;
+  Sys.remove quarantine;
+  if restarts = 0 && iterations > 0 then begin
+    Printf.printf "NO WORKER RESTARTS: supervisor_worker site never fired?\n";
+    exit 1
+  end;
+  if !problems > 0 then begin
+    Printf.printf "%d supervisor containment problems\n" !problems;
+    exit 1
+  end;
+  Printf.printf "zero lost documents across %d supervised batches\n" iterations
+
+(* ---- request-decode campaign (part of --faults) ---- *)
+
+let run_serve_decode_campaign iterations seed =
+  Printf.printf "serve_decode campaign: %d requests (seed %d)\n%!" iterations
+    seed;
+  Fault.reset_counts ();
+  Fault.configure { Fault.seed; rates = [ ("serve_decode", 0.5) ] };
+  let errors = ref 0 in
+  for i = 1 to iterations do
+    match Serve_proto.parse_request ~ord:i {|{"text":"aa bb cc"}|} with
+    | Ok _ -> ()
+    | Error _ -> incr errors
+    | exception exn ->
+        Fault.disarm ();
+        Printf.printf "DECODE FAULT ESCAPED: %s\n" (Printexc.to_string exn);
+        exit 1
+  done;
+  Fault.disarm ();
+  let injected = Fault.injected_count () in
+  if injected <> !errors then begin
+    Printf.printf "DECODE CONTAINMENT LEAK: %d injected but %d errors\n"
+      injected !errors;
+    exit 1
+  end;
+  Printf.printf "all %d injected decode faults surfaced as error responses\n"
+    injected
+
+(* ---- quarantine replay (--replay) ---- *)
+
+let read_lines path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec loop acc =
+        match input_line ic with
+        | line -> loop (if String.trim line = "" then acc else line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      loop [])
+
+(* Replay each dead-letter record: rebuild the problem from the dictionary
+   and the record's sim/q, re-arm the recorded fault campaign, and re-run
+   the document under its original fault key (the first attempt's key is
+   the plain doc id). The record reproduces iff the document fails again —
+   either as a worker death at the supervisor_worker site or as a contained
+   Failed outcome. *)
+let run_replay ~replay_file ~dict_file =
+  let entities =
+    List.filter_map
+      (fun l -> match String.trim l with "" -> None | e -> Some e)
+      (read_lines dict_file)
+  in
+  let records = read_lines replay_file in
+  let failures = ref 0 in
+  List.iteri
+    (fun idx line ->
+      match Supervisor.Quarantine.of_json line with
+      | Error e ->
+          incr failures;
+          Printf.printf "record %d: unparseable (%s)\n" idx e
+      | Ok r -> (
+          let reproduced =
+            let problem =
+              Problem.create ~sim:r.Supervisor.Quarantine.sim
+                ~q:r.Supervisor.Quarantine.q entities
+            in
+            (match r.Supervisor.Quarantine.fault with
+            | Some cfg -> Fault.configure cfg
+            | None -> Fault.disarm ());
+            let opts =
+              {
+                Extractor.default_opts with
+                pruning = r.Supervisor.Quarantine.pruning;
+                budget = r.Supervisor.Quarantine.budget;
+                doc_id = r.Supervisor.Quarantine.doc_id;
+              }
+            in
+            let ex = Extractor.of_problem problem in
+            match
+              Fault.with_context r.Supervisor.Quarantine.doc_id (fun () ->
+                  Fault.site "supervisor_worker");
+              Extractor.run ~opts ex (`Text r.Supervisor.Quarantine.text)
+            with
+            | report -> Outcome.is_failed report.Extractor.outcome
+            | exception Fault.Injected _ -> true
+          in
+          Fault.disarm ();
+          if reproduced then
+            Printf.printf "record %d (doc %d): reproduced — %s\n" idx
+              r.Supervisor.Quarantine.doc_id r.Supervisor.Quarantine.error
+          else begin
+            incr failures;
+            Printf.printf "record %d (doc %d): DID NOT REPRODUCE\n" idx
+              r.Supervisor.Quarantine.doc_id
+          end))
+    records;
+  if !failures > 0 then begin
+    Printf.printf "%d of %d records failed to reproduce\n" !failures
+      (List.length records);
+    exit 1
+  end;
+  Printf.printf "all %d quarantine records reproduce\n" (List.length records)
+
 let () =
   let faults = ref false in
+  let replay = ref None in
+  let dict = ref None in
   let positional = ref [] in
+  let prefixed ~prefix arg =
+    if String.length arg > String.length prefix
+       && String.sub arg 0 (String.length prefix) = prefix
+    then
+      Some
+        (String.sub arg (String.length prefix)
+           (String.length arg - String.length prefix))
+    else None
+  in
   Array.iteri
     (fun i arg ->
       if i > 0 then
         if arg = "--faults" then faults := true
-        else positional := int_of_string arg :: !positional)
+        else
+          match prefixed ~prefix:"--replay=" arg with
+          | Some f -> replay := Some f
+          | None -> (
+              match prefixed ~prefix:"--dict=" arg with
+              | Some f -> dict := Some f
+              | None -> positional := int_of_string arg :: !positional))
     Sys.argv;
   let positional = List.rev !positional in
   let iterations = match positional with n :: _ -> n | [] -> 2_000 in
@@ -317,5 +600,15 @@ let () =
     | _ :: s :: _ -> s
     | _ -> int_of_float (Unix.gettimeofday () *. 1000.) land 0xFFFFFF
   in
-  if !faults then run_fault_campaign iterations seed
-  else run_differential iterations seed
+  match (!replay, !dict) with
+  | Some replay_file, Some dict_file -> run_replay ~replay_file ~dict_file
+  | Some _, None ->
+      prerr_endline "fuzz: --replay requires --dict=FILE";
+      exit 2
+  | None, _ ->
+      if !faults then begin
+        run_fault_campaign iterations seed;
+        run_supervisor_campaign (max 1 (iterations / 10)) seed;
+        run_serve_decode_campaign iterations seed
+      end
+      else run_differential iterations seed

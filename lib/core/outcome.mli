@@ -9,6 +9,12 @@
       reason attached — partial work is reported, never silently dropped;
     - [Failed error]: no usable result; the error taxonomy says why.
 
+    The serving layer ({!Supervisor}) adds two terminal refusals on top of
+    the [Failed] taxonomy: [Shed] (the document was never started — admission
+    control rejected it) and [Quarantined] (every retry attempt failed and
+    the document was written to the dead-letter file). {!classify} splits the
+    five classes apart for accounting.
+
     A batch of outcomes folds into a {!summary} for reporting and exit
     policy. *)
 
@@ -17,6 +23,15 @@ type exn_info = { exn_name : string; message : string; backtrace : string }
     not kept: outcomes may cross domain boundaries and be persisted). *)
 
 val exn_info_of : ?backtrace:string -> exn -> exn_info
+
+type shed_cause =
+  | Deadline_expired
+      (** the document's admission deadline passed while it queued; running
+          it could only produce an over-deadline answer *)
+  | Queue_full  (** bounded admission queue at capacity, shedding enabled *)
+  | Shutdown  (** still queued when a non-draining shutdown was requested *)
+
+val shed_cause_to_string : shed_cause -> string
 
 type error =
   | Doc_too_large of { bytes : int; limit : int }
@@ -27,6 +42,10 @@ type error =
   | Corrupt_index of string  (** {!Faerie_index.Codec.Corrupt} at load *)
   | Injected_fault of string  (** a {!Faerie_util.Fault} site fired *)
   | Worker_crash of exn_info  (** any other exception, contained *)
+  | Shed of shed_cause  (** refused by admission control, never started *)
+  | Quarantined of { attempts : int; last : error }
+      (** all [attempts] tries failed; the last error is kept and the
+          document went to the dead-letter file *)
 
 type degradation =
   | Oversize_chunked of { bytes : int; limit : int }
@@ -51,12 +70,30 @@ val degradation_to_string : degradation -> string
 
 val pp_error : Format.formatter -> error -> unit
 
+type cls = [ `Ok | `Degraded | `Failed | `Shed | `Quarantined ]
+(** The five accounting classes. [Shed] and [Quarantined] are carried as
+    [Failed] constructors but counted apart: a shed document was never
+    attempted and a quarantined one has a repro on disk, so neither should
+    trip "extraction is broken" alerting the way a plain failure does. *)
+
+val classify : 'a t -> cls
+
+val class_name : cls -> string
+(** ["ok"], ["degraded"], ["failed"], ["shed"], ["quarantined"] — the
+    wire-format outcome tag used by [faerie serve] responses. *)
+
 type summary = {
   n_docs : int;
   n_ok : int;
   n_degraded : int;
   n_failed : int;
-  failures : (int * error) list;  (** document index, error — input order *)
+      (** plain failures only — excludes shed and quarantined documents *)
+  n_shed : int;
+  n_quarantined : int;
+  failures : (int * error) list;
+      (** document index, error — input order. Plain failures only; shed and
+          quarantined documents are counted in their own fields, not listed
+          here. *)
   elapsed_ns : int64;  (** batch wall time; [0L] when the caller did not time *)
 }
 
@@ -65,3 +102,8 @@ val summarize : ?elapsed_ns:int64 -> 'a t array -> summary
     summary; {!Parallel.extract_all_outcomes} passes the measured value. *)
 
 val pp_summary : Format.formatter -> summary -> unit
+
+val summary_to_json : summary -> string
+(** One-line JSON object
+    [{"docs":..,"ok":..,"degraded":..,"failed":..,"shed":..,"quarantined":..,"elapsed_ns":..}]
+    — the final stderr line of [faerie serve]. *)

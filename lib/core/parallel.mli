@@ -17,6 +17,11 @@
 
 type outcome = Types.char_match list Outcome.t
 
+val outcome_of_report : Extractor.report -> outcome
+(** Project an {!Extractor.report} down to its outcome, discarding stats.
+    Shared with {!Supervisor}, which re-runs [Extractor.run] per retry
+    attempt and needs the same projection. *)
+
 val extract_one_outcome :
   ?pruning:Types.pruning ->
   ?budget:Faerie_util.Budget.spec ->

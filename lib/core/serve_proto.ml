@@ -1,0 +1,74 @@
+module Fault = Faerie_util.Fault
+module Json = Faerie_util.Json
+module Score = Faerie_sim.Verify.Score
+
+type request = { id : string option; text : string; timeout_ms : int option }
+
+let parse_request ~ord line =
+  match
+    Fault.with_context ord (fun () ->
+        Fault.site "serve_decode";
+        Json.of_string line)
+  with
+  | exception Fault.Injected site ->
+      Error (Printf.sprintf "injected fault at site %S" site)
+  | Error e -> Error (Printf.sprintf "bad JSON: %s" e)
+  | Ok j -> (
+      match Option.bind (Json.member "text" j) Json.to_str with
+      | None -> Error {|missing or non-string "text" field|}
+      | Some text ->
+          let id =
+            match Json.member "id" j with
+            | Some (Json.Str s) -> Some s
+            | _ -> None
+          in
+          let timeout_ms = Option.bind (Json.member "timeout_ms" j) Json.to_int in
+          Ok { id; text; timeout_ms })
+
+let num i = Json.Num (float_of_int i)
+
+let error_json ~ord msg =
+  Json.to_string
+    (Json.Obj
+       [ ("doc", num ord); ("outcome", Json.Str "error"); ("error", Json.Str msg) ])
+
+let score_json = function
+  | Score.Similarity f -> Json.Num f
+  | Score.Distance d -> num d
+
+let match_json (m : Types.char_match) =
+  Json.Obj
+    [
+      ("e", num m.Types.c_entity);
+      ("s", num m.Types.c_start);
+      ("l", num m.Types.c_len);
+      ("score", score_json m.Types.c_score);
+    ]
+
+let response_json ~ord ~id ~gen (out : Parallel.outcome) =
+  let matches ms = ("matches", Json.List (List.map match_json ms)) in
+  let fields =
+    [ ("doc", num ord) ]
+    @ (match id with Some s -> [ ("id", Json.Str s) ] | None -> [])
+    @ [
+        ("gen", num gen);
+        ("outcome", Json.Str (Outcome.class_name (Outcome.classify out)));
+      ]
+    @
+    match out with
+    | Outcome.Ok ms -> [ matches ms ]
+    | Outcome.Degraded (ms, why) ->
+        [
+          ("degraded", Json.Str (Outcome.degradation_to_string why)); matches ms;
+        ]
+    | Outcome.Failed err ->
+        [ ("error", Json.Str (Outcome.error_to_string err)) ]
+  in
+  Json.to_string (Json.Obj fields)
+
+let summary_json ~reloads s =
+  let base = Outcome.summary_to_json s in
+  (* [summary_to_json] always ends in '}'; splice the reload count in. *)
+  Printf.sprintf "%s,\"reloads\":%d}"
+    (String.sub base 0 (String.length base - 1))
+    reloads

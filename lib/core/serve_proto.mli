@@ -1,0 +1,42 @@
+(** NDJSON wire protocol of [faerie serve].
+
+    One request per line on stdin, one response per line on stdout. A
+    request is a JSON object: [{"text": "..."}], optionally with an
+    ["id"] string (echoed back) and a ["timeout_ms"] number (per-request
+    deadline override). Responses carry a stable [ord] (arrival ordinal),
+    the echoed id, the index generation that served the request, an
+    outcome tag ({!Outcome.class_name}), and — for usable outcomes — the
+    matches as entity-id/offset/length triples with scores. Entity ids,
+    not entity strings, so a response is meaningful against whichever
+    snapshot generation it names even across hot reloads.
+
+    Decoding is fault-isolated: the ["serve_decode"] {!Faerie_util.Fault}
+    site fires inside {!parse_request}, and both injected faults and
+    malformed JSON come back as [Error] — a poison request line yields an
+    error response, never a dead server. *)
+
+type request = {
+  id : string option;  (** echoed into the response *)
+  text : string;
+  timeout_ms : int option;  (** per-request deadline override *)
+}
+
+val parse_request : ord:int -> string -> (request, string) result
+(** Parse one NDJSON request line. [ord] is the arrival ordinal and keys
+    the fault context for the ["serve_decode"] site. Never raises. *)
+
+val error_json : ord:int -> string -> string
+(** Response line for an undecodable request:
+    [{"doc":ord,"outcome":"error","error":...}]. *)
+
+val response_json :
+  ord:int -> id:string option -> gen:int -> Parallel.outcome -> string
+(** Response line for a completed document. Shape:
+    [{"doc":ord,"id":...,"gen":G,"outcome":TAG,"matches":[...]}] with
+    ["matches"] present for [ok]/[degraded] (each match
+    [{"e":entity,"s":start,"l":len,"score":...}]), ["error"] present
+    otherwise, and ["degraded"] carrying the reason when applicable. *)
+
+val summary_json : reloads:int -> Outcome.summary -> string
+(** Final stderr line: {!Outcome.summary_to_json} extended with the
+    hot-reload count. *)

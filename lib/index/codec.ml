@@ -5,6 +5,8 @@ module Trace = Faerie_obs.Trace
 
 exception Corrupt of string
 
+exception Truncated of { at : int; len : int }
+
 let m_save_bytes =
   Metrics.counter ~help:"bytes produced by index encoding" "codec_save_bytes"
 
@@ -14,6 +16,10 @@ let m_load_bytes =
 let m_corrupt =
   Metrics.counter ~help:"decode attempts rejected as corrupt"
     "codec_corrupt_rejects"
+
+let m_truncated =
+  Metrics.counter ~help:"decode attempts rejected as truncated (torn write)"
+    "codec_truncated_rejects"
 
 let magic = "FAERIEIX"
 
@@ -72,8 +78,10 @@ let decode data =
   in
   Faerie_util.Fault.site "codec_io";
   Metrics.add m_load_bytes (String.length data);
+  (* The reader is created outside the [try] so the truncation handler can
+     report how far decoding got before the input ran out. *)
+  let r = Varint.reader data in
   try
-    let r = Varint.reader data in
     (* Every claimed element count is validated against the bytes still
        unread before any [Array.init] / [Interner.create] sized by it: each
        element costs at least one encoded byte, so a count larger than the
@@ -138,13 +146,58 @@ let decode data =
       fail "checksum mismatch";
     let dict = Dictionary.of_stored ~mode ~interner entities in
     (dict, Inverted_index.of_stored dict lists)
-  with Varint.Malformed msg -> fail msg
+  with Varint.Malformed msg ->
+    (* [Varint] prefixes every ran-out-of-bytes message with "truncated";
+       everything else (bad magic, malformed varint byte) is corruption.
+       A truncated file is the signature of a torn write — a crash between
+       write and rename, or a partial copy — and callers may want to fall
+       back to a previous snapshot rather than alert on corruption. *)
+    if String.length msg >= 9 && String.sub msg 0 9 = "truncated" then begin
+      Metrics.incr m_truncated;
+      raise (Truncated { at = Varint.pos r; len = String.length data })
+    end
+    else fail msg
 
+(* Crash-safe save: encode to a temp file in the destination directory,
+   fsync it, then atomically rename over [path]. A reader concurrently
+   calling [load] sees either the old snapshot or the new one, never a
+   partially written file. The "codec_rename" fault site models a crash in
+   the window after the temp file is durable but before the rename: the
+   destination still holds the previous snapshot and the temp file is left
+   behind (as a real crash would), so recovery paths can be tested. *)
 let save dict index path =
-  let oc = open_out_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (encode dict index))
+  let data = encode dict index in
+  let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+  let fd =
+    Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC; Unix.O_CLOEXEC ] 0o644
+  in
+  (try
+     let len = String.length data in
+     let pos = ref 0 in
+     while !pos < len do
+       pos := !pos + Unix.write_substring fd data !pos (len - !pos)
+     done;
+     Unix.fsync fd;
+     Unix.close fd
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  (* An injected fault here simulates a crash inside the write/rename
+     window: it propagates with the temp file left on disk, exactly as a
+     kill would leave it. *)
+  Faerie_util.Fault.site "codec_rename";
+  (try Sys.rename tmp path
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  (* Best effort: make the rename itself durable. Directories cannot be
+     opened O_WRONLY; some filesystems refuse fsync on O_RDONLY dirs. *)
+  match Unix.openfile (Filename.dirname path) [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | dfd -> (
+      (try Unix.fsync dfd with Unix.Unix_error _ -> ());
+      try Unix.close dfd with Unix.Unix_error _ -> ())
 
 let load path =
   let ic = open_in_bin path in

@@ -17,7 +17,15 @@
 
 exception Corrupt of string
 (** Raised by {!load}/{!decode} on malformed input (bad magic, version,
-    truncation, checksum mismatch, inconsistent counts). *)
+    checksum mismatch, inconsistent counts). *)
+
+exception Truncated of { at : int; len : int }
+(** Raised by {!load}/{!decode} when the input ran out mid-value: decoding
+    was consistent up to byte [at] of a [len]-byte input, then hit end of
+    data. This is the signature of a torn write (crash between write and
+    rename, partial copy) as opposed to in-place corruption ({!Corrupt});
+    the serving layer treats it as "keep the previous snapshot", not
+    "alert on a corrupt index". *)
 
 val encode : Dictionary.t -> Inverted_index.t -> string
 (** Serialize to a byte string. *)
@@ -25,13 +33,22 @@ val encode : Dictionary.t -> Inverted_index.t -> string
 val decode : string -> Dictionary.t * Inverted_index.t
 (** Inverse of {!encode}.
 
-    @raise Corrupt on malformed input. *)
+    @raise Corrupt on malformed input.
+    @raise Truncated when the input ends mid-value. *)
 
 val save : Dictionary.t -> Inverted_index.t -> string -> unit
-(** [save dict index path] writes the encoding to [path]. *)
+(** [save dict index path] writes the encoding to [path] atomically: the
+    bytes go to a temp file in the same directory ([path.tmp.<pid>]),
+    which is fsynced and then renamed over [path]. A crash at any point
+    leaves [path] holding either the previous snapshot or the new one,
+    never a torn mix. The ["codec_rename"] {!Faerie_util.Fault} site sits
+    between fsync and rename to exercise the crash window (the injected
+    fault propagates and the temp file is left behind, as a kill would
+    leave it). *)
 
 val load : string -> Dictionary.t * Inverted_index.t
 (** [load path] reads an index saved by {!save}.
 
     @raise Corrupt on malformed input.
+    @raise Truncated when the file ends mid-value (torn write).
     @raise Sys_error when the file cannot be read. *)

@@ -33,3 +33,39 @@ let pp ppf = function
   | Edit_similarity d -> Format.fprintf ppf "eds(delta=%g)" d
 
 let to_string t = Format.asprintf "%a" pp t
+
+(* Shortest decimal rendering that parses back to exactly [d], so specs
+   embedded in quarantine records replay with the original threshold. *)
+let float_spec d =
+  let s = Printf.sprintf "%.12g" d in
+  if float_of_string s = d then s
+  else
+    let s = Printf.sprintf "%.15g" d in
+    if float_of_string s = d then s else Printf.sprintf "%.17g" d
+
+let to_spec = function
+  | Jaccard d -> Printf.sprintf "jac=%s" (float_spec d)
+  | Cosine d -> Printf.sprintf "cos=%s" (float_spec d)
+  | Dice d -> Printf.sprintf "dice=%s" (float_spec d)
+  | Edit_distance tau -> Printf.sprintf "ed=%d" tau
+  | Edit_similarity d -> Printf.sprintf "eds=%s" (float_spec d)
+
+let of_spec s =
+  let num f v =
+    match float_of_string_opt v with
+    | Some d -> Ok (f d)
+    | None -> Error (Printf.sprintf "bad threshold %S" v)
+  in
+  match String.split_on_char '=' s with
+  | [ "jac"; d ] -> num (fun d -> Jaccard d) d
+  | [ "cos"; d ] -> num (fun d -> Cosine d) d
+  | [ "dice"; d ] -> num (fun d -> Dice d) d
+  | [ "eds"; d ] -> num (fun d -> Edit_similarity d) d
+  | [ "ed"; t ] -> (
+      match int_of_string_opt t with
+      | Some tau -> Ok (Edit_distance tau)
+      | None -> Error (Printf.sprintf "bad tau %S" t))
+  | _ ->
+      Error
+        "expected FUNC=THRESH with FUNC one of jac|cos|dice|eds (delta) or ed \
+         (tau)"

@@ -28,3 +28,13 @@ val to_string : t -> string
 val name : t -> string
 (** Function name without the threshold: ["jac"], ["cos"], ["dice"],
     ["ed"], ["eds"]. *)
+
+val to_spec : t -> string
+(** Machine-readable [FUNC=THRESH] form (["ed=2"], ["jac=0.8"]) — the CLI
+    argument syntax, round-trippable through {!of_spec}. Used by
+    quarantine dead-letter records so a repro names its similarity
+    function exactly. *)
+
+val of_spec : string -> (t, string) result
+(** Parse the [FUNC=THRESH] form accepted by the CLI's [--sim]. Does not
+    {!validate} the threshold. *)

@@ -15,6 +15,11 @@ type spec = {
 
 let spec_unlimited = { timeout_ms = None; max_bytes = None; max_candidates = None }
 
+let deadline_ns spec ~now_ns =
+  Option.map
+    (fun ms -> Int64.add now_ns (Int64.mul (Int64.of_int ms) 1_000_000L))
+    spec.timeout_ms
+
 let is_spec_unlimited s =
   s.timeout_ms = None && s.max_bytes = None && s.max_candidates = None
 

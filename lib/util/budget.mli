@@ -28,6 +28,13 @@ val spec_unlimited : spec
 
 val is_spec_unlimited : spec -> bool
 
+val deadline_ns : spec -> now_ns:int64 -> int64 option
+(** [deadline_ns spec ~now_ns] is the absolute admission deadline
+    [now_ns + timeout_ms] (in nanoseconds), or [None] when the spec has no
+    timeout. Admission control ({!Faerie_core.Supervisor}) stamps this at
+    enqueue time so a document that outlives its own deadline while
+    {e waiting} can be shed without ever being started. *)
+
 type t
 
 val unlimited : t

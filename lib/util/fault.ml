@@ -22,6 +22,8 @@ let disarm () = Atomic.set state None
 
 let active () = Atomic.get state <> None
 
+let current () = Atomic.get state
+
 let injected_count () = Atomic.get injected
 
 let reset_counts () = Atomic.set injected 0
@@ -77,4 +79,8 @@ let site name =
             raise (Injected name)
           end)
 
-let known_sites = [ "tokenize"; "heap_merge"; "verify"; "codec_io" ]
+let known_sites =
+  [
+    "tokenize"; "heap_merge"; "verify"; "codec_io"; "supervisor_worker";
+    "codec_rename"; "serve_decode";
+  ]

@@ -37,6 +37,11 @@ val disarm : unit -> unit
 
 val active : unit -> bool
 
+val current : unit -> config option
+(** The armed configuration, if any. Quarantine dead-letter records
+    ({!Faerie_core.Supervisor}) capture it so a repro replays the exact
+    fault schedule the document experienced. *)
+
 val site : string -> unit
 (** [site name] raises {!Injected name} with the configured probability —
     but only when the registry is armed {e and} the calling domain is
@@ -57,4 +62,11 @@ val known_sites : string list
 (** The site names wired into the library, for campaign configuration:
     ["tokenize"] (document tokenization), ["heap_merge"] (multiway
     inverted-list merge), ["verify"] (candidate verification),
-    ["codec_io"] (binary index decode). *)
+    ["codec_io"] (binary index decode), ["supervisor_worker"] (the
+    {!Faerie_core.Supervisor} worker loop, {e outside} the per-document
+    containment boundary — an injection here simulates a worker-domain
+    crash), ["codec_rename"] (the window between writing a durable temp
+    file and renaming it over the snapshot in
+    {!Faerie_index.Codec.save} — an injection simulates a kill between
+    write and rename), ["serve_decode"] (NDJSON request decoding in
+    {!Faerie_core.Serve_proto}). *)

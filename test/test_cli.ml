@@ -392,6 +392,164 @@ let test_flame_profile () =
       check_bool "nested stack present" true
         (has_match "^extract_doc;filter" stacks))
 
+(* ------------------------------------------------------------------ *)
+(* serve                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let fuzz =
+  let test_dir = Filename.dirname Sys.executable_name in
+  Filename.concat (Filename.concat (Filename.dirname test_dir) "bin") "fuzz.exe"
+
+let run_fuzz args =
+  let cmd = Filename.quote_command fuzz args in
+  let ic = Unix.open_process_in (cmd ^ " 2>&1") in
+  let rec read acc =
+    match input_line ic with
+    | line -> read (line :: acc)
+    | exception End_of_file -> List.rev acc
+  in
+  let lines = read [] in
+  let status = Unix.close_process_in ic in
+  (status, lines)
+
+(* Run the CLI with stdin redirected from a file, capturing stdout lines,
+   stderr lines and the exit status. *)
+let run_cli_io ~dir ~stdin_file args =
+  let stderr_file = Filename.concat dir "serve-stderr.txt" in
+  let cmd =
+    Printf.sprintf "%s < %s 2> %s"
+      (Filename.quote_command cli args)
+      (Filename.quote stdin_file)
+      (Filename.quote stderr_file)
+  in
+  let ic = Unix.open_process_in cmd in
+  let rec read acc =
+    match input_line ic with
+    | line -> read (line :: acc)
+    | exception End_of_file -> List.rev acc
+  in
+  let out = read [] in
+  let status = Unix.close_process_in ic in
+  (status, out, read_lines stderr_file)
+
+let test_serve_ndjson_roundtrip () =
+  with_temp_dir (fun dir ->
+      let dict = paper_dict_file dir in
+      let input = Filename.concat dir "input.ndjson" in
+      write_file input
+        ("{\"text\":\"surauijt chadhuri sigmod\",\"id\":\"d0\"}\n" ^ "\n"
+       ^ "this is not json\n" ^ "{\"text\":\"venkaee shga spoke\"}\n");
+      let status, out, err =
+        run_cli_io ~dir ~stdin_file:input
+          [ "serve"; "-d"; dict; "-s"; "ed=2"; "-q"; "2"; "--domains"; "2" ]
+      in
+      check_int "exit 0" 0 (exit_code status);
+      (* Blank line skipped: 2 documents + 1 decode error = 3 responses. *)
+      check_int "3 responses" 3 (List.length out);
+      check_bool "decode error response" true
+        (has_match {|"outcome":"error"|} out);
+      check_bool "ok responses carry matches" true
+        (has_match {|"outcome":"ok".*"matches":\[{"e":|} out);
+      check_bool "id echoed" true (has_match {|"id":"d0"|} out);
+      check_bool "generation 0 before any reload" true
+        (has_match {|"gen":0|} out);
+      check_bool "summary counts the 2 extracted docs" true
+        (has_match {|"docs":2,"ok":2|} err);
+      check_bool "summary reports no reloads" true
+        (has_match {|"reloads":0}|} err))
+
+let test_serve_quarantine_and_replay () =
+  with_temp_dir (fun dir ->
+      let dict = paper_dict_file dir in
+      let input = Filename.concat dir "input.ndjson" in
+      write_file input
+        ("{\"text\":\"surauijt chadhuri\",\"id\":\"poison-a\"}\n"
+       ^ "{\"text\":\"venkaee shga\"}\n");
+      let quarantine = Filename.concat dir "quarantine.ndjson" in
+      let status, out, err =
+        run_cli_io ~dir ~stdin_file:input
+          [
+            "serve"; "-d"; dict; "-s"; "ed=2"; "-q"; "2"; "--domains"; "1";
+            "--retries"; "1"; "--backoff-ms"; "0";
+            "--quarantine"; quarantine;
+            "--inject"; "7:supervisor_worker=1.0";
+          ]
+      in
+      check_int "exit 0" 0 (exit_code status);
+      (* Rate 1.0 on a transient site: every attempt dies, both documents
+         end up quarantined rather than lost or plain-failed. *)
+      check_int "both docs answered" 2 (List.length out);
+      check_bool "responses say quarantined" true
+        (List.for_all
+           (fun l ->
+             try
+               ignore
+                 (Str.search_forward
+                    (Str.regexp {|"outcome":"quarantined"|})
+                    l 0);
+               true
+             with Not_found -> false)
+           out);
+      check_bool "summary counts them" true (has_match {|"quarantined":2|} err);
+      check_int "dead-letter file has one record per doc" 2
+        (List.length (read_lines quarantine));
+      (* The dead-letter file is a self-contained repro: fuzz.exe --replay
+         must reproduce every record's failure. *)
+      let status, lines =
+        run_fuzz [ "--replay=" ^ quarantine; "--dict=" ^ dict ]
+      in
+      check_int "replay reproduces all records" 0 (exit_code status);
+      check_bool "replay reports both records" true
+        (has_match "all 2 quarantine records reproduce" lines))
+
+let test_serve_hot_reload () =
+  with_temp_dir (fun dir ->
+      let dict = paper_dict_file dir in
+      let idx = Filename.concat dir "dict.fidx" in
+      let status, _ =
+        run_cli [ "index"; "-d"; dict; "-s"; "ed=2"; "-q"; "2"; "-o"; idx ]
+      in
+      check_int "index build exit 0" 0 (exit_code status);
+      let stderr_file = Filename.concat dir "serve-stderr.txt" in
+      let cmd =
+        Printf.sprintf "%s 2> %s"
+          (Filename.quote_command cli
+             [ "serve"; "-x"; idx; "-s"; "ed=2"; "--domains"; "1" ])
+          (Filename.quote stderr_file)
+      in
+      let out, inp = Unix.open_process cmd in
+      output_string inp "{\"text\":\"surauijt chadhuri\"}\n";
+      flush inp;
+      let r1 = input_line out in
+      check_bool "first response served from generation 0" true
+        (try
+           ignore (Str.search_forward (Str.regexp {|"gen":0|}) r1 0);
+           true
+         with Not_found -> false);
+      (* Rewrite the snapshot and push its mtime forward; the server is
+         parked in input_line, so the reload happens when the next request
+         arrives. *)
+      let status, _ =
+        run_cli [ "index"; "-d"; dict; "-s"; "ed=2"; "-q"; "2"; "-o"; idx ]
+      in
+      check_int "index rebuild exit 0" 0 (exit_code status);
+      let future = Unix.gettimeofday () +. 10. in
+      Unix.utimes idx future future;
+      output_string inp "{\"text\":\"surauijt chadhuri\"}\n";
+      flush inp;
+      let r2 = input_line out in
+      check_bool "second response served from generation 1" true
+        (try
+           ignore (Str.search_forward (Str.regexp {|"gen":1|}) r2 0);
+           true
+         with Not_found -> false);
+      close_out inp;
+      let status = Unix.close_process (out, inp) in
+      check_int "serve exit 0" 0 (exit_code status);
+      let err = read_lines stderr_file in
+      check_bool "summary reports the reload" true
+        (has_match {|"docs":2,"ok":2|} err && has_match {|"reloads":1}|} err))
+
 let () =
   Alcotest.run "faerie_cli"
     [
@@ -419,5 +577,13 @@ let () =
           Alcotest.test_case "regress --max-alloc-ratio" `Quick
             test_regress_alloc_gate;
           Alcotest.test_case "flame profile" `Quick test_flame_profile;
+        ] );
+      ( "serve",
+        [
+          Alcotest.test_case "ndjson roundtrip" `Quick
+            test_serve_ndjson_roundtrip;
+          Alcotest.test_case "quarantine + replay" `Quick
+            test_serve_quarantine_and_replay;
+          Alcotest.test_case "hot reload" `Quick test_serve_hot_reload;
         ] );
     ]

@@ -281,12 +281,14 @@ let test_codec_save_load_file () =
 let test_codec_detects_corruption () =
   let problem = ed_problem () in
   let data = Codec.encode (Problem.dictionary problem) (Problem.index problem) in
+  (* Torn-write prefixes surface as [Truncated], everything else as
+     [Corrupt]; both must reject the payload. *)
   let expect_corrupt name data =
     check_bool name true
       (try
          ignore (Codec.decode data);
          false
-       with Codec.Corrupt _ -> true)
+       with Codec.Corrupt _ | Codec.Truncated _ -> true)
   in
   expect_corrupt "bad magic" ("XX" ^ String.sub data 2 (String.length data - 2));
   expect_corrupt "truncated" (String.sub data 0 (String.length data / 2));

@@ -17,6 +17,9 @@ module Xorshift = Faerie_util.Xorshift
 module Fault = Faerie_util.Fault
 module Budget = Faerie_util.Budget
 module Varint = Faerie_util.Varint
+module Supervisor = Core.Supervisor
+module Extractor = Core.Extractor
+module Metrics = Faerie_obs.Metrics
 
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
@@ -43,6 +46,9 @@ let encoded_index () =
   let problem = ed_problem () in
   Codec.encode (Problem.dictionary problem) (Problem.index problem)
 
+(* A flipped byte can corrupt a value in place (Corrupt) or shorten a
+   varint so the input runs out early (Truncated) — both are clean
+   rejections; anything else is a bug. *)
 let test_codec_flip_fuzz () =
   let data = encoded_index () in
   let rng = Xorshift.create 20260806 in
@@ -57,7 +63,7 @@ let test_codec_flip_fuzz () =
     in
     match Codec.decode corrupted with
     | _ -> Alcotest.failf "decode accepted a corrupted byte at %d" pos
-    | exception Codec.Corrupt _ -> ()
+    | exception (Codec.Corrupt _ | Codec.Truncated _) -> ()
   done
 
 let test_codec_truncation_fuzz () =
@@ -67,8 +73,22 @@ let test_codec_truncation_fuzz () =
     let len = Xorshift.int rng (String.length data) in
     match Codec.decode (String.sub data 0 len) with
     | _ -> Alcotest.failf "decode accepted a %d-byte truncation" len
-    | exception Codec.Corrupt _ -> ()
+    | exception (Codec.Corrupt _ | Codec.Truncated _) -> ()
   done
+
+(* Dropping the final byte always leaves the trailing checksum varint
+   unterminated — the canonical torn-write shape — and must be classified
+   as Truncated, not Corrupt, with a consistent position report. *)
+let test_codec_truncated_classified () =
+  let data = encoded_index () in
+  let cut = String.length data - 1 in
+  match Codec.decode (String.sub data 0 cut) with
+  | _ -> Alcotest.fail "decode accepted a torn write"
+  | exception Codec.Truncated { at; len } ->
+      check_int "reported length" cut len;
+      check_bool "position within input" true (at >= 0 && at <= len)
+  | exception Codec.Corrupt msg ->
+      Alcotest.failf "torn write misclassified as Corrupt: %s" msg
 
 (* An adversarial length field must be rejected up front — not by
    attempting the multi-gigabyte allocation it describes. *)
@@ -125,6 +145,60 @@ let test_codec_roundtrip_still_ok () =
   let dict, index = Codec.decode data in
   check_int "entities survive" (List.length paper_dict) (Ix.Dictionary.size dict);
   check_bool "postings survive" true (Ix.Inverted_index.n_postings index > 0)
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "faerie-rob-" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        (Sys.readdir dir);
+      try Sys.rmdir dir with Sys_error _ -> ())
+    (fun () -> f dir)
+
+let test_codec_save_atomic_roundtrip () =
+  with_temp_dir @@ fun dir ->
+  let problem = ed_problem () in
+  let path = Filename.concat dir "index.bin" in
+  Codec.save (Problem.dictionary problem) (Problem.index problem) path;
+  let dict, _ = Codec.load path in
+  check_int "entities survive the file" (List.length paper_dict)
+    (Ix.Dictionary.size dict);
+  check_bool "no temp file left behind" true
+    (Array.for_all
+       (fun f -> not (String.length f > 4 && String.sub f 0 4 = "inde" && f <> "index.bin"))
+       (Sys.readdir dir))
+
+(* Acceptance: a save interrupted in the window between writing the durable
+   temp file and renaming it over the snapshot leaves the previous snapshot
+   loadable (and the temp file behind, as a real kill would). *)
+let test_codec_save_crash_window () =
+  with_temp_dir @@ fun dir ->
+  let old_problem = ed_problem () in
+  let path = Filename.concat dir "index.bin" in
+  Codec.save (Problem.dictionary old_problem) (Problem.index old_problem) path;
+  let new_problem =
+    Problem.create ~sim:(Sim.Edit_distance 1) ~q:2 [ "alpha"; "beta" ]
+  in
+  Fault.configure { Fault.seed = 1; rates = [ ("codec_rename", 1.0) ] };
+  (match
+     Fun.protect ~finally:Fault.disarm (fun () ->
+         Fault.with_context 0 (fun () ->
+             Codec.save (Problem.dictionary new_problem)
+               (Problem.index new_problem) path))
+   with
+  | () -> Alcotest.fail "save should have been killed before the rename"
+  | exception Fault.Injected "codec_rename" -> ()
+  | exception e -> Alcotest.failf "unexpected: %s" (Printexc.to_string e));
+  let dict, _ = Codec.load path in
+  check_int "previous snapshot still loadable" (List.length paper_dict)
+    (Ix.Dictionary.size dict);
+  check_bool "temp file left in the crash window" true
+    (Array.exists
+       (fun f -> String.length f > 13 && String.sub f 0 14 = "index.bin.tmp.")
+       (Sys.readdir dir))
 
 (* ------------------------------------------------------------------ *)
 (* Fault containment in the parallel pipeline                          *)
@@ -215,6 +289,289 @@ let test_worker_crash_contained () =
     (String.length info.Outcome.message > 0)
 
 (* ------------------------------------------------------------------ *)
+(* Supervised serving layer                                            *)
+(* ------------------------------------------------------------------ *)
+
+let counter_delta before after name =
+  Metrics.counter_value after name - Metrics.counter_value before name
+
+let test_backoff_schedule_deterministic () =
+  let retry =
+    { Supervisor.retries = 5; backoff_ms = 10; backoff_max_ms = 200; seed = 7 }
+  in
+  let schedule doc =
+    List.init 6 (fun k ->
+        Supervisor.backoff_delay_ms retry ~doc_id:doc ~attempt:(k + 1))
+  in
+  check_bool "same seed, same schedule" true (schedule 3 = schedule 3);
+  check_bool "different docs, different schedules" true (schedule 3 <> schedule 4);
+  List.iteri
+    (fun k d ->
+      let window = min 200 (10 * (1 lsl k)) in
+      check_bool
+        (Printf.sprintf "attempt %d delay %d within [1, %d]" (k + 1) d window)
+        true
+        (d >= 1 && d <= window))
+    (schedule 3);
+  let zero =
+    { Supervisor.retries = 5; backoff_ms = 0; backoff_max_ms = 200; seed = 7 }
+  in
+  check_int "backoff_ms = 0 disables sleeping" 0
+    (Supervisor.backoff_delay_ms zero ~doc_id:3 ~attempt:4)
+
+(* Worker-death faults with retries: the pool restarts workers and
+   re-attempts the documents they held; with a fresh fault key per attempt
+   some documents recover to Ok. The whole schedule is deterministic, so
+   two identical runs classify every document identically. *)
+let test_retry_recovers_and_is_deterministic () =
+  let problem = ed_problem () in
+  let docs = Array.init 24 (fun i -> batch_docs.(i mod Array.length batch_docs)) in
+  let config =
+    {
+      Supervisor.domains = 2;
+      retry = { Supervisor.retries = 2; backoff_ms = 0; backoff_max_ms = 0; seed = 0 };
+      queue_capacity = 64;
+      quarantine = None;
+      shed = false;
+    }
+  in
+  let classes () =
+    Fault.configure
+      { Fault.seed = 1234; rates = [ ("supervisor_worker", 0.5) ] };
+    let outcomes, summary =
+      Fun.protect ~finally:Fault.disarm (fun () ->
+          Supervisor.run_batch ~config problem docs)
+    in
+    (Array.map (fun o -> Outcome.class_name (Outcome.classify o)) outcomes, summary)
+  in
+  let before = Metrics.snapshot () in
+  let first, summary = classes () in
+  let after = Metrics.snapshot () in
+  check_int "every document accounted for" (Array.length docs)
+    summary.Outcome.n_docs;
+  check_bool "some documents recovered to Ok" true (summary.Outcome.n_ok > 0);
+  check_bool "retries actually happened" true
+    (counter_delta before after "doc_retries" > 0);
+  check_bool "worker deaths actually happened" true
+    (counter_delta before after "worker_restarts" > 0);
+  let second, _ = classes () in
+  check_bool "identical classification on an identical rerun" true
+    (first = second)
+
+let test_quarantine_roundtrip_and_replay () =
+  with_temp_dir @@ fun dir ->
+  let qfile = Filename.concat dir "quarantine.ndjson" in
+  let problem = ed_problem () in
+  let ex = Extractor.of_problem problem in
+  let config =
+    {
+      Supervisor.domains = 1;
+      retry = { Supervisor.retries = 2; backoff_ms = 0; backoff_max_ms = 0; seed = 0 };
+      queue_capacity = 4;
+      quarantine = Some qfile;
+      shed = false;
+    }
+  in
+  let fault_cfg =
+    { Fault.seed = 42; rates = [ ("supervisor_worker", 1.0) ] }
+  in
+  Fault.configure fault_cfg;
+  let result = ref None in
+  Fun.protect ~finally:Fault.disarm (fun () ->
+      let pool = Supervisor.create ~config (fun () -> ex) in
+      ignore
+        (Supervisor.submit pool ~id:"poison" ~doc_id:5 paper_doc
+           ~on_done:(fun o -> result := Some o));
+      Supervisor.drain pool;
+      Supervisor.shutdown pool;
+      check_bool "all three attempts died" true
+        (Supervisor.worker_restarts pool >= 3));
+  (match !result with
+  | Some (Outcome.Failed (Outcome.Quarantined { attempts; last })) ->
+      check_int "first try + 2 retries" 3 attempts;
+      check_bool "last error is the injected site" true
+        (last = Outcome.Injected_fault "supervisor_worker")
+  | _ -> Alcotest.fail "poison document should be quarantined");
+  (* The dead-letter line is a self-contained repro. *)
+  let ic = open_in qfile in
+  let line = input_line ic in
+  close_in ic;
+  (match Supervisor.Quarantine.of_json line with
+  | Error e -> Alcotest.failf "unparseable quarantine record: %s" e
+  | Ok r ->
+      check_int "doc id recorded" 5 r.Supervisor.Quarantine.doc_id;
+      check_bool "request id recorded" true
+        (r.Supervisor.Quarantine.id = Some "poison");
+      check_int "attempts recorded" 3 r.Supervisor.Quarantine.attempts;
+      check_bool "document text recorded" true
+        (r.Supervisor.Quarantine.text = paper_doc);
+      check_bool "fault campaign recorded" true
+        (r.Supervisor.Quarantine.fault = Some fault_cfg);
+      (* In-process replay: re-arm the recorded campaign and re-run the
+         document under its original fault key — the failure reproduces. *)
+      (match r.Supervisor.Quarantine.fault with
+      | Some cfg -> Fault.configure cfg
+      | None -> ());
+      let reproduced =
+        Fun.protect ~finally:Fault.disarm (fun () ->
+            match
+              Fault.with_context r.Supervisor.Quarantine.doc_id (fun () ->
+                  Fault.site "supervisor_worker")
+            with
+            | () -> false
+            | exception Fault.Injected _ -> true)
+      in
+      check_bool "replay reproduces the recorded failure" true reproduced;
+      (* And the record round-trips through its own JSON rendering. *)
+      check_bool "to_json/of_json round-trip" true
+        (Supervisor.Quarantine.of_json (Supervisor.Quarantine.to_json r) = Ok r))
+
+let test_shed_expired_deadline () =
+  let problem = ed_problem () in
+  let ex = Extractor.of_problem problem in
+  let mk shed =
+    {
+      Supervisor.domains = 1;
+      retry = { Supervisor.retries = 0; backoff_ms = 0; backoff_max_ms = 0; seed = 0 };
+      queue_capacity = 4;
+      quarantine = None;
+      shed;
+    }
+  in
+  (* Shedding on: a document whose admission deadline already passed is
+     refused without being started. *)
+  let pool = Supervisor.create ~config:(mk true) (fun () -> ex) in
+  let shed_result = ref None in
+  ignore
+    (Supervisor.submit pool ~doc_id:0 ~deadline_ns:1L paper_doc
+       ~on_done:(fun o -> shed_result := Some o));
+  Supervisor.drain pool;
+  Supervisor.shutdown pool;
+  (match !shed_result with
+  | Some (Outcome.Failed (Outcome.Shed Outcome.Deadline_expired)) -> ()
+  | _ -> Alcotest.fail "expired document should be shed");
+  (* Shedding off: the same expired deadline is ignored and the document
+     runs to completion. *)
+  let pool = Supervisor.create ~config:(mk false) (fun () -> ex) in
+  let ok_result = ref None in
+  ignore
+    (Supervisor.submit pool ~doc_id:0 ~deadline_ns:1L paper_doc
+       ~on_done:(fun o -> ok_result := Some o));
+  Supervisor.drain pool;
+  Supervisor.shutdown pool;
+  match !ok_result with
+  | Some (Outcome.Ok ms) -> check_bool "matches found" true (ms <> [])
+  | _ -> Alcotest.fail "without --shed the document should run"
+
+let test_shed_queue_full_and_shutdown () =
+  let problem = ed_problem () in
+  let ex = Extractor.of_problem problem in
+  (* No workers: the queue never drains, making admission deterministic. *)
+  let config =
+    {
+      Supervisor.domains = 0;
+      retry = Supervisor.default_retry;
+      queue_capacity = 2;
+      quarantine = None;
+      shed = true;
+    }
+  in
+  let before = Metrics.snapshot () in
+  let pool = Supervisor.create ~config (fun () -> ex) in
+  let outcomes = Array.make 3 None in
+  let statuses =
+    Array.init 3 (fun i ->
+        Supervisor.submit pool ~doc_id:i paper_doc ~on_done:(fun o ->
+            outcomes.(i) <- Some o))
+  in
+  check_bool "first two admitted" true
+    (statuses.(0) = `Queued && statuses.(1) = `Queued);
+  check_bool "third refused at the full queue" true (statuses.(2) = `Shed);
+  (match outcomes.(2) with
+  | Some (Outcome.Failed (Outcome.Shed Outcome.Queue_full)) -> ()
+  | _ -> Alcotest.fail "refused submit should complete as Shed Queue_full");
+  Supervisor.shutdown ~drain:false pool;
+  Array.iteri
+    (fun i o ->
+      if i < 2 then
+        match o with
+        | Some (Outcome.Failed (Outcome.Shed Outcome.Shutdown)) -> ()
+        | _ -> Alcotest.failf "queued doc %d should be shed at shutdown" i)
+    outcomes;
+  let after = Metrics.snapshot () in
+  check_int "docs_shed counts all three" 3
+    (counter_delta before after "docs_shed")
+
+(* Acceptance criterion: a fault-injected worker death mid-batch loses no
+   documents — every document reaches exactly one of Ok / Degraded /
+   Quarantined, at least one worker restarted, and the obs counters agree
+   exactly with the summary. *)
+let test_zero_lost_documents () =
+  with_temp_dir @@ fun dir ->
+  let problem = ed_problem () in
+  let config =
+    {
+      Supervisor.domains = 3;
+      retry = { Supervisor.retries = 1; backoff_ms = 0; backoff_max_ms = 0; seed = 0 };
+      queue_capacity = 8;
+      quarantine = Some (Filename.concat dir "q.ndjson");
+      shed = false;
+    }
+  in
+  let before = Metrics.snapshot () in
+  Fault.configure { Fault.seed = 77; rates = [ ("supervisor_worker", 0.5) ] };
+  let outcomes, summary =
+    Fun.protect ~finally:Fault.disarm (fun () ->
+        Supervisor.run_batch ~config problem batch_docs)
+  in
+  let after = Metrics.snapshot () in
+  check_int "every document has exactly one outcome"
+    (Array.length batch_docs) summary.Outcome.n_docs;
+  Array.iteri
+    (fun i o ->
+      match Outcome.classify o with
+      | `Ok | `Degraded | `Quarantined -> ()
+      | `Failed | `Shed ->
+          Alcotest.failf "document %d lost to the fault campaign (%s)" i
+            (Outcome.class_name (Outcome.classify o)))
+    outcomes;
+  check_int "classes sum to the batch"
+    summary.Outcome.n_docs
+    (summary.Outcome.n_ok + summary.Outcome.n_degraded
+   + summary.Outcome.n_failed + summary.Outcome.n_shed
+   + summary.Outcome.n_quarantined);
+  check_bool "at least one worker restarted" true
+    (counter_delta before after "worker_restarts" >= 1);
+  check_int "quarantine counter agrees with the summary"
+    summary.Outcome.n_quarantined
+    (counter_delta before after "docs_quarantined");
+  check_int "nothing shed" 0 (counter_delta before after "docs_shed");
+  check_int "no plain failures" 0 summary.Outcome.n_failed
+
+let test_summary_json_and_classes () =
+  let outcomes =
+    [|
+      Outcome.Ok [ 1 ];
+      Outcome.Failed (Outcome.Shed Outcome.Queue_full);
+      Outcome.Failed
+        (Outcome.Quarantined
+           { attempts = 3; last = Outcome.Injected_fault "supervisor_worker" });
+      Outcome.Failed (Outcome.Tokenize_error "boom");
+    |]
+  in
+  let s = Outcome.summarize outcomes in
+  check_int "ok" 1 s.Outcome.n_ok;
+  check_int "shed counted apart" 1 s.Outcome.n_shed;
+  check_int "quarantined counted apart" 1 s.Outcome.n_quarantined;
+  check_int "plain failures only" 1 s.Outcome.n_failed;
+  check_int "failures list excludes shed/quarantined" 1
+    (List.length s.Outcome.failures);
+  Alcotest.(check string)
+    "summary JSON shape"
+    "{\"docs\":4,\"ok\":1,\"degraded\":0,\"failed\":1,\"shed\":1,\"quarantined\":1,\"elapsed_ns\":0}"
+    (Outcome.summary_to_json s)
+
+(* ------------------------------------------------------------------ *)
 (* Budgets                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -298,6 +655,13 @@ let test_budget_deadline_immediate () =
   | exception Budget.Exhausted Budget.Deadline ->
       check_bool "sticky" true (Budget.exhausted b = Some Budget.Deadline)
 
+let test_budget_deadline_ns () =
+  let spec = { Budget.spec_unlimited with timeout_ms = Some 3 } in
+  check_bool "deadline is now + timeout" true
+    (Budget.deadline_ns spec ~now_ns:1_000L = Some 3_001_000L);
+  check_bool "no timeout, no deadline" true
+    (Budget.deadline_ns Budget.spec_unlimited ~now_ns:1_000L = None)
+
 let test_budget_unlimited_never_trips () =
   let b = Budget.start Budget.spec_unlimited in
   check_bool "unlimited" true (Budget.is_unlimited b);
@@ -319,8 +683,31 @@ let () =
           Alcotest.test_case "truncation fuzz" `Quick test_codec_truncation_fuzz;
           Alcotest.test_case "adversarial counts" `Quick
             test_codec_adversarial_counts;
+          Alcotest.test_case "torn write -> Truncated" `Quick
+            test_codec_truncated_classified;
           Alcotest.test_case "roundtrip unaffected" `Quick
             test_codec_roundtrip_still_ok;
+          Alcotest.test_case "atomic save roundtrip" `Quick
+            test_codec_save_atomic_roundtrip;
+          Alcotest.test_case "crash window keeps old snapshot" `Quick
+            test_codec_save_crash_window;
+        ] );
+      ( "supervisor",
+        [
+          Alcotest.test_case "backoff schedule deterministic" `Quick
+            test_backoff_schedule_deterministic;
+          Alcotest.test_case "retry recovers, deterministic" `Quick
+            test_retry_recovers_and_is_deterministic;
+          Alcotest.test_case "quarantine roundtrip + replay" `Quick
+            test_quarantine_roundtrip_and_replay;
+          Alcotest.test_case "shed expired deadline" `Quick
+            test_shed_expired_deadline;
+          Alcotest.test_case "shed full queue + shutdown" `Quick
+            test_shed_queue_full_and_shutdown;
+          Alcotest.test_case "zero lost documents" `Quick
+            test_zero_lost_documents;
+          Alcotest.test_case "summary classes + JSON" `Quick
+            test_summary_json_and_classes;
         ] );
       ( "faults",
         [
@@ -341,6 +728,8 @@ let () =
           Alcotest.test_case "mixed batch" `Quick test_budget_batch_mixed;
           Alcotest.test_case "deadline trips" `Quick
             test_budget_deadline_immediate;
+          Alcotest.test_case "admission deadline arithmetic" `Quick
+            test_budget_deadline_ns;
           Alcotest.test_case "unlimited never trips" `Quick
             test_budget_unlimited_never_trips;
         ] );

@@ -75,6 +75,34 @@ let test_sim_names () =
     (List.map Sim.name
        [ Sim.Jaccard 0.5; Sim.Cosine 0.5; Sim.Dice 0.5; Sim.Edit_distance 1; Sim.Edit_similarity 0.5 ])
 
+let test_sim_spec_roundtrip () =
+  List.iter
+    (fun sim ->
+      match Sim.of_spec (Sim.to_spec sim) with
+      | Ok sim' ->
+          check_bool (Printf.sprintf "round-trip %s" (Sim.to_spec sim)) true
+            (sim = sim')
+      | Error e -> Alcotest.failf "of_spec rejected %s: %s" (Sim.to_spec sim) e)
+    [
+      Sim.Jaccard 0.8;
+      Sim.Cosine 0.75;
+      Sim.Dice 0.625;
+      Sim.Edit_distance 2;
+      Sim.Edit_similarity 0.85;
+      (* An awkward float that %.12g must preserve exactly. *)
+      Sim.Jaccard 0.7000000000001;
+    ]
+
+let test_sim_spec_parses () =
+  check_bool "jac" true (Sim.of_spec "jac=0.8" = Ok (Sim.Jaccard 0.8));
+  check_bool "ed" true (Sim.of_spec "ed=2" = Ok (Sim.Edit_distance 2));
+  List.iter
+    (fun bad ->
+      match Sim.of_spec bad with
+      | Ok _ -> Alcotest.failf "accepted bad spec %S" bad
+      | Error _ -> ())
+    [ ""; "jac"; "jac=x"; "ed=1.5"; "hamming=2"; "jac=0.5=0.5" ]
+
 (* ------------------------------------------------------------------ *)
 (* Edit distance                                                       *)
 (* ------------------------------------------------------------------ *)
@@ -388,6 +416,8 @@ let () =
           Alcotest.test_case "validate" `Quick test_sim_validate;
           Alcotest.test_case "char_based" `Quick test_sim_char_based;
           Alcotest.test_case "names" `Quick test_sim_names;
+          Alcotest.test_case "spec roundtrip" `Quick test_sim_spec_roundtrip;
+          Alcotest.test_case "spec parses" `Quick test_sim_spec_parses;
         ] );
       ( "edit_distance",
         [

@@ -281,6 +281,102 @@ let test_fnv1a_distinguishes () =
   check_bool "order sensitive" true (Varint.fnv1a "ab" <> Varint.fnv1a "ba");
   check_bool "non-negative" true (Varint.fnv1a "anything" >= 0)
 
+(* ------------------------------------------------------------------ *)
+(* Json                                                                *)
+(* ------------------------------------------------------------------ *)
+
+module Json = Faerie_util.Json
+
+let test_json_print () =
+  Alcotest.(check string)
+    "composite value"
+    {|{"a":1,"b":[true,null,"x\n"],"c":{"d":0.5}}|}
+    (Json.to_string
+       (Json.Obj
+          [
+            ("a", Json.Num 1.);
+            ( "b",
+              Json.List [ Json.Bool true; Json.Null; Json.Str "x\n" ] );
+            ("c", Json.Obj [ ("d", Json.Num 0.5) ]);
+          ]));
+  Alcotest.(check string)
+    "integral floats print as ints" {|[3,-3,300000]|}
+    (Json.to_string (Json.List [ Json.Num 3.; Json.Num (-3.); Json.Num 3e5 ]));
+  Alcotest.(check string)
+    "non-finite numbers become null" {|[null,null]|}
+    (Json.to_string (Json.List [ Json.Num Float.nan; Json.Num Float.infinity ]))
+
+let test_json_parse () =
+  check_bool "round-trip"
+    true
+    (let v =
+       Json.Obj
+         [
+           ("id", Json.Str "a\"b\\c\n");
+           ("n", Json.Num 42.);
+           ("xs", Json.List [ Json.Num 1.5; Json.Bool false; Json.Null ]);
+         ]
+     in
+     Json.of_string (Json.to_string v) = Ok v);
+  check_bool "unicode escapes decode to UTF-8" true
+    (Json.of_string {|"é😀"|} = Ok (Json.Str "\xc3\xa9\xf0\x9f\x98\x80"));
+  check_bool "whitespace tolerated" true
+    (Json.of_string " { \"a\" : [ 1 , 2 ] } "
+    = Ok (Json.Obj [ ("a", Json.List [ Json.Num 1.; Json.Num 2. ]) ]));
+  List.iter
+    (fun bad ->
+      match Json.of_string bad with
+      | Ok _ -> Alcotest.failf "accepted malformed JSON: %s" bad
+      | Error _ -> ())
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "\"unterminated"; "1 2"; "{\"a\" 1}" ]
+
+let test_json_accessors () =
+  let j =
+    match Json.of_string {|{"s":"x","n":3,"b":true,"xs":[1],"o":{"k":0}}|} with
+    | Ok j -> j
+    | Error e -> Alcotest.failf "parse: %s" e
+  in
+  check_bool "member + to_str" true
+    (Option.bind (Json.member "s" j) Json.to_str = Some "x");
+  check_bool "member + to_int" true
+    (Option.bind (Json.member "n" j) Json.to_int = Some 3);
+  check_bool "member + to_bool" true
+    (Option.bind (Json.member "b" j) Json.to_bool = Some true);
+  check_bool "member + to_list" true
+    (Option.bind (Json.member "xs" j) Json.to_list = Some [ Json.Num 1. ]);
+  check_bool "missing member" true (Json.member "zz" j = None);
+  check_bool "kind mismatch is None" true
+    (Option.bind (Json.member "s" j) Json.to_int = None)
+
+let prop_json_roundtrip =
+  let gen =
+    QCheck.Gen.(
+      sized @@ fix (fun self n ->
+          let leaf =
+            oneof
+              [
+                return Json.Null;
+                map (fun b -> Json.Bool b) bool;
+                map (fun i -> Json.Num (float_of_int i)) small_signed_int;
+                map (fun s -> Json.Str s) small_string;
+              ]
+          in
+          if n <= 0 then leaf
+          else
+            oneof
+              [
+                leaf;
+                map (fun l -> Json.List l) (list_size (int_bound 4) (self (n / 2)));
+                map
+                  (fun kvs -> Json.Obj kvs)
+                  (list_size (int_bound 4)
+                     (pair small_string (self (n / 2))));
+              ]))
+  in
+  QCheck.Test.make ~count:300 ~name:"json print/parse roundtrip"
+    (QCheck.make gen)
+    (fun v -> Json.of_string (Json.to_string v) = Ok v)
+
 let () =
   let q = QCheck_alcotest.to_alcotest in
   Alcotest.run "faerie_util"
@@ -335,5 +431,12 @@ let () =
           q prop_varint_roundtrip;
           q prop_varint_large_roundtrip;
           q prop_varint_string_roundtrip;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "print" `Quick test_json_print;
+          Alcotest.test_case "parse" `Quick test_json_parse;
+          Alcotest.test_case "accessors" `Quick test_json_accessors;
+          q prop_json_roundtrip;
         ] );
     ]
