@@ -571,8 +571,22 @@ let index_cmd =
 (* ---- serve ---- *)
 
 module Supervisor = Faerie_core.Supervisor
+module Cluster = Faerie_core.Cluster
 module Serve_proto = Faerie_core.Serve_proto
 module Metrics = Faerie_obs.Metrics
+
+(* OCaml channels surface EINTR/EPIPE as [Sys_error] with strerror text;
+   match on the message to retry interrupted reads (a SIGHUP reload must
+   not end the session) and to turn a vanished client into clean
+   shutdown. *)
+let sys_error_mentions msg needle =
+  let n = String.length needle and m = String.length msg in
+  let rec go i = i + n <= m && (String.sub msg i n = needle || go (i + 1)) in
+  go 0
+
+let is_eintr msg = sys_error_mentions msg "Interrupted"
+
+let is_epipe msg = sys_error_mentions msg "Broken pipe"
 
 let m_index_reloads =
   Metrics.counter ~help:"successful hot index reloads in serve mode"
@@ -684,25 +698,49 @@ let serve_cmd =
     let doc =
       "Arm deterministic fault injection: SEED:site=rate[,site=rate...] \
        (sites: tokenize, heap_merge, verify, codec_io, supervisor_worker, \
-       codec_rename, serve_decode). Testing hook."
+       codec_rename, serve_decode, shard_frame). Testing hook."
     in
     Arg.(
       value & opt (some inject_conv) None & info [ "inject" ] ~docv:"SPEC" ~doc)
   in
+  let shards_arg =
+    let doc =
+      "Run as a sharded cluster: partition the dictionary into N contiguous \
+       entity-id ranges, fork one supervised shard process per range, fan \
+       each document to all shards and merge the match sets. 0 (default) \
+       serves from a single in-process pool."
+    in
+    Arg.(value & opt int 0 & info [ "shards" ] ~docv:"N" ~doc)
+  in
+  let shard_timeout_arg =
+    let doc =
+      "Per-shard response deadline in milliseconds (cluster mode): a shard \
+       that misses it is killed and restarted, and the document retried. 0 \
+       disables the deadline."
+    in
+    Arg.(
+      value & opt int 0 & info [ "shard-timeout-ms" ] ~docv:"MS" ~doc)
+  in
   let run sim q dict_file index_file pruning domains retries backoff_ms
-      backoff_max_ms quarantine shed timeout_ms max_doc_bytes queue inject =
+      backoff_max_ms quarantine shed timeout_ms max_doc_bytes queue inject
+      shards shard_timeout_ms =
     guard @@ fun () ->
     (match inject with
     | Some cfg -> Faerie_util.Fault.configure cfg
     | None -> ());
-    let load_problem () = problem_of_source sim q dict_file index_file in
-    let ex_ref = Atomic.make (Extractor.of_problem (load_problem ())) in
-    let gen = Atomic.make 0 in
-    Metrics.set g_index_generation 0.;
-    let reloads = ref 0 in
+    (* A client that disconnects mid-response must look like EOF/EPIPE on
+       the stream, not kill the server with SIGPIPE. *)
+    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+     with Invalid_argument _ | Sys_error _ -> ());
     (* Hot reload triggers: SIGHUP (flag checked between requests) or a
        changed mtime on the --index snapshot. A failed reload (torn write,
        corruption, missing file) keeps the current generation serving. *)
+    let sighup = Atomic.make false in
+    (try
+       ignore
+         (Sys.signal Sys.sighup
+            (Sys.Signal_handle (fun _ -> Atomic.set sighup true)))
+     with Invalid_argument _ | Sys_error _ -> ());
     let index_mtime =
       match index_file with
       | Some p -> (
@@ -710,115 +748,252 @@ let serve_cmd =
           with Unix.Unix_error _ -> None)
       | None -> None
     in
-    let sighup = Atomic.make false in
-    (try
-       ignore
-         (Sys.signal Sys.sighup
-            (Sys.Signal_handle (fun _ -> Atomic.set sighup true)))
-     with Invalid_argument _ | Sys_error _ -> ());
-    let reload () =
-      match load_problem () with
-      | p ->
-          Atomic.set ex_ref (Extractor.of_problem p);
-          let g = 1 + Atomic.fetch_and_add gen 1 in
-          incr reloads;
-          Metrics.incr m_index_reloads;
-          Metrics.set g_index_generation (float_of_int g);
-          Printf.eprintf "faerie: serve: reloaded index (generation %d)\n%!" g
-      | exception e ->
-          let msg =
-            match e with
-            | Ix.Codec.Corrupt m -> "corrupt index: " ^ m
-            | Ix.Codec.Truncated { at; len } ->
-                Printf.sprintf "truncated index (byte %d of %d)" at len
-            | Sys_error m -> m
-            | e -> raise e
-          in
-          Printf.eprintf
-            "faerie: serve: reload failed, keeping generation %d: %s\n%!"
-            (Atomic.get gen) msg
+    let mtime_changed () =
+      match (index_file, index_mtime) with
+      | Some p, Some mt -> (
+          match
+            (try Some (Unix.stat p).Unix.st_mtime with Unix.Unix_error _ -> None)
+          with
+          | Some m when m <> !mt ->
+              mt := m;
+              true
+          | _ -> false)
+      | _ -> false
     in
-    let maybe_reload () =
-      if Atomic.exchange sighup false then reload ()
-      else
-        match (index_file, index_mtime) with
-        | Some p, Some mt -> (
-            match (try Some (Unix.stat p).Unix.st_mtime with Unix.Unix_error _ -> None) with
-            | Some m when m <> !mt ->
-                mt := m;
-                reload ()
-            | _ -> ())
-        | _ -> ()
-    in
-    let config =
-      {
-        Supervisor.domains;
-        retry = { Supervisor.retries; backoff_ms; backoff_max_ms; seed = 0 };
-        queue_capacity = queue;
-        quarantine;
-        shed;
-      }
-    in
-    let pool = Supervisor.create ~config (fun () -> Atomic.get ex_ref) in
+    (* EINTR/EPIPE-hardened NDJSON endpoints. [client_gone] flips once the
+       peer closed stdout; from then on responses are dropped and the
+       request loop winds down cleanly (summary still reaches stderr). *)
+    let client_gone = Atomic.make false in
     let out_lock = Mutex.create () in
+    let rec flush_retry () =
+      try flush stdout with Sys_error m when is_eintr m -> flush_retry ()
+    in
     let print_line s =
       Mutex.lock out_lock;
-      print_string s;
-      print_newline ();
-      flush stdout;
-      Mutex.unlock out_lock
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock out_lock)
+        (fun () ->
+          if not (Atomic.get client_gone) then
+            try
+              print_string s;
+              print_newline ();
+              flush_retry ()
+            with
+            | Sys_error m when is_epipe m -> Atomic.set client_gone true
+            | Sys_error m when is_eintr m -> (
+                try flush_retry ()
+                with Sys_error m when is_epipe m ->
+                  Atomic.set client_gone true))
     in
-    let done_lock = Mutex.create () in
-    let outcomes = ref [] in
-    let record out =
-      Mutex.lock done_lock;
-      outcomes := out :: !outcomes;
-      Mutex.unlock done_lock
+    let rec read_request_line () =
+      match input_line stdin with
+      | line -> Some line
+      | exception End_of_file -> None
+      | exception Sys_error m when is_eintr m -> read_request_line ()
     in
-    let ord = ref 0 in
-    (try
-       while true do
-         let line = input_line stdin in
-         maybe_reload ();
-         if String.trim line <> "" then begin
-           let o = !ord in
-           incr ord;
-           match Serve_proto.parse_request ~ord:o line with
-           | Error msg -> print_line (Serve_proto.error_json ~ord:o msg)
-           | Ok req ->
-               let budget =
-                 {
-                   Budget.spec_unlimited with
-                   timeout_ms =
-                     (match req.Serve_proto.timeout_ms with
-                     | Some _ as t -> t
-                     | None -> timeout_ms);
-                   max_bytes = max_doc_bytes;
-                 }
-               in
-               let opts = { Extractor.default_opts with pruning; budget } in
-               let id = req.Serve_proto.id in
-               ignore
-                 (Supervisor.submit pool ?id ~opts ~doc_id:o
-                    req.Serve_proto.text ~on_done:(fun out ->
-                      record out;
-                      print_line
-                        (Serve_proto.response_json ~ord:o ~id
-                           ~gen:(Atomic.get gen) out)))
-         end
-       done
-     with End_of_file -> ());
-    Supervisor.shutdown pool;
-    let summary = Outcome.summarize (Array.of_list !outcomes) in
-    prerr_endline (Serve_proto.summary_json ~reloads:!reloads summary);
-    0
+    let pool_retry = { Supervisor.retries; backoff_ms; backoff_max_ms; seed = 0 } in
+    let serve_single () =
+      let load_problem () = problem_of_source sim q dict_file index_file in
+      let ex_ref = Atomic.make (Extractor.of_problem (load_problem ())) in
+      let gen = Atomic.make 0 in
+      Metrics.set g_index_generation 0.;
+      let reloads = ref 0 in
+      let reload () =
+        match load_problem () with
+        | p ->
+            Atomic.set ex_ref (Extractor.of_problem p);
+            let g = 1 + Atomic.fetch_and_add gen 1 in
+            incr reloads;
+            Metrics.incr m_index_reloads;
+            Metrics.set g_index_generation (float_of_int g);
+            Printf.eprintf "faerie: serve: reloaded index (generation %d)\n%!" g
+        | exception e ->
+            let msg =
+              match e with
+              | Ix.Codec.Corrupt m -> "corrupt index: " ^ m
+              | Ix.Codec.Truncated { at; len } ->
+                  Printf.sprintf "truncated index (byte %d of %d)" at len
+              | Sys_error m -> m
+              | e -> raise e
+            in
+            Printf.eprintf
+              "faerie: serve: reload failed, keeping generation %d: %s\n%!"
+              (Atomic.get gen) msg
+      in
+      let maybe_reload () =
+        if Atomic.exchange sighup false then reload ()
+        else if mtime_changed () then reload ()
+      in
+      let config =
+        {
+          Supervisor.domains;
+          retry = pool_retry;
+          queue_capacity = queue;
+          quarantine;
+          shed;
+          shard = None;
+        }
+      in
+      let pool = Supervisor.create ~config (fun () -> Atomic.get ex_ref) in
+      let done_lock = Mutex.create () in
+      let outcomes = ref [] in
+      let record out =
+        Mutex.lock done_lock;
+        outcomes := out :: !outcomes;
+        Mutex.unlock done_lock
+      in
+      let ord = ref 0 in
+      let continue = ref true in
+      while !continue do
+        match read_request_line () with
+        | None -> continue := false
+        | Some line ->
+            maybe_reload ();
+            if Atomic.get client_gone then continue := false
+            else if String.trim line <> "" then begin
+              let o = !ord in
+              incr ord;
+              match Serve_proto.parse_request ~ord:o line with
+              | Error e -> print_line (Serve_proto.error_json ~ord:o e)
+              | Ok req ->
+                  let budget =
+                    {
+                      Budget.spec_unlimited with
+                      timeout_ms =
+                        (match req.Serve_proto.timeout_ms with
+                        | Some _ as t -> t
+                        | None -> timeout_ms);
+                      max_bytes = max_doc_bytes;
+                    }
+                  in
+                  let opts = { Extractor.default_opts with pruning; budget } in
+                  let id = req.Serve_proto.id in
+                  ignore
+                    (Supervisor.submit pool ?id ~opts ~doc_id:o
+                       req.Serve_proto.text ~on_done:(fun out ->
+                         record out;
+                         print_line
+                           (Serve_proto.response_json ~ord:o ~id
+                              ~gen:(Atomic.get gen) out)))
+            end
+      done;
+      Supervisor.shutdown pool;
+      let summary = Outcome.summarize (Array.of_list !outcomes) in
+      prerr_endline (Serve_proto.summary_json ~reloads:!reloads summary);
+      0
+    in
+    let serve_cluster () =
+      let entities_of_source () =
+        match (dict_file, index_file) with
+        | _, Some path ->
+            let dict, _ = Ix.Codec.load path in
+            Array.to_list
+              (Array.map
+                 (fun e -> e.Ix.Entity.raw)
+                 (Ix.Dictionary.entities dict))
+        | Some path, None -> read_lines path
+        | None, None ->
+            prerr_endline "faerie: either --dict or --index is required";
+            exit 2
+      in
+      let config =
+        {
+          Cluster.shards;
+          pool =
+            {
+              Supervisor.domains;
+              retry = pool_retry;
+              queue_capacity = queue;
+              quarantine;
+              shed;
+              shard = None;
+            };
+          retry = pool_retry;
+          shard_timeout_ms =
+            (if shard_timeout_ms > 0 then Some shard_timeout_ms else None);
+          pruning;
+          budget =
+            {
+              Budget.spec_unlimited with
+              timeout_ms;
+              max_bytes = max_doc_bytes;
+            };
+          snapshot_dir = None;
+        }
+      in
+      let cluster = Cluster.create ~config ~sim ~q entities_of_source in
+      Metrics.set g_index_generation 0.;
+      let reloads = ref 0 in
+      let reload () =
+        match Cluster.reload cluster with
+        | Ok g ->
+            incr reloads;
+            Metrics.incr m_index_reloads;
+            Metrics.set g_index_generation (float_of_int g);
+            Printf.eprintf "faerie: serve: reloaded cluster (generation %d)\n%!"
+              g
+        | Error msg ->
+            Printf.eprintf
+              "faerie: serve: reload failed, keeping generation %d: %s\n%!"
+              (Cluster.generation cluster) msg
+      in
+      let maybe_reload () =
+        if Atomic.exchange sighup false then reload ()
+        else if mtime_changed () then reload ()
+      in
+      let outcomes = ref [] in
+      let ord = ref 0 in
+      let continue = ref true in
+      while !continue do
+        match read_request_line () with
+        | None -> continue := false
+        | Some line ->
+            maybe_reload ();
+            if Atomic.get client_gone then continue := false
+            else if String.trim line <> "" then begin
+              let o = !ord in
+              incr ord;
+              match Serve_proto.parse_request ~ord:o line with
+              | Error e -> print_line (Serve_proto.error_json ~ord:o e)
+              | Ok req ->
+                  let id = req.Serve_proto.id in
+                  let timeout_ms =
+                    match req.Serve_proto.timeout_ms with
+                    | Some _ as t -> t
+                    | None -> timeout_ms
+                  in
+                  let out =
+                    Cluster.submit cluster ?id ?timeout_ms ~doc:o
+                      req.Serve_proto.text
+                  in
+                  outcomes := out :: !outcomes;
+                  print_line
+                    (Serve_proto.response_json ~ord:o ~id
+                       ~gen:(Cluster.generation cluster) out)
+            end
+      done;
+      Cluster.shutdown cluster;
+      let tot = Cluster.totals cluster in
+      let summary = Outcome.summarize (Array.of_list (List.rev !outcomes)) in
+      prerr_endline
+        (Serve_proto.cluster_summary_json ~reloads:!reloads ~shards
+           ~shard_restarts:tot.Cluster.shard_restarts
+           ~shard_timeouts:tot.Cluster.shard_timeouts
+           ~docs_partial:tot.Cluster.docs_partial
+           ~quarantined_pairs:tot.Cluster.quarantined_pairs summary);
+      0
+    in
+    if shards > 0 then serve_cluster () else serve_single ()
   in
   let doc =
     "Long-running extraction service: NDJSON requests on stdin \
      ({\"text\":..., \"id\":..., \"timeout_ms\":...}), one NDJSON response \
      per document on stdout, supervised worker pool with retry, quarantine \
      and load shedding, hot index reload on SIGHUP or --index mtime change. \
-     A summary JSON line goes to stderr at EOF."
+     With --shards N the dictionary is range-partitioned across N forked \
+     shard processes, each running its own supervised pool; responses merge \
+     per-shard match sets and degrade to partial results when a shard is \
+     written off. A summary JSON line goes to stderr at EOF."
   in
   Cmd.v
     (Cmd.info "serve" ~doc)
@@ -826,7 +1001,7 @@ let serve_cmd =
       const run $ sim_arg $ q_arg $ dict_opt_arg $ index_opt_arg $ pruning_arg
       $ domains_arg $ retries_arg $ backoff_arg $ backoff_max_arg
       $ quarantine_arg $ shed_arg $ timeout_arg $ max_doc_bytes_arg $ queue_arg
-      $ inject_arg)
+      $ inject_arg $ shards_arg $ shard_timeout_arg)
 
 (* ---- gen ---- *)
 

@@ -343,6 +343,7 @@ let run_supervisor_campaign iterations seed =
       queue_capacity = 16;
       quarantine = Some quarantine;
       shed = false;
+      shard = None;
     }
   in
   for i = 1 to iterations do
@@ -490,6 +491,192 @@ let run_serve_decode_campaign iterations seed =
   Printf.printf "all %d injected decode faults surfaced as error responses\n"
     injected
 
+(* ---- cluster shard-kill campaign (part of --faults) ---- *)
+
+module Cluster = Core.Cluster
+
+let cluster_rates = [ ("shard_frame", 0.25); ("supervisor_worker", 0.15) ]
+
+(* Zero-lost-documents under shard-process deaths: with shard_frame faults
+   armed (which kill the whole shard process, outside every containment
+   boundary the shard has) every document fanned through the cluster must
+   still reach exactly one merged outcome. Failures must ride the
+   dead-letter path (Quarantined), never surface as plain Failed, and Ok
+   merges must be byte-identical to a clean single-process run regardless
+   of the shard count. Iterations are few — each forks a fresh cluster —
+   but every one cycles a different shard count over the same documents.
+
+   This campaign must run BEFORE any phase that spawns domains: once a
+   domain has ever been created in a process, Unix.fork refuses outright
+   (not merely while domains are live), so the coordinator here computes
+   its clean baseline with the plain single-threaded extractor. *)
+let run_cluster_campaign iterations seed =
+  Printf.printf "cluster campaign: %d clusters (seed %d), sites %s\n%!"
+    iterations seed
+    (String.concat "," (List.map fst cluster_rates));
+  let rng = Xorshift.create seed in
+  let problems = ref 0 in
+  let quarantine = Filename.temp_file "faerie-fuzz-cluster-q-" ".ndjson" in
+  let restarts = ref 0 in
+  let qpairs = ref 0 in
+  let shard_quarantined = ref 0 in
+  let partials = ref 0 in
+  let shard_counts = [| 1; 2; 4 |] in
+  for i = 1 to iterations do
+    let inst = random_instance rng in
+    let doc_of_kind () =
+      if Faerie_sim.Sim.char_based inst.sim then random_string rng 5 40
+      else random_words rng 3 20
+    in
+    let docs =
+      Array.append [| inst.document |] (Array.init 5 (fun _ -> doc_of_kind ()))
+    in
+    let shards = shard_counts.(i mod Array.length shard_counts) in
+    (match Problem.create ~sim:inst.sim ~q:inst.q inst.entities with
+    | problem -> (
+        Fault.disarm ();
+        let baseline =
+          let ex = Extractor.of_problem problem in
+          Array.map
+            (fun d -> Parallel.outcome_of_report (Extractor.run ex (`Text d)))
+            docs
+        in
+        Fault.configure { Fault.seed = mix_seed seed i; rates = cluster_rates };
+        let config =
+          {
+            Cluster.shards;
+            pool =
+              {
+                Supervisor.domains = 1;
+                retry =
+                  { Supervisor.default_retry with retries = 1; backoff_ms = 0 };
+                queue_capacity = 8;
+                quarantine = Some quarantine;
+                shed = false;
+                shard = None;
+              };
+            retry =
+              { Supervisor.default_retry with retries = 3; backoff_ms = 0 };
+            shard_timeout_ms = None;
+            pruning = Types.Binary_window;
+            budget = Faerie_util.Budget.spec_unlimited;
+            snapshot_dir = None;
+          }
+        in
+        (match
+           Cluster.run_batch ~config ~sim:inst.sim ~q:inst.q
+             ~entities:inst.entities docs
+         with
+        | outcomes, summary, totals ->
+            restarts := !restarts + totals.Cluster.shard_restarts;
+            qpairs := !qpairs + totals.Cluster.quarantined_pairs;
+            shard_quarantined :=
+              !shard_quarantined + totals.Cluster.shard_quarantined;
+            partials := !partials + totals.Cluster.docs_partial;
+            if Array.length outcomes <> Array.length docs then begin
+              incr problems;
+              dump_repro ~seed ~iteration:i inst
+                ~trouble:
+                  (Printf.sprintf
+                     "cluster (%d shards) lost or duplicated documents: %d of \
+                      %d"
+                     shards (Array.length outcomes) (Array.length docs))
+            end;
+            if
+              summary.Outcome.n_ok + summary.Outcome.n_degraded
+              + summary.Outcome.n_failed + summary.Outcome.n_shed
+              + summary.Outcome.n_quarantined
+              <> summary.Outcome.n_docs
+            then begin
+              incr problems;
+              dump_repro ~seed ~iteration:i inst
+                ~trouble:"cluster summary classes do not sum to n_docs"
+            end;
+            Array.iteri
+              (fun j outcome ->
+                match (outcome, baseline.(j)) with
+                | Outcome.Failed (Outcome.Quarantined _), _ -> ()
+                | Outcome.Failed err, _ ->
+                    (* Every armed fault is transient and the dead-letter
+                       sink is configured: a plain Failed means a (doc,
+                       shard) pair slipped past quarantine. *)
+                    incr problems;
+                    dump_repro ~seed ~iteration:i inst
+                      ~trouble:
+                        (Printf.sprintf
+                           "document %d ended plain Failed (%s) despite \
+                            quarantine (%d shards)"
+                           j
+                           (Outcome.error_to_string err)
+                           shards)
+                | Outcome.Ok got, Outcome.Ok want ->
+                    (* The merged set is span-sorted; sort the baseline the
+                       same way before comparing. *)
+                    if List.sort compare got <> List.sort compare want
+                    then begin
+                      incr problems;
+                      dump_repro ~seed ~iteration:i inst
+                        ~trouble:
+                          (Printf.sprintf
+                             "document %d merged across %d shards differs \
+                              from clean run"
+                             j shards)
+                    end
+                | _ -> ())
+              outcomes
+        | exception exn ->
+            incr problems;
+            dump_repro ~seed ~iteration:i inst
+              ~trouble:
+                (Printf.sprintf "shard death escaped the coordinator (%d \
+                                 shards): %s"
+                   shards (Printexc.to_string exn)));
+        Fault.disarm ())
+    | exception exn ->
+        Fault.disarm ();
+        incr problems;
+        dump_repro ~seed ~iteration:i inst
+          ~trouble:("problem build crashed: " ^ Printexc.to_string exn))
+  done;
+  Printf.printf
+    "cluster: %d shard restarts, %d quarantined pairs, %d in-shard \
+     quarantines, %d partial documents\n"
+    !restarts !qpairs !shard_quarantined !partials;
+  (* Every dead-letter line — written by coordinator and shard processes
+     alike through single-write O_APPEND — must be a complete, parseable,
+     self-contained record, and the file must account for every write-off. *)
+  let lines = ref [] in
+  let ic = open_in quarantine in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  let n_lines = List.length !lines in
+  if n_lines <> !qpairs + !shard_quarantined then begin
+    Printf.printf "CLUSTER QUARANTINE MISCOUNT: %d lines vs %d + %d totals\n"
+      n_lines !qpairs !shard_quarantined;
+    exit 1
+  end;
+  List.iter
+    (fun line ->
+      match Supervisor.Quarantine.of_json line with
+      | Ok _ -> ()
+      | Error e ->
+          Printf.printf "TORN OR UNPARSEABLE CLUSTER RECORD (%s): %s\n" e line;
+          exit 1)
+    !lines;
+  Sys.remove quarantine;
+  if !restarts = 0 && iterations > 0 then begin
+    Printf.printf "NO SHARD RESTARTS: shard_frame site never fired?\n";
+    exit 1
+  end;
+  if !problems > 0 then begin
+    Printf.printf "%d cluster containment problems\n" !problems;
+    exit 1
+  end;
+  Printf.printf "zero lost documents across %d sharded clusters\n" iterations
+
 (* ---- quarantine replay (--replay) ---- *)
 
 let read_lines path =
@@ -507,9 +694,10 @@ let read_lines path =
 (* Replay each dead-letter record: rebuild the problem from the dictionary
    and the record's sim/q, re-arm the recorded fault campaign, and re-run
    the document under its original fault key (the first attempt's key is
-   the plain doc id). The record reproduces iff the document fails again —
-   either as a worker death at the supervisor_worker site or as a contained
-   Failed outcome. *)
+   the plain doc id; cluster coordinator records carry the shard-salted
+   key). The record reproduces iff the document fails again — a shard
+   death at the shard_frame site, a worker death at the supervisor_worker
+   site, or a contained Failed outcome. *)
 let run_replay ~replay_file ~dict_file =
   let entities =
     List.filter_map
@@ -544,6 +732,7 @@ let run_replay ~replay_file ~dict_file =
             let ex = Extractor.of_problem problem in
             match
               Fault.with_context r.Supervisor.Quarantine.doc_id (fun () ->
+                  Fault.site "shard_frame";
                   Fault.site "supervisor_worker");
               Extractor.run ~opts ex (`Text r.Supervisor.Quarantine.text)
             with
@@ -607,6 +796,10 @@ let () =
       exit 2
   | None, _ ->
       if !faults then begin
+        (* Cluster first: it forks shard processes, and Unix.fork refuses
+           in any process that has ever spawned a domain — which every
+           later phase does. *)
+        run_cluster_campaign (max 1 (iterations / 50)) seed;
         run_fault_campaign iterations seed;
         run_supervisor_campaign (max 1 (iterations / 10)) seed;
         run_serve_decode_campaign iterations seed

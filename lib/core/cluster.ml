@@ -1,0 +1,854 @@
+module Budget = Faerie_util.Budget
+module Fault = Faerie_util.Fault
+module Sim = Faerie_sim.Sim
+module Ix = Faerie_index
+module Metrics = Faerie_obs.Metrics
+module Trace = Faerie_obs.Trace
+module Frame = Serve_proto.Frame
+module Shard = Serve_proto.Shard
+
+let m_shard_restarts =
+  Metrics.counter ~help:"shard processes restarted after a crash or deadline miss"
+    "shard_restarts"
+
+let m_shard_timeouts =
+  Metrics.counter ~help:"per-shard response deadline misses" "shard_timeouts"
+
+let m_docs_partial =
+  Metrics.counter
+    ~help:"documents answered with a Shard_partial degradation (some shards missing)"
+    "docs_partial"
+
+let g_cluster_shards =
+  Metrics.gauge ~help:"configured shard processes" ~agg:`Max "cluster_shards"
+
+type config = {
+  shards : int;
+  pool : Supervisor.config;
+  retry : Supervisor.retry;
+  shard_timeout_ms : int option;
+  pruning : Types.pruning;
+  budget : Budget.spec;
+  snapshot_dir : string option;
+}
+
+let default_config =
+  {
+    shards = 2;
+    pool = { Supervisor.default_config with domains = 1 };
+    retry = Supervisor.default_retry;
+    shard_timeout_ms = None;
+    pruning = Types.Binary_window;
+    budget = Budget.spec_unlimited;
+    snapshot_dir = None;
+  }
+
+(* How long to wait for a freshly spawned shard's Ready frame (it has to
+   load its index snapshot first), and for prepare/commit/bye handshakes. *)
+let handshake_timeout_ms = 60_000
+
+let spawn_attempts = 3
+
+type slot = {
+  sid : int;
+  up_gauge : Metrics.gauge;
+  mutable pid : int;
+  mutable wfd : Unix.file_descr;  (* coordinator -> shard *)
+  mutable rd : Frame.reader;  (* shard -> coordinator *)
+  mutable range : Shard_plan.range;
+  mutable snapshot : string;
+  mutable up : bool;
+  mutable bye : (int * int) option;  (* worker restarts, quarantined (from Bye) *)
+}
+
+type totals = {
+  shard_restarts : int;
+  shard_timeouts : int;
+  docs_partial : int;
+  quarantined_pairs : int;
+  worker_restarts : int;
+  shard_quarantined : int;
+}
+
+type t = {
+  config : config;
+  sim : Sim.t;
+  q : int;
+  load : unit -> string list;
+  dir : string;
+  own_dir : bool;
+  sink : Supervisor.Quarantine.sink option;
+  slots : slot array;
+  mutable generation : int;
+  mutable restarts : int;
+  mutable timeouts : int;
+  mutable partials : int;
+  mutable qpairs : int;
+  mutable closed : bool;
+}
+
+let generation t = t.generation
+
+let span_compare (a : Types.char_match) (b : Types.char_match) =
+  match compare a.Types.c_start b.Types.c_start with
+  | 0 -> (
+      match compare a.Types.c_len b.Types.c_len with
+      | 0 -> compare a.Types.c_entity b.Types.c_entity
+      | c -> c)
+  | c -> c
+
+let deadline_in_ms ms =
+  Int64.add (Trace.now_ns ()) (Int64.of_int (ms * 1_000_000))
+
+let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let rec waitpid_retry pid =
+  match Unix.waitpid [] pid with
+  | r -> r
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> waitpid_retry pid
+
+(* ---- shard process main (runs in the forked child) ---- *)
+
+let shard_main ~(config : config) ~sid ~gen0 ~sim ~snapshot ~rfd ~wfd =
+  (* The coordinator owns SIGHUP-driven reloads and terminal lifecycle;
+     a shard must not die to either signal mid-frame. *)
+  (try Sys.set_signal Sys.sighup Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  let load path =
+    let _, index = Ix.Codec.load path in
+    Extractor.of_problem (Problem.of_index ~sim index)
+  in
+  let ex_ref = Atomic.make (load snapshot) in
+  let gen_ref = ref gen0 in
+  let pending = ref None in
+  let pool =
+    Supervisor.create
+      ~config:{ config.pool with Supervisor.shard = Some sid }
+      (fun () -> Atomic.get ex_ref)
+  in
+  let wlock = Mutex.create () in
+  let send reply =
+    Mutex.lock wlock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock wlock)
+      (fun () -> Frame.write wfd (Shard.reply_to_string reply))
+  in
+  send (Shard.Ready { shard = sid; gen = gen0 });
+  let rd = Frame.reader rfd in
+  let rec loop () =
+    match Frame.read rd with
+    | `Eof ->
+        (* Coordinator is gone (crash or non-handshake teardown): stop
+           without draining so we never block on a dead parent. *)
+        Supervisor.shutdown ~drain:false pool
+    | `Timeout -> loop ()
+    | `Corrupt msg -> failwith ("shard frame stream corrupt: " ^ msg)
+    | `Frame payload -> (
+        match Shard.msg_of_string payload with
+        | Error e ->
+            send (Shard.Refused { error = Serve_proto.parse_error_to_string e });
+            loop ()
+        | Ok (Shard.Doc { doc; attempt; timeout_ms; text }) ->
+            let key = Supervisor.shard_fault_key ~doc_id:doc ~shard:sid ~attempt in
+            (* Deliberately outside any containment: an injection here is a
+               shard-process crash (the exception unwinds to the fork
+               wrapper, which exits the process abnormally). *)
+            Fault.with_context key (fun () -> Fault.site "shard_frame");
+            let budget =
+              {
+                config.budget with
+                Budget.timeout_ms =
+                  (match timeout_ms with
+                  | Some _ as o -> o
+                  | None -> config.budget.Budget.timeout_ms);
+              }
+            in
+            let opts =
+              { Extractor.default_opts with pruning = config.pruning; budget }
+            in
+            ignore
+              (Supervisor.submit pool ~opts ~doc_id:key text
+                 ~on_done:(fun outcome ->
+                   try send (Shard.Result { doc; gen = !gen_ref; outcome })
+                   with _ -> ()));
+            loop ()
+        | Ok (Shard.Prepare { gen; path }) ->
+            (match load path with
+            | ex ->
+                pending := Some (gen, ex);
+                send (Shard.Prepared { gen })
+            | exception e ->
+                let error =
+                  match e with
+                  | Ix.Codec.Corrupt m -> "corrupt index: " ^ m
+                  | Ix.Codec.Truncated { at; len } ->
+                      Printf.sprintf "truncated index (byte %d of %d)" at len
+                  | Sys_error m -> m
+                  | e -> Printexc.to_string e
+                in
+                send (Shard.Prepare_failed { gen; error }));
+            loop ()
+        | Ok (Shard.Commit { gen }) ->
+            (match !pending with
+            | Some (g, ex) when g = gen ->
+                Atomic.set ex_ref ex;
+                gen_ref := gen;
+                pending := None;
+                send (Shard.Committed { gen })
+            | _ ->
+                send
+                  (Shard.Refused
+                     {
+                       error =
+                         Printf.sprintf
+                           "commit of generation %d without a matching prepare"
+                           gen;
+                     }));
+            loop ()
+        | Ok (Shard.Abort { gen }) ->
+            pending := None;
+            send (Shard.Aborted { gen });
+            loop ()
+        | Ok Shard.Shutdown ->
+            Supervisor.shutdown pool;
+            let quarantined =
+              Metrics.counter_value (Metrics.snapshot ()) "docs_quarantined"
+            in
+            send
+              (Shard.Bye
+                 { restarts = Supervisor.worker_restarts pool; quarantined }))
+  in
+  loop ()
+
+(* ---- coordinator ---- *)
+
+(* Fork a shard process over two fresh pipe pairs. The child wraps
+   [shard_main] so that NO exception — injected shard_frame faults
+   included — can unwind into the parent's OCaml state: any escape turns
+   into an abnormal [Unix._exit 2], which the coordinator observes as EOF
+   on the response pipe. Must only be called while the coordinator is the
+   sole live domain of its process (forking with live worker domains is
+   undefined in OCaml 5; shard pools spawn their domains post-fork). *)
+let spawn_shard t slot =
+  let req_r, req_w = Unix.pipe () in
+  let rsp_r, rsp_w = Unix.pipe () in
+  let inherited =
+    Array.fold_left
+      (fun acc s ->
+        if s.sid <> slot.sid && s.up then s.wfd :: Frame.reader_fd s.rd :: acc
+        else acc)
+      [] t.slots
+  in
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 ->
+      let code =
+        try
+          Unix.close req_w;
+          Unix.close rsp_r;
+          (* Other shards' pipe ends: holding them open would keep a dead
+             sibling's pipes from ever reporting EOF. *)
+          List.iter close_quietly inherited;
+          shard_main ~config:t.config ~sid:slot.sid ~gen0:t.generation
+            ~sim:t.sim ~snapshot:slot.snapshot ~rfd:req_r ~wfd:rsp_w;
+          0
+        with e ->
+          (try
+             Printf.eprintf "faerie: shard %d: fatal: %s\n%!" slot.sid
+               (Printexc.to_string e)
+           with _ -> ());
+          2
+      in
+      Unix._exit code
+  | pid ->
+      Unix.close req_r;
+      Unix.close rsp_w;
+      slot.pid <- pid;
+      slot.wfd <- req_w;
+      slot.rd <- Frame.reader rsp_r;
+      slot.up <- true;
+      slot.bye <- None
+
+let await_ready t slot =
+  match
+    Frame.read ~deadline_ns:(deadline_in_ms handshake_timeout_ms) slot.rd
+  with
+  | `Frame p -> (
+      match Shard.reply_of_string p with
+      | Ok (Shard.Ready { shard; gen }) ->
+          shard = slot.sid && gen = t.generation
+      | Ok _ | Error _ -> false)
+  | `Eof | `Timeout | `Corrupt _ -> false
+
+let kill_slot _t slot =
+  if slot.up then begin
+    close_quietly slot.wfd;
+    close_quietly (Frame.reader_fd slot.rd);
+    (try Unix.kill slot.pid Sys.sigkill with Unix.Unix_error _ -> ());
+    (try ignore (waitpid_retry slot.pid) with Unix.Unix_error _ -> ());
+    slot.up <- false;
+    Metrics.set slot.up_gauge 0.
+  end
+
+(* Bring a shard (back) up from [slot.snapshot] at the current generation.
+   Returns [false] — and leaves the slot down — once [spawn_attempts]
+   consecutive spawns fail to reach Ready: a shard whose snapshot cannot be
+   served anymore degrades the cluster (Shard_partial answers) instead of
+   wedging the coordinator in a respawn loop. *)
+let start_slot t slot =
+  let rec go k =
+    if k > spawn_attempts then false
+    else begin
+      spawn_shard t slot;
+      if await_ready t slot then begin
+        Metrics.set slot.up_gauge 1.;
+        true
+      end
+      else begin
+        kill_slot t slot;
+        go (k + 1)
+      end
+    end
+  in
+  let ok = go 1 in
+  if not ok then
+    Printf.eprintf
+      "faerie: cluster: shard %d failed to start after %d attempts; serving \
+       degraded\n\
+       %!"
+      slot.sid spawn_attempts;
+  ok
+
+let restart_slot t slot ~attempt =
+  kill_slot t slot;
+  t.restarts <- t.restarts + 1;
+  Metrics.incr m_shard_restarts;
+  Printf.eprintf "faerie: cluster: shard %d down, restarting\n%!" slot.sid;
+  (* Same capped full-jitter schedule the in-process supervisor uses for
+     worker respawns, keyed off the shard id so concurrent shard deaths
+     do not thundering-herd their restarts. *)
+  let delay =
+    Supervisor.backoff_delay_ms t.config.retry ~doc_id:(1_000_003 + slot.sid)
+      ~attempt:(max 1 attempt)
+  in
+  if delay > 0 then Unix.sleepf (float_of_int delay /. 1000.);
+  start_slot t slot
+
+let create ?(config = default_config) ~sim ~q load =
+  if config.shards <= 0 then
+    invalid_arg "Cluster.create: shards must be positive";
+  let entities = Array.of_list (load ()) in
+  let dir, own_dir =
+    match config.snapshot_dir with
+    | Some d ->
+        if not (Sys.file_exists d) then Unix.mkdir d 0o755;
+        (d, false)
+    | None ->
+        let d = Filename.temp_file "faerie-cluster" ".shards" in
+        Sys.remove d;
+        Unix.mkdir d 0o700;
+        (d, true)
+  in
+  let plan =
+    Shard_plan.write_snapshots ~dir ~gen:0 ~sim ~q ~shards:config.shards
+      entities
+  in
+  let sink =
+    Option.map Supervisor.Quarantine.open_sink config.pool.Supervisor.quarantine
+  in
+  let slots =
+    Array.map
+      (fun (sp : Shard_plan.shard_snapshot) ->
+        {
+          sid = sp.Shard_plan.shard;
+          up_gauge =
+            Metrics.indexed_gauge ~help:"shard process liveness (1 = up)"
+              ~agg:`Max "shard_up" sp.Shard_plan.shard;
+          pid = -1;
+          wfd = Unix.stdin;
+          rd = Frame.reader Unix.stdin;
+          range = sp.Shard_plan.range;
+          snapshot = sp.Shard_plan.path;
+          up = false;
+          bye = None;
+        })
+      plan
+  in
+  let t =
+    {
+      config;
+      sim;
+      q;
+      load;
+      dir;
+      own_dir;
+      sink;
+      slots;
+      generation = 0;
+      restarts = 0;
+      timeouts = 0;
+      partials = 0;
+      qpairs = 0;
+      closed = false;
+    }
+  in
+  Metrics.set_max g_cluster_shards (float_of_int config.shards);
+  Array.iter
+    (fun slot ->
+      if not (start_slot t slot) then begin
+        Array.iter (kill_slot t) t.slots;
+        failwith (Printf.sprintf "Cluster.create: shard %d failed to start" slot.sid)
+      end)
+    t.slots;
+  t
+
+(* ---- submit: fan out, supervise, merge ---- *)
+
+type shard_state =
+  | Waiting of { attempt : int; deadline : int64 option }
+  | Settled of Parallel.outcome  (* entity ids already remapped to global *)
+  | Lost of Outcome.error
+
+let shard_down_error sid =
+  Outcome.Worker_crash
+    {
+      Outcome.exn_name = "Shard_down";
+      message = Printf.sprintf "shard %d is not running" sid;
+      backtrace = "";
+    }
+
+let shard_exit_error sid =
+  Outcome.Worker_crash
+    {
+      Outcome.exn_name = "Shard_exit";
+      message = Printf.sprintf "shard %d process died mid-request" sid;
+      backtrace = "";
+    }
+
+let shard_timeout_error sid ms =
+  Outcome.Worker_crash
+    {
+      Outcome.exn_name = "Shard_timeout";
+      message = Printf.sprintf "shard %d missed its %d ms deadline" sid ms;
+      backtrace = "";
+    }
+
+let submit t ?id ?timeout_ms ~doc text =
+  if t.closed then invalid_arg "Cluster.submit: cluster is shut down";
+  let n = Array.length t.slots in
+  let states = Array.make n (Lost (shard_down_error 0)) in
+  let fresh_deadline () =
+    Option.map (fun ms -> deadline_in_ms ms) t.config.shard_timeout_ms
+  in
+  let send_doc slot ~attempt =
+    match
+      Frame.write slot.wfd
+        (Shard.msg_to_string (Shard.Doc { doc; attempt; timeout_ms; text }))
+    with
+    | () -> true
+    | exception (Unix.Unix_error _ | Sys_error _) -> false
+  in
+  let request_budget =
+    {
+      t.config.budget with
+      Budget.timeout_ms =
+        (match timeout_ms with
+        | Some _ as o -> o
+        | None -> t.config.budget.Budget.timeout_ms);
+    }
+  in
+  let quarantine_pair slot ~attempts err =
+    match t.sink with
+    | None -> err
+    | Some sink ->
+        Supervisor.Quarantine.append sink
+          {
+            (* The salted attempt-0 context key, so a replay probing the
+               shard_frame site under this very id re-fires the recorded
+               fault schedule. *)
+            Supervisor.Quarantine.doc_id =
+              Supervisor.shard_fault_key ~doc_id:doc ~shard:slot.sid ~attempt:0;
+            id;
+            shard = Some slot.sid;
+            attempts;
+            error = Outcome.error_to_string err;
+            sim = t.sim;
+            q = t.q;
+            pruning = t.config.pruning;
+            budget = request_budget;
+            fault = Fault.current ();
+            text;
+          };
+        t.qpairs <- t.qpairs + 1;
+        Outcome.Quarantined { attempts; last = err }
+  in
+  (* A shard failed to answer (death, timeout, torn frame): restart it and
+     either retry the document against the replacement or write the
+     (doc, shard) pair off to the dead-letter file. *)
+  let fail_slot i err =
+    let slot = t.slots.(i) in
+    match states.(i) with
+    | Settled _ | Lost _ -> ()
+    | Waiting { attempt; _ } ->
+        let alive = restart_slot t slot ~attempt:(attempt + 1) in
+        if
+          alive
+          && attempt < t.config.retry.retries
+          && send_doc slot ~attempt:(attempt + 1)
+        then
+          states.(i) <- Waiting { attempt = attempt + 1; deadline = fresh_deadline () }
+        else
+          states.(i) <- Lost (quarantine_pair slot ~attempts:(attempt + 1) err)
+  in
+  (* Pull every complete frame currently buffered/readable on a shard's
+     pipe; a short deadline bounds the wait for the tail of a frame whose
+     header already arrived. *)
+  let drain_slot i slot =
+    match Frame.read ~deadline_ns:(deadline_in_ms 50) slot.rd with
+    | `Timeout -> ()
+    | `Eof -> fail_slot i (shard_exit_error slot.sid)
+    | `Corrupt msg ->
+        fail_slot i
+          (Outcome.Worker_crash
+             {
+               Outcome.exn_name = "Shard_corrupt_stream";
+               message = msg;
+               backtrace = "";
+             })
+    | `Frame p -> (
+        match Shard.reply_of_string p with
+        | Ok (Shard.Result { doc = d; gen = _; outcome }) when d = doc -> (
+            match states.(i) with
+            | Waiting _ ->
+                let remap ms = Shard_plan.remap_matches ~range:slot.range ms in
+                let out =
+                  match outcome with
+                  | Outcome.Ok ms -> Outcome.Ok (remap ms)
+                  | Outcome.Degraded (ms, why) ->
+                      Outcome.Degraded (remap ms, why)
+                  | Outcome.Failed _ as f -> f
+                in
+                states.(i) <- Settled out
+            | Settled _ | Lost _ -> ())
+        | Ok (Shard.Refused { error }) ->
+            fail_slot i
+              (Outcome.Worker_crash
+                 {
+                   Outcome.exn_name = "Shard_refused";
+                   message = error;
+                   backtrace = "";
+                 })
+        | Ok _ -> ()  (* stray handshake frame: ignore, deadline will cover *)
+        | Error e ->
+            fail_slot i
+              (Outcome.Worker_crash
+                 {
+                   Outcome.exn_name = "Shard_bad_frame";
+                   message = Serve_proto.parse_error_to_string e;
+                   backtrace = "";
+                 }))
+  in
+  Array.iteri
+    (fun i slot ->
+      if not slot.up then states.(i) <- Lost (shard_down_error slot.sid)
+      else if send_doc slot ~attempt:0 then
+        states.(i) <- Waiting { attempt = 0; deadline = fresh_deadline () }
+      else begin
+        states.(i) <- Waiting { attempt = 0; deadline = None };
+        fail_slot i (shard_exit_error slot.sid)
+      end)
+    t.slots;
+  let waiting_idxs () =
+    let acc = ref [] in
+    Array.iteri
+      (fun i st -> match st with Waiting _ -> acc := i :: !acc | _ -> ())
+      states;
+    List.rev !acc
+  in
+  let rec pump () =
+    match waiting_idxs () with
+    | [] -> ()
+    | waiting ->
+        let now = Trace.now_ns () in
+        let expired =
+          List.filter
+            (fun i ->
+              match states.(i) with
+              | Waiting { deadline = Some d; _ } -> d <= now
+              | _ -> false)
+            waiting
+        in
+        if expired <> [] then begin
+          List.iter
+            (fun i ->
+              t.timeouts <- t.timeouts + 1;
+              Metrics.incr m_shard_timeouts;
+              fail_slot i
+                (shard_timeout_error t.slots.(i).sid
+                   (Option.value t.config.shard_timeout_ms ~default:0)))
+            expired;
+          pump ()
+        end
+        else begin
+          let fds = List.map (fun i -> Frame.reader_fd t.slots.(i).rd) waiting in
+          let timeout =
+            List.fold_left
+              (fun acc i ->
+                match states.(i) with
+                | Waiting { deadline = Some d; _ } ->
+                    let s = Int64.to_float (Int64.sub d now) /. 1e9 in
+                    if acc < 0. then s else Float.min acc s
+                | _ -> acc)
+              (-1.) waiting
+          in
+          match Unix.select fds [] [] timeout with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> pump ()
+          | [], _, _ -> pump ()
+          | readable, _, _ ->
+              List.iter
+                (fun i ->
+                  let slot = t.slots.(i) in
+                  match states.(i) with
+                  | Waiting _ when List.memq (Frame.reader_fd slot.rd) readable
+                    ->
+                      drain_slot i slot
+                  | _ -> ())
+                waiting;
+              pump ()
+        end
+  in
+  pump ();
+  (* Merge in shard order: concatenate usable match sets (entity ranges are
+     disjoint, so no dedup is needed), sort by span for a deterministic,
+     shard-count-independent ordering, and descend the degradation ladder:
+     all usable -> Ok / first per-shard degradation; any shard missing ->
+     Shard_partial; nothing usable -> the lowest shard's error. *)
+  let usable = ref [] in
+  let first_deg = ref None in
+  let missing = ref [] in
+  let errors = ref [] in
+  Array.iteri
+    (fun i st ->
+      match st with
+      | Settled (Outcome.Ok ms) -> usable := ms :: !usable
+      | Settled (Outcome.Degraded (ms, why)) ->
+          usable := ms :: !usable;
+          if !first_deg = None then first_deg := Some why
+      | Settled (Outcome.Failed e) | Lost e ->
+          missing := i :: !missing;
+          errors := e :: !errors
+      | Waiting _ -> assert false)
+    states;
+  if !usable = [] then
+    Outcome.Failed (match List.rev !errors with e :: _ -> e | [] -> assert false)
+  else begin
+    let ms = List.sort span_compare (List.concat (List.rev !usable)) in
+    match List.rev !missing with
+    | [] -> (
+        match !first_deg with
+        | Some why -> Outcome.Degraded (ms, why)
+        | None -> Outcome.Ok ms)
+    | missing ->
+        t.partials <- t.partials + 1;
+        Metrics.incr m_docs_partial;
+        Outcome.Degraded (ms, Outcome.Shard_partial { n_shards = n; missing })
+  end
+
+(* ---- two-phase reload ---- *)
+
+(* Wait for one handshake reply on a slot, tolerating stray Result frames
+   (there should be none — reload never runs with documents in flight —
+   but a late frame must not desynchronize the handshake). *)
+let await_handshake slot ~deadline =
+  let rec go () =
+    match Frame.read ~deadline_ns:deadline slot.rd with
+    | `Frame p -> (
+        match Shard.reply_of_string p with
+        | Ok (Shard.Result _) -> go ()
+        | Ok reply -> `Reply reply
+        | Error _ -> `Dead)
+    | `Eof | `Corrupt _ -> `Dead
+    | `Timeout -> `Dead
+  in
+  go ()
+
+let reload t =
+  if t.closed then invalid_arg "Cluster.reload: cluster is shut down";
+  match Array.of_list (t.load ()) with
+  | exception e -> Error ("reload: " ^ Printexc.to_string e)
+  | entities -> (
+      let gen' = t.generation + 1 in
+      match
+        Shard_plan.write_snapshots ~dir:t.dir ~gen:gen' ~sim:t.sim ~q:t.q
+          ~shards:(Array.length t.slots) entities
+      with
+      | exception e -> Error ("reload: snapshot build failed: " ^ Printexc.to_string e)
+      | plan ->
+          let n = Array.length t.slots in
+          let cleanup_gen gen =
+            Array.iter
+              (fun slot ->
+                try Sys.remove (Shard_plan.snapshot_path ~dir:t.dir ~gen ~shard:slot.sid)
+                with Sys_error _ -> ())
+              t.slots
+          in
+          (* Phase 1: every live shard loads the new snapshot and holds it
+             pending. Any refusal/death aborts the whole generation. *)
+          let prepared = Array.make n false in
+          let prep_failed = ref [] in
+          Array.iteri
+            (fun i slot ->
+              if slot.up then begin
+                match
+                  Frame.write slot.wfd
+                    (Shard.msg_to_string
+                       (Shard.Prepare
+                          { gen = gen'; path = plan.(i).Shard_plan.path }))
+                with
+                | () -> ()
+                | exception (Unix.Unix_error _ | Sys_error _) ->
+                    prep_failed := (i, "shard died before prepare") :: !prep_failed
+              end)
+            t.slots;
+          Array.iteri
+            (fun i slot ->
+              if slot.up && not (List.mem_assoc i !prep_failed) then
+                match
+                  await_handshake slot
+                    ~deadline:(deadline_in_ms handshake_timeout_ms)
+                with
+                | `Reply (Shard.Prepared { gen }) when gen = gen' ->
+                    prepared.(i) <- true
+                | `Reply (Shard.Prepare_failed { error; _ }) ->
+                    prep_failed := (i, error) :: !prep_failed
+                | `Reply _ ->
+                    prep_failed := (i, "unexpected prepare reply") :: !prep_failed
+                | `Dead ->
+                    prep_failed := (i, "shard died during prepare") :: !prep_failed)
+            t.slots;
+          if !prep_failed <> [] then begin
+            (* Abort: shards that prepared drop the pending snapshot; shards
+               that died restart on the OLD generation. *)
+            Array.iteri
+              (fun i slot ->
+                if prepared.(i) && slot.up then begin
+                  (try
+                     Frame.write slot.wfd
+                       (Shard.msg_to_string (Shard.Abort { gen = gen' }))
+                   with Unix.Unix_error _ | Sys_error _ -> ());
+                  match
+                    await_handshake slot
+                      ~deadline:(deadline_in_ms handshake_timeout_ms)
+                  with
+                  | `Reply (Shard.Aborted _) -> ()
+                  | `Reply _ | `Dead -> ignore (restart_slot t slot ~attempt:1)
+                end)
+              t.slots;
+            Array.iter
+              (fun slot ->
+                if slot.up = false then ignore (restart_slot t slot ~attempt:1))
+              t.slots;
+            cleanup_gen gen';
+            let i, msg = List.hd (List.rev !prep_failed) in
+            Error (Printf.sprintf "prepare failed on shard %d: %s" i msg)
+          end
+          else begin
+            (* Commit point: from here the cluster IS generation [gen'] —
+               slots record the new snapshot/range first, so a shard dying
+               anywhere in the commit fan-out restarts from the NEW files. *)
+            t.generation <- gen';
+            Array.iteri
+              (fun i slot ->
+                slot.range <- plan.(i).Shard_plan.range;
+                slot.snapshot <- plan.(i).Shard_plan.path)
+              t.slots;
+            Array.iteri
+              (fun _i slot ->
+                if slot.up then begin
+                  match
+                    Frame.write slot.wfd
+                      (Shard.msg_to_string (Shard.Commit { gen = gen' }))
+                  with
+                  | () -> (
+                      match
+                        await_handshake slot
+                          ~deadline:(deadline_in_ms handshake_timeout_ms)
+                      with
+                      | `Reply (Shard.Committed { gen }) when gen = gen' -> ()
+                      | `Reply _ | `Dead ->
+                          ignore (restart_slot t slot ~attempt:1))
+                  | exception (Unix.Unix_error _ | Sys_error _) ->
+                      ignore (restart_slot t slot ~attempt:1)
+                end
+                else
+                  (* A previously lost shard gets revived on the new
+                     generation — reload is also the recovery path. *)
+                  ignore (restart_slot t slot ~attempt:1))
+              t.slots;
+            cleanup_gen (gen' - 1);
+            Ok gen'
+          end)
+
+(* ---- shutdown / stats ---- *)
+
+let shutdown t =
+  if not t.closed then begin
+    t.closed <- true;
+    Array.iter
+      (fun slot ->
+        if slot.up then begin
+          (try Frame.write slot.wfd (Shard.msg_to_string Shard.Shutdown)
+           with Unix.Unix_error _ | Sys_error _ -> ());
+          let deadline = deadline_in_ms handshake_timeout_ms in
+          let rec drain () =
+            match Frame.read ~deadline_ns:deadline slot.rd with
+            | `Frame p -> (
+                match Shard.reply_of_string p with
+                | Ok (Shard.Bye { restarts; quarantined }) ->
+                    slot.bye <- Some (restarts, quarantined)
+                | Ok _ -> drain ()
+                | Error _ -> ())
+            | `Eof | `Timeout | `Corrupt _ -> ()
+          in
+          drain ();
+          kill_slot t slot
+        end)
+      t.slots;
+    if t.own_dir then begin
+      Array.iter
+        (fun slot -> try Sys.remove slot.snapshot with Sys_error _ -> ())
+        t.slots;
+      try Unix.rmdir t.dir with Unix.Unix_error _ -> ()
+    end;
+    match t.sink with
+    | Some sink -> Supervisor.Quarantine.close_sink sink
+    | None -> ()
+  end
+
+let totals t =
+  let worker_restarts, shard_quarantined =
+    Array.fold_left
+      (fun (r, q) slot ->
+        match slot.bye with Some (br, bq) -> (r + br, q + bq) | None -> (r, q))
+      (0, 0) t.slots
+  in
+  {
+    shard_restarts = t.restarts;
+    shard_timeouts = t.timeouts;
+    docs_partial = t.partials;
+    quarantined_pairs = t.qpairs;
+    worker_restarts;
+    shard_quarantined;
+  }
+
+let run_batch ?(config = default_config) ~sim ~q ~entities docs =
+  let t = create ~config ~sim ~q (fun () -> entities) in
+  let out =
+    Fun.protect
+      ~finally:(fun () -> shutdown t)
+      (fun () -> Array.mapi (fun i doc -> submit t ~doc:i doc) docs)
+  in
+  (out, Outcome.summarize out, totals t)

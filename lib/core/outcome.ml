@@ -30,6 +30,7 @@ type error =
 type degradation =
   | Oversize_chunked of { bytes : int; limit : int }
   | Partial of Budget.exhaustion
+  | Shard_partial of { n_shards : int; missing : int list }
 
 type 'a t = Ok of 'a | Degraded of 'a * degradation | Failed of error
 
@@ -63,6 +64,10 @@ let degradation_to_string = function
   | Partial e ->
       Printf.sprintf "partial results: %s budget exhausted"
         (Budget.exhaustion_to_string e)
+  | Shard_partial { n_shards; missing } ->
+      Printf.sprintf "partial results: %d of %d shards missing (%s)"
+        (List.length missing) n_shards
+        (String.concat "," (List.map string_of_int missing))
 
 let pp_error ppf e = Format.pp_print_string ppf (error_to_string e)
 

@@ -54,6 +54,11 @@ type degradation =
   | Partial of Faerie_util.Budget.exhaustion
       (** a budget tripped mid-filter; results found before the trip are
           verified and reported (always a subset of the full result set) *)
+  | Shard_partial of { n_shards : int; missing : int list }
+      (** a cluster merge ({!Cluster}) where the listed shards produced no
+          usable result after retries; the matches are complete for every
+          other shard's entity range and sound, but entities owned by the
+          missing shards may be absent *)
 
 type 'a t = Ok of 'a | Degraded of 'a * degradation | Failed of error
 

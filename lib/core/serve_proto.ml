@@ -1,8 +1,33 @@
 module Fault = Faerie_util.Fault
 module Json = Faerie_util.Json
+module Budget = Faerie_util.Budget
 module Score = Faerie_sim.Verify.Score
+module Trace = Faerie_obs.Trace
+
+let version = 1
 
 type request = { id : string option; text : string; timeout_ms : int option }
+
+type parse_error = Malformed of string | Version_mismatch of { got : int }
+
+let parse_error_to_string = function
+  | Malformed msg -> msg
+  | Version_mismatch { got } ->
+      Printf.sprintf "unsupported protocol version %d (supported: %d)" got
+        version
+
+let num i = Json.Num (float_of_int i)
+
+(* A ["v"] field, when present, must match [version] exactly; requests
+   without one are accepted for compatibility with pre-cluster clients. *)
+let check_version j =
+  match Json.member "v" j with
+  | None -> Ok ()
+  | Some v -> (
+      match Json.to_int v with
+      | Some got when got = version -> Ok ()
+      | Some got -> Error (Version_mismatch { got })
+      | None -> Error (Malformed {|non-integer "v" field|}))
 
 let parse_request ~ord line =
   match
@@ -11,26 +36,40 @@ let parse_request ~ord line =
         Json.of_string line)
   with
   | exception Fault.Injected site ->
-      Error (Printf.sprintf "injected fault at site %S" site)
-  | Error e -> Error (Printf.sprintf "bad JSON: %s" e)
+      Error (Malformed (Printf.sprintf "injected fault at site %S" site))
+  | Error e -> Error (Malformed (Printf.sprintf "bad JSON: %s" e))
   | Ok j -> (
-      match Option.bind (Json.member "text" j) Json.to_str with
-      | None -> Error {|missing or non-string "text" field|}
-      | Some text ->
-          let id =
-            match Json.member "id" j with
-            | Some (Json.Str s) -> Some s
-            | _ -> None
-          in
-          let timeout_ms = Option.bind (Json.member "timeout_ms" j) Json.to_int in
-          Ok { id; text; timeout_ms })
+      match check_version j with
+      | Error e -> Error e
+      | Ok () -> (
+          match Option.bind (Json.member "text" j) Json.to_str with
+          | None -> Error (Malformed {|missing or non-string "text" field|})
+          | Some text ->
+              let id =
+                match Json.member "id" j with
+                | Some (Json.Str s) -> Some s
+                | _ -> None
+              in
+              let timeout_ms =
+                Option.bind (Json.member "timeout_ms" j) Json.to_int
+              in
+              Ok { id; text; timeout_ms }))
 
-let num i = Json.Num (float_of_int i)
-
-let error_json ~ord msg =
+let error_json ~ord err =
+  let extra =
+    match err with
+    | Malformed _ -> []
+    | Version_mismatch { got } -> [ ("got", num got); ("want", num version) ]
+  in
   Json.to_string
     (Json.Obj
-       [ ("doc", num ord); ("outcome", Json.Str "error"); ("error", Json.Str msg) ])
+       ([
+          ("doc", num ord);
+          ("v", num version);
+          ("outcome", Json.Str "error");
+          ("error", Json.Str (parse_error_to_string err));
+        ]
+       @ extra))
 
 let score_json = function
   | Score.Similarity f -> Json.Num f
@@ -48,7 +87,7 @@ let match_json (m : Types.char_match) =
 let response_json ~ord ~id ~gen (out : Parallel.outcome) =
   let matches ms = ("matches", Json.List (List.map match_json ms)) in
   let fields =
-    [ ("doc", num ord) ]
+    [ ("doc", num ord); ("v", num version) ]
     @ (match id with Some s -> [ ("id", Json.Str s) ] | None -> [])
     @ [
         ("gen", num gen);
@@ -72,3 +111,426 @@ let summary_json ~reloads s =
   Printf.sprintf "%s,\"reloads\":%d}"
     (String.sub base 0 (String.length base - 1))
     reloads
+
+let cluster_summary_json ~reloads ~shards ~shard_restarts ~shard_timeouts
+    ~docs_partial ~quarantined_pairs s =
+  let base = Outcome.summary_to_json s in
+  Printf.sprintf
+    "%s,\"reloads\":%d,\"shards\":%d,\"shard_restarts\":%d,\"shard_timeouts\":%d,\"docs_partial\":%d,\"quarantined_pairs\":%d}"
+    (String.sub base 0 (String.length base - 1))
+    reloads shards shard_restarts shard_timeouts docs_partial quarantined_pairs
+
+(* ---- structured outcome codec (cluster internal frames) ---- *)
+
+(* The client-facing response renders scores/errors as display strings; the
+   coordinator however must reconstruct the exact [Parallel.outcome] a shard
+   produced, so these codecs tag every variant. A [Score.Similarity 2.0]
+   and [Score.Distance 2] would be indistinguishable as a bare JSON
+   number — hence the {"s":f} / {"d":n} tagging. *)
+
+let score_to_json = function
+  | Score.Similarity f -> Json.Obj [ ("s", Json.Num f) ]
+  | Score.Distance d -> Json.Obj [ ("d", num d) ]
+
+let score_of_json j =
+  match (Json.member "s" j, Json.member "d" j) with
+  | Some s, _ -> Option.map (fun f -> Score.Similarity f) (Json.to_num s)
+  | _, Some d -> Option.map (fun n -> Score.Distance n) (Json.to_int d)
+  | None, None -> None
+
+let match_to_json (m : Types.char_match) =
+  Json.Obj
+    [
+      ("e", num m.Types.c_entity);
+      ("s", num m.Types.c_start);
+      ("l", num m.Types.c_len);
+      ("score", score_to_json m.Types.c_score);
+    ]
+
+let match_of_json j =
+  let int name = Option.bind (Json.member name j) Json.to_int in
+  match
+    (int "e", int "s", int "l", Option.bind (Json.member "score" j) score_of_json)
+  with
+  | Some e, Some s, Some l, Some score ->
+      Some
+        { Types.c_entity = e; c_start = s; c_len = l; c_score = score }
+  | _ -> None
+
+let exhaustion_to_tag = function
+  | Budget.Deadline -> "deadline"
+  | Budget.Bytes -> "bytes"
+  | Budget.Candidates -> "candidates"
+
+let exhaustion_of_tag = function
+  | "deadline" -> Some Budget.Deadline
+  | "bytes" -> Some Budget.Bytes
+  | "candidates" -> Some Budget.Candidates
+  | _ -> None
+
+let shed_cause_to_tag = function
+  | Outcome.Deadline_expired -> "deadline"
+  | Outcome.Queue_full -> "queue"
+  | Outcome.Shutdown -> "shutdown"
+
+let shed_cause_of_tag = function
+  | "deadline" -> Some Outcome.Deadline_expired
+  | "queue" -> Some Outcome.Queue_full
+  | "shutdown" -> Some Outcome.Shutdown
+  | _ -> None
+
+let rec error_to_json (e : Outcome.error) =
+  let tag t rest = Json.Obj (("t", Json.Str t) :: rest) in
+  match e with
+  | Outcome.Doc_too_large { bytes; limit } ->
+      tag "doc_too_large" [ ("bytes", num bytes); ("limit", num limit) ]
+  | Outcome.Budget_exhausted x ->
+      tag "budget" [ ("which", Json.Str (exhaustion_to_tag x)) ]
+  | Outcome.Tokenize_error msg -> tag "tokenize" [ ("msg", Json.Str msg) ]
+  | Outcome.Corrupt_index msg -> tag "corrupt_index" [ ("msg", Json.Str msg) ]
+  | Outcome.Injected_fault site -> tag "injected" [ ("site", Json.Str site) ]
+  | Outcome.Worker_crash { exn_name; message; backtrace } ->
+      tag "crash"
+        [
+          ("exn", Json.Str exn_name);
+          ("msg", Json.Str message);
+          ("bt", Json.Str backtrace);
+        ]
+  | Outcome.Shed cause ->
+      tag "shed" [ ("cause", Json.Str (shed_cause_to_tag cause)) ]
+  | Outcome.Quarantined { attempts; last } ->
+      tag "quarantined" [ ("attempts", num attempts); ("last", error_to_json last) ]
+
+let rec error_of_json j =
+  let str name = Option.bind (Json.member name j) Json.to_str in
+  let int name = Option.bind (Json.member name j) Json.to_int in
+  match str "t" with
+  | Some "doc_too_large" -> (
+      match (int "bytes", int "limit") with
+      | Some bytes, Some limit -> Some (Outcome.Doc_too_large { bytes; limit })
+      | _ -> None)
+  | Some "budget" ->
+      Option.map
+        (fun x -> Outcome.Budget_exhausted x)
+        (Option.bind (str "which") exhaustion_of_tag)
+  | Some "tokenize" -> Option.map (fun m -> Outcome.Tokenize_error m) (str "msg")
+  | Some "corrupt_index" ->
+      Option.map (fun m -> Outcome.Corrupt_index m) (str "msg")
+  | Some "injected" -> Option.map (fun s -> Outcome.Injected_fault s) (str "site")
+  | Some "crash" -> (
+      match (str "exn", str "msg") with
+      | Some exn_name, Some message ->
+          Some
+            (Outcome.Worker_crash
+               {
+                 exn_name;
+                 message;
+                 backtrace = Option.value (str "bt") ~default:"";
+               })
+      | _ -> None)
+  | Some "shed" ->
+      Option.map
+        (fun c -> Outcome.Shed c)
+        (Option.bind (str "cause") shed_cause_of_tag)
+  | Some "quarantined" -> (
+      match (int "attempts", Option.bind (Json.member "last" j) error_of_json)
+      with
+      | Some attempts, Some last ->
+          Some (Outcome.Quarantined { attempts; last })
+      | _ -> None)
+  | _ -> None
+
+let degradation_to_json (d : Outcome.degradation) =
+  let tag t rest = Json.Obj (("t", Json.Str t) :: rest) in
+  match d with
+  | Outcome.Oversize_chunked { bytes; limit } ->
+      tag "oversize" [ ("bytes", num bytes); ("limit", num limit) ]
+  | Outcome.Partial x ->
+      tag "partial" [ ("which", Json.Str (exhaustion_to_tag x)) ]
+  | Outcome.Shard_partial { n_shards; missing } ->
+      tag "shard_partial"
+        [ ("shards", num n_shards); ("missing", Json.List (List.map num missing)) ]
+
+let degradation_of_json j =
+  let str name = Option.bind (Json.member name j) Json.to_str in
+  let int name = Option.bind (Json.member name j) Json.to_int in
+  match str "t" with
+  | Some "oversize" -> (
+      match (int "bytes", int "limit") with
+      | Some bytes, Some limit ->
+          Some (Outcome.Oversize_chunked { bytes; limit })
+      | _ -> None)
+  | Some "partial" ->
+      Option.map
+        (fun x -> Outcome.Partial x)
+        (Option.bind (str "which") exhaustion_of_tag)
+  | Some "shard_partial" -> (
+      match (int "shards", Json.member "missing" j) with
+      | Some n_shards, Some (Json.List ms) ->
+          let missing = List.filter_map Json.to_int ms in
+          if List.length missing = List.length ms then
+            Some (Outcome.Shard_partial { n_shards; missing })
+          else None
+      | _ -> None)
+  | _ -> None
+
+let all_some xs =
+  let rec go acc = function
+    | [] -> Some (List.rev acc)
+    | Some x :: rest -> go (x :: acc) rest
+    | None :: _ -> None
+  in
+  go [] xs
+
+let outcome_to_json (o : Parallel.outcome) =
+  let matches ms = ("matches", Json.List (List.map match_to_json ms)) in
+  match o with
+  | Outcome.Ok ms -> Json.Obj [ ("cls", Json.Str "ok"); matches ms ]
+  | Outcome.Degraded (ms, why) ->
+      Json.Obj
+        [
+          ("cls", Json.Str "degraded");
+          ("why", degradation_to_json why);
+          matches ms;
+        ]
+  | Outcome.Failed err ->
+      Json.Obj [ ("cls", Json.Str "failed"); ("error", error_to_json err) ]
+
+let outcome_of_json j : Parallel.outcome option =
+  let matches () =
+    match Json.member "matches" j with
+    | Some (Json.List ms) -> all_some (List.map match_of_json ms)
+    | _ -> None
+  in
+  match Option.bind (Json.member "cls" j) Json.to_str with
+  | Some "ok" -> Option.map (fun ms -> Outcome.Ok ms) (matches ())
+  | Some "degraded" -> (
+      match (matches (), Option.bind (Json.member "why" j) degradation_of_json)
+      with
+      | Some ms, Some why -> Some (Outcome.Degraded (ms, why))
+      | _ -> None)
+  | Some "failed" ->
+      Option.map
+        (fun e -> Outcome.Failed e)
+        (Option.bind (Json.member "error" j) error_of_json)
+  | _ -> None
+
+(* ---- length-prefixed frames ---- *)
+
+module Frame = struct
+  let max_len = 1 lsl 26
+
+  let rec write_all fd buf off len =
+    if len > 0 then
+      match Unix.write fd buf off len with
+      | n -> write_all fd buf (off + n) (len - n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd buf off len
+
+  let write fd payload =
+    let n = String.length payload in
+    if n > max_len then
+      invalid_arg (Printf.sprintf "Serve_proto.Frame.write: %d-byte frame" n);
+    let buf = Bytes.create (4 + n) in
+    Bytes.set_int32_be buf 0 (Int32.of_int n);
+    Bytes.blit_string payload 0 buf 4 n;
+    write_all fd buf 0 (4 + n)
+
+  type reader = { fd : Unix.file_descr; buf : Buffer.t; chunk : Bytes.t }
+
+  let reader fd = { fd; buf = Buffer.create 4096; chunk = Bytes.create 65536 }
+
+  let reader_fd r = r.fd
+
+  (* Extract one complete frame from the buffered bytes, if present. *)
+  let take r =
+    let b = Buffer.contents r.buf in
+    if String.length b < 4 then None
+    else
+      let len = Int32.to_int (String.get_int32_be b 0) in
+      if len < 0 || len > max_len then Some (Error len)
+      else if String.length b < 4 + len then None
+      else begin
+        let payload = String.sub b 4 len in
+        Buffer.clear r.buf;
+        Buffer.add_substring r.buf b (4 + len) (String.length b - 4 - len);
+        Some (Ok payload)
+      end
+
+  let read ?deadline_ns r =
+    let rec loop () =
+      match take r with
+      | Some (Ok payload) -> `Frame payload
+      | Some (Error len) ->
+          `Corrupt (Printf.sprintf "bad frame length %d" len)
+      | None -> (
+          let timeout =
+            match deadline_ns with
+            | None -> -1.
+            | Some d ->
+                Int64.to_float (Int64.sub d (Trace.now_ns ())) /. 1e9
+          in
+          if deadline_ns <> None && timeout <= 0. then `Timeout
+          else
+            match Unix.select [ r.fd ] [] [] timeout with
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+            | [], _, _ -> if deadline_ns = None then loop () else `Timeout
+            | _ -> (
+                match Unix.read r.fd r.chunk 0 (Bytes.length r.chunk) with
+                | 0 -> `Eof
+                | n ->
+                    Buffer.add_subbytes r.buf r.chunk 0 n;
+                    loop ()
+                | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+                | exception
+                    Unix.Unix_error
+                      ((Unix.ECONNRESET | Unix.EPIPE | Unix.EBADF), _, _) ->
+                    `Eof))
+    in
+    loop ()
+end
+
+(* ---- coordinator <-> shard messages ---- *)
+
+module Shard = struct
+  type msg =
+    | Doc of { doc : int; attempt : int; timeout_ms : int option; text : string }
+    | Prepare of { gen : int; path : string }
+    | Commit of { gen : int }
+    | Abort of { gen : int }
+    | Shutdown
+
+  type reply =
+    | Ready of { shard : int; gen : int }
+    | Result of { doc : int; gen : int; outcome : Parallel.outcome }
+    | Prepared of { gen : int }
+    | Prepare_failed of { gen : int; error : string }
+    | Committed of { gen : int }
+    | Aborted of { gen : int }
+    | Refused of { error : string }
+    | Bye of { restarts : int; quarantined : int }
+
+  let obj op fields = Json.Obj (("v", num version) :: ("op", Json.Str op) :: fields)
+
+  let msg_to_string m =
+    Json.to_string
+      (match m with
+      | Doc { doc; attempt; timeout_ms; text } ->
+          obj "doc"
+            ([ ("doc", num doc); ("attempt", num attempt) ]
+            @ (match timeout_ms with
+              | Some t -> [ ("timeout_ms", num t) ]
+              | None -> [])
+            @ [ ("text", Json.Str text) ])
+      | Prepare { gen; path } ->
+          obj "prepare" [ ("gen", num gen); ("path", Json.Str path) ]
+      | Commit { gen } -> obj "commit" [ ("gen", num gen) ]
+      | Abort { gen } -> obj "abort" [ ("gen", num gen) ]
+      | Shutdown -> obj "shutdown" [])
+
+  let reply_to_string r =
+    Json.to_string
+      (match r with
+      | Ready { shard; gen } ->
+          obj "ready" [ ("shard", num shard); ("gen", num gen) ]
+      | Result { doc; gen; outcome } ->
+          obj "result"
+            [ ("doc", num doc); ("gen", num gen); ("out", outcome_to_json outcome) ]
+      | Prepared { gen } -> obj "prepared" [ ("gen", num gen) ]
+      | Prepare_failed { gen; error } ->
+          obj "prepare_failed" [ ("gen", num gen); ("error", Json.Str error) ]
+      | Committed { gen } -> obj "committed" [ ("gen", num gen) ]
+      | Aborted { gen } -> obj "aborted" [ ("gen", num gen) ]
+      | Refused { error } -> obj "refused" [ ("error", Json.Str error) ]
+      | Bye { restarts; quarantined } ->
+          obj "bye" [ ("restarts", num restarts); ("quarantined", num quarantined) ])
+
+  let decode line =
+    match Json.of_string line with
+    | Error e -> Error (Malformed (Printf.sprintf "bad frame JSON: %s" e))
+    | Ok j -> (
+        (* Frames always carry ["v"]: a missing field is a framing bug, not
+           an old client, so unlike requests it is rejected. *)
+        match Option.bind (Json.member "v" j) Json.to_int with
+        | None -> Error (Malformed {|frame without integer "v" field|})
+        | Some got when got <> version -> Error (Version_mismatch { got })
+        | Some _ -> (
+            match Option.bind (Json.member "op" j) Json.to_str with
+            | None -> Error (Malformed {|frame without "op" field|})
+            | Some op -> Ok (op, j)))
+
+  let msg_of_string line =
+    match decode line with
+    | Error e -> Error e
+    | Ok (op, j) -> (
+        let int name = Option.bind (Json.member name j) Json.to_int in
+        let str name = Option.bind (Json.member name j) Json.to_str in
+        let bad () =
+          Error (Malformed (Printf.sprintf "bad %S frame: %s" op line))
+        in
+        match op with
+        | "doc" -> (
+            match (int "doc", int "attempt", str "text") with
+            | Some doc, Some attempt, Some text ->
+                Ok (Doc { doc; attempt; timeout_ms = int "timeout_ms"; text })
+            | _ -> bad ())
+        | "prepare" -> (
+            match (int "gen", str "path") with
+            | Some gen, Some path -> Ok (Prepare { gen; path })
+            | _ -> bad ())
+        | "commit" -> (
+            match int "gen" with Some gen -> Ok (Commit { gen }) | None -> bad ())
+        | "abort" -> (
+            match int "gen" with Some gen -> Ok (Abort { gen }) | None -> bad ())
+        | "shutdown" -> Ok Shutdown
+        | _ -> Error (Malformed (Printf.sprintf "unknown frame op %S" op)))
+
+  let reply_of_string line =
+    match decode line with
+    | Error e -> Error e
+    | Ok (op, j) -> (
+        let int name = Option.bind (Json.member name j) Json.to_int in
+        let str name = Option.bind (Json.member name j) Json.to_str in
+        let bad () =
+          Error (Malformed (Printf.sprintf "bad %S frame: %s" op line))
+        in
+        match op with
+        | "ready" -> (
+            match (int "shard", int "gen") with
+            | Some shard, Some gen -> Ok (Ready { shard; gen })
+            | _ -> bad ())
+        | "result" -> (
+            match
+              ( int "doc",
+                int "gen",
+                Option.bind (Json.member "out" j) outcome_of_json )
+            with
+            | Some doc, Some gen, Some outcome ->
+                Ok (Result { doc; gen; outcome })
+            | _ -> bad ())
+        | "prepared" -> (
+            match int "gen" with
+            | Some gen -> Ok (Prepared { gen })
+            | None -> bad ())
+        | "prepare_failed" -> (
+            match (int "gen", str "error") with
+            | Some gen, Some error -> Ok (Prepare_failed { gen; error })
+            | _ -> bad ())
+        | "committed" -> (
+            match int "gen" with
+            | Some gen -> Ok (Committed { gen })
+            | None -> bad ())
+        | "aborted" -> (
+            match int "gen" with
+            | Some gen -> Ok (Aborted { gen })
+            | None -> bad ())
+        | "refused" -> (
+            match str "error" with
+            | Some error -> Ok (Refused { error })
+            | None -> bad ())
+        | "bye" -> (
+            match (int "restarts", int "quarantined") with
+            | Some restarts, Some quarantined ->
+                Ok (Bye { restarts; quarantined })
+            | _ -> bad ())
+        | _ -> Error (Malformed (Printf.sprintf "unknown frame op %S" op)))
+end

@@ -1,19 +1,30 @@
-(** NDJSON wire protocol of [faerie serve].
+(** Wire protocols of [faerie serve]: the public NDJSON request/response
+    format, and the internal length-prefixed frames a {!Cluster}
+    coordinator exchanges with its shard processes.
+
+    {1 NDJSON client protocol}
 
     One request per line on stdin, one response per line on stdout. A
     request is a JSON object: [{"text": "..."}], optionally with an
-    ["id"] string (echoed back) and a ["timeout_ms"] number (per-request
-    deadline override). Responses carry a stable [ord] (arrival ordinal),
-    the echoed id, the index generation that served the request, an
-    outcome tag ({!Outcome.class_name}), and — for usable outcomes — the
-    matches as entity-id/offset/length triples with scores. Entity ids,
-    not entity strings, so a response is meaningful against whichever
-    snapshot generation it names even across hot reloads.
+    ["id"] string (echoed back), a ["timeout_ms"] number (per-request
+    deadline override) and a ["v"] protocol version (rejected with a
+    structured error when it does not match {!version}; omitted means
+    "whatever the server speaks", for pre-versioning clients). Responses
+    carry a stable [ord] (arrival ordinal), ["v"], the echoed id, the
+    index generation that served the request, an outcome tag
+    ({!Outcome.class_name}), and — for usable outcomes — the matches as
+    entity-id/offset/length triples with scores. Entity ids, not entity
+    strings, so a response is meaningful against whichever snapshot
+    generation it names even across hot reloads.
 
     Decoding is fault-isolated: the ["serve_decode"] {!Faerie_util.Fault}
     site fires inside {!parse_request}, and both injected faults and
     malformed JSON come back as [Error] — a poison request line yields an
     error response, never a dead server. *)
+
+val version : int
+(** The protocol version this build speaks (in both the NDJSON protocol's
+    ["v"] field and every cluster frame). Currently [1]. *)
 
 type request = {
   id : string option;  (** echoed into the response *)
@@ -21,22 +32,151 @@ type request = {
   timeout_ms : int option;  (** per-request deadline override *)
 }
 
-val parse_request : ord:int -> string -> (request, string) result
+type parse_error =
+  | Malformed of string  (** bad JSON, missing fields, injected decode fault *)
+  | Version_mismatch of { got : int }
+      (** well-formed request speaking a protocol we do not *)
+
+val parse_error_to_string : parse_error -> string
+
+val parse_request : ord:int -> string -> (request, parse_error) result
 (** Parse one NDJSON request line. [ord] is the arrival ordinal and keys
     the fault context for the ["serve_decode"] site. Never raises. *)
 
-val error_json : ord:int -> string -> string
+val error_json : ord:int -> parse_error -> string
 (** Response line for an undecodable request:
-    [{"doc":ord,"outcome":"error","error":...}]. *)
+    [{"doc":ord,"v":1,"outcome":"error","error":...}], plus
+    ["got"]/["want"] fields on a version mismatch so clients can
+    negotiate instead of pattern-matching the message. *)
 
 val response_json :
   ord:int -> id:string option -> gen:int -> Parallel.outcome -> string
 (** Response line for a completed document. Shape:
-    [{"doc":ord,"id":...,"gen":G,"outcome":TAG,"matches":[...]}] with
-    ["matches"] present for [ok]/[degraded] (each match
+    [{"doc":ord,"v":1,"id":...,"gen":G,"outcome":TAG,"matches":[...]}]
+    with ["matches"] present for [ok]/[degraded] (each match
     [{"e":entity,"s":start,"l":len,"score":...}]), ["error"] present
     otherwise, and ["degraded"] carrying the reason when applicable. *)
 
 val summary_json : reloads:int -> Outcome.summary -> string
 (** Final stderr line: {!Outcome.summary_to_json} extended with the
     hot-reload count. *)
+
+val cluster_summary_json :
+  reloads:int ->
+  shards:int ->
+  shard_restarts:int ->
+  shard_timeouts:int ->
+  docs_partial:int ->
+  quarantined_pairs:int ->
+  Outcome.summary ->
+  string
+(** Final stderr line of a [--shards N] server: {!summary_json} further
+    extended with cluster accounting (shard processes restarted, per-shard
+    deadline misses, documents that degraded to
+    {!Outcome.degradation.Shard_partial}, and (doc, shard) pairs written
+    to the dead-letter file). *)
+
+(** {1 Structured outcome codec}
+
+    Lossless JSON round-trip of {!Parallel.outcome} for cluster frames:
+    unlike the display strings in the client protocol, every error and
+    degradation variant is tagged, and scores distinguish
+    [Similarity]/[Distance] (as [{"s":f}] / [{"d":n}]). The [_of_json]
+    side returns [None] on any malformed value — the coordinator treats
+    that as a shard failure, never a crash. *)
+
+val match_to_json : Types.char_match -> Faerie_util.Json.t
+
+val match_of_json : Faerie_util.Json.t -> Types.char_match option
+
+val error_to_json : Outcome.error -> Faerie_util.Json.t
+
+val error_of_json : Faerie_util.Json.t -> Outcome.error option
+
+val degradation_to_json : Outcome.degradation -> Faerie_util.Json.t
+
+val degradation_of_json : Faerie_util.Json.t -> Outcome.degradation option
+
+val outcome_to_json : Parallel.outcome -> Faerie_util.Json.t
+
+val outcome_of_json : Faerie_util.Json.t -> Parallel.outcome option
+
+(** {1 Length-prefixed frames}
+
+    Transport for coordinator <-> shard pipes: a 4-byte big-endian length
+    header followed by that many payload bytes. Writes emit the whole
+    frame through blocking [write(2)] with [EINTR] retry; reads are
+    incremental — a {!Frame.reader} buffers partial arrivals across calls,
+    so a frame split by pipe scheduling is reassembled and a frame is
+    delivered either whole or not at all (a shard killed mid-write yields
+    [`Eof] at the torn boundary, never a half-frame). *)
+
+module Frame : sig
+  val max_len : int
+  (** Refuse frames over 64 MiB: a corrupt header must not allocate
+      unbounded memory. *)
+
+  val write : Unix.file_descr -> string -> unit
+  (** Write one frame. @raise Invalid_argument over {!max_len}.
+      @raise Unix.Unix_error as [write(2)] does (e.g. [EPIPE]). *)
+
+  type reader
+
+  val reader : Unix.file_descr -> reader
+
+  val reader_fd : reader -> Unix.file_descr
+  (** For [select]-based readiness polling across several readers. *)
+
+  val read :
+    ?deadline_ns:int64 ->
+    reader ->
+    [ `Frame of string | `Eof | `Timeout | `Corrupt of string ]
+  (** Next complete frame. Blocks until a frame, end-of-stream, or the
+      absolute [deadline_ns] (monotonic, {!Faerie_obs.Trace.now_ns} base);
+      without a deadline it blocks indefinitely. [`Timeout] leaves any
+      partial frame buffered for a later call. [`Corrupt] reports an
+      implausible length header (desynchronized stream). *)
+end
+
+(** {1 Coordinator <-> shard messages}
+
+    JSON payloads carried inside {!Frame}s. Every frame embeds ["v"]
+    ({!version}) and decoding rejects a mismatch as
+    [Version_mismatch] — a structured refusal, not a parse failure. *)
+
+module Shard : sig
+  type msg =
+    | Doc of { doc : int; attempt : int; timeout_ms : int option; text : string }
+        (** extract [text]; [attempt] re-keys the fault context so a
+            coordinator retry does not deterministically re-fire the fault
+            that killed the previous attempt *)
+    | Prepare of { gen : int; path : string }
+        (** phase 1 of reload: load the generation-[gen] snapshot at
+            [path], hold it pending, do not serve from it yet *)
+    | Commit of { gen : int }  (** phase 2: swap the pending snapshot in *)
+    | Abort of { gen : int }  (** drop the pending snapshot *)
+    | Shutdown
+
+  type reply =
+    | Ready of { shard : int; gen : int }  (** sent once at startup *)
+    | Result of { doc : int; gen : int; outcome : Parallel.outcome }
+    | Prepared of { gen : int }
+    | Prepare_failed of { gen : int; error : string }
+    | Committed of { gen : int }
+    | Aborted of { gen : int }
+    | Refused of { error : string }
+        (** structured protocol-level rejection (version mismatch,
+            commit without prepare); the coordinator treats it as a shard
+            fault *)
+    | Bye of { restarts : int; quarantined : int }
+        (** final stats on clean shutdown: worker-domain restarts and
+            quarantined documents inside this shard's pool *)
+
+  val msg_to_string : msg -> string
+
+  val msg_of_string : string -> (msg, parse_error) result
+
+  val reply_to_string : reply -> string
+
+  val reply_of_string : string -> (reply, parse_error) result
+end

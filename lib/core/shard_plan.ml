@@ -1,0 +1,46 @@
+module Ix = Faerie_index
+module Sim = Faerie_sim.Sim
+
+type range = { lo : int; hi : int }
+
+let width r = r.hi - r.lo
+
+let partition ~n_entities ~shards =
+  if shards <= 0 then invalid_arg "Shard_plan.partition: shards must be positive";
+  if n_entities < 0 then
+    invalid_arg "Shard_plan.partition: negative entity count";
+  let base = n_entities / shards and rem = n_entities mod shards in
+  Array.init shards (fun s ->
+      let lo = (s * base) + min s rem in
+      let hi = lo + base + if s < rem then 1 else 0 in
+      { lo; hi })
+
+let owner ranges entity =
+  let rec go i =
+    if i >= Array.length ranges then None
+    else if entity >= ranges.(i).lo && entity < ranges.(i).hi then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let snapshot_path ~dir ~gen ~shard =
+  Filename.concat dir (Printf.sprintf "shard-%d.gen-%d.faerie" shard gen)
+
+type shard_snapshot = { shard : int; range : range; path : string }
+
+let write_snapshots ~dir ~gen ~sim ~q ~shards entities =
+  let ranges = partition ~n_entities:(Array.length entities) ~shards in
+  Array.mapi
+    (fun s r ->
+      let slice = Array.to_list (Array.sub entities r.lo (width r)) in
+      let p = Problem.create ~sim ~q slice in
+      let path = snapshot_path ~dir ~gen ~shard:s in
+      Ix.Codec.save (Problem.dictionary p) (Problem.index p) path;
+      { shard = s; range = r; path })
+    ranges
+
+let remap_matches ~range ms =
+  List.map
+    (fun (m : Types.char_match) ->
+      { m with Types.c_entity = m.Types.c_entity + range.lo })
+    ms

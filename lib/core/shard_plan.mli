@@ -1,0 +1,55 @@
+(** Dictionary partitioning for the sharded serving cluster.
+
+    A cluster ({!Cluster}) splits the dictionary into contiguous
+    entity-id ranges, one per shard. Contiguity matters: a shard's slice
+    keeps its entities in global order, so a shard-local match's entity id
+    maps back to the global id by adding the range's lower bound
+    ({!remap_matches}) — no per-entity translation table travels over the
+    wire, and merged responses use exactly the ids a single-process server
+    would have produced.
+
+    Per-shard index snapshots are written through
+    {!Faerie_index.Codec.save}, inheriting its durability contract (temp
+    file + fsync + atomic rename): a shard process can be killed and
+    restarted against its snapshot path at any point without observing a
+    torn file. *)
+
+type range = { lo : int; hi : int }
+(** Half-open global entity-id interval [\[lo, hi)]. *)
+
+val width : range -> int
+
+val partition : n_entities:int -> shards:int -> range array
+(** [partition ~n_entities ~shards] covers [\[0, n_entities)] with
+    [shards] contiguous, disjoint, near-equal ranges (sizes differ by at
+    most one; earlier shards take the remainder). Deterministic, so the
+    coordinator and any offline tooling agree on ownership.
+    @raise Invalid_argument when [shards <= 0] or [n_entities < 0]. *)
+
+val owner : range array -> int -> int option
+(** Which shard owns a global entity id, if any. *)
+
+val snapshot_path : dir:string -> gen:int -> shard:int -> string
+(** The canonical per-shard snapshot filename,
+    [DIR/shard-S.gen-G.faerie]. Generation-stamped so a two-phase reload
+    can have old and new snapshots on disk simultaneously. *)
+
+type shard_snapshot = { shard : int; range : range; path : string }
+
+val write_snapshots :
+  dir:string ->
+  gen:int ->
+  sim:Faerie_sim.Sim.t ->
+  q:int ->
+  shards:int ->
+  string array ->
+  shard_snapshot array
+(** [write_snapshots ~dir ~gen ~sim ~q ~shards entities] partitions
+    [entities], builds one {!Problem} per slice and saves each as an
+    atomic index snapshot at {!snapshot_path}. Returns the plan in shard
+    order. Raises on I/O failure (the caller aborts the reload and keeps
+    serving the old generation). *)
+
+val remap_matches : range:range -> Types.char_match list -> Types.char_match list
+(** Translate shard-local entity ids in a match list back to global ids
+    ([local + range.lo]). *)

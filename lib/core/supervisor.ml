@@ -44,6 +44,19 @@ let mix_int a b =
 let fault_key ~doc_id ~attempt =
   if attempt = 0 then doc_id else mix_int doc_id attempt
 
+(* Shard-salted variant for {!Cluster}: each shard of a fan-out must see an
+   independent fault schedule for the same document (otherwise every shard
+   of the cluster would die on exactly the same documents and a partial
+   merge could never occur). The salt keeps attempt 0 deterministic and
+   distinct per shard while still flowing through [fault_key]'s re-keying
+   for retries. Masked to 53 bits: the attempt-0 key is stored as the
+   [doc] of coordinator quarantine records, and the NDJSON codec carries
+   numbers as IEEE doubles — anything wider would round-trip lossily and
+   break replay. *)
+let shard_fault_key ~doc_id ~shard ~attempt =
+  fault_key ~doc_id:(mix_int doc_id (0x5d17e0 + shard) land ((1 lsl 53) - 1))
+    ~attempt
+
 type retry = {
   retries : int;
   backoff_ms : int;
@@ -71,6 +84,7 @@ type config = {
   queue_capacity : int;
   quarantine : string option;
   shed : bool;
+  shard : int option;
 }
 
 let default_config =
@@ -80,12 +94,14 @@ let default_config =
     queue_capacity = 64;
     quarantine = None;
     shed = false;
+    shard = None;
   }
 
 module Quarantine = struct
   type record = {
     doc_id : int;
     id : string option;
+    shard : int option;
     attempts : int;
     error : string;
     sim : Sim.t;
@@ -103,9 +119,14 @@ module Quarantine = struct
   let to_json r =
     Json.to_string
       (Json.Obj
-         [
-           ("doc", num r.doc_id);
-           ("id", match r.id with Some s -> Json.Str s | None -> Json.Null);
+         ([
+            ("doc", num r.doc_id);
+            ("id", match r.id with Some s -> Json.Str s | None -> Json.Null);
+          ]
+         @ (* only cluster shards stamp their id; single-pool records keep
+              the pre-cluster shape byte-for-byte *)
+         (match r.shard with Some s -> [ ("shard", num s) ] | None -> [])
+         @ [
            ("attempts", num r.attempts);
            ("error", Json.Str r.error);
            ("sim", Json.Str (Sim.to_spec r.sim));
@@ -130,7 +151,7 @@ module Quarantine = struct
                      );
                    ] );
            ("text", Json.Str r.text);
-         ])
+         ]))
 
   let of_json line =
     match Json.of_string line with
@@ -148,6 +169,7 @@ module Quarantine = struct
           | Some (Json.Str s) -> Some s
           | _ -> None
         in
+        let shard = Option.bind (Json.member "shard" j) Json.to_int in
         let* attempts = field "attempts" Json.to_int in
         let* error = field "error" Json.to_str in
         let* sim_spec = field "sim" Json.to_str in
@@ -195,7 +217,42 @@ module Quarantine = struct
           | _ -> None
         in
         let* text = field "text" Json.to_str in
-        Ok { doc_id; id; attempts; error; sim; q; pruning; budget; fault; text })
+        Ok
+          {
+            doc_id; id; shard; attempts; error; sim; q; pruning; budget; fault;
+            text;
+          })
+
+  (* Dead-letter sink: O_APPEND plus a single [write] per record, so the
+     coordinator and N shard processes appending to the same file can never
+     interleave bytes of two records. The mutex only serializes appenders
+     within one process; cross-process atomicity comes from O_APPEND. *)
+  type sink = { fd : Unix.file_descr; s_lock : Mutex.t }
+
+  let open_sink path =
+    {
+      fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ] 0o644;
+      s_lock = Mutex.create ();
+    }
+
+  let append sink r =
+    let line = Bytes.of_string (to_json r ^ "\n") in
+    let n = Bytes.length line in
+    Mutex.lock sink.s_lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock sink.s_lock)
+      (fun () ->
+        (* A pipe-or-regular-file write of a full record is atomic under
+           O_APPEND; loop only on the (theoretical) short-write case. *)
+        let rec go off =
+          if off < n then
+            match Unix.write sink.fd line off (n - off) with
+            | written -> go (off + written)
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+        in
+        go 0)
+
+  let close_sink sink = try Unix.close sink.fd with Unix.Unix_error _ -> ()
 end
 
 type job = {
@@ -224,8 +281,7 @@ type t = {
   mutable closed : bool;
   mutable workers : unit Domain.t list;
   mutable restarts : int;
-  quarantine_oc : out_channel option;
-  q_lock : Mutex.t;
+  quarantine_sink : Quarantine.sink option;
 }
 
 let transient = function
@@ -246,25 +302,19 @@ let complete t job out =
   Mutex.unlock t.lock
 
 let quarantine_write t record =
-  match t.quarantine_oc with
+  match t.quarantine_sink with
   | None -> ()
-  | Some oc ->
-      Mutex.lock t.q_lock;
-      Fun.protect
-        ~finally:(fun () -> Mutex.unlock t.q_lock)
-        (fun () ->
-          output_string oc (Quarantine.to_json record);
-          output_char oc '\n';
-          flush oc)
+  | Some sink -> Quarantine.append sink record
 
 let finalize_failed t job err =
-  if t.quarantine_oc <> None && transient err then begin
+  if t.quarantine_sink <> None && transient err then begin
     let attempts = job.attempt + 1 in
     let p = Extractor.problem (t.source ()) in
     quarantine_write t
       {
         Quarantine.doc_id = job.doc_id;
         id = job.id;
+        shard = t.config.shard;
         attempts;
         error = Outcome.error_to_string err;
         sim = Problem.sim p;
@@ -389,11 +439,7 @@ let create ?(config = default_config) source =
     invalid_arg "Supervisor.create: negative domain count";
   if config.queue_capacity <= 0 then
     invalid_arg "Supervisor.create: queue_capacity must be positive";
-  let quarantine_oc =
-    Option.map
-      (fun path -> open_out_gen [ Open_append; Open_creat ] 0o644 path)
-      config.quarantine
-  in
+  let quarantine_sink = Option.map Quarantine.open_sink config.quarantine in
   let t =
     {
       config;
@@ -408,8 +454,7 @@ let create ?(config = default_config) source =
       closed = false;
       workers = [];
       restarts = 0;
-      quarantine_oc;
-      q_lock = Mutex.create ();
+      quarantine_sink;
     }
   in
   Mutex.lock t.lock;
@@ -498,8 +543,8 @@ let shutdown ?drain:(do_drain = true) t =
         join_all ()
   in
   join_all ();
-  match t.quarantine_oc with
-  | Some oc -> ( try close_out oc with Sys_error _ -> ())
+  match t.quarantine_sink with
+  | Some sink -> Quarantine.close_sink sink
   | None -> ()
 
 let worker_restarts t =

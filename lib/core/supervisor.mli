@@ -42,6 +42,18 @@ type retry = {
 val default_retry : retry
 (** [{ retries = 2; backoff_ms = 10; backoff_max_ms = 1000; seed = 0 }] *)
 
+val fault_key : doc_id:int -> attempt:int -> int
+(** The fault-context key used for attempt [attempt] of [doc_id]:
+    [doc_id] itself on the first attempt (so supervised and batch runs see
+    identical schedules), a deterministic re-key for each retry. Exposed so
+    replay harnesses can reconstruct the exact context a quarantined
+    document ran under. *)
+
+val shard_fault_key : doc_id:int -> shard:int -> attempt:int -> int
+(** Shard-salted {!fault_key} used by {!Cluster}: the same document gets an
+    independent deterministic fault schedule on every shard, so injected
+    shard crashes are uncorrelated across the fan-out. *)
+
 val backoff_delay_ms : retry -> doc_id:int -> attempt:int -> int
 (** The exact delay (ms) slept before re-attempt [attempt >= 1] of
     [doc_id]: full jitter, uniform in [\[1, min(backoff_max_ms,
@@ -65,6 +77,9 @@ type config = {
           immediately with [Shed Queue_full] (instead of blocking), and a
           queued document whose admission deadline has expired is refused
           with [Shed Deadline_expired] instead of started *)
+  shard : int option;
+      (** cluster shard id stamped into quarantine records written by this
+          pool; [None] (the default) for standalone pools *)
 }
 
 val default_config : config
@@ -78,6 +93,9 @@ module Quarantine : sig
   type record = {
     doc_id : int;  (** fault-context key of the first attempt *)
     id : string option;  (** caller-supplied request id, if any *)
+    shard : int option;
+        (** cluster shard that owned the failure, when written by a
+            {!Cluster} member or coordinator *)
     attempts : int;  (** total attempts made (first try + retries) *)
     error : string;  (** rendering of the last error *)
     sim : Faerie_sim.Sim.t;
@@ -95,6 +113,23 @@ module Quarantine : sig
   (** One NDJSON line (no newline). *)
 
   val of_json : string -> (record, string) result
+
+  (** {2 Dead-letter sink}
+
+      The file is opened with [O_APPEND] and every record is emitted with a
+      single [write(2)], so any number of processes (cluster coordinator
+      plus shard children) appending to the same dead-letter file produce
+      whole, never-interleaved NDJSON lines. *)
+
+  type sink
+
+  val open_sink : string -> sink
+  (** @raise Unix.Unix_error if the file cannot be opened/created. *)
+
+  val append : sink -> record -> unit
+
+  val close_sink : sink -> unit
+  (** Idempotent; swallows close errors. *)
 end
 
 (** {1 Pool lifecycle} *)

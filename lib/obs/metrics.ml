@@ -154,6 +154,9 @@ let gauge ?(registry = default) ?(help = "") ?(agg = `Sum) name =
   let d = register registry ~name ~help (Gauge agg) in
   { greg = registry; gslot = d.slot }
 
+let indexed_gauge ?registry ?help ?agg name i =
+  gauge ?registry ?help ?agg (Printf.sprintf "%s_%d" name i)
+
 let default_buckets = [| 1.; 10.; 100.; 1e3; 1e4; 1e5; 1e6; 1e7; 1e8; 1e9 |]
 
 let histogram ?(registry = default) ?(help = "") ?(buckets = default_buckets) name =

@@ -48,6 +48,18 @@ val gauge :
     keeps the largest. Re-registration must agree on [agg].
     @raise Invalid_argument if [name] exists with a different kind/agg. *)
 
+val indexed_gauge :
+  ?registry:registry ->
+  ?help:string ->
+  ?agg:[ `Sum | `Max ] ->
+  string ->
+  int ->
+  gauge
+(** [indexed_gauge name i] registers (or looks up) the gauge ["name_i"] —
+    one instance of a per-member family such as a cluster's per-shard
+    ["shard_up_0"], ["shard_up_1"], … gauges. Same semantics and
+    constraints as {!gauge} applied to the composed name. *)
+
 val histogram :
   ?registry:registry -> ?help:string -> ?buckets:float array -> string -> histogram
 (** [buckets] are the ascending upper bounds of the histogram cells; an

@@ -69,4 +69,7 @@ val known_sites : string list
     file and renaming it over the snapshot in
     {!Faerie_index.Codec.save} — an injection simulates a kill between
     write and rename), ["serve_decode"] (NDJSON request decoding in
-    {!Faerie_core.Serve_proto}). *)
+    {!Faerie_core.Serve_proto}), ["shard_frame"] (frame handling in a
+    {!Faerie_core.Cluster} shard process, {e outside} the per-document
+    boundary — an injection there makes the whole shard process exit
+    abnormally, simulating a shard crash mid-request). *)

@@ -333,6 +333,7 @@ let test_retry_recovers_and_is_deterministic () =
       queue_capacity = 64;
       quarantine = None;
       shed = false;
+      shard = None;
     }
   in
   let classes () =
@@ -370,6 +371,7 @@ let test_quarantine_roundtrip_and_replay () =
       queue_capacity = 4;
       quarantine = Some qfile;
       shed = false;
+      shard = None;
     }
   in
   let fault_cfg =
@@ -436,6 +438,7 @@ let test_shed_expired_deadline () =
       queue_capacity = 4;
       quarantine = None;
       shed;
+      shard = None;
     }
   in
   (* Shedding on: a document whose admission deadline already passed is
@@ -474,6 +477,7 @@ let test_shed_queue_full_and_shutdown () =
       queue_capacity = 2;
       quarantine = None;
       shed = true;
+      shard = None;
     }
   in
   let before = Metrics.snapshot () in
@@ -516,6 +520,7 @@ let test_zero_lost_documents () =
       queue_capacity = 8;
       quarantine = Some (Filename.concat dir "q.ndjson");
       shed = false;
+      shard = None;
     }
   in
   let before = Metrics.snapshot () in
