@@ -33,6 +33,10 @@ module H = Harness
 
 type run_result = { matches : int; candidates : int; seconds : float }
 
+(* --verifier=ENGINE: edit-distance verification engine for the faerie
+   runners (auto | myers | banded); the paper exhibits stay on auto. *)
+let verifier_ref = ref Faerie_sim.Verify.Auto
+
 let run_single ?pruning problem docs =
   let matches = ref 0 and candidates = ref 0 in
   let seconds =
@@ -40,8 +44,10 @@ let run_single ?pruning problem docs =
         Array.iter
           (fun text ->
             let doc = Problem.tokenize_document problem text in
-            let ms, (st : Types.stats) = Single_heap.run ?pruning problem doc in
-            let fb = Fallback.run problem doc in
+            let ms, (st : Types.stats) =
+              Single_heap.run ?pruning ~verifier:!verifier_ref problem doc
+            in
+            let fb = Fallback.run ~verifier:!verifier_ref problem doc in
             matches := !matches + List.length ms + List.length fb;
             candidates := !candidates + st.Types.candidates)
           docs)
@@ -356,11 +362,14 @@ let fig17 () =
    dictionary size. *)
 let heap_array_bytes problem text =
   let doc = Problem.tokenize_document problem text in
-  let n = Faerie_tokenize.Document.n_tokens doc in
+  let tokens = Faerie_tokenize.Document.tokens doc in
+  let n = Array.length tokens in
   let index = Problem.index problem in
   let live, _ =
     Faerie_heaps.Multiway.heap_stats ~n_positions:n
-      ~list_at:(Ix.Inverted_index.document_lists index doc)
+      ~length_at:(fun pos ->
+        Ix.Inverted_index.Postings.length
+          (Ix.Inverted_index.postings index tokens.(pos)))
   in
   (* heap slots + cursor records (4 words each) + position buffer *)
   Bytesize.bytes_of_words ((live * 5) + n)
@@ -432,21 +441,20 @@ let ablations () =
      webpage workload, where common title tokens occur all over a page). *)
   let collect_cases problem docs =
     let cases = ref [] in
+    let index = Problem.index problem in
+    let ws = Ix.Inverted_index.Workspace.create () in
     Array.iter
       (fun text ->
         let doc = Problem.tokenize_document problem text in
+        let buf, offs, lens = Ix.Inverted_index.decode_document index ws doc in
         Faerie_heaps.Multiway.iter_entity_positions
           ~n_positions:(Faerie_tokenize.Document.n_tokens doc)
-          ~list_at:(Ix.Inverted_index.document_lists (Problem.index problem) doc)
-          ~f:(fun ~entity ~positions ->
+          ~buf ~offs ~lens
+          ~f:(fun ~entity ~positions ~n ->
             let info = Problem.info problem entity in
-            if
-              info.Problem.path = Problem.Indexed
-              && Faerie_util.Dynarray.length positions >= info.Problem.tl
-            then
+            if info.Problem.path = Problem.Indexed && n >= info.Problem.tl then
               cases :=
-                (Faerie_util.Dynarray.to_array positions, info.Problem.tl,
-                 info.Problem.upper)
+                (Array.sub positions 0 n, info.Problem.tl, info.Problem.upper)
                 :: !cases)
           ())
       docs;
@@ -477,8 +485,16 @@ let ablations () =
            in
            [ label; string_of_int (Array.length cases);
              H.fmt_float (float_of_int total /. float_of_int (max 1 (Array.length cases)));
-             H.fmt_time (time_search Core.Windows.iter_windows cases);
-             H.fmt_time (time_search Core.Windows.iter_windows_linear cases) ])
+             H.fmt_time
+               (time_search
+                  (fun ~positions ~tl ~upper ~f ->
+                    Core.Windows.iter_windows ~positions ~tl ~upper ~f ())
+                  cases);
+             H.fmt_time
+               (time_search
+                  (fun ~positions ~tl ~upper ~f ->
+                    Core.Windows.iter_windows_linear ~positions ~tl ~upper ~f ())
+                  cases) ])
          workloads)
     ();
 
@@ -563,12 +579,17 @@ let micro () =
         Test.make ~name:"edit_distance/banded_tau2"
           (Staged.stage (fun () ->
                ignore
-                 (Faerie_sim.Edit_distance.distance_upto ~cap:2
+                 (Faerie_sim.Edit_distance.distance_upto_banded ~cap:2
+                    "approximate membership" "aproximate membershp")));
+        Test.make ~name:"edit_distance/myers_tau2"
+          (Staged.stage (fun () ->
+               ignore
+                 (Faerie_sim.Edit_distance.distance_upto_myers ~cap:2
                     "approximate membership" "aproximate membershp")));
         Test.make ~name:"windows/binary_span_shift"
           (Staged.stage (fun () ->
                Core.Windows.iter_windows ~positions ~tl:4 ~upper:12
-                 ~f:(fun ~first:_ ~last:_ -> ())));
+                 ~f:(fun ~first:_ ~last:_ -> ()) ()));
         Test.make ~name:"extract/ed_one_doc"
           (Staged.stage (fun () ->
                let doc = Problem.tokenize_document ed_problem doc_text in
@@ -621,7 +642,9 @@ let smoke () =
   let matches = ref 0 and failed = ref 0 in
   Array.iteri
     (fun i (d : Corpus.document) ->
-      let opts = { Core.Extractor.default_opts with doc_id = i } in
+      let opts =
+        { Core.Extractor.default_opts with doc_id = i; verifier = !verifier_ref }
+      in
       let report = Core.Extractor.run ~opts extractor (`Text d.Corpus.text) in
       match report.Core.Extractor.outcome with
       | Core.Outcome.Ok rs | Core.Outcome.Degraded (rs, _) ->
@@ -632,6 +655,37 @@ let smoke () =
     !failed
     (Array.length corpus.Corpus.documents)
 
+(* Like smoke, but an order of magnitude more text (>= 50k document
+   tokens): big enough that steady-state throughput and allocation rates
+   dominate any per-section warmup, so the tokens_per_s /
+   gc.words_per_token gate in CI measures the hot path. *)
+let large () =
+  H.section ~exhibit:"large"
+    ~title:"fixed-size large workload (throughput/allocation gate)";
+  let corpus = Corpus.dblp ~seed:11 ~n_entities:800 ~n_documents:600 () in
+  let sim = Sim.Edit_distance 2 in
+  let q = 4 in
+  let ents = W.indexed_subset ~sim ~q (Array.to_list corpus.Corpus.entities) in
+  let extractor = Core.Extractor.of_problem (Problem.create ~sim ~q ents) in
+  let matches = ref 0 and failed = ref 0 and tokens = ref 0 in
+  Array.iteri
+    (fun i (d : Corpus.document) ->
+      let opts =
+        { Core.Extractor.default_opts with doc_id = i; verifier = !verifier_ref }
+      in
+      let doc = Core.Extractor.tokenize extractor d.Corpus.text in
+      tokens := !tokens + Faerie_tokenize.Document.n_tokens doc;
+      let report = Core.Extractor.run ~opts extractor (`Doc doc) in
+      match report.Core.Extractor.outcome with
+      | Core.Outcome.Ok rs | Core.Outcome.Degraded (rs, _) ->
+          matches := !matches + List.length rs
+      | Core.Outcome.Failed _ -> incr failed)
+    corpus.Corpus.documents;
+  Printf.printf "large: %d matches, %d failures over %d documents, %d tokens\n%!"
+    !matches !failed
+    (Array.length corpus.Corpus.documents)
+    !tokens
+
 (* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -641,7 +695,7 @@ let sections =
     ("table4", table4); ("fig13", fig13); ("fig14", fig14_15);
     ("fig15", fig14_15); ("fig16", fig16); ("index_sizes", index_sizes);
     ("fig17", fig17); ("table5", table5); ("ablations", ablations);
-    ("micro", micro); ("smoke", smoke);
+    ("micro", micro); ("smoke", smoke); ("large", large);
   ]
 
 let default_order =
@@ -677,6 +731,15 @@ let () =
         end
         else if String.length a > 7 && String.sub a 0 7 = "--json=" then begin
           json_out := Some (String.sub a 7 (String.length a - 7));
+          false
+        end
+        else if String.length a > 11 && String.sub a 0 11 = "--verifier=" then begin
+          let name = String.sub a 11 (String.length a - 11) in
+          (match Faerie_sim.Verify.verifier_of_string name with
+          | Some v -> verifier_ref := v
+          | None ->
+              Printf.eprintf "unknown verifier %S (auto | myers | banded)\n"
+                name);
           false
         end
         else true)

@@ -131,6 +131,11 @@ let pruning_conv =
     [ ("none", Types.No_prune); ("lazy", Types.Lazy_count);
       ("bucket", Types.Bucket_count); ("binary", Types.Binary_window) ]
 
+let verifier_conv =
+  Arg.enum
+    [ ("auto", Faerie_sim.Verify.Auto); ("myers", Faerie_sim.Verify.Myers);
+      ("banded", Faerie_sim.Verify.Banded) ]
+
 let extract_cmd =
   let docs_arg =
     let doc = "Document files (omit to read one document from stdin)." in
@@ -139,6 +144,15 @@ let extract_cmd =
   let pruning_arg =
     let doc = "Pruning level: none, lazy, bucket or binary (full Faerie)." in
     Arg.(value & opt pruning_conv Types.Binary_window & info [ "pruning" ] ~doc)
+  in
+  let verifier_arg =
+    let doc =
+      "Edit-distance verification engine: auto (bit-parallel with banded \
+       fallback), myers or banded."
+    in
+    Arg.(
+      value & opt verifier_conv Faerie_sim.Verify.Auto
+      & info [ "verifier" ] ~docv:"ENGINE" ~doc)
   in
   let show_stats_arg =
     let doc = "Print filtering statistics to stderr." in
@@ -219,8 +233,9 @@ let extract_cmd =
       & opt ~vopt:(Some "-") (some string) None
       & info [ "explain" ] ~docv:"FILE" ~doc)
   in
-  let run sim q dict_file index_file doc_files pruning show_stats top select
-      timeout_ms max_doc_bytes keep_going metrics metrics_format trace explain =
+  let run sim q dict_file index_file doc_files pruning verifier show_stats top
+      select timeout_ms max_doc_bytes keep_going metrics metrics_format trace
+      explain =
     guard @@ fun () ->
     if trace <> None then Faerie_obs.Trace.enable ();
     let problem = problem_of_source sim q dict_file index_file in
@@ -276,6 +291,7 @@ let extract_cmd =
         {
           Extractor.default_opts with
           pruning;
+          verifier;
           budget;
           doc_id = idx;
           explain = sink;
@@ -340,9 +356,9 @@ let extract_cmd =
     (Cmd.info "extract" ~doc)
     Term.(
       const run $ sim_arg $ q_arg $ dict_opt_arg $ index_opt_arg $ docs_arg
-      $ pruning_arg $ show_stats_arg $ top_arg $ select_arg $ timeout_arg
-      $ max_doc_bytes_arg $ keep_going_arg $ metrics_arg $ metrics_format_arg
-      $ trace_arg $ explain_arg)
+      $ pruning_arg $ verifier_arg $ show_stats_arg $ top_arg $ select_arg
+      $ timeout_arg $ max_doc_bytes_arg $ keep_going_arg $ metrics_arg
+      $ metrics_format_arg $ trace_arg $ explain_arg)
 
 (* ---- explain ---- *)
 

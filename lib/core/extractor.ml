@@ -122,6 +122,7 @@ type opts = {
   budget : Budget.spec;
   oversize : [ `Chunk | `Reject ];
   merger : Heaps.Multiway.merger;
+  verifier : S.Verify.verifier;
   metrics : bool;
   explain : Explain.t option;
   doc_id : int;
@@ -141,6 +142,7 @@ let default_opts =
     budget = Budget.spec_unlimited;
     oversize = `Chunk;
     merger = Heaps.Multiway.Binary_heap;
+    verifier = S.Verify.Auto;
     metrics = true;
     explain = None;
     doc_id = 0;
@@ -155,22 +157,19 @@ let tokenize_checked problem text =
 
 (* Filter + verify + fallback on one tokenized document — shared by the
    legacy wrappers (exceptions propagate) and [run] (which contains them). *)
-let extract_matches ?merger ~pruning ~budget t doc =
-  let r = Single_heap.run_budgeted ?merger ~pruning ~budget t.problem doc in
+let extract_matches ?merger ?verifier ~pruning ~budget t doc =
+  let r =
+    Single_heap.run_budgeted ?merger ?verifier ~pruning ~budget t.problem doc
+  in
   let main = List.map (char_match_of_token_match doc) r.Single_heap.matches in
-  let fallback = Fallback.run t.problem doc in
+  let fallback = Fallback.run ?verifier t.problem doc in
   let all = List.sort_uniq compare_char_match (List.rev_append fallback main) in
   (all, r.Single_heap.stats, r.Single_heap.exhausted)
 
-let extract_document ?(pruning = Binary_window) t doc =
-  let all, stats, _ =
-    extract_matches ~pruning ~budget:Budget.unlimited t doc
-  in
-  (results_of_char_matches t doc all, stats)
-
-let extract ?pruning t raw =
+let extract ?(pruning = Binary_window) t raw =
   let doc = tokenize t raw in
-  fst (extract_document ?pruning t doc)
+  let all, _, _ = extract_matches ~pruning ~budget:Budget.unlimited t doc in
+  results_of_char_matches t doc all
 
 (* Slice an oversize document into bounded pieces for chunked extraction. *)
 let pieces_of_string text piece_len =
@@ -220,8 +219,8 @@ let run_contained opts t input =
             | `Text text -> tokenize_checked t.problem text
           in
           let all, st, exhausted =
-            extract_matches ~merger:opts.merger ~pruning:opts.pruning ~budget:b
-              t doc
+            extract_matches ~merger:opts.merger ~verifier:opts.verifier
+              ~pruning:opts.pruning ~budget:b t doc
           in
           blit_stats ~src:st ~dst:stats;
           let results = results_of_char_matches t doc all in

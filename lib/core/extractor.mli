@@ -82,6 +82,12 @@ type opts = {
           complete results; [`Reject] fails with [Doc_too_large] *)
   merger : Faerie_heaps.Multiway.merger;
       (** multiway merge engine, default [Binary_heap] *)
+  verifier : Faerie_sim.Verify.verifier;
+      (** edit-distance engine for character-based verification: [Auto]
+          (default) and [Myers] use the bit-parallel verifier with the
+          banded DP as long-string fallback; [Banded] forces the DP. The
+          choice is echoed in the Explain event stream and the
+          [verify_myers]/[verify_banded] counters record the routing *)
   metrics : bool;
       (** when [false], the run writes nothing to the metrics registry
           (timings in the report are unaffected); default [true] *)
@@ -98,8 +104,8 @@ type opts = {
 }
 
 val default_opts : opts
-(** [Binary_window], unlimited budget, [`Chunk], binary heap, metrics on,
-    explain off, [doc_id = 0]. Override fields with
+(** [Binary_window], unlimited budget, [`Chunk], binary heap, [Auto]
+    verifier, metrics on, explain off, [doc_id = 0]. Override fields with
     [{ default_opts with ... }]. *)
 
 type input = [ `Text of string | `Doc of Faerie_tokenize.Document.t ]
@@ -131,16 +137,6 @@ val extract : ?pruning:Types.pruning -> t -> string -> result list
     (at any pruning level) never loses a true match, and every reported
     pair passed exact verification. Unlimited budget; exceptions
     propagate (use {!run} for containment). *)
-
-val extract_document :
-  ?pruning:Types.pruning ->
-  t ->
-  Faerie_tokenize.Document.t ->
-  result list * Types.stats
-  [@@deprecated "use Extractor.run with a `Doc input instead"]
-(** As {!extract} on a pre-tokenized document (see {!tokenize}), also
-    returning filter statistics. Superseded by {!run}, which returns the
-    same data (and more) as a {!report}. *)
 
 val tokenize : t -> string -> Faerie_tokenize.Document.t
 

@@ -18,7 +18,7 @@ let m_fallback_verify =
     ~help:"scored substrings on the exhaustive fallback path"
     "fallback_verify_calls"
 
-let run problem doc =
+let run ?verifier problem doc =
   match Problem.fallback_entities problem with
   | [] -> []
   | fallback ->
@@ -39,9 +39,11 @@ let run problem doc =
           let lo, hi = char_length_bounds sim ~e_chars:(String.length e_str) in
           for len = lo to min hi n do
             for start = 0 to n - len do
-              let s_str = String.sub text start len in
               scored := !scored + 1;
-              let score = S.Verify.char_score sim ~e_str ~s_str in
+              let score =
+                S.Verify.char_score_slice ?verifier sim ~e_str ~text ~off:start
+                  ~len
+              in
               if S.Verify.Score.passes sim score then
                 acc :=
                   { c_entity = id; c_start = start; c_len = len; c_score = score }

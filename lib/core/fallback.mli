@@ -3,8 +3,8 @@
     For edit distance / edit similarity, an entity shorter than [q] has no
     grams, and an entity whose lazy threshold [Tl] is non-positive can match
     a substring sharing zero grams with it. Filtering is vacuous in both
-    cases, so for completeness such entities are checked by direct banded-DP
-    verification of every document substring in the admissible character
+    cases, so for completeness such entities are checked by direct thresholded
+    edit-distance verification of every document substring in the admissible character
     length range (derived from the threshold, not from gram counts):
 
     - edit distance [tau]: lengths in [\[len(e) - tau, len(e) + tau\]];
@@ -13,9 +13,14 @@
     Token-based functions never take this path: an entity with at least one
     word token and [delta > 0] always has [Tl >= 1]. *)
 
-val run : Problem.t -> Faerie_tokenize.Document.t -> Types.char_match list
+val run :
+  ?verifier:Faerie_sim.Verify.verifier ->
+  Problem.t ->
+  Faerie_tokenize.Document.t ->
+  Types.char_match list
 (** Verified matches (character coordinates, sorted and deduplicated) for
-    every {!Problem.Fallback} entity. Empty when there are none. *)
+    every {!Problem.Fallback} entity. Empty when there are none.
+    [verifier] picks the edit-distance engine (default [Auto]). *)
 
 val char_length_bounds : Faerie_sim.Sim.t -> e_chars:int -> int * int
 (** The admissible substring character-length range; exposed for testing.

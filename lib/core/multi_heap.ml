@@ -11,13 +11,13 @@ open Types
    encode (entity, slot) as in {!Faerie_heaps.Multiway}. *)
 let rec bits_for n acc = if n <= 1 then acc else bits_for ((n + 1) / 2) (acc + 1)
 
-let merge_substring index doc ~a ~l ~f =
+let merge_substring lists ~a ~l ~f =
   let shift = max 1 (bits_for l 0) in
   let mask = (1 lsl shift) - 1 in
   let heap = Heaps.Int_heap.create ~capacity:l () in
   let cursor = Array.make l 0 in
   for slot = 0 to l - 1 do
-    let list = Ix.Inverted_index.document_lists index doc (a + slot) in
+    let list = lists.(a + slot) in
     if Array.length list > 0 then
       Heaps.Int_heap.push heap ((list.(0) lsl shift) lor slot)
   done;
@@ -32,7 +32,7 @@ let merge_substring index doc ~a ~l ~f =
       count := 0
     end;
     incr count;
-    let list = Ix.Inverted_index.document_lists index doc (a + slot) in
+    let list = lists.(a + slot) in
     let next = cursor.(slot) + 1 in
     if next < Array.length list then begin
       cursor.(slot) <- next;
@@ -41,6 +41,24 @@ let merge_substring index doc ~a ~l ~f =
     else ignore (Heaps.Int_heap.pop_exn heap)
   done;
   flush ()
+
+(* Decode each document position's posting block once up front (memoized
+   per distinct token) — these baselines revisit every position's list once
+   per covering substring. *)
+let decode_lists index doc =
+  let n = Tk.Document.n_tokens doc in
+  let memo : (int, int array) Hashtbl.t = Hashtbl.create 64 in
+  Array.init n (fun pos ->
+      let tok = Tk.Document.token_id doc pos in
+      match Hashtbl.find_opt memo tok with
+      | Some l -> l
+      | None ->
+          let l =
+            Ix.Inverted_index.Postings.to_array
+              (Ix.Inverted_index.postings index tok)
+          in
+          Hashtbl.add memo tok l;
+          l)
 
 type algorithm = Heap_count | Merge_skip | Divide_skip
 
@@ -66,6 +84,7 @@ let collect ?(algorithm = Heap_count) problem doc =
   let stats = new_stats () in
   let index = Problem.index problem in
   let n_tokens = Tk.Document.n_tokens doc in
+  let doc_lists = decode_lists index doc in
   let lo = max 1 (Problem.global_lower problem) in
   let hi = min (Problem.global_upper problem) n_tokens in
   let acc = Dynarray.create () in
@@ -92,7 +111,7 @@ let collect ?(algorithm = Heap_count) problem doc =
   | Heap_count ->
       for l = lo to hi do
         for a = 0 to n_tokens - l do
-          merge_substring index doc ~a ~l ~f:(consider ~a ~l)
+          merge_substring doc_lists ~a ~l ~f:(consider ~a ~l)
         done
       done
   | Merge_skip | Divide_skip ->
@@ -106,10 +125,7 @@ let collect ?(algorithm = Heap_count) problem doc =
         let t = t_min.(l - lo) in
         if t < max_int then
           for a = 0 to n_tokens - l do
-            let lists =
-              Array.init l (fun slot ->
-                  Ix.Inverted_index.document_lists index doc (a + slot))
-            in
+            let lists = Array.sub doc_lists a l in
             merge ~lists ~t ~f:(consider ~a ~l)
           done
       done);
@@ -124,13 +140,13 @@ let collect ?(algorithm = Heap_count) problem doc =
 
 let candidates ?algorithm problem doc = collect ?algorithm problem doc
 
-let run ?algorithm problem doc =
+let run ?algorithm ?verifier problem doc =
   let survivors, stats = collect ?algorithm problem doc in
   let ex = Explain.current () in
   let matches =
     List.filter_map
       (fun (c : candidate) ->
-        let score = Problem.verify_candidate problem doc c in
+        let score = Problem.verify_candidate ?verifier problem doc c in
         let passed = S.Verify.Score.passes (Problem.sim problem) score in
         (match ex with
         | None -> ()

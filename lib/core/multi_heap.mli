@@ -17,6 +17,7 @@ type algorithm =
 
 val run :
   ?algorithm:algorithm ->
+  ?verifier:Faerie_sim.Verify.verifier ->
   Problem.t ->
   Faerie_tokenize.Document.t ->
   Types.token_match list * Types.stats

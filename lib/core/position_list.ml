@@ -1,5 +1,5 @@
-let buckets ~positions ~gap =
-  let n = Array.length positions in
+let buckets ?n ~positions ~gap () =
+  let n = match n with Some n -> n | None -> Array.length positions in
   if n = 0 then []
   else begin
     let acc = ref [] in

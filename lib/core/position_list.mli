@@ -1,11 +1,13 @@
 (** Operations on an entity's position list [Pe] (the ascending document
     positions whose inverted list contains the entity). *)
 
-val buckets : positions:int array -> gap:int -> (int * int) list
+val buckets :
+  ?n:int -> positions:int array -> gap:int -> unit -> (int * int) list
 (** Bucket-count partitioning (Section 4.1): split [positions] between
     neighbours [p_i, p_{i+1}] whenever [p_{i+1} - p_i - 1 > gap]; returns
     the [(first_index, last_index)] inclusive slices in order. A negative
-    [gap] puts every element in its own bucket. Empty input yields []. *)
+    [gap] puts every element in its own bucket. Empty input yields [].
+    [?n] restricts to the prefix [positions.(0 .. n-1)]. *)
 
 val count_in_range : positions:int array -> lo:int -> hi:int -> int
 (** Number of positions within [\[lo, hi\]] (by binary search). *)

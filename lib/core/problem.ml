@@ -134,12 +134,19 @@ let m_verify_calls =
   Faerie_obs.Metrics.counter
     ~help:"candidate verifications on the indexed path" "verify_calls"
 
-let verify_candidate t doc (c : Types.candidate) =
+let verify_span ?verifier t doc ~entity ~start ~len =
   Faerie_obs.Metrics.incr m_verify_calls;
-  let e = Ix.Dictionary.entity t.dict c.Types.entity in
-  if S.Sim.char_based t.sim then
-    S.Verify.char_score t.sim ~e_str:e.Ix.Entity.text
-      ~s_str:(Tk.Document.substring doc ~start:c.Types.start ~len:c.Types.len)
+  let e = Ix.Dictionary.entity t.dict entity in
+  if S.Sim.char_based t.sim then begin
+    (* Score the document slice in place — no substring allocation. *)
+    let off, char_len = Tk.Document.char_extent doc ~start ~len in
+    S.Verify.char_score_slice ?verifier t.sim ~e_str:e.Ix.Entity.text
+      ~text:(Tk.Document.text doc) ~off ~len:char_len
+  end
   else
     S.Verify.token_score t.sim ~e_tokens:e.Ix.Entity.sorted_tokens
-      ~s_tokens:(Tk.Document.token_multiset doc ~start:c.Types.start ~len:c.Types.len)
+      ~s_tokens:(Tk.Document.token_multiset doc ~start ~len)
+
+let verify_candidate ?verifier t doc (c : Types.candidate) =
+  verify_span ?verifier t doc ~entity:c.Types.entity ~start:c.Types.start
+    ~len:c.Types.len

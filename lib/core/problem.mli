@@ -80,6 +80,23 @@ val overlap_t : t -> e_len:int -> s_len:int -> int
 
 val tokenize_document : t -> string -> Faerie_tokenize.Document.t
 
+val verify_span :
+  ?verifier:Faerie_sim.Verify.verifier ->
+  t ->
+  Faerie_tokenize.Document.t ->
+  entity:int ->
+  start:int ->
+  len:int ->
+  Faerie_sim.Verify.Score.t
+(** Exact score of the substring [D\[start, len\]] against [entity].
+    Character-based functions score the document slice in place (no
+    substring is materialized); [verifier] picks the edit-distance engine
+    (default [Auto]). *)
+
 val verify_candidate :
-  t -> Faerie_tokenize.Document.t -> Types.candidate -> Faerie_sim.Verify.Score.t
-(** Exact score of a candidate substring–entity pair. *)
+  ?verifier:Faerie_sim.Verify.verifier ->
+  t ->
+  Faerie_tokenize.Document.t ->
+  Types.candidate ->
+  Faerie_sim.Verify.Score.t
+(** {!verify_span} on a {!Types.candidate}. *)

@@ -12,13 +12,16 @@
 val run :
   ?merger:Faerie_heaps.Multiway.merger ->
   ?pruning:Types.pruning ->
+  ?verifier:Faerie_sim.Verify.verifier ->
   Problem.t ->
   Faerie_tokenize.Document.t ->
   Types.token_match list * Types.stats
-(** [run ?merger ?pruning problem doc] returns the verified matches
-    (deduplicated, sorted by (entity, start, len)) and filtering
+(** [run ?merger ?pruning ?verifier problem doc] returns the verified
+    matches (deduplicated, sorted by (entity, start, len)) and filtering
     statistics. Default pruning is [Binary_window]; [merger] selects the
-    multiway merge engine (default binary heap). *)
+    multiway merge engine (default binary heap); [verifier] the
+    edit-distance engine for character-based verification (default
+    [Auto]). *)
 
 type report = {
   matches : Types.token_match list;
@@ -33,6 +36,7 @@ val run_budgeted :
   ?merger:Faerie_heaps.Multiway.merger ->
   ?pruning:Types.pruning ->
   ?budget:Faerie_util.Budget.t ->
+  ?verifier:Faerie_sim.Verify.verifier ->
   Problem.t ->
   Faerie_tokenize.Document.t ->
   report

@@ -10,12 +10,14 @@
     position still inside the bound. *)
 
 val iter_windows :
+  ?n:int ->
   positions:int array ->
   tl:int ->
   upper:int ->
   f:(first:int -> last:int -> unit) ->
+  unit ->
   unit
-(** [iter_windows ~positions ~tl ~upper ~f] calls [f ~first ~last] for every
+(** [iter_windows ~positions ~tl ~upper ~f ()] calls [f ~first ~last] for every
     window start [first] such that [Pe\[first .. first + tl - 1\]] fits in a
     token span of at most [upper], with [last] the largest index satisfying
     [p_last - p_first + 1 <= upper] (the binary-span extent). Starts are
@@ -23,25 +25,31 @@ val iter_windows :
 
     Completeness: any substring [s] with [|s| <= upper] containing at least
     [Tl] positions has its first contained position at some emitted
-    [first]. *)
+    [first].
+
+    [?n] restricts the search to the prefix [positions.(0 .. n-1)] — the
+    hot path hands in an oversized reusable buffer and the live length. *)
 
 val iter_windows_linear :
+  ?n:int ->
   positions:int array ->
   tl:int ->
   upper:int ->
   f:(first:int -> last:int -> unit) ->
+  unit ->
   unit
 (** The plain span-and-shift search (Section 4.2's first method): every
     window start is visited and spans extend one element at a time. Emits
     exactly the same windows as {!iter_windows}; kept as the ablation
     baseline for the binary-search variant (bench section [ablations]). *)
 
-val binary_shift : positions:int array -> tl:int -> upper:int -> int -> int
+val binary_shift :
+  ?n:int -> positions:int array -> tl:int -> upper:int -> int -> int
 (** [binary_shift ~positions ~tl ~upper i] is the smallest window start
     [i' >= i] whose minimal window fits the span bound, or
     [Array.length positions] when none exists. Exposed for testing; assumes
     the minimal window at [i] itself overflows or [i] is already feasible. *)
 
-val binary_span : positions:int array -> upper:int -> int -> int
+val binary_span : ?n:int -> positions:int array -> upper:int -> int -> int
 (** [binary_span ~positions ~upper i] is the largest index [x >= i] with
     [p_x - p_i + 1 <= upper]. Exposed for testing. *)

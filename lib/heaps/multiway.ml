@@ -1,7 +1,5 @@
-module Dynarray = Faerie_util.Dynarray
 module Metrics = Faerie_obs.Metrics
 module Trace = Faerie_obs.Trace
-module Prof = Faerie_obs.Prof
 
 type merger = Binary_heap | Tournament_tree
 
@@ -23,17 +21,43 @@ let m_runs_tournament =
 (* Number of bits needed to address [n] positions. *)
 let rec bits_for n acc = if n <= 1 then acc else bits_for ((n + 1) / 2) (acc + 1)
 
+(* Per-domain merge scratch, reused across runs: the position-group buffer
+   handed to [f], the per-list cursors, and the binary heap. Grown to the
+   largest [n_positions] seen on the domain; a steady-state merge allocates
+   none of its working set. *)
+type scratch = {
+  mutable positions : int array;
+  mutable cursor : int array;
+  heap : Int_heap.t;
+}
+
+let scratch_key : scratch Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      { positions = [||]; cursor = [||]; heap = Int_heap.create () })
+
+let rec round_up cap n = if cap >= n then cap else round_up (2 * max cap 16) n
+
+let scratch_for n_positions =
+  let sc = Domain.DLS.get scratch_key in
+  if Array.length sc.positions < n_positions then begin
+    let cap = round_up (Array.length sc.positions) n_positions in
+    sc.positions <- Array.make cap 0;
+    sc.cursor <- Array.make cap 0
+  end;
+  Int_heap.clear sc.heap;
+  sc
+
 (* Both engines stream keys [(entity lsl shift) lor position] in ascending
    order: native int order = lexicographic (entity, position) order. The
-   consumer groups runs of equal entity into position lists. *)
+   consumer groups runs of equal entity into position lists, written into a
+   domain-lifetime scratch array (a group holds at most one entry per
+   document position, so [n_positions] bounds it). [f] must not retain
+   [positions] past its return. *)
 
-let consume ~shift ~mask ~next ~f =
-  let positions = Dynarray.create () in
+let consume ~positions ~shift ~mask ~next ~f =
+  let n = ref 0 in
   let current = ref (-1) in
-  let flush () =
-    if !current >= 0 && not (Dynarray.is_empty positions) then
-      f ~entity:!current ~positions
-  in
+  let flush () = if !current >= 0 && !n > 0 then f ~entity:!current ~positions ~n:!n in
   let rec loop () =
     match next () with
     | -1 -> ()
@@ -42,45 +66,46 @@ let consume ~shift ~mask ~next ~f =
         if entity <> !current then begin
           flush ();
           current := entity;
-          Dynarray.clear positions
+          n := 0
         end;
-        Dynarray.push positions pos;
+        Array.unsafe_set positions !n pos;
+        incr n;
         loop ()
   in
   loop ();
   flush ()
 
-let run_binary_heap ~pops ~advances ~n_positions ~lists ~shift ~mask ~f =
-  let heap = Int_heap.create ~capacity:n_positions () in
-  let cursor = Array.make n_positions 0 in
+let run_binary_heap ~pops ~advances ~n_positions ~buf ~offs ~lens ~shift ~mask ~f =
+  let sc = scratch_for n_positions in
+  let heap = sc.heap and cursor = sc.cursor in
   for pos = 0 to n_positions - 1 do
-    let l = lists.(pos) in
-    if Array.length l > 0 then Int_heap.push heap ((l.(0) lsl shift) lor pos)
+    cursor.(pos) <- 0;
+    if lens.(pos) > 0 then
+      Int_heap.push heap ((buf.(offs.(pos)) lsl shift) lor pos)
   done;
   let next () =
     if Int_heap.is_empty heap then -1
     else begin
       let key = Int_heap.peek_exn heap in
       let pos = key land mask in
-      let l = lists.(pos) in
       let i = cursor.(pos) + 1 in
       pops := !pops + 1;
-      if i < Array.length l then begin
+      if i < lens.(pos) then begin
         cursor.(pos) <- i;
         advances := !advances + 1;
-        Int_heap.replace_top heap ((l.(i) lsl shift) lor pos)
+        Int_heap.replace_top heap ((buf.(offs.(pos) + i) lsl shift) lor pos)
       end
       else ignore (Int_heap.pop_exn heap);
       key
     end
   in
-  consume ~shift ~mask ~next ~f
+  consume ~positions:sc.positions ~shift ~mask ~next ~f
 
-let run_tournament ~pops ~advances ~n_positions ~lists ~shift ~mask ~f =
+let run_tournament ~pops ~advances ~n_positions ~buf ~offs ~lens ~shift ~mask ~f =
   (* One tournament leaf per non-empty list. *)
   let leaves = ref [] in
   for pos = n_positions - 1 downto 0 do
-    if Array.length lists.(pos) > 0 then leaves := pos :: !leaves
+    if lens.(pos) > 0 then leaves := pos :: !leaves
   done;
   match !leaves with
   | [] -> ()
@@ -89,7 +114,8 @@ let run_tournament ~pops ~advances ~n_positions ~lists ~shift ~mask ~f =
       let k = Array.length leaf_pos in
       let cursor = Array.make k 0 in
       let keys =
-        Array.init k (fun j -> (lists.(leaf_pos.(j)).(0) lsl shift) lor leaf_pos.(j))
+        Array.init k (fun j ->
+            (buf.(offs.(leaf_pos.(j))) lsl shift) lor leaf_pos.(j))
       in
       let tree = Loser_tree.create ~keys in
       let next () =
@@ -97,29 +123,28 @@ let run_tournament ~pops ~advances ~n_positions ~lists ~shift ~mask ~f =
         else begin
           let j = Loser_tree.winner tree in
           let key = keys.(j) in
-          let l = lists.(leaf_pos.(j)) in
+          let pos = leaf_pos.(j) in
           let i = cursor.(j) + 1 in
           pops := !pops + 1;
-          if i < Array.length l then begin
+          if i < lens.(pos) then begin
             cursor.(j) <- i;
             advances := !advances + 1;
-            keys.(j) <- (l.(i) lsl shift) lor leaf_pos.(j)
+            keys.(j) <- (buf.(offs.(pos) + i) lsl shift) lor pos
           end
           else keys.(j) <- max_int;
           Loser_tree.replay tree;
           key
         end
       in
-      consume ~shift ~mask ~next ~f
+      let sc = scratch_for n_positions in
+      consume ~positions:sc.positions ~shift ~mask ~next ~f
 
-let iter_entity_positions ?(merger = Binary_heap) ~n_positions ~list_at ~f () =
+let iter_entity_positions ?(merger = Binary_heap) ~n_positions ~buf ~offs ~lens
+    ~f () =
   Faerie_util.Fault.site "heap_merge";
   if n_positions > 0 then begin
     let shift = max 1 (bits_for n_positions 0) in
     let mask = (1 lsl shift) - 1 in
-    (* Materialize the lists once: [list_at] may recompute (token lookup +
-       postings fetch) and the merge revisits each list per posting. *)
-    let lists = Array.init n_positions list_at in
     Metrics.incr m_runs;
     Metrics.incr
       (match merger with
@@ -133,24 +158,23 @@ let iter_entity_positions ?(merger = Binary_heap) ~n_positions ~list_at ~f () =
         Metrics.add m_pops !pops;
         Metrics.add m_advances !advances)
       (fun () ->
-        Prof.with_stage Prof.Heap_merge (fun () ->
-            Trace.with_span "heap_merge" (fun () ->
-                match merger with
-                | Binary_heap ->
-                    run_binary_heap ~pops ~advances ~n_positions ~lists ~shift
-                      ~mask ~f
-                | Tournament_tree ->
-                    run_tournament ~pops ~advances ~n_positions ~lists ~shift
-                      ~mask ~f)))
+        Trace.with_span "heap_merge" (fun () ->
+            match merger with
+            | Binary_heap ->
+                run_binary_heap ~pops ~advances ~n_positions ~buf ~offs ~lens
+                  ~shift ~mask ~f
+            | Tournament_tree ->
+                run_tournament ~pops ~advances ~n_positions ~buf ~offs ~lens
+                  ~shift ~mask ~f))
   end
 
-let heap_stats ~n_positions ~list_at =
+let heap_stats ~n_positions ~length_at =
   let live = ref 0 and total = ref 0 in
   for pos = 0 to n_positions - 1 do
-    let l = list_at pos in
-    if Array.length l > 0 then begin
+    let len = length_at pos in
+    if len > 0 then begin
       incr live;
-      total := !total + Array.length l
+      total := !total + len
     end
   done;
   (!live, !total)

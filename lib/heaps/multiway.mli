@@ -8,6 +8,11 @@
     entity therefore form its complete position list, sorted by position —
     each inverted list is scanned exactly once.
 
+    The lists arrive pre-decoded in one flat buffer (see
+    {!Faerie_index.Inverted_index.decode_document}): position [i]'s list is
+    [buf[offs.(i) .. offs.(i) + lens.(i))]. The merge itself allocates only
+    its cursor/heap state and one positions scratch array per run.
+
     Two merge engines are provided (the paper draws its heap as a loser
     tree, footnote 3): a binary {!Int_heap} (default) and a
     {!Loser_tree} tournament. They produce identical streams; the
@@ -20,19 +25,20 @@ type merger =
 val iter_entity_positions :
   ?merger:merger ->
   n_positions:int ->
-  list_at:(int -> int array) ->
-  f:(entity:int -> positions:int Faerie_util.Dynarray.t -> unit) ->
+  buf:int array ->
+  offs:int array ->
+  lens:int array ->
+  f:(entity:int -> positions:int array -> n:int -> unit) ->
   unit ->
   unit
-(** [iter_entity_positions ~n_positions ~list_at ~f ()] calls
-    [f ~entity ~positions] once per distinct entity id occurring in any of
-    the lists [list_at 0 .. list_at (n_positions-1)], in ascending entity
-    order, with [positions] the ascending positions whose list contains the
-    entity. The [positions] buffer is reused across calls — callers must
-    copy it if they retain it. *)
+(** [iter_entity_positions ~n_positions ~buf ~offs ~lens ~f ()] calls
+    [f ~entity ~positions ~n] once per distinct entity id occurring in any
+    of the lists, in ascending entity order, with [positions.(0 .. n-1)]
+    the ascending document positions whose list contains the entity (slots
+    at [n] and beyond are garbage). The [positions] buffer is reused across
+    calls — callers must copy the prefix if they retain it. *)
 
-val heap_stats :
-  n_positions:int -> list_at:(int -> int array) -> int * int
+val heap_stats : n_positions:int -> length_at:(int -> int) -> int * int
 (** [(live_cursors, total_postings)] — the number of non-empty inverted
     lists (merge width) and the total number of postings the merge will
     stream ([N] in the paper's complexity table). Used by the index-size

@@ -23,7 +23,10 @@ let m_truncated =
 
 let magic = "FAERIEIX"
 
-let version = 1
+(* v1 stored each posting list as bare delta varints; v2 stores the index's
+   compressed blocks verbatim — per token [(count, nbytes, block bytes)] —
+   so load adopts validated blocks without re-encoding. v1 is still read. *)
+let version = 2
 
 let encode dict index =
   Trace.with_span "codec_encode" @@ fun () ->
@@ -51,16 +54,13 @@ let encode dict index =
       Varint.write buf (Array.length e.Entity.tokens);
       Array.iter (Varint.write buf) e.Entity.tokens)
     entities;
-  Varint.write buf n_tokens;
-  for tok = 0 to n_tokens - 1 do
-    let list = Inverted_index.postings index tok in
-    Varint.write buf (Array.length list);
-    let prev = ref 0 in
-    Array.iter
-      (fun id ->
-        Varint.write buf (id - !prev);
-        prev := id)
-      list
+  let blob, offs, counts = Inverted_index.raw_blocks index in
+  Varint.write buf (Array.length counts);
+  for tok = 0 to Array.length counts - 1 do
+    Varint.write buf counts.(tok);
+    let nbytes = offs.(tok + 1) - offs.(tok) in
+    Varint.write buf nbytes;
+    Buffer.add_substring buf blob offs.(tok) nbytes
   done;
   let payload = Buffer.contents buf in
   let out = Buffer.create (String.length payload + 10) in
@@ -94,7 +94,7 @@ let decode data =
     in
     Varint.expect r magic;
     let v = Varint.read r in
-    if v <> version then fail (Printf.sprintf "unsupported version %d" v);
+    if v <> 1 && v <> 2 then fail (Printf.sprintf "unsupported version %d" v);
     let mode =
       match Varint.read r with
       | 0 ->
@@ -127,17 +127,58 @@ let decode data =
     in
     let n_lists = Varint.read r in
     if n_lists <> n_tokens then fail "postings/token count mismatch";
-    let lists =
-      Array.init n_lists (fun _ ->
-          let n = Varint.read r in
-          check_count "postings" n;
+    let make_index =
+      if v = 1 then begin
+        let lists =
+          Array.init n_lists (fun _ ->
+              let n = Varint.read r in
+              check_count "postings" n;
+              let prev = ref 0 in
+              Array.init n (fun i ->
+                  let delta = Varint.read r in
+                  if i > 0 && delta = 0 then fail "non-ascending postings";
+                  prev := !prev + delta;
+                  if !prev >= n_entities then fail "entity id out of range";
+                  !prev))
+        in
+        fun dict -> Inverted_index.of_stored dict lists
+      end
+      else begin
+        (* v2: every block is fully validated here — ascending ids in
+           range, exactly [nbytes] consumed — then adopted verbatim, so
+           {!Inverted_index} may decode it unchecked later. *)
+        let blob = Buffer.create 4096 in
+        let offs = Array.make (n_lists + 1) 0 in
+        let counts = Array.make n_lists 0 in
+        for tok = 0 to n_lists - 1 do
+          offs.(tok) <- Buffer.length blob;
+          let count = Varint.read r in
+          check_count "postings" count;
+          let nbytes = Varint.read r in
+          if nbytes > String.length data - Varint.pos r then begin
+            (* A block length pointing past the input is the torn-write
+               signature, same as running out of bytes mid-varint. *)
+            Metrics.incr m_truncated;
+            raise (Truncated { at = Varint.pos r; len = String.length data })
+          end;
+          if count > nbytes then fail "postings count exceeds block";
+          let block_start = Varint.pos r in
           let prev = ref 0 in
-          Array.init n (fun i ->
-              let delta = Varint.read r in
-              if i > 0 && delta = 0 then fail "non-ascending postings";
-              prev := !prev + delta;
-              if !prev >= n_entities then fail "entity id out of range";
-              !prev))
+          for i = 0 to count - 1 do
+            let delta = Varint.read r in
+            if i > 0 && delta = 0 then fail "non-ascending postings";
+            prev := !prev + delta;
+            if !prev >= n_entities then fail "entity id out of range"
+          done;
+          if Varint.pos r - block_start <> nbytes then
+            fail "postings block length mismatch";
+          counts.(tok) <- count;
+          Buffer.add_substring blob data block_start nbytes
+        done;
+        offs.(n_lists) <- Buffer.length blob;
+        let blob = Buffer.contents blob in
+        fun dict -> Inverted_index.of_blocks dict ~blob ~offs ~counts
+      end
     in
     let payload_end = Varint.pos r in
     let checksum = Varint.read r in
@@ -145,7 +186,7 @@ let decode data =
     if checksum <> Varint.fnv1a (String.sub data 0 payload_end) then
       fail "checksum mismatch";
     let dict = Dictionary.of_stored ~mode ~interner entities in
-    (dict, Inverted_index.of_stored dict lists)
+    (dict, make_index dict)
   with Varint.Malformed msg ->
     (* [Varint] prefixes every ran-out-of-bytes message with "truncated";
        everything else (bad magic, malformed varint byte) is corruption.

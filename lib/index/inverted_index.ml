@@ -1,10 +1,105 @@
 module Tk = Faerie_tokenize
 module Dynarray = Faerie_util.Dynarray
 module Bytesize = Faerie_util.Bytesize
+module Varint = Faerie_util.Varint
 
-type t = { dictionary : Dictionary.t; lists : int array array }
+(* Posting lists live delta+varint-compressed in one shared [blob];
+   token [i]'s block is [blob[offs.(i) .. offs.(i+1))] holding
+   [counts.(i)] ascending entity ids (first varint is the first id,
+   subsequent varints are strictly positive deltas). *)
+type t = {
+  dictionary : Dictionary.t;
+  blob : string;
+  offs : int array;  (* n_tokens + 1 byte offsets into [blob] *)
+  counts : int array;  (* postings per token *)
+  n_postings : int;
+}
 
-let empty_list = [||]
+module Postings = struct
+  type t = { blob : string; off : int; stop : int; count : int }
+
+  let empty = { blob = ""; off = 0; stop = 0; count = 0 }
+
+  let length p = p.count
+
+  let is_empty p = p.count = 0
+
+  let iter f p =
+    let pos = ref p.off and prev = ref 0 in
+    while !pos < p.stop do
+      let acc = ref 0 and shift = ref 0 and cont = ref true in
+      while !cont do
+        let b = Char.code (String.unsafe_get p.blob !pos) in
+        incr pos;
+        acc := !acc lor ((b land 0x7f) lsl !shift);
+        shift := !shift + 7;
+        cont := b land 0x80 <> 0
+      done;
+      prev := !prev + !acc;
+      f !prev
+    done
+
+  let fold f init p =
+    let acc = ref init in
+    iter (fun id -> acc := f !acc id) p;
+    !acc
+
+  let to_array p =
+    let out = Array.make p.count 0 in
+    let i = ref 0 in
+    iter
+      (fun id ->
+        out.(!i) <- id;
+        incr i)
+      p;
+    out
+end
+
+(* Decode one block into [dst] starting at [dst_off]; the blob is validated
+   at build/load time, so this inner loop runs unchecked. *)
+let decode_into blob ~off ~stop ~dst ~dst_off =
+  let pos = ref off and prev = ref 0 and i = ref dst_off in
+  while !pos < stop do
+    let acc = ref 0 and shift = ref 0 and cont = ref true in
+    while !cont do
+      let b = Char.code (String.unsafe_get blob !pos) in
+      incr pos;
+      acc := !acc lor ((b land 0x7f) lsl !shift);
+      shift := !shift + 7;
+      cont := b land 0x80 <> 0
+    done;
+    prev := !prev + !acc;
+    Array.unsafe_set dst !i !prev;
+    incr i
+  done;
+  !i - dst_off
+
+let encode_lists dictionary lists =
+  let n_tokens = Array.length lists in
+  let buf = Buffer.create 4096 in
+  let offs = Array.make (n_tokens + 1) 0 in
+  let counts = Array.make n_tokens 0 in
+  let n_postings = ref 0 in
+  for tok = 0 to n_tokens - 1 do
+    offs.(tok) <- Buffer.length buf;
+    let ids = lists.(tok) in
+    let prev = ref 0 in
+    Array.iter
+      (fun id ->
+        Varint.write buf (id - !prev);
+        prev := id)
+      ids;
+    counts.(tok) <- Array.length ids;
+    n_postings := !n_postings + Array.length ids
+  done;
+  offs.(n_tokens) <- Buffer.length buf;
+  {
+    dictionary;
+    blob = Buffer.contents buf;
+    offs;
+    counts;
+    n_postings = !n_postings;
+  }
 
 let build dictionary =
   let n_tokens = Tk.Interner.size (Dictionary.interner dictionary) in
@@ -15,29 +110,125 @@ let build dictionary =
         (fun token -> Dynarray.push acc.(token) e.Entity.id)
         e.Entity.distinct_tokens)
     (Dictionary.entities dictionary);
-  { dictionary; lists = Array.map Dynarray.to_array acc }
+  encode_lists dictionary (Array.map Dynarray.to_array acc)
 
-let of_stored dictionary lists = { dictionary; lists }
+let of_stored dictionary lists = encode_lists dictionary lists
+
+let of_blocks dictionary ~blob ~offs ~counts =
+  {
+    dictionary;
+    blob;
+    offs;
+    counts;
+    n_postings = Array.fold_left ( + ) 0 counts;
+  }
+
+let raw_blocks t = (t.blob, t.offs, t.counts)
 
 let dictionary t = t.dictionary
 
+let n_tokens t = Array.length t.counts
+
 let postings t token =
-  if token < 0 || token >= Array.length t.lists then empty_list
-  else t.lists.(token)
+  if token < 0 || token >= Array.length t.counts || t.counts.(token) = 0 then
+    Postings.empty
+  else
+    {
+      Postings.blob = t.blob;
+      off = t.offs.(token);
+      stop = t.offs.(token + 1);
+      count = t.counts.(token);
+    }
 
-let document_lists t doc pos = postings t (Tk.Document.token_id doc pos)
-
-let n_postings t = Array.fold_left (fun acc l -> acc + Array.length l) 0 t.lists
+let n_postings t = t.n_postings
 
 let n_lists t =
-  Array.fold_left (fun acc l -> acc + if Array.length l > 0 then 1 else 0) 0 t.lists
+  Array.fold_left (fun acc c -> acc + if c > 0 then 1 else 0) 0 t.counts
 
 let heap_bytes t =
-  let posting_words =
-    Array.fold_left
-      (fun acc l -> acc + Bytesize.words_per_int_array (Array.length l))
-      0 t.lists
+  let directory_words =
+    Bytesize.words_per_int_array (Array.length t.offs)
+    + Bytesize.words_per_int_array (Array.length t.counts)
   in
-  let directory_words = 1 + Array.length t.lists in
-  Bytesize.bytes_of_words (posting_words + directory_words)
+  Bytesize.string_bytes t.blob
+  + Bytesize.bytes_of_words directory_words
   + Tk.Interner.heap_bytes (Dictionary.interner t.dictionary)
+
+(* ---- per-document decode workspace ---- *)
+
+module Workspace = struct
+  type t = {
+    mutable epoch : int;
+    mutable tok_epoch : int array;  (* per token id: epoch of last decode *)
+    mutable tok_off : int array;  (* per token id: offset of decode in buf *)
+    mutable buf : int array;  (* decoded entity ids, flat *)
+    mutable buf_len : int;
+    mutable offs : int array;  (* per document position: offset into buf *)
+    mutable lens : int array;  (* per document position: posting count *)
+  }
+
+  let create () =
+    {
+      epoch = 0;
+      tok_epoch = [||];
+      tok_off = [||];
+      buf = Array.make 1024 0;
+      buf_len = 0;
+      offs = [||];
+      lens = [||];
+    }
+end
+
+let ensure_len a n = if Array.length a >= n then a else Array.make n 0
+
+let grow_buf ws need =
+  let open Workspace in
+  if Array.length ws.buf < need then begin
+    let cap = ref (2 * Array.length ws.buf) in
+    while !cap < need do
+      cap := 2 * !cap
+    done;
+    let buf = Array.make !cap 0 in
+    Array.blit ws.buf 0 buf 0 ws.buf_len;
+    ws.buf <- buf
+  end
+
+let decode_document t ws doc =
+  let open Workspace in
+  let ntok = Array.length t.counts in
+  if Array.length ws.tok_epoch < ntok then begin
+    ws.tok_epoch <- Array.make ntok 0;
+    ws.tok_off <- Array.make ntok 0;
+    ws.epoch <- 0
+  end;
+  ws.epoch <- ws.epoch + 1;
+  ws.buf_len <- 0;
+  let n = Tk.Document.n_tokens doc in
+  let tokens = Tk.Document.tokens doc in
+  ws.offs <- ensure_len ws.offs n;
+  ws.lens <- ensure_len ws.lens n;
+  for pos = 0 to n - 1 do
+    let tok = Array.unsafe_get tokens pos in
+    if tok < 0 || tok >= ntok || t.counts.(tok) = 0 then begin
+      ws.offs.(pos) <- 0;
+      ws.lens.(pos) <- 0
+    end
+    else begin
+      (* Each distinct token is decoded once per document. *)
+      if ws.tok_epoch.(tok) <> ws.epoch then begin
+        let count = t.counts.(tok) in
+        grow_buf ws (ws.buf_len + count);
+        let k =
+          decode_into t.blob ~off:t.offs.(tok) ~stop:t.offs.(tok + 1)
+            ~dst:ws.buf ~dst_off:ws.buf_len
+        in
+        assert (k = count);
+        ws.tok_epoch.(tok) <- ws.epoch;
+        ws.tok_off.(tok) <- ws.buf_len;
+        ws.buf_len <- ws.buf_len + count
+      end;
+      ws.offs.(pos) <- ws.tok_off.(tok);
+      ws.lens.(pos) <- t.counts.(tok)
+    end
+  done;
+  (ws.buf, ws.offs, ws.lens)

@@ -19,6 +19,7 @@ type event =
       survived : bool;
     }
   | Filter_done of { survivors : int }
+  | Verifier of { choice : string }
   | Verify of { entity : int; start : int; len : int; matched : bool }
   | Selection of { total : int; kept : int }
 
@@ -132,6 +133,7 @@ let summarize t =
               (s.candidates_survived + if survived then 1 else 0);
           }
       | Filter_done { survivors } -> { s with survivors = s.survivors + survivors }
+      | Verifier _ -> s
       | Verify { matched; _ } ->
           {
             s with
@@ -296,6 +298,7 @@ let to_jsonl t =
             entity start len count t survived
       | Filter_done { survivors } ->
           add "{\"ev\":\"filter_done\",\"survivors\":%d}" survivors
+      | Verifier { choice } -> add "{\"ev\":\"verifier\",\"choice\":%S}" choice
       | Verify { entity; start; len; matched } ->
           add "{\"ev\":\"verify\",\"entity\":%d,\"start\":%d,\"len\":%d,\"matched\":%b}"
             entity start len matched

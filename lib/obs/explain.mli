@@ -52,6 +52,9 @@ type event =
     }
   | Filter_done of { survivors : int }
       (** filter finished; [survivors] candidates remain after dedup *)
+  | Verifier of { choice : string }
+      (** the edit-distance engine verification will use for this run
+          ({!Faerie_sim.Verify.verifier_name}) *)
   | Verify of { entity : int; start : int; len : int; matched : bool }
       (** exact verification of one surviving candidate; [matched =
           false] is a wasted verification (filter false positive) *)

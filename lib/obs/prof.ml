@@ -81,18 +81,43 @@ let clampi f = if f > 0. then int_of_float f else 0
 let note_watermark (s : Gc.stat) =
   Metrics.set_max m_top_heap (float_of_int (s.top_heap_words * word_bytes))
 
+(* Stage brackets run on the hot path — the windows stage fires once per
+   surviving entity — so the enabled path must not allocate, or the probe
+   perturbs the quantity it measures. [Gc.minor_words] is an unboxed-float
+   [@@noalloc] external, the deltas stay in registers (the clamp is inlined
+   rather than calling [clampi], which would box its argument), and
+   exception safety comes from [match ... with exception] instead of a
+   [Fun.protect] closure that would capture (and box) the start values.
+
+   Promoted words have no unboxed accessor — [Gc.counters] allocates a
+   tuple — so only the per-document stages (everything but Windows) read
+   them. Promotion during a windows search is still attributed to the
+   enclosing heap_merge stage: stage deltas are inclusive by contract. *)
+let promoted () =
+  let _, p, _ = Gc.counters () in
+  p
+
 let with_stage st f =
   if not (Atomic.get on) then f ()
   else begin
-    let s0 = capture () in
-    Fun.protect
-      ~finally:(fun () ->
-        let s1 = capture () in
-        let i = stage_idx st in
-        Metrics.add m_stage_minor.(i) (clampi (s1.minor_words -. s0.minor_words));
-        Metrics.add m_stage_promoted.(i)
-          (clampi (s1.promoted_words -. s0.promoted_words)))
-      f
+    Atomic.incr n_captures;
+    let i = stage_idx st in
+    let track_promoted = st <> Windows in
+    let p0 = if track_promoted then promoted () else 0. in
+    let m0 = Gc.minor_words () in
+    match f () with
+    | v ->
+        let d = Gc.minor_words () -. m0 in
+        Metrics.add m_stage_minor.(i) (if d > 0. then int_of_float d else 0);
+        if track_promoted then
+          Metrics.add m_stage_promoted.(i) (clampi (promoted () -. p0));
+        v
+    | exception e ->
+        let d = Gc.minor_words () -. m0 in
+        Metrics.add m_stage_minor.(i) (if d > 0. then int_of_float d else 0);
+        if track_promoted then
+          Metrics.add m_stage_promoted.(i) (clampi (promoted () -. p0));
+        raise e
   end
 
 let allocated (s : Gc.stat) = s.minor_words +. s.major_words -. s.promoted_words

@@ -38,9 +38,9 @@ val disable : unit -> unit
 val enabled : unit -> bool
 
 val captures : unit -> int
-(** Number of [Gc.quick_stat] captures taken since process start.
-    Test hook for the disabled-overhead contract: an extraction run with
-    profiling disabled must leave this unchanged. *)
+(** Number of GC captures ([Gc.quick_stat] or [Gc.counters]) taken since
+    process start. Test hook for the disabled-overhead contract: an
+    extraction run with profiling disabled must leave this unchanged. *)
 
 val with_stage : stage -> (unit -> 'a) -> 'a
 (** Run the function, attributing its GC deltas to [stage]. Records on

@@ -6,8 +6,29 @@ let m_scores =
     "verify_scores"
 
 let m_early_exits =
-  Metrics.counter ~help:"banded edit-distance computations cut off at the cap"
+  Metrics.counter ~help:"capped edit-distance computations cut off at the cap"
     "verify_early_exits"
+
+let m_myers =
+  Metrics.counter ~help:"character verifications routed to the Myers engine"
+    "verify_myers"
+
+let m_banded =
+  Metrics.counter ~help:"character verifications routed to the banded DP"
+    "verify_banded"
+
+type verifier = Banded | Myers | Auto
+
+let verifier_name = function
+  | Banded -> "banded"
+  | Myers -> "myers"
+  | Auto -> "auto"
+
+let verifier_of_string = function
+  | "banded" -> Some Banded
+  | "myers" -> Some Myers
+  | "auto" -> Some Auto
+  | _ -> None
 
 module Score = struct
   type t = Similarity of float | Distance of int
@@ -49,25 +70,40 @@ let token_score sim ~e_tokens ~s_tokens =
   | Sim.Edit_distance _ | Sim.Edit_similarity _ ->
       invalid_arg "Verify.token_score: character-based function"
 
-let char_score sim ~e_str ~s_str =
+(* Engine routing: [Banded] forces the DP; [Myers]/[Auto] take the
+   bit-parallel engine whenever the shorter string fits in one word.
+   Counted per scoring call so the verify_myers/verify_banded pair sums to
+   the character-verification total. *)
+let route verifier ~e_len ~s_len =
+  let banded =
+    match verifier with
+    | Banded -> true
+    | Myers | Auto -> min e_len s_len > Edit_distance.myers_max_len
+  in
+  Metrics.incr (if banded then m_banded else m_myers);
+  banded
+
+let char_score_slice ?(verifier = Auto) sim ~e_str ~text ~off ~len =
   Faerie_util.Fault.site "verify";
   Metrics.incr m_scores;
   match sim with
   | Sim.Edit_distance tau -> (
-      match Edit_distance.distance_upto ~cap:tau e_str s_str with
+      let banded = route verifier ~e_len:(String.length e_str) ~s_len:len in
+      match Edit_distance.distance_upto_slice ~cap:tau ~banded e_str ~s:text ~off ~len with
       | Some d -> Score.Distance d
       | None ->
           Metrics.incr m_early_exits;
           Score.Distance (tau + 1))
   | Sim.Edit_similarity d ->
-      let maxlen = max (String.length e_str) (String.length s_str) in
+      let maxlen = max (String.length e_str) len in
       if maxlen = 0 then Score.Similarity 1.0
       else begin
-        (* eds >= d iff ed <= (1 - d) * maxlen; band the DP at that cap. *)
+        (* eds >= d iff ed <= (1 - d) * maxlen; cap the computation there. *)
         let cap =
           int_of_float (Float.floor (((1. -. d) *. float_of_int maxlen) +. 1e-9))
         in
-        match Edit_distance.distance_upto ~cap e_str s_str with
+        let banded = route verifier ~e_len:(String.length e_str) ~s_len:len in
+        match Edit_distance.distance_upto_slice ~cap ~banded e_str ~s:text ~off ~len with
         | Some ed ->
             Score.Similarity (1. -. (float_of_int ed /. float_of_int maxlen))
         | None ->
@@ -78,6 +114,10 @@ let char_score sim ~e_str ~s_str =
   | Sim.Jaccard _ | Sim.Cosine _ | Sim.Dice _ ->
       invalid_arg "Verify.char_score: token-based function"
 
-let check sim ~e_tokens ~e_str ~s_tokens ~s_str =
-  if Sim.char_based sim then char_score sim ~e_str ~s_str
+let char_score ?verifier sim ~e_str ~s_str =
+  char_score_slice ?verifier sim ~e_str ~text:s_str ~off:0
+    ~len:(String.length s_str)
+
+let check ?verifier sim ~e_tokens ~e_str ~s_tokens ~s_str =
+  if Sim.char_based sim then char_score ?verifier sim ~e_str ~s_str
   else token_score sim ~e_tokens ~s_tokens

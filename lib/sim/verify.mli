@@ -1,6 +1,20 @@
 (** Exact verification of candidate pairs (the "verify" half of
     filter-and-verify). *)
 
+type verifier =
+  | Banded  (** always the threshold-banded DP *)
+  | Myers
+      (** Myers bit-parallel, falling back to the banded DP when the
+          shorter string exceeds {!Edit_distance.myers_max_len} *)
+  | Auto  (** engine chosen per pair (today: same policy as [Myers]) *)
+
+val verifier_name : verifier -> string
+(** ["banded"], ["myers"] or ["auto"] — the names the CLI's [--verifier]
+    flag and the Explain verifier event use. *)
+
+val verifier_of_string : string -> verifier option
+(** Inverse of {!verifier_name}. *)
+
 module Score : sig
   type t =
     | Similarity of float  (** jaccard / cosine / dice / edit similarity *)
@@ -24,14 +38,30 @@ val token_score : Sim.t -> e_tokens:int array -> s_tokens:int array -> Score.t
 
     @raise Invalid_argument when applied to a character-based function. *)
 
-val char_score : Sim.t -> e_str:string -> s_str:string -> Score.t
-(** Exact character-based score, computed with a banded DP capped at the
-    largest edit distance that could still pass (a failing pair reports the
-    cap + 1, enough to decide {!Score.passes}).
+val char_score :
+  ?verifier:verifier -> Sim.t -> e_str:string -> s_str:string -> Score.t
+(** Exact character-based score, computed with a thresholded edit-distance
+    engine capped at the largest distance that could still pass (a failing
+    pair reports the cap + 1, enough to decide {!Score.passes}). The
+    [verifier] (default [Auto]) picks the engine; the
+    [verify_myers]/[verify_banded] counters record the routing.
 
     @raise Invalid_argument when applied to a token-based function. *)
 
+val char_score_slice :
+  ?verifier:verifier ->
+  Sim.t ->
+  e_str:string ->
+  text:string ->
+  off:int ->
+  len:int ->
+  Score.t
+(** As {!char_score} against the document slice [text[off .. off+len)],
+    without materializing the substring — the allocation-free form the
+    verify hot path uses. *)
+
 val check :
+  ?verifier:verifier ->
   Sim.t ->
   e_tokens:int array ->
   e_str:string ->

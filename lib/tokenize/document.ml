@@ -1,6 +1,12 @@
 type mode = Word | Gram of int
 
-type t = { text : string; spans : Span.t array; mode : mode }
+(* Struct-of-arrays: one flat int array of token ids, plus — for word
+   documents only — parallel start/len arrays. Gram positions are implicit
+   (gram [i] starts at [i] with length [q]), so a gram document carries a
+   single int array instead of an array of [Span.t] records. *)
+type positions = Gram_pos | Word_pos of { starts : int array; lens : int array }
+
+type t = { text : string; tokens : int array; pos : positions; mode : mode }
 
 module Metrics = Faerie_obs.Metrics
 module Trace = Faerie_obs.Trace
@@ -16,7 +22,7 @@ let m_doc_tokens =
 
 let finish t =
   Metrics.incr m_calls;
-  let n = Array.length t.spans in
+  let n = Array.length t.tokens in
   Metrics.add m_tokens n;
   Metrics.observe m_doc_tokens (float_of_int n);
   t
@@ -26,46 +32,56 @@ let of_words interner raw =
       Trace.with_span "tokenize" (fun () ->
           Faerie_util.Fault.site "tokenize";
           let text = Tokenizer.normalize raw in
-          finish
-            { text; spans = Tokenizer.words_lookup interner raw; mode = Word }))
+          let tokens, starts, lens = Tokenizer.word_tokens interner text in
+          finish { text; tokens; pos = Word_pos { starts; lens }; mode = Word }))
 
 let of_grams interner ~q raw =
   Prof.with_stage Prof.Tokenize (fun () ->
       Trace.with_span "tokenize" (fun () ->
           Faerie_util.Fault.site "tokenize";
           let text = Tokenizer.normalize raw in
-          finish
-            { text; spans = Tokenizer.qgrams_lookup interner ~q raw; mode = Gram q }))
+          let tokens = Tokenizer.qgram_ids interner ~q text in
+          finish { text; tokens; pos = Gram_pos; mode = Gram q }))
 
 let mode t = t.mode
 
 let text t = t.text
 
-let n_tokens t = Array.length t.spans
+let n_tokens t = Array.length t.tokens
+
+let tokens t = t.tokens
 
 let check_range t ~start ~len name =
-  if len <= 0 || start < 0 || start + len > Array.length t.spans then
+  if len <= 0 || start < 0 || start + len > Array.length t.tokens then
     invalid_arg
       (Printf.sprintf "Document.%s: range (%d,%d) out of bounds [0,%d)" name
-         start len (Array.length t.spans))
+         start len (Array.length t.tokens))
 
 let token_id t i =
-  if i < 0 || i >= Array.length t.spans then
+  if i < 0 || i >= Array.length t.tokens then
     invalid_arg (Printf.sprintf "Document.token_id: %d out of bounds" i);
-  t.spans.(i).Span.token
+  t.tokens.(i)
 
 let span t i =
-  if i < 0 || i >= Array.length t.spans then
+  if i < 0 || i >= Array.length t.tokens then
     invalid_arg (Printf.sprintf "Document.span: %d out of bounds" i);
-  t.spans.(i)
+  match t.pos with
+  | Gram_pos ->
+      let q = match t.mode with Gram q -> q | Word -> assert false in
+      { Span.token = t.tokens.(i); start_pos = i; len = q }
+  | Word_pos { starts; lens } ->
+      { Span.token = t.tokens.(i); start_pos = starts.(i); len = lens.(i) }
 
 let char_extent t ~start ~len =
   check_range t ~start ~len "char_extent";
-  let first = t.spans.(start) in
-  let last = t.spans.(start + len - 1) in
-  let char_start = first.Span.start_pos in
-  let char_end = last.Span.start_pos + last.Span.len in
-  (char_start, char_end - char_start)
+  match t.pos with
+  | Gram_pos ->
+      let q = match t.mode with Gram q -> q | Word -> assert false in
+      (start, len - 1 + q)
+  | Word_pos { starts; lens } ->
+      let char_start = starts.(start) in
+      let char_end = starts.(start + len - 1) + lens.(start + len - 1) in
+      (char_start, char_end - char_start)
 
 let substring t ~start ~len =
   let char_start, char_len = char_extent t ~start ~len in
@@ -73,6 +89,6 @@ let substring t ~start ~len =
 
 let token_multiset t ~start ~len =
   check_range t ~start ~len "token_multiset";
-  let ids = Array.init len (fun i -> t.spans.(start + i).Span.token) in
+  let ids = Array.sub t.tokens start len in
   Array.sort compare ids;
   ids

@@ -26,6 +26,10 @@ val text : t -> string
 
 val n_tokens : t -> int
 
+val tokens : t -> int array
+(** The flat token-id array, position [i] holding the id of token [i] (or
+    {!Span.missing}). Shared, not a copy — callers must not mutate it. *)
+
 val token_id : t -> int -> int
 (** [token_id t i] is the interned id of position [i] (0-based), or
     {!Span.missing}. *)

@@ -1,24 +1,90 @@
 module Dynarray = Faerie_util.Dynarray
 module Bytesize = Faerie_util.Bytesize
 
+(* Open-addressing hash table keyed by string content, probed either with a
+   whole string or with a slice of a larger one ([find_sub]) — document
+   tokenization looks grams up in place, never allocating a per-gram
+   substring. Slots hold interned ids; [-1] marks an empty slot. *)
 type t = {
-  table : (string, int) Hashtbl.t;
+  mutable table : int array;
+  mutable mask : int;
   strings : string Dynarray.t;
 }
 
+let hash_sub s off len =
+  (* FNV-1a, offset basis truncated to OCaml's 63-bit int. *)
+  let h = ref 0x4bf29ce484222325 in
+  for i = off to off + len - 1 do
+    h := (!h lxor Char.code (String.unsafe_get s i)) * 0x100000001b3
+  done;
+  !h land max_int
+
+(* A while loop, not a local [rec]: a recursive closure over [a]/[s]/[off]
+   would be heap-allocated on every probe — once per gram lookup. *)
+let eq_sub a s off len =
+  String.length a = len
+  && begin
+       let i = ref 0 in
+       while
+         !i < len && String.unsafe_get a !i = String.unsafe_get s (off + !i)
+       do
+         incr i
+       done;
+       !i >= len
+     end
+
+let rec pow2 n c = if c >= n then c else pow2 n (c * 2)
+
 let create ?(initial_capacity = 1024) () =
-  { table = Hashtbl.create initial_capacity; strings = Dynarray.create () }
+  let cap = pow2 (max 16 (2 * initial_capacity)) 16 in
+  { table = Array.make cap (-1); mask = cap - 1; strings = Dynarray.create () }
+
+let find_sub t s ~off ~len =
+  let h = hash_sub s off len in
+  let i = ref (h land t.mask) in
+  let found = ref (-2) in
+  while !found = -2 do
+    match t.table.(!i) with
+    | -1 -> found := -1
+    | id ->
+        if eq_sub (Dynarray.get t.strings id) s off len then found := id
+        else i := (!i + 1) land t.mask
+  done;
+  !found
+
+let find_opt t s =
+  match find_sub t s ~off:0 ~len:(String.length s) with
+  | -1 -> None
+  | id -> Some id
+
+let grow t =
+  let cap = 2 * Array.length t.table in
+  let table = Array.make cap (-1) in
+  let mask = cap - 1 in
+  Dynarray.iteri
+    (fun id s ->
+      let i = ref (hash_sub s 0 (String.length s) land mask) in
+      while table.(!i) >= 0 do
+        i := (!i + 1) land mask
+      done;
+      table.(!i) <- id)
+    t.strings;
+  t.table <- table;
+  t.mask <- mask
 
 let intern t s =
-  match Hashtbl.find_opt t.table s with
-  | Some id -> id
-  | None ->
+  match find_sub t s ~off:0 ~len:(String.length s) with
+  | -1 ->
       let id = Dynarray.length t.strings in
-      Hashtbl.add t.table s id;
+      if 2 * (id + 1) > Array.length t.table then grow t;
+      let i = ref (hash_sub s 0 (String.length s) land t.mask) in
+      while t.table.(!i) >= 0 do
+        i := (!i + 1) land t.mask
+      done;
+      t.table.(!i) <- id;
       Dynarray.push t.strings s;
       id
-
-let find_opt t s = Hashtbl.find_opt t.table s
+  | id -> id
 
 let to_string t id =
   if id < 0 || id >= Dynarray.length t.strings then
@@ -31,7 +97,6 @@ let heap_bytes t =
   let string_bytes =
     Dynarray.fold_left (fun acc s -> acc + Bytesize.string_bytes s) 0 t.strings
   in
-  (* Hashtbl: roughly 3 words per binding plus the bucket array; the pointer
-     array in [strings] adds one word per entry. *)
+  (* The open-addressing slot array plus the pointer array in [strings]. *)
   let n = size t in
-  string_bytes + Bytesize.bytes_of_words ((3 * n) + n + (2 * n))
+  string_bytes + Bytesize.bytes_of_words (Array.length t.table + (2 * n))

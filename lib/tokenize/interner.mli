@@ -29,3 +29,8 @@ val size : t -> int
 
 val heap_bytes : t -> int
 (** Estimated in-memory footprint (for index-size reports). *)
+
+val find_sub : t -> string -> off:int -> len:int -> int
+(** [find_sub t s ~off ~len] is the id of the slice [s[off .. off+len)],
+    or [-1] ({!Span.missing}) when it was never interned — a lookup that
+    allocates nothing, used by the document tokenizers. *)

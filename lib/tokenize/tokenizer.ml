@@ -59,3 +59,30 @@ let qgrams_lookup interner ~q s =
     | None -> Span.missing
   in
   qgrams_of ~resolve ~q s
+
+(* ---- allocation-light id paths over pre-normalized text ---- *)
+
+(* These feed {!Document}: the text is normalized once by the caller, grams
+   are looked up in place ({!Interner.find_sub} returns {!Span.missing} as
+   [-1] directly), and only flat int arrays come back — no per-token
+   [Span.t] records, no per-gram substrings. *)
+
+let qgram_ids interner ~q s =
+  if q <= 0 then invalid_arg "Tokenizer.qgrams: q must be positive";
+  let n = String.length s - q + 1 in
+  if n <= 0 then [||]
+  else Array.init n (fun i -> Interner.find_sub interner s ~off:i ~len:q)
+
+let word_tokens interner s =
+  let offsets = word_offsets s in
+  let n = List.length offsets in
+  let tokens = Array.make n 0
+  and starts = Array.make n 0
+  and lens = Array.make n 0 in
+  List.iteri
+    (fun i (off, len) ->
+      tokens.(i) <- Interner.find_sub interner s ~off ~len;
+      starts.(i) <- off;
+      lens.(i) <- len)
+    offsets;
+  (tokens, starts, lens)

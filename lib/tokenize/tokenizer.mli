@@ -33,3 +33,16 @@ val qgrams_intern : Interner.t -> q:int -> string -> Span.t array
 
 val qgrams_lookup : Interner.t -> q:int -> string -> Span.t array
 (** As {!qgrams_intern}, but unknown grams become {!Span.missing}. *)
+
+val qgram_ids : Interner.t -> q:int -> string -> int array
+(** Lookup-mode q-gram ids of an {e already normalized} string, resolved in
+    place with {!Interner.find_sub} — no per-gram substrings, no [Span.t]
+    records. Position [i] holds the id of the gram starting at [i], or
+    {!Span.missing}.
+
+    @raise Invalid_argument if [q <= 0]. *)
+
+val word_tokens : Interner.t -> string -> int array * int array * int array
+(** Lookup-mode word tokenization of an {e already normalized} string:
+    [(tokens, starts, lens)] parallel arrays, ids resolved in place (unknown
+    words map to {!Span.missing}). *)

@@ -271,6 +271,35 @@ let test_extract_explain_file () =
       check_bool "verify events present" true
         (has_match "\"ev\":\"verify\"" events))
 
+let test_extract_verifier_flag () =
+  with_temp_dir (fun dir ->
+      let dict = paper_dict_file dir and doc = paper_doc_file dir in
+      (* The engine choice must not change results, and the explain log
+         must echo it. *)
+      let run verifier =
+        let out = Filename.concat dir ("explain_" ^ verifier ^ ".jsonl") in
+        let status, lines =
+          run_cli
+            [ "extract"; "-d"; dict; "-s"; "ed=2"; "-q"; "2";
+              "--verifier"; verifier; "--explain=" ^ out; doc ]
+        in
+        check_int ("exit 0 " ^ verifier) 0 (exit_code status);
+        check_bool ("choice echoed " ^ verifier) true
+          (has_match
+             (Printf.sprintf "\"ev\":\"verifier\",\"choice\":\"%s\"" verifier)
+             (read_lines out));
+        lines
+      in
+      let myers = run "myers" and banded = run "banded" and auto = run "auto" in
+      check_bool "myers == banded results" true (myers = banded);
+      check_bool "auto == banded results" true (auto = banded);
+      let status, _ =
+        run_cli
+          [ "extract"; "-d"; dict; "-s"; "ed=2"; "-q"; "2";
+            "--verifier"; "bogus"; doc ]
+      in
+      check_bool "unknown engine rejected" true (exit_code status <> 0))
+
 let test_extract_metrics_prom () =
   with_temp_dir (fun dir ->
       let dict = paper_dict_file dir and doc = paper_doc_file dir in
@@ -570,6 +599,8 @@ let () =
             test_explain_jsonl;
           Alcotest.test_case "extract --explain=FILE" `Quick
             test_extract_explain_file;
+          Alcotest.test_case "extract --verifier" `Quick
+            test_extract_verifier_flag;
           Alcotest.test_case "extract --metrics-format=prom" `Quick
             test_extract_metrics_prom;
           Alcotest.test_case "regress exit codes" `Quick

@@ -102,21 +102,21 @@ let test_buckets_paper () =
   Alcotest.(check (list (pair int int)))
     "paper buckets"
     [ (0, 3); (4, 4); (5, 5); (6, 6) ]
-    (Position_list.buckets ~positions ~gap:2)
+    (Position_list.buckets ~positions ~gap:2 ())
 
 let test_buckets_single () =
   Alcotest.(check (list (pair int int)))
     "one bucket" [ (0, 2) ]
-    (Position_list.buckets ~positions:[| 5; 6; 7 |] ~gap:0)
+    (Position_list.buckets ~positions:[| 5; 6; 7 |] ~gap:0 ())
 
 let test_buckets_empty () =
-  Alcotest.(check (list (pair int int))) "empty" [] (Position_list.buckets ~positions:[||] ~gap:3)
+  Alcotest.(check (list (pair int int))) "empty" [] (Position_list.buckets ~positions:[||] ~gap:3 ())
 
 let test_buckets_negative_gap () =
   Alcotest.(check (list (pair int int)))
     "singletons"
     [ (0, 0); (1, 1); (2, 2) ]
-    (Position_list.buckets ~positions:[| 1; 2; 3 |] ~gap:(-1))
+    (Position_list.buckets ~positions:[| 1; 2; 3 |] ~gap:(-1) ())
 
 let prop_buckets_partition =
   QCheck.Test.make ~count:500 ~name:"buckets partition the list respecting gaps"
@@ -125,7 +125,7 @@ let prop_buckets_partition =
        (QCheck.int_range 0 5))
     (fun (ps, gap) ->
       let positions = Array.of_list (List.sort_uniq compare ps) in
-      let bs = Position_list.buckets ~positions ~gap in
+      let bs = Position_list.buckets ~positions ~gap () in
       let m = Array.length positions in
       (* Contiguous cover of 0..m-1. *)
       let covered =
@@ -170,8 +170,9 @@ let paper_pe4 = [| 10; 17; 33; 34; 43; 58; 59; 60; 61; 66; 71; 76; 81; 86 |]
 
 let collect_windows ~positions ~tl ~upper =
   let acc = ref [] in
-  Windows.iter_windows ~positions ~tl ~upper ~f:(fun ~first ~last ->
-      acc := (first, last) :: !acc);
+  Windows.iter_windows ~positions ~tl ~upper
+    ~f:(fun ~first ~last -> acc := (first, last) :: !acc)
+    ();
   List.rev !acc
 
 let test_windows_paper_example () =

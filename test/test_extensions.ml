@@ -307,6 +307,127 @@ let test_codec_encoding_is_compact () =
     (String.length data
     < Ix.Inverted_index.heap_bytes (Problem.index problem))
 
+(* Torn-write prefixes of a real snapshot file must come back [Truncated]
+   (never [Corrupt], never success) all the way through {!Codec.load}. *)
+let test_codec_load_truncated_file () =
+  let problem = ed_problem () in
+  let data = Codec.encode (Problem.dictionary problem) (Problem.index problem) in
+  let path = Filename.temp_file "faerie_trunc" ".fx" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  let n = String.length data in
+  List.iter
+    (fun len ->
+      let oc = open_out_bin path in
+      output_string oc (String.sub data 0 len);
+      close_out oc;
+      let outcome =
+        try
+          ignore (Codec.load path);
+          `Accepted
+        with
+        | Codec.Truncated _ -> `Truncated
+        | Codec.Corrupt _ -> `Corrupt
+      in
+      (* Prefixes keep the checksum off the end, so every cut below [n]
+         must be flagged; cuts inside the postings section specifically
+         surface as the torn-write signature. *)
+      check_bool (Printf.sprintf "prefix %d rejected" len) true
+        (outcome <> `Accepted);
+      if len >= n - 4 then
+        check_bool
+          (Printf.sprintf "prefix %d is Truncated" len)
+          true (outcome = `Truncated))
+    [ n - 1; n - 2; n - 4; n / 2; n * 3 / 4; 12 ]
+
+(* Hand-crafted v2 payloads: a tiny two-token/two-entity dictionary with a
+   postings section written by [mutate], checksummed like the real encoder,
+   exercising every block validation branch in the decoder. *)
+let craft_v2 mutate =
+  let module V = Faerie_util.Varint in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "FAERIEIX";
+  V.write buf 2 (* version *);
+  V.write buf 0;
+  V.write buf 0 (* word mode *);
+  V.write buf 2 (* tokens *);
+  V.write_string buf "aa";
+  V.write_string buf "bb";
+  V.write buf 2 (* entities *);
+  V.write_string buf "aa";
+  V.write buf 1;
+  V.write buf 0;
+  V.write_string buf "bb";
+  V.write buf 1;
+  V.write buf 1;
+  V.write buf 2 (* posting lists *);
+  mutate buf;
+  let payload = Buffer.contents buf in
+  let out = Buffer.create (String.length payload + 10) in
+  Buffer.add_string out payload;
+  V.write out (V.fnv1a payload);
+  Buffer.contents out
+
+let test_codec_v2_block_validation () =
+  let module V = Faerie_util.Varint in
+  let singleton buf id =
+    V.write buf 1 (* count *);
+    V.write buf 1 (* nbytes *);
+    V.write buf id
+  in
+  (* Sanity: the well-formed crafted payload decodes. *)
+  let good =
+    craft_v2 (fun buf ->
+        singleton buf 0;
+        singleton buf 1)
+  in
+  let _, idx = Codec.decode good in
+  check_int "crafted postings" 2 (Ix.Inverted_index.n_postings idx);
+  let corrupt name data =
+    check_bool name true
+      (try
+         ignore (Codec.decode data);
+         false
+       with Codec.Corrupt _ -> true)
+  in
+  corrupt "zero delta is non-ascending"
+    (craft_v2 (fun buf ->
+         V.write buf 2 (* count *);
+         V.write buf 2 (* nbytes *);
+         V.write buf 0;
+         V.write buf 0 (* delta 0 after first id *);
+         singleton buf 1));
+  corrupt "block length mismatch"
+    (craft_v2 (fun buf ->
+         V.write buf 1 (* count *);
+         V.write buf 2 (* nbytes, but the one id below is 1 byte *);
+         V.write buf 0;
+         Buffer.add_char buf '\x00' (* pad so nbytes stays in bounds *);
+         singleton buf 1));
+  corrupt "count exceeds block"
+    (craft_v2 (fun buf ->
+         V.write buf 5 (* count *);
+         V.write buf 1 (* nbytes *);
+         V.write buf 0;
+         singleton buf 1));
+  corrupt "entity id out of range"
+    (craft_v2 (fun buf ->
+         singleton buf 7 (* only 2 entities exist *);
+         singleton buf 1));
+  (* A block length pointing past the end of the input is the torn-write
+     signature, even when the overall file still carries trailing bytes. *)
+  check_bool "oversized nbytes is Truncated" true
+    (try
+       ignore
+         (Codec.decode
+            (craft_v2 (fun buf ->
+                 V.write buf 1 (* count *);
+                 V.write buf 200 (* nbytes past EOF *);
+                 V.write buf 0;
+                 singleton buf 1)));
+       false
+     with Codec.Truncated _ -> true)
+
 (* ------------------------------------------------------------------ *)
 (* Chunked extraction                                                  *)
 (* ------------------------------------------------------------------ *)
@@ -452,7 +573,7 @@ let test_codec_rejects_future_version () =
   let problem = ed_problem () in
   let data = Codec.encode (Problem.dictionary problem) (Problem.index problem) in
   let b = Bytes.of_string data in
-  Bytes.set b 8 '\x02';
+  Bytes.set b 8 '\x03';
   check_bool "future version rejected" true
     (try
        ignore (Codec.decode (Bytes.to_string b));
@@ -522,7 +643,9 @@ let test_linear_windows_match_binary () =
   let positions = [| 10; 17; 33; 34; 43; 58; 59; 60; 61; 66; 71; 76; 81; 86 |] in
   let collect f =
     let acc = ref [] in
-    f ~positions ~tl:4 ~upper:10 ~f:(fun ~first ~last -> acc := (first, last) :: !acc);
+    f ?n:None ~positions ~tl:4 ~upper:10
+      ~f:(fun ~first ~last -> acc := (first, last) :: !acc)
+      ();
     List.rev !acc
   in
   check_bool "same windows" true
@@ -545,7 +668,9 @@ let prop_linear_windows_match_binary =
       QCheck.assume (Array.length positions >= tl);
       let collect f =
         let acc = ref [] in
-        f ~positions ~tl ~upper ~f:(fun ~first ~last -> acc := (first, last) :: !acc);
+        f ?n:None ~positions ~tl ~upper
+          ~f:(fun ~first ~last -> acc := (first, last) :: !acc)
+          ();
         List.rev !acc
       in
       collect Windows.iter_windows = collect Windows.iter_windows_linear)
@@ -643,6 +768,10 @@ let () =
           Alcotest.test_case "detects corruption" `Quick test_codec_detects_corruption;
           Alcotest.test_case "future version" `Quick test_codec_rejects_future_version;
           Alcotest.test_case "compact" `Quick test_codec_encoding_is_compact;
+          Alcotest.test_case "truncated file via load" `Quick
+            test_codec_load_truncated_file;
+          Alcotest.test_case "v2 block validation" `Quick
+            test_codec_v2_block_validation;
         ] );
       ( "chunked",
         [

@@ -119,12 +119,30 @@ let reference_entity_positions lists =
   Hashtbl.fold (fun e ps acc -> (e, List.rev ps) :: acc) h []
   |> List.sort compare
 
+(* Flatten per-position lists into the (buf, offs, lens) layout
+   [Inverted_index.decode_document] produces. *)
+let flatten lists =
+  let n = Array.length lists in
+  let offs = Array.make n 0 and lens = Array.make n 0 in
+  let total = Array.fold_left (fun acc l -> acc + Array.length l) 0 lists in
+  let buf = Array.make (max 1 total) 0 in
+  let at = ref 0 in
+  Array.iteri
+    (fun i l ->
+      offs.(i) <- !at;
+      lens.(i) <- Array.length l;
+      Array.blit l 0 buf !at (Array.length l);
+      at := !at + Array.length l)
+    lists;
+  (buf, offs, lens)
+
 let run_multiway ?merger lists =
   let acc = ref [] in
+  let buf, offs, lens = flatten lists in
   Multiway.iter_entity_positions ?merger ~n_positions:(Array.length lists)
-    ~list_at:(fun i -> lists.(i))
-    ~f:(fun ~entity ~positions ->
-      acc := (entity, Dynarray.to_list positions) :: !acc)
+    ~buf ~offs ~lens
+    ~f:(fun ~entity ~positions ~n ->
+      acc := (entity, Array.to_list (Array.sub positions 0 n)) :: !acc)
     ();
   List.rev !acc
 
@@ -177,8 +195,8 @@ let prop_multiway_scans_once =
     arb_lists
     (fun lists ->
       let _, total =
-        Multiway.heap_stats ~n_positions:(Array.length lists) ~list_at:(fun i ->
-            lists.(i))
+        Multiway.heap_stats ~n_positions:(Array.length lists)
+          ~length_at:(fun i -> Array.length lists.(i))
       in
       let emitted =
         List.fold_left
@@ -369,7 +387,7 @@ let test_heap_stats () =
   let lists = [| [| 1; 2 |]; [||]; [| 3 |] |] in
   Alcotest.(check (pair int int))
     "stats" (2, 3)
-    (Multiway.heap_stats ~n_positions:3 ~list_at:(fun i -> lists.(i)))
+    (Multiway.heap_stats ~n_positions:3 ~length_at:(fun i -> Array.length lists.(i)))
 
 let () =
   let q = QCheck_alcotest.to_alcotest in

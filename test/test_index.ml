@@ -82,6 +82,8 @@ let test_tokenize_document_mode () =
 (* Inverted index                                                      *)
 (* ------------------------------------------------------------------ *)
 
+let plist idx tok = Inverted_index.Postings.to_array (Inverted_index.postings idx tok)
+
 let test_postings_paper () =
   (* Figure 1: gram "ch" appears in e1, e2, e3, e5 (0-based ids 0,1,2,4);
      gram "ka" in e1, e4 (0-based 0,3); gram "ve" in e4 only. *)
@@ -90,7 +92,7 @@ let test_postings_paper () =
   let interner = Dictionary.interner d in
   let postings g =
     match Tk.Interner.find_opt interner g with
-    | Some tok -> Inverted_index.postings idx tok
+    | Some tok -> plist idx tok
     | None -> [||]
   in
   Alcotest.(check (array int)) "ch list" [| 0; 1; 2; 4 |] (postings "ch");
@@ -102,7 +104,7 @@ let test_postings_sorted_dense () =
   let idx = Inverted_index.build d in
   let n = Tk.Interner.size (Dictionary.interner d) in
   for tok = 0 to n - 1 do
-    let l = Inverted_index.postings idx tok in
+    let l = plist idx tok in
     Array.iteri
       (fun i e -> if i > 0 then check_bool "ascending" true (l.(i - 1) < e))
       l
@@ -111,15 +113,17 @@ let test_postings_sorted_dense () =
 let test_postings_missing_token () =
   let d = gram_dict () in
   let idx = Inverted_index.build d in
-  Alcotest.(check (array int)) "missing" [||] (Inverted_index.postings idx Tk.Span.missing);
-  Alcotest.(check (array int)) "out of range" [||] (Inverted_index.postings idx 99999)
+  check_bool "missing empty" true
+    (Inverted_index.Postings.is_empty (Inverted_index.postings idx Tk.Span.missing));
+  Alcotest.(check (array int)) "missing" [||] (plist idx Tk.Span.missing);
+  Alcotest.(check (array int)) "out of range" [||] (plist idx 99999)
 
 let test_duplicate_tokens_one_posting () =
   (* An entity with a duplicated token appears once in the list. *)
   let d = Dictionary.create ~mode:Tk.Document.Word [ "a b a" ] in
   let idx = Inverted_index.build d in
   let tok = Option.get (Tk.Interner.find_opt (Dictionary.interner d) "a") in
-  Alcotest.(check (array int)) "one posting" [| 0 |] (Inverted_index.postings idx tok)
+  Alcotest.(check (array int)) "one posting" [| 0 |] (plist idx tok)
 
 let test_n_postings () =
   let d = Dictionary.create ~mode:Tk.Document.Word [ "a b"; "b c" ] in
@@ -127,12 +131,66 @@ let test_n_postings () =
   check_int "postings" 4 (Inverted_index.n_postings idx);
   check_int "lists" 3 (Inverted_index.n_lists idx)
 
-let test_document_lists () =
+let test_postings_cursor_agrees () =
+  (* length/iter/fold are three views of the same block. *)
+  let d = gram_dict () in
+  let idx = Inverted_index.build d in
+  for tok = 0 to Inverted_index.n_tokens idx - 1 do
+    let p = Inverted_index.postings idx tok in
+    let arr = Inverted_index.Postings.to_array p in
+    check_int "length" (Array.length arr) (Inverted_index.Postings.length p);
+    let via_iter = ref [] in
+    Inverted_index.Postings.iter (fun e -> via_iter := e :: !via_iter) p;
+    Alcotest.(check (list int))
+      "iter order" (Array.to_list arr)
+      (List.rev !via_iter);
+    let via_fold =
+      Inverted_index.Postings.fold (fun acc e -> e :: acc) [] p
+    in
+    Alcotest.(check (list int)) "fold order" (Array.to_list arr) (List.rev via_fold)
+  done
+
+let test_decode_document () =
   let d = word_dict () in
   let idx = Inverted_index.build d in
   let doc = Dictionary.tokenize_document d "unknown dong" in
-  Alcotest.(check (array int)) "unknown token" [||] (Inverted_index.document_lists idx doc 0);
-  Alcotest.(check (array int)) "dong in e0,e2" [| 0; 2 |] (Inverted_index.document_lists idx doc 1)
+  let ws = Inverted_index.Workspace.create () in
+  let buf, offs, lens = Inverted_index.decode_document idx ws doc in
+  check_int "unknown token empty" 0 lens.(0);
+  Alcotest.(check (array int)) "dong in e0,e2" [| 0; 2 |]
+    (Array.sub buf offs.(1) lens.(1));
+  (* A repeated token decodes to the same (memoized) buffer segment. *)
+  let doc2 = Dictionary.tokenize_document d "dong x dong" in
+  let buf, offs, lens = Inverted_index.decode_document idx ws doc2 in
+  check_int "memoized offset" offs.(0) offs.(2);
+  Alcotest.(check (array int)) "repeat decodes alike" [| 0; 2 |]
+    (Array.sub buf offs.(2) lens.(2))
+
+let test_blocks_roundtrip () =
+  (* raw_blocks → of_blocks reproduces every list, count and size. *)
+  let d = gram_dict () in
+  let idx = Inverted_index.build d in
+  let blob, offs, counts = Inverted_index.raw_blocks idx in
+  let idx' = Inverted_index.of_blocks d ~blob ~offs ~counts in
+  check_int "n_postings" (Inverted_index.n_postings idx)
+    (Inverted_index.n_postings idx');
+  check_int "n_lists" (Inverted_index.n_lists idx) (Inverted_index.n_lists idx');
+  for tok = 0 to Inverted_index.n_tokens idx - 1 do
+    Alcotest.(check (array int)) "list" (plist idx tok) (plist idx' tok)
+  done
+
+let test_of_stored_roundtrip () =
+  let d = gram_dict () in
+  let idx = Inverted_index.build d in
+  let lists =
+    Array.init (Inverted_index.n_tokens idx) (fun tok -> plist idx tok)
+  in
+  let idx' = Inverted_index.of_stored d lists in
+  check_int "n_postings" (Inverted_index.n_postings idx)
+    (Inverted_index.n_postings idx');
+  for tok = 0 to Inverted_index.n_tokens idx - 1 do
+    Alcotest.(check (array int)) "list" (plist idx tok) (plist idx' tok)
+  done
 
 let test_heap_bytes_positive_and_grows () =
   let d1 = Dictionary.create ~mode:(Tk.Document.Gram 2) [ "abcd" ] in
@@ -157,7 +215,7 @@ let prop_index_complete =
       Array.for_all
         (fun e ->
           Array.for_all
-            (fun tok -> Array.mem e.Entity.id (Inverted_index.postings idx tok))
+            (fun tok -> Array.mem e.Entity.id (plist idx tok))
             e.Entity.distinct_tokens)
         (Dictionary.entities d)
       &&
@@ -167,6 +225,28 @@ let prop_index_complete =
           0 (Dictionary.entities d)
       in
       Inverted_index.n_postings idx = total_distinct)
+
+(* Delta+varint blocks survive a decode→re-adopt round trip verbatim. *)
+let prop_blocks_roundtrip =
+  let arb =
+    QCheck.(
+      list_of_size (QCheck.Gen.int_range 1 12)
+        (string_gen_of_size (QCheck.Gen.int_range 1 8)
+           (QCheck.Gen.oneofl [ 'a'; 'b'; 'c'; 'd'; ' ' ])))
+  in
+  QCheck.Test.make ~count:200 ~name:"posting blocks roundtrip through raw_blocks"
+    arb
+    (fun entities ->
+      let d = Dictionary.create ~mode:Tk.Document.Word entities in
+      let idx = Inverted_index.build d in
+      let blob, offs, counts = Inverted_index.raw_blocks idx in
+      let idx' = Inverted_index.of_blocks d ~blob ~offs ~counts in
+      let n = Inverted_index.n_tokens idx in
+      Inverted_index.n_tokens idx' = n
+      && Inverted_index.n_postings idx' = Inverted_index.n_postings idx
+      && Array.for_all
+           (fun tok -> plist idx tok = plist idx' tok)
+           (Array.init n Fun.id))
 
 let () =
   let q = QCheck_alcotest.to_alcotest in
@@ -192,8 +272,12 @@ let () =
           Alcotest.test_case "missing token" `Quick test_postings_missing_token;
           Alcotest.test_case "duplicate tokens" `Quick test_duplicate_tokens_one_posting;
           Alcotest.test_case "posting counts" `Quick test_n_postings;
-          Alcotest.test_case "document lists" `Quick test_document_lists;
+          Alcotest.test_case "postings cursor" `Quick test_postings_cursor_agrees;
+          Alcotest.test_case "decode document" `Quick test_decode_document;
+          Alcotest.test_case "blocks roundtrip" `Quick test_blocks_roundtrip;
+          Alcotest.test_case "of_stored roundtrip" `Quick test_of_stored_roundtrip;
           Alcotest.test_case "heap bytes" `Quick test_heap_bytes_positive_and_grows;
           q prop_index_complete;
+          q prop_blocks_roundtrip;
         ] );
     ]

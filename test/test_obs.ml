@@ -340,6 +340,7 @@ let test_explain_jsonl_schema () =
       Explain.Candidate
         { entity = 3; start = 7; len = 2; count = 2; t = 2; survived = true };
       Explain.Filter_done { survivors = 12 };
+      Explain.Verifier { choice = "myers" };
       Explain.Verify { entity = 3; start = 7; len = 2; matched = true };
       Explain.Selection { total = 9; kept = 4 };
     ];
@@ -353,6 +354,7 @@ let test_explain_jsonl_schema () =
      {\"ev\":\"window_skip\",\"entity\":3,\"reason\":\"shift\",\"jump\":5}\n\
      {\"ev\":\"candidate\",\"entity\":3,\"start\":7,\"len\":2,\"count\":2,\"t\":2,\"survived\":true}\n\
      {\"ev\":\"filter_done\",\"survivors\":12}\n\
+     {\"ev\":\"verifier\",\"choice\":\"myers\"}\n\
      {\"ev\":\"verify\",\"entity\":3,\"start\":7,\"len\":2,\"matched\":true}\n\
      {\"ev\":\"selection\",\"total\":9,\"kept\":4}\n"
     (Explain.to_jsonl sink)

@@ -169,6 +169,69 @@ let prop_distance_upto_agrees =
       | Some d -> d = full && d <= cap
       | None -> full > cap)
 
+(* Differential: the Myers bit-parallel engine, the banded DP and the full
+   DP must agree on every input, including tau = 0 and equal strings. *)
+let upto_checks (r, s, cap) =
+  let full = reference_ed r s in
+  let agree = function
+    | Some d -> d = full && d <= cap
+    | None -> full > cap
+  in
+  agree (Ed.distance_upto_myers ~cap r s)
+  && agree (Ed.distance_upto_banded ~cap r s)
+  && Ed.distance_upto_myers ~cap r s = Ed.distance_upto_banded ~cap r s
+
+let prop_myers_matches_banded =
+  QCheck.Test.make ~count:1000 ~name:"Myers == banded == full DP"
+    (QCheck.triple arb_small_string arb_small_string (QCheck.int_bound 6))
+    upto_checks
+
+let prop_myers_tau_zero =
+  QCheck.Test.make ~count:500 ~name:"Myers at tau=0 is string equality"
+    (QCheck.pair arb_small_string arb_small_string)
+    (fun (r, s) ->
+      Ed.distance_upto_myers ~cap:0 r s
+      = (if r = s then Some 0 else None)
+      && Ed.distance_upto_myers ~cap:3 r r = Some 0)
+
+(* Strings straddling the one-word boundary: the shorter side crosses
+   [myers_max_len], forcing the banded fallback inside the Myers entry
+   point; both engines must keep agreeing there. *)
+let gen_long_string =
+  QCheck.Gen.(
+    string_size ~gen:(oneofl [ 'a'; 'b'; 'c' ])
+      (int_range (Ed.myers_max_len - 3) (Ed.myers_max_len + 6)))
+
+let arb_long_string = QCheck.make ~print:(fun s -> s) gen_long_string
+
+let prop_myers_boundary_lengths =
+  QCheck.Test.make ~count:400
+    ~name:"Myers/banded agree across the word-width fallback boundary"
+    (QCheck.triple arb_long_string arb_long_string (QCheck.int_bound 8))
+    upto_checks
+
+let test_myers_boundary_exact () =
+  (* Deterministic pins at len = myers_max_len and just past it. *)
+  List.iter
+    (fun n ->
+      let a = String.make n 'a' in
+      let b = String.make n 'b' in
+      let a' = String.init n (fun i -> if i = n / 2 then 'x' else 'a') in
+      check_bool
+        (Printf.sprintf "equal len %d" n)
+        true
+        (Ed.distance_upto_myers ~cap:0 a a = Some 0);
+      check_bool
+        (Printf.sprintf "one sub len %d" n)
+        true
+        (Ed.distance_upto_myers ~cap:1 a a' = Some 1);
+      check_bool
+        (Printf.sprintf "all differ len %d" n)
+        true
+        (Ed.distance_upto_myers ~cap:2 a b = None))
+    [ Ed.myers_max_len - 1; Ed.myers_max_len; Ed.myers_max_len + 1;
+      Ed.myers_max_len + 5 ]
+
 (* ------------------------------------------------------------------ *)
 (* Thresholds: paper's worked examples                                 *)
 (* ------------------------------------------------------------------ *)
@@ -427,10 +490,14 @@ let () =
           Alcotest.test_case "eds empty" `Quick test_eds_empty;
           Alcotest.test_case "within" `Quick test_within;
           Alcotest.test_case "distance_upto" `Quick test_distance_upto;
+          Alcotest.test_case "myers boundary pins" `Quick test_myers_boundary_exact;
           q prop_ed_matches_reference;
           q prop_ed_symmetric;
           q prop_ed_triangle;
           q prop_distance_upto_agrees;
+          q prop_myers_matches_banded;
+          q prop_myers_tau_zero;
+          q prop_myers_boundary_lengths;
         ] );
       ( "thresholds",
         [
