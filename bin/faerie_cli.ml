@@ -714,7 +714,7 @@ let serve_cmd =
     let doc =
       "Arm deterministic fault injection: SEED:site=rate[,site=rate...] \
        (sites: tokenize, heap_merge, verify, codec_io, supervisor_worker, \
-       codec_rename, serve_decode, shard_frame). Testing hook."
+       codec_rename, serve_decode, shard_frame, shard_stats). Testing hook."
     in
     Arg.(
       value & opt (some inject_conv) None & info [ "inject" ] ~docv:"SPEC" ~doc)
@@ -737,9 +737,36 @@ let serve_cmd =
     Arg.(
       value & opt int 0 & info [ "shard-timeout-ms" ] ~docv:"MS" ~doc)
   in
+  let metrics_format_arg =
+    let doc =
+      "Rendering of metrics snapshots in {\"op\":\"stats\"} admin responses \
+       and --stats-interval-s ticks: jsonl embeds a structured \"metrics\" \
+       object, prometheus embeds the Prometheus text exposition as a \
+       \"prometheus\" string."
+    in
+    Arg.(
+      value
+      & opt
+          (Arg.enum
+             [
+               ("jsonl", `Jsonl);
+               ("prometheus", `Prometheus);
+               ("prom", `Prometheus);
+             ])
+          `Jsonl
+      & info [ "metrics-format" ] ~docv:"FMT" ~doc)
+  in
+  let stats_interval_arg =
+    let doc =
+      "Emit a metrics snapshot line to stderr every N seconds (cluster mode \
+       first pulls and merges every shard's registry). 0 (default) disables \
+       the ticker."
+    in
+    Arg.(value & opt int 0 & info [ "stats-interval-s" ] ~docv:"N" ~doc)
+  in
   let run sim q dict_file index_file pruning domains retries backoff_ms
       backoff_max_ms quarantine shed timeout_ms max_doc_bytes queue inject
-      shards shard_timeout_ms =
+      shards shard_timeout_ms metrics_format stats_interval_s =
     guard @@ fun () ->
     (match inject with
     | Some cfg -> Faerie_util.Fault.configure cfg
@@ -801,11 +828,80 @@ let serve_cmd =
                 with Sys_error m when is_epipe m ->
                   Atomic.set client_gone true))
     in
+    (* --stats-interval-s ticker. SIGALRM only sets a flag; the snapshot
+       is emitted from the request loop (on the interrupted read, or
+       between requests) because cluster mode does frame round-trips to
+       pull shard registries — nothing a signal handler may do. No timer
+       domain either: the cluster coordinator must stay the sole live
+       domain of its process or later shard forks would be undefined. *)
+    let stats_tick = Atomic.make false in
+    let tick_hook = ref (fun () -> ()) in
+    let maybe_tick () =
+      if Atomic.exchange stats_tick false then !tick_hook ()
+    in
+    if stats_interval_s > 0 then begin
+      (try
+         ignore
+           (Sys.signal Sys.sigalrm
+              (Sys.Signal_handle (fun _ -> Atomic.set stats_tick true)))
+       with Invalid_argument _ | Sys_error _ -> ());
+      let s = float_of_int stats_interval_s in
+      try
+        ignore
+          (Unix.setitimer Unix.ITIMER_REAL
+             { Unix.it_interval = s; it_value = s })
+      with Unix.Unix_error _ -> ()
+    end;
+    (* Requests are read from the raw fd, not a buffered channel: channel
+       reads transparently restart on EINTR, which would sit on a pending
+       tick until the next request arrives. Parking in select instead
+       lets SIGALRM surface ticks while the server is idle. *)
+    let lines_q = Queue.create () in
+    let acc = Buffer.create 4096 in
+    let rbuf = Bytes.create 65536 in
+    let eof = ref false in
     let rec read_request_line () =
-      match input_line stdin with
-      | line -> Some line
-      | exception End_of_file -> None
-      | exception Sys_error m when is_eintr m -> read_request_line ()
+      if not (Queue.is_empty lines_q) then Some (Queue.take lines_q)
+      else if !eof then None
+      else begin
+        maybe_tick ();
+        match Unix.select [ Unix.stdin ] [] [] (-1.) with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+            maybe_tick ();
+            read_request_line ()
+        | _ -> (
+            match Unix.read Unix.stdin rbuf 0 (Bytes.length rbuf) with
+            | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+                maybe_tick ();
+                read_request_line ()
+            | 0 ->
+                eof := true;
+                if Buffer.length acc > 0 then begin
+                  let l = Buffer.contents acc in
+                  Buffer.clear acc;
+                  Some l
+                end
+                else None
+            | n ->
+                for i = 0 to n - 1 do
+                  match Bytes.get rbuf i with
+                  | '\n' ->
+                      Queue.add (Buffer.contents acc) lines_q;
+                      Buffer.clear acc
+                  | c -> Buffer.add_char acc c
+                done;
+                read_request_line ())
+      end
+    in
+    let admin_error_line e =
+      let module J = Faerie_util.Json in
+      J.to_string
+        (J.Obj
+           [
+             ("v", J.Num (float_of_int Serve_proto.version));
+             ("outcome", J.Str "error");
+             ("error", J.Str (Serve_proto.parse_error_to_string e));
+           ])
     in
     let pool_retry = { Supervisor.retries; backoff_ms; backoff_max_ms; seed = 0 } in
     let serve_single () =
@@ -851,6 +947,12 @@ let serve_cmd =
         }
       in
       let pool = Supervisor.create ~config (fun () -> Atomic.get ex_ref) in
+      tick_hook :=
+        (fun () ->
+          Supervisor.note_queue_depth pool;
+          prerr_endline
+            (Serve_proto.stats_response_json ~format:metrics_format
+               (Metrics.snapshot ())));
       let done_lock = Mutex.create () in
       let outcomes = ref [] in
       let record out =
@@ -865,37 +967,64 @@ let serve_cmd =
         | None -> continue := false
         | Some line ->
             maybe_reload ();
+            maybe_tick ();
             if Atomic.get client_gone then continue := false
             else if String.trim line <> "" then begin
-              let o = !ord in
-              incr ord;
-              match Serve_proto.parse_request ~ord:o line with
-              | Error e -> print_line (Serve_proto.error_json ~ord:o e)
-              | Ok req ->
-                  let budget =
-                    {
-                      Budget.spec_unlimited with
-                      timeout_ms =
-                        (match req.Serve_proto.timeout_ms with
-                        | Some _ as t -> t
-                        | None -> timeout_ms);
-                      max_bytes = max_doc_bytes;
-                    }
-                  in
-                  let opts = { Extractor.default_opts with pruning; budget } in
-                  let id = req.Serve_proto.id in
-                  ignore
-                    (Supervisor.submit pool ?id ~opts ~doc_id:o
-                       req.Serve_proto.text ~on_done:(fun out ->
-                         record out;
-                         print_line
-                           (Serve_proto.response_json ~ord:o ~id
-                              ~gen:(Atomic.get gen) out)))
+              (* Admin ops never consume a doc ordinal, so a probed server
+                 keeps the exact fault schedule of an unprobed one. *)
+              match Serve_proto.parse_admin line with
+              | Some (Error e) -> print_line (admin_error_line e)
+              | Some (Ok Serve_proto.Stats) ->
+                  Supervisor.note_queue_depth pool;
+                  print_line
+                    (Serve_proto.stats_response_json ~format:metrics_format
+                       (Metrics.snapshot ()))
+              | Some (Ok Serve_proto.Health) ->
+                  print_line
+                    (Serve_proto.health_response_json ~status:"ok"
+                       [
+                         {
+                           Serve_proto.h_shard = 0;
+                           h_up = true;
+                           h_gen = Atomic.get gen;
+                           h_restarts = Supervisor.worker_restarts pool;
+                           h_queue_depth = Supervisor.queue_depth pool;
+                         };
+                       ])
+              | None -> (
+                  let o = !ord in
+                  incr ord;
+                  match Serve_proto.parse_request ~ord:o line with
+                  | Error e -> print_line (Serve_proto.error_json ~ord:o e)
+                  | Ok req ->
+                      let budget =
+                        {
+                          Budget.spec_unlimited with
+                          timeout_ms =
+                            (match req.Serve_proto.timeout_ms with
+                            | Some _ as t -> t
+                            | None -> timeout_ms);
+                          max_bytes = max_doc_bytes;
+                        }
+                      in
+                      let opts =
+                        { Extractor.default_opts with pruning; budget }
+                      in
+                      let id = req.Serve_proto.id in
+                      ignore
+                        (Supervisor.submit pool ?id ~opts ~doc_id:o
+                           req.Serve_proto.text ~on_done:(fun out ->
+                             record out;
+                             print_line
+                               (Serve_proto.response_json ~ord:o ~id
+                                  ~gen:(Atomic.get gen) out))))
             end
       done;
       Supervisor.shutdown pool;
       let summary = Outcome.summarize (Array.of_list !outcomes) in
-      prerr_endline (Serve_proto.summary_json ~reloads:!reloads summary);
+      prerr_endline
+        (Serve_proto.summary_json ~metrics:(Metrics.snapshot ())
+           ~reloads:!reloads summary);
       0
     in
     let serve_cluster () =
@@ -938,6 +1067,21 @@ let serve_cmd =
         }
       in
       let cluster = Cluster.create ~config ~sim ~q entities_of_source in
+      let pull_stats () =
+        let merged, per_shard = Cluster.stats cluster in
+        let missing =
+          List.filter_map
+            (fun (sid, snap) -> if snap = None then Some sid else None)
+            per_shard
+        in
+        (merged, missing)
+      in
+      tick_hook :=
+        (fun () ->
+          let merged, missing = pull_stats () in
+          prerr_endline
+            (Serve_proto.stats_response_json ~missing ~format:metrics_format
+               merged));
       Metrics.set g_index_generation 0.;
       let reloads = ref 0 in
       let reload () =
@@ -965,34 +1109,51 @@ let serve_cmd =
         | None -> continue := false
         | Some line ->
             maybe_reload ();
+            maybe_tick ();
             if Atomic.get client_gone then continue := false
             else if String.trim line <> "" then begin
-              let o = !ord in
-              incr ord;
-              match Serve_proto.parse_request ~ord:o line with
-              | Error e -> print_line (Serve_proto.error_json ~ord:o e)
-              | Ok req ->
-                  let id = req.Serve_proto.id in
-                  let timeout_ms =
-                    match req.Serve_proto.timeout_ms with
-                    | Some _ as t -> t
-                    | None -> timeout_ms
-                  in
-                  let out =
-                    Cluster.submit cluster ?id ?timeout_ms ~doc:o
-                      req.Serve_proto.text
-                  in
-                  outcomes := out :: !outcomes;
+              match Serve_proto.parse_admin line with
+              | Some (Error e) -> print_line (admin_error_line e)
+              | Some (Ok Serve_proto.Stats) ->
+                  let merged, missing = pull_stats () in
                   print_line
-                    (Serve_proto.response_json ~ord:o ~id
-                       ~gen:(Cluster.generation cluster) out)
+                    (Serve_proto.stats_response_json ~missing
+                       ~format:metrics_format merged)
+              | Some (Ok Serve_proto.Health) ->
+                  let status, shard_healths = Cluster.health cluster in
+                  print_line
+                    (Serve_proto.health_response_json ~status shard_healths)
+              | None -> (
+                  let o = !ord in
+                  incr ord;
+                  match Serve_proto.parse_request ~ord:o line with
+                  | Error e -> print_line (Serve_proto.error_json ~ord:o e)
+                  | Ok req ->
+                      let id = req.Serve_proto.id in
+                      let timeout_ms =
+                        match req.Serve_proto.timeout_ms with
+                        | Some _ as t -> t
+                        | None -> timeout_ms
+                      in
+                      let out =
+                        Cluster.submit cluster ?id ?timeout_ms ~doc:o
+                          req.Serve_proto.text
+                      in
+                      outcomes := out :: !outcomes;
+                      print_line
+                        (Serve_proto.response_json ~ord:o ~id
+                           ~gen:(Cluster.generation cluster) out))
             end
       done;
+      (* The cluster-merged snapshot must be pulled while the shards still
+         live; it lands in the summary's "metrics" object. *)
+      let final_metrics, _ = Cluster.stats cluster in
       Cluster.shutdown cluster;
       let tot = Cluster.totals cluster in
       let summary = Outcome.summarize (Array.of_list (List.rev !outcomes)) in
       prerr_endline
-        (Serve_proto.cluster_summary_json ~reloads:!reloads ~shards
+        (Serve_proto.cluster_summary_json ~metrics:final_metrics
+           ~reloads:!reloads ~shards
            ~shard_restarts:tot.Cluster.shard_restarts
            ~shard_timeouts:tot.Cluster.shard_timeouts
            ~docs_partial:tot.Cluster.docs_partial
@@ -1017,7 +1178,8 @@ let serve_cmd =
       const run $ sim_arg $ q_arg $ dict_opt_arg $ index_opt_arg $ pruning_arg
       $ domains_arg $ retries_arg $ backoff_arg $ backoff_max_arg
       $ quarantine_arg $ shed_arg $ timeout_arg $ max_doc_bytes_arg $ queue_arg
-      $ inject_arg $ shards_arg $ shard_timeout_arg)
+      $ inject_arg $ shards_arg $ shard_timeout_arg $ metrics_format_arg
+      $ stats_interval_arg)
 
 (* ---- gen ---- *)
 

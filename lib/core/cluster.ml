@@ -19,6 +19,11 @@ let m_docs_partial =
     ~help:"documents answered with a Shard_partial degradation (some shards missing)"
     "docs_partial"
 
+let m_quarantined_pairs =
+  Metrics.counter
+    ~help:"(doc, shard) pairs written off to the dead-letter file"
+    "quarantined_pairs"
+
 let g_cluster_shards =
   Metrics.gauge ~help:"configured shard processes" ~agg:`Max "cluster_shards"
 
@@ -58,6 +63,10 @@ type slot = {
   mutable range : Shard_plan.range;
   mutable snapshot : string;
   mutable up : bool;
+  mutable restarts : int;  (* times this slot's process was respawned *)
+  mutable offset_ns : int64;
+      (* coordinator clock minus shard clock, measured at the Ready
+         handshake; re-bases shard span timestamps for trace grafting *)
   mutable bye : (int * int) option;  (* worker restarts, quarantined (from Bye) *)
 }
 
@@ -116,6 +125,21 @@ let shard_main ~(config : config) ~sid ~gen0 ~sim ~snapshot ~rfd ~wfd =
    with Invalid_argument _ | Sys_error _ -> ());
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ | Sys_error _ -> ());
+  (* Fork hygiene. The child inherits the coordinator's metric values (a
+     Stats_reply would re-count them and the cluster merge would double),
+     any injected test clock (shard spans must carry real timestamps the
+     coordinator re-bases against the Ready offset), buffered coordinator
+     spans, and a possibly armed --stats-interval-s SIGALRM timer. Zero
+     all four before serving. *)
+  (try Sys.set_signal Sys.sigalrm Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  (try
+     ignore
+       (Unix.setitimer Unix.ITIMER_REAL { Unix.it_interval = 0.; it_value = 0. })
+   with Unix.Unix_error _ -> ());
+  Metrics.reset ();
+  Trace.reset ();
+  Trace.set_clock None;
   let load path =
     let _, index = Ix.Codec.load path in
     Extractor.of_problem (Problem.of_index ~sim index)
@@ -135,7 +159,7 @@ let shard_main ~(config : config) ~sid ~gen0 ~sim ~snapshot ~rfd ~wfd =
       ~finally:(fun () -> Mutex.unlock wlock)
       (fun () -> Frame.write wfd (Shard.reply_to_string reply))
   in
-  send (Shard.Ready { shard = sid; gen = gen0 });
+  send (Shard.Ready { shard = sid; gen = gen0; now_ns = Trace.now_ns () });
   let rd = Frame.reader rfd in
   let rec loop () =
     match Frame.read rd with
@@ -150,12 +174,16 @@ let shard_main ~(config : config) ~sid ~gen0 ~sim ~snapshot ~rfd ~wfd =
         | Error e ->
             send (Shard.Refused { error = Serve_proto.parse_error_to_string e });
             loop ()
-        | Ok (Shard.Doc { doc; attempt; timeout_ms; text }) ->
+        | Ok (Shard.Doc { doc; attempt; timeout_ms; text; trace }) ->
             let key = Supervisor.shard_fault_key ~doc_id:doc ~shard:sid ~attempt in
             (* Deliberately outside any containment: an injection here is a
                shard-process crash (the exception unwinds to the fork
                wrapper, which exits the process abnormally). *)
             Fault.with_context key (fun () -> Fault.site "shard_frame");
+            (* A traced doc frame is the coordinator telling us to record:
+               the recording flag is process-local and this child may have
+               been forked before tracing was enabled over there. *)
+            if trace <> None && not (Trace.enabled ()) then Trace.enable ();
             let budget =
               {
                 config.budget with
@@ -169,9 +197,21 @@ let shard_main ~(config : config) ~sid ~gen0 ~sim ~snapshot ~rfd ~wfd =
               { Extractor.default_opts with pruning = config.pruning; budget }
             in
             ignore
-              (Supervisor.submit pool ~opts ~doc_id:key text
+              (Supervisor.submit pool ~opts ~doc_id:key ?trace text
                  ~on_done:(fun outcome ->
-                   try send (Shard.Result { doc; gen = !gen_ref; outcome })
+                   (* The coordinator keeps at most one doc in flight per
+                      shard, so draining here cannot steal spans of a
+                      concurrent request; the trace-id filter drops spans
+                      of unrelated shard-local activity. *)
+                   let spans =
+                     match trace with
+                     | Some (tid, _) ->
+                         List.filter
+                           (fun s -> s.Trace.trace = tid)
+                           (Trace.drain ())
+                     | None -> []
+                   in
+                   try send (Shard.Result { doc; gen = !gen_ref; outcome; spans })
                    with _ -> ()));
             loop ()
         | Ok (Shard.Prepare { gen; path }) ->
@@ -210,6 +250,15 @@ let shard_main ~(config : config) ~sid ~gen0 ~sim ~snapshot ~rfd ~wfd =
         | Ok (Shard.Abort { gen }) ->
             pending := None;
             send (Shard.Aborted { gen });
+            loop ()
+        | Ok Shard.Stats_req ->
+            (* Same crash-boundary convention as shard_frame: an injection
+               here kills the shard process mid-stats, which the
+               coordinator must surface as a flagged partial snapshot —
+               never a hang, never a poisoned merge. *)
+            Fault.with_context sid (fun () -> Fault.site "shard_stats");
+            Supervisor.note_queue_depth pool;
+            send (Shard.Stats_reply { shard = sid; snapshot = Metrics.snapshot () });
             loop ()
         | Ok Shard.Shutdown ->
             Supervisor.shutdown pool;
@@ -278,8 +327,17 @@ let await_ready t slot =
   with
   | `Frame p -> (
       match Shard.reply_of_string p with
-      | Ok (Shard.Ready { shard; gen }) ->
-          shard = slot.sid && gen = t.generation
+      | Ok (Shard.Ready { shard; gen; now_ns }) ->
+          shard = slot.sid
+          && gen = t.generation
+          &&
+          ((* The shard stamped its (real) clock into Ready; subtracting
+              it from our receive-time clock estimates the per-shard
+              offset used to re-base its span timestamps. Includes the
+              pipe latency — the lo-clamp in [Trace.graft] absorbs that
+              residual. *)
+           slot.offset_ns <- Int64.sub (Trace.now_ns ()) now_ns;
+           true)
       | Ok _ | Error _ -> false)
   | `Eof | `Timeout | `Corrupt _ -> false
 
@@ -325,6 +383,7 @@ let start_slot t slot =
 let restart_slot t slot ~attempt =
   kill_slot t slot;
   t.restarts <- t.restarts + 1;
+  slot.restarts <- slot.restarts + 1;
   Metrics.incr m_shard_restarts;
   Printf.eprintf "faerie: cluster: shard %d down, restarting\n%!" slot.sid;
   (* Same capped full-jitter schedule the in-process supervisor uses for
@@ -366,13 +425,15 @@ let create ?(config = default_config) ~sim ~q load =
           sid = sp.Shard_plan.shard;
           up_gauge =
             Metrics.indexed_gauge ~help:"shard process liveness (1 = up)"
-              ~agg:`Max "shard_up" sp.Shard_plan.shard;
+              ~agg:`Max ~label:"shard" "shard_up" sp.Shard_plan.shard;
           pid = -1;
           wfd = Unix.stdin;
           rd = Frame.reader Unix.stdin;
           range = sp.Shard_plan.range;
           snapshot = sp.Shard_plan.path;
           up = false;
+          restarts = 0;
+          offset_ns = 0L;
           bye = None;
         })
       plan
@@ -438,15 +499,28 @@ let shard_timeout_error sid ms =
 
 let submit t ?id ?timeout_ms ~doc text =
   if t.closed then invalid_arg "Cluster.submit: cluster is shut down";
+  let run_fanout () =
   let n = Array.length t.slots in
   let states = Array.make n (Lost (shard_down_error 0)) in
+  (* Request-scoped trace context shipped on every doc frame: the trace id
+     is the arrival ordinal shifted off 0 (= untraced), the depth is where
+     a child of the enclosing cluster_doc span sits. [req_t0] floors the
+     grafted shard subtrees so residual clock skew cannot make them start
+     before the request span that contains them. When tracing is off this
+     is [None] and doc frames are byte-identical to the untraced protocol
+     (fault schedules hash frame contents downstream, so this must hold). *)
+  let trace_ctx =
+    if Trace.enabled () then Some (doc + 1, Trace.current_depth ()) else None
+  in
+  let req_t0 = if trace_ctx <> None then Some (Trace.now_ns ()) else None in
   let fresh_deadline () =
     Option.map (fun ms -> deadline_in_ms ms) t.config.shard_timeout_ms
   in
   let send_doc slot ~attempt =
     match
       Frame.write slot.wfd
-        (Shard.msg_to_string (Shard.Doc { doc; attempt; timeout_ms; text }))
+        (Shard.msg_to_string
+           (Shard.Doc { doc; attempt; timeout_ms; text; trace = trace_ctx }))
     with
     | () -> true
     | exception (Unix.Unix_error _ | Sys_error _) -> false
@@ -483,6 +557,7 @@ let submit t ?id ?timeout_ms ~doc text =
             text;
           };
         t.qpairs <- t.qpairs + 1;
+        Metrics.incr m_quarantined_pairs;
         Outcome.Quarantined { attempts; last = err }
   in
   (* A shard failed to answer (death, timeout, torn frame): restart it and
@@ -520,9 +595,11 @@ let submit t ?id ?timeout_ms ~doc text =
              })
     | `Frame p -> (
         match Shard.reply_of_string p with
-        | Ok (Shard.Result { doc = d; gen = _; outcome }) when d = doc -> (
+        | Ok (Shard.Result { doc = d; gen = _; outcome; spans }) when d = doc
+          -> (
             match states.(i) with
             | Waiting _ ->
+                Trace.graft ~offset_ns:slot.offset_ns ?lo_ns:req_t0 spans;
                 let remap ms = Shard_plan.remap_matches ~range:slot.range ms in
                 let out =
                   match outcome with
@@ -656,6 +733,10 @@ let submit t ?id ?timeout_ms ~doc text =
         Metrics.incr m_docs_partial;
         Outcome.Degraded (ms, Outcome.Shard_partial { n_shards = n; missing })
   end
+  in
+  Trace.with_span "cluster_doc"
+    ~attrs:[ ("doc", string_of_int doc) ]
+    run_fanout
 
 (* ---- two-phase reload ---- *)
 
@@ -843,6 +924,85 @@ let totals t =
     worker_restarts;
     shard_quarantined;
   }
+
+(* Pull every live shard's metrics snapshot and merge it with the
+   coordinator's own registry. One shared absolute deadline bounds the
+   whole fan-out ([--shard-timeout-ms], falling back to the handshake
+   timeout), so a wedged shard costs at most one deadline, not one per
+   shard. A shard that dies mid-stats (EOF — e.g. an injected shard_stats
+   fault) is restarted and reported as [None]; a shard that merely times
+   out is reported [None] without a restart (it may still be answering a
+   long document). Partial results are the contract: the merge flags
+   missing shards, it never hangs and never fails the op. *)
+let stats t =
+  if t.closed then invalid_arg "Cluster.stats: cluster is shut down";
+  let deadline =
+    deadline_in_ms
+      (Option.value t.config.shard_timeout_ms ~default:handshake_timeout_ms)
+  in
+  let sent =
+    Array.map
+      (fun slot ->
+        slot.up
+        &&
+        match Frame.write slot.wfd (Shard.msg_to_string Shard.Stats_req) with
+        | () -> true
+        | exception (Unix.Unix_error _ | Sys_error _) ->
+            ignore (restart_slot t slot ~attempt:1);
+            false)
+      t.slots
+  in
+  let per_shard =
+    Array.to_list
+      (Array.mapi
+         (fun i slot ->
+           if not sent.(i) then (slot.sid, None)
+           else
+             let rec await () =
+               match Frame.read ~deadline_ns:deadline slot.rd with
+               | `Frame p -> (
+                   match Shard.reply_of_string p with
+                   | Ok (Shard.Stats_reply { shard = _; snapshot }) ->
+                       (slot.sid, Some snapshot)
+                   | Ok _ -> await ()  (* stray frame: keep waiting *)
+                   | Error _ -> (slot.sid, None))
+               | `Timeout -> (slot.sid, None)
+               | `Eof | `Corrupt _ ->
+                   ignore (restart_slot t slot ~attempt:1);
+                   (slot.sid, None)
+             in
+             await ())
+         t.slots)
+  in
+  let merged =
+    Metrics.merge_snapshots
+      (Metrics.snapshot () :: List.filter_map snd per_shard)
+  in
+  (merged, per_shard)
+
+let health t =
+  let shards =
+    Array.to_list
+      (Array.map
+         (fun slot ->
+           {
+             Serve_proto.h_shard = slot.sid;
+             h_up = slot.up;
+             h_gen = t.generation;
+             h_restarts = slot.restarts;
+             (* The coordinator keeps at most one document in flight per
+                shard, so the shard-side pool queue is empty whenever we
+                can be asked — report the coordinator-known 0 rather than
+                paying a frame round-trip. *)
+             h_queue_depth = 0;
+           })
+         t.slots)
+  in
+  let status =
+    if List.for_all (fun h -> h.Serve_proto.h_up) shards then "ok"
+    else "degraded"
+  in
+  (status, shards)
 
 let run_batch ?(config = default_config) ~sim ~q ~entities docs =
   let t = create ~config ~sim ~q (fun () -> entities) in

@@ -117,10 +117,36 @@ type totals = {
       (** worker-domain respawns inside shard pools (summed from Byes;
           complete only after {!shutdown}) *)
   shard_quarantined : int;
-      (** documents quarantined inside shard pools (summed from Byes) *)
+      (** documents quarantined inside shard pools (summed from Byes) —
+          best-effort: an incarnation killed after appending its
+          dead-letter record but before its Bye leaves a durable,
+          replayable line this count never sees *)
 }
 
 val totals : t -> totals
+
+val stats :
+  t ->
+  Faerie_obs.Metrics.snapshot
+  * (int * Faerie_obs.Metrics.snapshot option) list
+(** Pull every live shard's full metrics snapshot ({!Serve_proto.Shard}
+    [Stats_req]/[Stats_reply] frames) and merge them — together with the
+    coordinator's own registry — via
+    {!Faerie_obs.Metrics.merge_snapshots}. Returns the merged snapshot and
+    the per-shard pulls in shard order; [None] marks a shard that was
+    down, died mid-stats (it is restarted, like any mid-request death) or
+    missed the deadline (not restarted — it may be busy). One shared
+    absolute deadline ([shard_timeout_ms], else the handshake timeout)
+    bounds the whole fan-out: a partial merge is returned, the call never
+    hangs and never raises on shard failure.
+    @raise Invalid_argument after {!shutdown}. *)
+
+val health : t -> string * Serve_proto.shard_health list
+(** Coordinator-local liveness view, no shard round-trips: per shard
+    up/generation/restart-count (queue depth is always 0 here — the
+    coordinator keeps at most one document in flight per shard), plus the
+    overall status: ["ok"] when every shard is up, ["degraded"]
+    otherwise. *)
 
 val run_batch :
   ?config:config ->

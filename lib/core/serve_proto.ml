@@ -3,6 +3,7 @@ module Json = Faerie_util.Json
 module Budget = Faerie_util.Budget
 module Score = Faerie_sim.Verify.Score
 module Trace = Faerie_obs.Trace
+module Metrics = Faerie_obs.Metrics
 
 let version = 1
 
@@ -104,21 +105,6 @@ let response_json ~ord ~id ~gen (out : Parallel.outcome) =
         [ ("error", Json.Str (Outcome.error_to_string err)) ]
   in
   Json.to_string (Json.Obj fields)
-
-let summary_json ~reloads s =
-  let base = Outcome.summary_to_json s in
-  (* [summary_to_json] always ends in '}'; splice the reload count in. *)
-  Printf.sprintf "%s,\"reloads\":%d}"
-    (String.sub base 0 (String.length base - 1))
-    reloads
-
-let cluster_summary_json ~reloads ~shards ~shard_restarts ~shard_timeouts
-    ~docs_partial ~quarantined_pairs s =
-  let base = Outcome.summary_to_json s in
-  Printf.sprintf
-    "%s,\"reloads\":%d,\"shards\":%d,\"shard_restarts\":%d,\"shard_timeouts\":%d,\"docs_partial\":%d,\"quarantined_pairs\":%d}"
-    (String.sub base 0 (String.length base - 1))
-    reloads shards shard_restarts shard_timeouts docs_partial quarantined_pairs
 
 (* ---- structured outcome codec (cluster internal frames) ---- *)
 
@@ -315,6 +301,289 @@ let outcome_of_json j : Parallel.outcome option =
         (Option.bind (Json.member "error" j) error_of_json)
   | _ -> None
 
+(* ---- metrics snapshot codec ---- *)
+
+(* Two renderings of a snapshot. The {e wire} form ([snapshot_to_json] /
+   [snapshot_of_json]) is full fidelity — gauge agg modes and labels ride
+   along so the coordinator can [Metrics.merge_snapshots] shard snapshots
+   without access to the shards' registries. The {e display} form
+   ([snapshot_json]) keys plain name→value objects for the admin plane and
+   the stderr summary, where [jq '.metrics.counters.X'] must work. *)
+
+let snapshot_to_json (s : Metrics.snapshot) =
+  let counters = List.map (fun (n, v) -> (n, num v)) s.Metrics.counters in
+  let gauge (n, (g : Metrics.gauge_snapshot)) =
+    let fields =
+      [
+        ("v", Json.Num g.value);
+        ("agg", Json.Str (match g.agg with `Sum -> "sum" | `Max -> "max"));
+      ]
+      @
+      match g.label with
+      | None -> []
+      | Some (family, key, value) ->
+          [
+            ( "label",
+              Json.List [ Json.Str family; Json.Str key; Json.Str value ] );
+          ]
+    in
+    (n, Json.Obj fields)
+  in
+  let hist (n, (h : Metrics.histogram_snapshot)) =
+    ( n,
+      Json.Obj
+        [
+          ( "upper",
+            Json.List (Array.to_list (Array.map (fun f -> Json.Num f) h.upper))
+          );
+          ("counts", Json.List (Array.to_list (Array.map num h.counts)));
+          ("sum", Json.Num h.sum);
+          ("count", num h.count);
+        ] )
+  in
+  Json.Obj
+    [
+      ("counters", Json.Obj counters);
+      ("gauges", Json.Obj (List.map gauge s.Metrics.gauges));
+      ("histograms", Json.Obj (List.map hist s.Metrics.histograms));
+    ]
+
+let snapshot_of_json j : Metrics.snapshot option =
+  let section name =
+    match Json.member name j with Some (Json.Obj kvs) -> Some kvs | _ -> None
+  in
+  let counter (n, v) = Option.map (fun i -> (n, i)) (Json.to_int v) in
+  let gauge (n, gj) =
+    let value = Option.bind (Json.member "v" gj) Json.to_num in
+    let agg =
+      match Option.bind (Json.member "agg" gj) Json.to_str with
+      | Some "sum" -> Some `Sum
+      | Some "max" -> Some `Max
+      | _ -> None
+    in
+    let label =
+      match Json.member "label" gj with
+      | None -> Some None
+      | Some (Json.List [ Json.Str f; Json.Str k; Json.Str v ]) ->
+          Some (Some (f, k, v))
+      | Some _ -> None
+    in
+    match (value, agg, label) with
+    | Some value, Some agg, Some label ->
+        Some (n, { Metrics.value; agg; label })
+    | _ -> None
+  in
+  let hist (n, hj) =
+    let floats name =
+      match Json.member name hj with
+      | Some (Json.List l) ->
+          Option.map Array.of_list (all_some (List.map Json.to_num l))
+      | _ -> None
+    in
+    let ints name =
+      match Json.member name hj with
+      | Some (Json.List l) ->
+          Option.map Array.of_list (all_some (List.map Json.to_int l))
+      | _ -> None
+    in
+    match
+      ( floats "upper",
+        ints "counts",
+        Option.bind (Json.member "sum" hj) Json.to_num,
+        Option.bind (Json.member "count" hj) Json.to_int )
+    with
+    | Some upper, Some counts, Some sum, Some count ->
+        Some (n, { Metrics.upper; counts; sum; count })
+    | _ -> None
+  in
+  match (section "counters", section "gauges", section "histograms") with
+  | Some cs, Some gs, Some hs -> (
+      match
+        ( all_some (List.map counter cs),
+          all_some (List.map gauge gs),
+          all_some (List.map hist hs) )
+      with
+      | Some counters, Some gauges, Some histograms ->
+          Some { Metrics.counters; gauges; histograms }
+      | _ -> None)
+  | _ -> None
+
+let snapshot_json (s : Metrics.snapshot) =
+  Json.Obj
+    [
+      ( "counters",
+        Json.Obj (List.map (fun (n, v) -> (n, num v)) s.Metrics.counters) );
+      ( "gauges",
+        Json.Obj
+          (List.map
+             (fun (n, (g : Metrics.gauge_snapshot)) -> (n, Json.Num g.value))
+             s.Metrics.gauges) );
+      ( "histograms",
+        Json.Obj
+          (List.map
+             (fun (n, (h : Metrics.histogram_snapshot)) ->
+               ( n,
+                 Json.Obj
+                   [
+                     ( "upper",
+                       Json.List
+                         (Array.to_list
+                            (Array.map (fun f -> Json.Num f) h.upper)) );
+                     ( "counts",
+                       Json.List (Array.to_list (Array.map num h.counts)) );
+                     ("sum", Json.Num h.sum);
+                     ("count", num h.count);
+                   ] ))
+             s.Metrics.histograms) );
+    ]
+
+(* ---- serve stderr summaries ---- *)
+
+let metrics_suffix = function
+  | None -> ""
+  | Some m ->
+      Printf.sprintf ",\"metrics\":%s" (Json.to_string (snapshot_json m))
+
+let summary_json ?metrics ~reloads s =
+  let base = Outcome.summary_to_json s in
+  (* [summary_to_json] always ends in '}'; splice the reload count in. *)
+  Printf.sprintf "%s,\"reloads\":%d%s}"
+    (String.sub base 0 (String.length base - 1))
+    reloads (metrics_suffix metrics)
+
+let cluster_summary_json ?metrics ~reloads ~shards ~shard_restarts
+    ~shard_timeouts ~docs_partial ~quarantined_pairs s =
+  let base = Outcome.summary_to_json s in
+  Printf.sprintf
+    "%s,\"reloads\":%d,\"shards\":%d,\"shard_restarts\":%d,\"shard_timeouts\":%d,\"docs_partial\":%d,\"quarantined_pairs\":%d%s}"
+    (String.sub base 0 (String.length base - 1))
+    reloads shards shard_restarts shard_timeouts docs_partial quarantined_pairs
+    (metrics_suffix metrics)
+
+(* ---- trace span codec (cluster internal frames) ---- *)
+
+(* Nanosecond timestamps (~1.7e18 for a wall clock) exceed the 2^53
+   integer range of an IEEE double, so int64 fields travel as JSON
+   strings — a [Json.Num] round-trip would silently round them. *)
+
+let span_to_json (s : Trace.span) =
+  Json.Obj
+    [
+      ("n", Json.Str s.Trace.name);
+      ("t0", Json.Str (Int64.to_string s.Trace.start_ns));
+      ("dur", Json.Str (Int64.to_string s.Trace.dur_ns));
+      ("d", num s.Trace.depth);
+      ("dom", num s.Trace.domain);
+      ("tr", num s.Trace.trace);
+      ("ok", Json.Bool s.Trace.ok);
+      ("attrs", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) s.Trace.attrs));
+    ]
+
+let span_of_json j : Trace.span option =
+  let i64 name =
+    match Json.member name j with
+    | Some (Json.Str s) -> Int64.of_string_opt s
+    | _ -> None
+  in
+  let int name = Option.bind (Json.member name j) Json.to_int in
+  let attrs =
+    match Json.member "attrs" j with
+    | Some (Json.Obj kvs) ->
+        all_some
+          (List.map
+             (fun (k, v) -> Option.map (fun s -> (k, s)) (Json.to_str v))
+             kvs)
+    | _ -> None
+  in
+  match
+    ( Option.bind (Json.member "n" j) Json.to_str,
+      i64 "t0",
+      i64 "dur",
+      int "d",
+      int "dom",
+      int "tr",
+      Option.bind (Json.member "ok" j) Json.to_bool,
+      attrs )
+  with
+  | Some name, Some start_ns, Some dur_ns, Some depth, Some domain, Some trace,
+    Some ok, Some attrs ->
+      Some { Trace.name; start_ns; dur_ns; depth; domain; trace; ok; attrs }
+  | _ -> None
+
+(* ---- admin plane ---- *)
+
+type admin = Stats | Health
+
+(* Admin lines share the request NDJSON stream; [parse_admin] peeks at the
+   line before {!parse_request} runs. [None] means "not an admin line" —
+   hand it to the request parser (which owns the fault-injection site and
+   the doc ordinal, so admin probing never perturbs fault schedules). *)
+let parse_admin line =
+  match Json.of_string line with
+  | Error _ -> None
+  | Ok j -> (
+      match Option.bind (Json.member "op" j) Json.to_str with
+      | None -> None
+      | Some op -> (
+          match check_version j with
+          | Error e -> Some (Error e)
+          | Ok () -> (
+              match op with
+              | "stats" -> Some (Ok Stats)
+              | "health" -> Some (Ok Health)
+              | _ ->
+                  Some
+                    (Error
+                       (Malformed (Printf.sprintf "unknown admin op %S" op))))))
+
+let stats_response_json ?(missing = []) ~format snap =
+  let fields =
+    [ ("v", num version); ("op", Json.Str "stats") ]
+    @ (match missing with
+      | [] -> []
+      | ms ->
+          [
+            ("partial", Json.Bool true);
+            ("missing_shards", Json.List (List.map num ms));
+          ])
+    @
+    match format with
+    | `Jsonl -> [ ("metrics", snapshot_json snap) ]
+    | `Prometheus ->
+        [ ("prometheus", Json.Str (Metrics.render_prometheus snap)) ]
+  in
+  Json.to_string (Json.Obj fields)
+
+type shard_health = {
+  h_shard : int;
+  h_up : bool;
+  h_gen : int;
+  h_restarts : int;
+  h_queue_depth : int;
+}
+
+let health_response_json ~status shards =
+  Json.to_string
+    (Json.Obj
+       [
+         ("v", num version);
+         ("op", Json.Str "health");
+         ("status", Json.Str status);
+         ( "shards",
+           Json.List
+             (List.map
+                (fun h ->
+                  Json.Obj
+                    [
+                      ("shard", num h.h_shard);
+                      ("up", Json.Bool h.h_up);
+                      ("gen", num h.h_gen);
+                      ("restarts", num h.h_restarts);
+                      ("queue_depth", num h.h_queue_depth);
+                    ])
+                shards) );
+       ])
+
 (* ---- length-prefixed frames ---- *)
 
 module Frame = struct
@@ -393,20 +662,36 @@ end
 
 module Shard = struct
   type msg =
-    | Doc of { doc : int; attempt : int; timeout_ms : int option; text : string }
+    | Doc of {
+        doc : int;
+        attempt : int;
+        timeout_ms : int option;
+        text : string;
+        trace : (int * int) option;
+            (* (trace id, absolute depth) the shard's subtree records
+               under; [None] when tracing is off, so doc frames — and the
+               fault schedules keyed off their bytes — are unchanged. *)
+      }
     | Prepare of { gen : int; path : string }
     | Commit of { gen : int }
     | Abort of { gen : int }
+    | Stats_req
     | Shutdown
 
   type reply =
-    | Ready of { shard : int; gen : int }
-    | Result of { doc : int; gen : int; outcome : Parallel.outcome }
+    | Ready of { shard : int; gen : int; now_ns : int64 }
+    | Result of {
+        doc : int;
+        gen : int;
+        outcome : Parallel.outcome;
+        spans : Trace.span list;
+      }
     | Prepared of { gen : int }
     | Prepare_failed of { gen : int; error : string }
     | Committed of { gen : int }
     | Aborted of { gen : int }
     | Refused of { error : string }
+    | Stats_reply of { shard : int; snapshot : Metrics.snapshot }
     | Bye of { restarts : int; quarantined : int }
 
   let obj op fields = Json.Obj (("v", num version) :: ("op", Json.Str op) :: fields)
@@ -414,33 +699,50 @@ module Shard = struct
   let msg_to_string m =
     Json.to_string
       (match m with
-      | Doc { doc; attempt; timeout_ms; text } ->
+      | Doc { doc; attempt; timeout_ms; text; trace } ->
           obj "doc"
             ([ ("doc", num doc); ("attempt", num attempt) ]
             @ (match timeout_ms with
               | Some t -> [ ("timeout_ms", num t) ]
+              | None -> [])
+            @ (match trace with
+              | Some (tid, depth) ->
+                  [ ("trace", num tid); ("tdepth", num depth) ]
               | None -> [])
             @ [ ("text", Json.Str text) ])
       | Prepare { gen; path } ->
           obj "prepare" [ ("gen", num gen); ("path", Json.Str path) ]
       | Commit { gen } -> obj "commit" [ ("gen", num gen) ]
       | Abort { gen } -> obj "abort" [ ("gen", num gen) ]
+      | Stats_req -> obj "stats" []
       | Shutdown -> obj "shutdown" [])
 
   let reply_to_string r =
     Json.to_string
       (match r with
-      | Ready { shard; gen } ->
-          obj "ready" [ ("shard", num shard); ("gen", num gen) ]
-      | Result { doc; gen; outcome } ->
+      | Ready { shard; gen; now_ns } ->
+          obj "ready"
+            [
+              ("shard", num shard);
+              ("gen", num gen);
+              ("now", Json.Str (Int64.to_string now_ns));
+            ]
+      | Result { doc; gen; outcome; spans } ->
           obj "result"
-            [ ("doc", num doc); ("gen", num gen); ("out", outcome_to_json outcome) ]
+            ([ ("doc", num doc); ("gen", num gen) ]
+            @ (match spans with
+              | [] -> []
+              | _ -> [ ("spans", Json.List (List.map span_to_json spans)) ])
+            @ [ ("out", outcome_to_json outcome) ])
       | Prepared { gen } -> obj "prepared" [ ("gen", num gen) ]
       | Prepare_failed { gen; error } ->
           obj "prepare_failed" [ ("gen", num gen); ("error", Json.Str error) ]
       | Committed { gen } -> obj "committed" [ ("gen", num gen) ]
       | Aborted { gen } -> obj "aborted" [ ("gen", num gen) ]
       | Refused { error } -> obj "refused" [ ("error", Json.Str error) ]
+      | Stats_reply { shard; snapshot } ->
+          obj "stats"
+            [ ("shard", num shard); ("snapshot", snapshot_to_json snapshot) ]
       | Bye { restarts; quarantined } ->
           obj "bye" [ ("restarts", num restarts); ("quarantined", num quarantined) ])
 
@@ -471,7 +773,14 @@ module Shard = struct
         | "doc" -> (
             match (int "doc", int "attempt", str "text") with
             | Some doc, Some attempt, Some text ->
-                Ok (Doc { doc; attempt; timeout_ms = int "timeout_ms"; text })
+                let trace =
+                  match (int "trace", int "tdepth") with
+                  | Some tid, Some depth -> Some (tid, depth)
+                  | _ -> None
+                in
+                Ok
+                  (Doc
+                     { doc; attempt; timeout_ms = int "timeout_ms"; text; trace })
             | _ -> bad ())
         | "prepare" -> (
             match (int "gen", str "path") with
@@ -481,6 +790,7 @@ module Shard = struct
             match int "gen" with Some gen -> Ok (Commit { gen }) | None -> bad ())
         | "abort" -> (
             match int "gen" with Some gen -> Ok (Abort { gen }) | None -> bad ())
+        | "stats" -> Ok Stats_req
         | "shutdown" -> Ok Shutdown
         | _ -> Error (Malformed (Printf.sprintf "unknown frame op %S" op)))
 
@@ -495,17 +805,30 @@ module Shard = struct
         in
         match op with
         | "ready" -> (
-            match (int "shard", int "gen") with
-            | Some shard, Some gen -> Ok (Ready { shard; gen })
+            let now =
+              match Json.member "now" j with
+              | Some (Json.Str s) -> Int64.of_string_opt s
+              | _ -> None
+            in
+            match (int "shard", int "gen", now) with
+            | Some shard, Some gen, Some now_ns ->
+                Ok (Ready { shard; gen; now_ns })
             | _ -> bad ())
         | "result" -> (
+            let spans =
+              match Json.member "spans" j with
+              | None -> Some []
+              | Some (Json.List ss) -> all_some (List.map span_of_json ss)
+              | Some _ -> None
+            in
             match
               ( int "doc",
                 int "gen",
+                spans,
                 Option.bind (Json.member "out" j) outcome_of_json )
             with
-            | Some doc, Some gen, Some outcome ->
-                Ok (Result { doc; gen; outcome })
+            | Some doc, Some gen, Some spans, Some outcome ->
+                Ok (Result { doc; gen; outcome; spans })
             | _ -> bad ())
         | "prepared" -> (
             match int "gen" with
@@ -527,6 +850,13 @@ module Shard = struct
             match str "error" with
             | Some error -> Ok (Refused { error })
             | None -> bad ())
+        | "stats" -> (
+            match
+              ( int "shard",
+                Option.bind (Json.member "snapshot" j) snapshot_of_json )
+            with
+            | Some shard, Some snapshot -> Ok (Stats_reply { shard; snapshot })
+            | _ -> bad ())
         | "bye" -> (
             match (int "restarts", int "quarantined") with
             | Some restarts, Some quarantined ->

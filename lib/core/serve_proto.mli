@@ -57,11 +57,15 @@ val response_json :
     [{"e":entity,"s":start,"l":len,"score":...}]), ["error"] present
     otherwise, and ["degraded"] carrying the reason when applicable. *)
 
-val summary_json : reloads:int -> Outcome.summary -> string
+val summary_json :
+  ?metrics:Faerie_obs.Metrics.snapshot -> reloads:int -> Outcome.summary -> string
 (** Final stderr line: {!Outcome.summary_to_json} extended with the
-    hot-reload count. *)
+    hot-reload count, and — when [metrics] is given — a trailing
+    ["metrics"] object in the {!snapshot_json} display schema so smoke
+    jobs can assert counters straight off the summary. *)
 
 val cluster_summary_json :
+  ?metrics:Faerie_obs.Metrics.snapshot ->
   reloads:int ->
   shards:int ->
   shard_restarts:int ->
@@ -74,7 +78,77 @@ val cluster_summary_json :
     extended with cluster accounting (shard processes restarted, per-shard
     deadline misses, documents that degraded to
     {!Outcome.degradation.Shard_partial}, and (doc, shard) pairs written
-    to the dead-letter file). *)
+    to the dead-letter file). [metrics] as in {!summary_json} (there it is
+    the cluster-merged snapshot). *)
+
+(** {1 Metrics snapshot codec}
+
+    Two JSON renderings of a {!Faerie_obs.Metrics.snapshot}. The wire pair
+    ({!snapshot_to_json} / {!snapshot_of_json}) is full fidelity — gauges
+    keep their agg mode and Prometheus label, so the coordinator can
+    {!Faerie_obs.Metrics.merge_snapshots} shard snapshots without any
+    access to the shards' registries. The display form ({!snapshot_json})
+    is the locked admin/summary schema:
+    {v
+    {"counters":{N:V,...},"gauges":{N:V,...},
+     "histograms":{N:{"upper":[...],"counts":[...],"sum":S,"count":C},...}}
+    v} *)
+
+val snapshot_to_json : Faerie_obs.Metrics.snapshot -> Faerie_util.Json.t
+
+val snapshot_of_json :
+  Faerie_util.Json.t -> Faerie_obs.Metrics.snapshot option
+
+val snapshot_json : Faerie_obs.Metrics.snapshot -> Faerie_util.Json.t
+
+(** {1 Trace span codec}
+
+    Lossless round-trip of {!Faerie_obs.Trace.span} for shard replies.
+    Nanosecond [int64] fields travel as JSON {e strings}: wall-clock
+    timestamps (~1.7e18) exceed the 2^53 exact-integer range of the JSON
+    number's IEEE double. *)
+
+val span_to_json : Faerie_obs.Trace.span -> Faerie_util.Json.t
+
+val span_of_json : Faerie_util.Json.t -> Faerie_obs.Trace.span option
+
+(** {1 Admin plane}
+
+    Admin operations share the request NDJSON stream: a line whose JSON
+    has an ["op"] field is an admin op, never a document. *)
+
+type admin = Stats | Health
+
+val parse_admin : string -> (admin, parse_error) result option
+(** [None] when the line is not an admin op (not JSON, or no ["op"]
+    field) — hand it to {!parse_request}, which owns the doc ordinal and
+    the fault-injection site, so admin traffic never perturbs fault
+    schedules. [Some (Error _)] on an unknown op or version mismatch. *)
+
+val stats_response_json :
+  ?missing:int list ->
+  format:[ `Jsonl | `Prometheus ] ->
+  Faerie_obs.Metrics.snapshot ->
+  string
+(** Response line for [{"op":"stats"}]. [`Jsonl] embeds the merged
+    snapshot as a ["metrics"] object ({!snapshot_json} schema);
+    [`Prometheus] embeds the text exposition as a ["prometheus"] string.
+    A non-empty [missing] (shards that produced no snapshot before the
+    deadline) adds ["partial":true] and ["missing_shards"]. *)
+
+type shard_health = {
+  h_shard : int;
+  h_up : bool;  (** a live pipe to the shard process exists right now *)
+  h_gen : int;  (** index generation the shard last acknowledged *)
+  h_restarts : int;  (** times the coordinator respawned this shard *)
+  h_queue_depth : int;  (** documents queued in the worker pool *)
+}
+
+val health_response_json : status:string -> shard_health list -> string
+(** Response line for [{"op":"health"}]:
+    [{"v":1,"op":"health","status":S,"shards":[...]}] with [status]
+    ["ok"|"degraded"]. Single-process serving reports itself as one
+    pseudo-shard. *)
 
 (** {1 Structured outcome codec}
 
@@ -146,7 +220,17 @@ end
 
 module Shard : sig
   type msg =
-    | Doc of { doc : int; attempt : int; timeout_ms : int option; text : string }
+    | Doc of {
+        doc : int;
+        attempt : int;
+        timeout_ms : int option;
+        text : string;
+        trace : (int * int) option;
+            (** [(trace id, absolute depth)] the shard's span subtree
+                records under via {!Faerie_obs.Trace.with_context};
+                [None] (field absent on the wire) when tracing is off, so
+                doc frames are byte-identical to the untraced protocol *)
+      }
         (** extract [text]; [attempt] re-keys the fault context so a
             coordinator retry does not deterministically re-fire the fault
             that killed the previous attempt *)
@@ -155,11 +239,25 @@ module Shard : sig
             [path], hold it pending, do not serve from it yet *)
     | Commit of { gen : int }  (** phase 2: swap the pending snapshot in *)
     | Abort of { gen : int }  (** drop the pending snapshot *)
+    | Stats_req
+        (** pull the shard's full metrics snapshot; answered with
+            {!reply.Stats_reply} *)
     | Shutdown
 
   type reply =
-    | Ready of { shard : int; gen : int }  (** sent once at startup *)
-    | Result of { doc : int; gen : int; outcome : Parallel.outcome }
+    | Ready of { shard : int; gen : int; now_ns : int64 }
+        (** sent once at startup; [now_ns] is the shard clock at send
+            time, which the coordinator subtracts from its own receive
+            time to estimate a per-shard clock offset for trace
+            re-basing *)
+    | Result of {
+        doc : int;
+        gen : int;
+        outcome : Parallel.outcome;
+        spans : Faerie_obs.Trace.span list;
+            (** the shard-side span subtree of this document's trace
+                (empty — field absent — when tracing is off) *)
+      }
     | Prepared of { gen : int }
     | Prepare_failed of { gen : int; error : string }
     | Committed of { gen : int }
@@ -168,6 +266,7 @@ module Shard : sig
         (** structured protocol-level rejection (version mismatch,
             commit without prepare); the coordinator treats it as a shard
             fault *)
+    | Stats_reply of { shard : int; snapshot : Faerie_obs.Metrics.snapshot }
     | Bye of { restarts : int; quarantined : int }
         (** final stats on clean shutdown: worker-domain restarts and
             quarantined documents inside this shard's pool *)

@@ -22,6 +22,14 @@ let m_docs_quarantined =
 let m_docs_shed =
   Metrics.counter ~help:"documents refused by admission control" "docs_shed"
 
+(* [`Max] agg: the depth is a pool-wide point-in-time value set by whichever
+   domain observed it last — summing per-domain cells would double-count
+   observations made from different domains. *)
+let g_queue_depth =
+  Metrics.gauge
+    ~help:"documents waiting in the worker pool (admission + retry queues)"
+    ~agg:`Max "pool_queue_depth"
+
 (* splitmix64-style finalizer over an (a, b) pair, for re-keying fault
    contexts and seeding backoff jitter. Full-avalanche so that nearby
    (doc, attempt) pairs get unrelated schedules. *)
@@ -264,6 +272,8 @@ type job = {
   mutable sleep_ms : int;
       (* backoff carried over a death-requeue, slept by the next worker *)
   deadline_ns : int64 option;
+  trace : (int * int) option;
+      (* (trace id, absolute depth) the attempt spans record under *)
   on_done : outcome -> unit;
 }
 
@@ -339,7 +349,7 @@ let sleep_ms ms = if ms > 0 then Unix.sleepf (float_of_int ms /. 1000.)
 let rec attempt_loop t job =
   let key = fault_key ~doc_id:job.doc_id ~attempt:job.attempt in
   Fault.with_context key (fun () -> Fault.site "supervisor_worker");
-  let report =
+  let run_span () =
     Trace.with_span "doc_attempt"
       ~attrs:
         [
@@ -350,6 +360,14 @@ let rec attempt_loop t job =
         Extractor.run
           ~opts:{ job.opts with Extractor.doc_id = key }
           (t.source ()) (`Text job.text))
+  in
+  let report =
+    (* The worker domain records under the submitter's trace context, so a
+       shard's attempt spans carry the coordinator's trace id and nest at
+       the depth its request span dictates. *)
+    match job.trace with
+    | Some (tid, depth) -> Trace.with_context ~trace:tid ~depth run_span
+    | None -> run_span ()
   in
   match Parallel.outcome_of_report report with
   | (Outcome.Ok _ | Outcome.Degraded _) as out -> complete t job out
@@ -464,7 +482,7 @@ let create ?(config = default_config) source =
   Mutex.unlock t.lock;
   t
 
-let submit t ?id ?opts ?deadline_ns ~doc_id text ~on_done =
+let submit t ?id ?opts ?deadline_ns ?trace ~doc_id text ~on_done =
   let opts = Option.value opts ~default:Extractor.default_opts in
   let deadline_ns =
     match deadline_ns with
@@ -475,7 +493,10 @@ let submit t ?id ?opts ?deadline_ns ~doc_id text ~on_done =
         else None
   in
   let job =
-    { doc_id; id; text; opts; attempt = 0; sleep_ms = 0; deadline_ns; on_done }
+    {
+      doc_id; id; text; opts; attempt = 0; sleep_ms = 0; deadline_ns; trace;
+      on_done;
+    }
   in
   Mutex.lock t.lock;
   if t.closed then begin
@@ -552,6 +573,15 @@ let worker_restarts t =
   let r = t.restarts in
   Mutex.unlock t.lock;
   r
+
+let queue_depth t =
+  Mutex.lock t.lock;
+  let n = Queue.length t.queue + Queue.length t.retry_q in
+  Mutex.unlock t.lock;
+  n
+
+let note_queue_depth t =
+  Metrics.set g_queue_depth (float_of_int (queue_depth t))
 
 let run_batch ?(config = default_config) ?opts problem docs =
   let config = { config with domains = max 1 config.domains } in

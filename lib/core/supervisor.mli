@@ -147,6 +147,7 @@ val submit :
   ?id:string ->
   ?opts:Extractor.opts ->
   ?deadline_ns:int64 ->
+  ?trace:int * int ->
   doc_id:int ->
   string ->
   on_done:(outcome -> unit) ->
@@ -154,10 +155,14 @@ val submit :
 (** Submit one document. [doc_id] keys fault context and backoff jitter
     and should be the document's arrival ordinal. [deadline_ns] overrides
     the admission deadline otherwise derived from [opts.budget.timeout_ms]
-    (tests use it to force expiry). Returns [`Shed] — and completes the
-    document synchronously with [Failed (Shed Queue_full)] — when the
-    queue is full and [config.shed]; otherwise blocks until queue space
-    frees (backpressure) and returns [`Queued].
+    (tests use it to force expiry). [trace] is a [(trace id, depth)]
+    context: the worker runs the document's attempt spans under
+    {!Faerie_obs.Trace.with_context} with it, so spans land tagged with
+    the caller's request trace at the right absolute depth. Returns
+    [`Shed] — and completes the document synchronously with
+    [Failed (Shed Queue_full)] — when the queue is full and
+    [config.shed]; otherwise blocks until queue space frees
+    (backpressure) and returns [`Queued].
 
     [on_done] is invoked exactly once, from a worker domain (or from the
     submitting domain for synchronous sheds), outside the pool lock; it
@@ -176,6 +181,15 @@ val shutdown : ?drain:bool -> t -> unit
 
 val worker_restarts : t -> int
 (** Worker domains respawned after a death, over the pool's lifetime. *)
+
+val queue_depth : t -> int
+(** Documents currently waiting (admission queue + death-requeues);
+    excludes documents being processed right now. *)
+
+val note_queue_depth : t -> unit
+(** Record {!queue_depth} into the ["pool_queue_depth"] gauge so it rides
+    along in metrics snapshots (the shard stats path calls this just
+    before snapshotting). *)
 
 (** {1 One-shot batch} *)
 

@@ -2,7 +2,17 @@ type agg = Sum | Max
 
 type kind = Counter | Gauge of agg | Hist of float array
 
-type def = { name : string; help : string; kind : kind; slot : int }
+(* [label], when present, is the (family, key, value) triple an
+   {!indexed_gauge} member exports as a labeled Prometheus series
+   (family{key="value"}) instead of the name-suffixed series. Identity —
+   slots, lookup, JSONL — stays on the composed [name]. *)
+type def = {
+  name : string;
+  help : string;
+  kind : kind;
+  slot : int;
+  label : (string * string * string) option;
+}
 
 (* One histogram cell: per-shard bucket counts plus running sum/count.
    [buckets] has one extra slot for observations above the last bound. *)
@@ -107,7 +117,7 @@ let kind_name = function
   | Gauge _ -> "gauge"
   | Hist _ -> "histogram"
 
-let register reg ~name ~help kind =
+let register ?label reg ~name ~help kind =
   locked reg (fun () ->
       match Hashtbl.find_opt reg.by_name name with
       | Some d ->
@@ -122,6 +132,10 @@ let register reg ~name ~help kind =
             invalid_arg
               (Printf.sprintf "Metrics: %S already registered as a %s" name
                  (kind_name d.kind));
+          if label <> None && d.label <> label then
+            invalid_arg
+              (Printf.sprintf "Metrics: %S already registered with a different label"
+                 name);
           d
       | None ->
           let slot =
@@ -140,7 +154,7 @@ let register reg ~name ~help kind =
                 reg.hist_bounds <- Array.append reg.hist_bounds [| bounds |];
                 s
           in
-          let d = { name; help; kind; slot } in
+          let d = { name; help; kind; slot; label } in
           Hashtbl.add reg.by_name name d;
           reg.defs <- d :: reg.defs;
           d)
@@ -149,13 +163,17 @@ let counter ?(registry = default) ?(help = "") name =
   let d = register registry ~name ~help Counter in
   { creg = registry; cslot = d.slot }
 
-let gauge ?(registry = default) ?(help = "") ?(agg = `Sum) name =
+let gauge_with_label ?(registry = default) ?(help = "") ?(agg = `Sum) ?label name =
   let agg = match agg with `Sum -> Sum | `Max -> Max in
-  let d = register registry ~name ~help (Gauge agg) in
+  let d = register ?label registry ~name ~help (Gauge agg) in
   { greg = registry; gslot = d.slot }
 
-let indexed_gauge ?registry ?help ?agg name i =
-  gauge ?registry ?help ?agg (Printf.sprintf "%s_%d" name i)
+let gauge ?registry ?help ?agg name =
+  gauge_with_label ?registry ?help ?agg name
+
+let indexed_gauge ?registry ?help ?agg ?label name i =
+  let label = Option.map (fun key -> (name, key, string_of_int i)) label in
+  gauge_with_label ?registry ?help ?agg ?label (Printf.sprintf "%s_%d" name i)
 
 let default_buckets = [| 1.; 10.; 100.; 1e3; 1e4; 1e5; 1e6; 1e7; 1e8; 1e9 |]
 
@@ -252,9 +270,19 @@ type histogram_snapshot = {
   count : int;
 }
 
+(* Gauge entries carry their merge mode and label metadata so snapshots are
+   self-describing: a coordinator merging snapshots pulled from shard
+   processes needs the [agg] (it has no access to the shard's registry
+   defs), and the Prometheus renderer needs the label triple. *)
+type gauge_snapshot = {
+  value : float;
+  agg : [ `Sum | `Max ];
+  label : (string * string * string) option;  (** (family, key, value) *)
+}
+
 type snapshot = {
   counters : (string * int) list;
-  gauges : (string * float) list;
+  gauges : (string * gauge_snapshot) list;
   histograms : (string * histogram_snapshot) list;
 }
 
@@ -291,7 +319,8 @@ let snapshot ?(registry = default) () =
                     else acc)
                   0. shards
               in
-              gauges := (d.name, v) :: !gauges
+              let agg = match agg with Sum -> `Sum | Max -> `Max in
+              gauges := (d.name, { value = v; agg; label = d.label }) :: !gauges
           | Hist bounds ->
               let counts = Array.make (Array.length bounds + 1) 0 in
               let sum = ref 0. and count = ref 0 in
@@ -320,7 +349,58 @@ let counter_value snap name =
   match List.assoc_opt name snap.counters with Some v -> v | None -> 0
 
 let gauge_value snap name =
-  match List.assoc_opt name snap.gauges with Some v -> v | None -> 0.
+  match List.assoc_opt name snap.gauges with Some g -> g.value | None -> 0.
+
+(* Cross-snapshot merge: the same semantics {!snapshot} applies to
+   per-domain shards, one level up — counters and matching histogram cells
+   sum, gauges combine by their recorded [agg]. Output is sorted by name,
+   so merging any permutation of the same snapshots yields an identical
+   result (registration order is meaningless across processes). Histograms
+   whose bucket layouts disagree keep the first-seen cells: layouts only
+   diverge across binaries, where summing cells would be meaningless. *)
+let merge_snapshots snaps =
+  let by_name fold lists =
+    let tbl = Hashtbl.create 64 in
+    let order = ref [] in
+    List.iter
+      (fun entries ->
+        List.iter
+          (fun (name, v) ->
+            match Hashtbl.find_opt tbl name with
+            | None ->
+                Hashtbl.add tbl name v;
+                order := name :: !order
+            | Some v0 -> Hashtbl.replace tbl name (fold v0 v))
+          entries)
+      lists;
+    List.sort compare !order
+    |> List.map (fun name -> (name, Hashtbl.find tbl name))
+  in
+  {
+    counters = by_name (fun a b -> a + b) (List.map (fun s -> s.counters) snaps);
+    gauges =
+      by_name
+        (fun g0 g ->
+          let value =
+            match g0.agg with
+            | `Sum -> g0.value +. g.value
+            | `Max -> Float.max g0.value g.value
+          in
+          { g0 with value })
+        (List.map (fun s -> s.gauges) snaps);
+    histograms =
+      by_name
+        (fun h0 h ->
+          if h0.upper <> h.upper then h0
+          else
+            {
+              upper = h0.upper;
+              counts = Array.mapi (fun i c -> c + h.counts.(i)) h0.counts;
+              sum = h0.sum +. h.sum;
+              count = h0.count + h.count;
+            })
+        (List.map (fun s -> s.histograms) snaps);
+  }
 
 let reset ?(registry = default) () =
   locked registry (fun () ->
@@ -360,8 +440,7 @@ let json_string s =
   Buffer.add_char buf '"';
   Buffer.contents buf
 
-let to_jsonl ?(registry = default) () =
-  let snap = snapshot ~registry () in
+let render_jsonl snap =
   let buf = Buffer.create 1024 in
   List.iter
     (fun (name, v) ->
@@ -370,10 +449,10 @@ let to_jsonl ?(registry = default) () =
            (json_string name) v))
     snap.counters;
   List.iter
-    (fun (name, v) ->
+    (fun (name, g) ->
       Buffer.add_string buf
         (Printf.sprintf "{\"type\":\"gauge\",\"name\":%s,\"value\":%s}\n"
-           (json_string name) (json_float v)))
+           (json_string name) (json_float g.value)))
     snap.gauges;
   List.iter
     (fun (name, h) ->
@@ -387,6 +466,8 @@ let to_jsonl ?(registry = default) () =
            (json_float h.sum) h.count))
     snap.histograms;
   Buffer.contents buf
+
+let to_jsonl ?(registry = default) () = render_jsonl (snapshot ~registry ())
 
 (* Prometheus exposition format escaping for HELP text: only backslash and
    line feed are escaped (the format is line-oriented; quotes are legal in
@@ -411,17 +492,31 @@ let prom_float v =
     Printf.sprintf "%.0f" v
   else Printf.sprintf "%.17g" v
 
-let to_prometheus ?(registry = default) () =
+(* Label values additionally escape double quotes (they are quoted in the
+   exposition format, unlike HELP text). *)
+let prom_escape_label s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let render_prometheus ?(registry = default) snap =
   let help_of =
     locked registry (fun () ->
         let tbl = Hashtbl.create 32 in
         List.iter (fun d -> Hashtbl.replace tbl d.name d.help) registry.defs;
         tbl)
   in
-  let snap = snapshot ~registry () in
   let buf = Buffer.create 1024 in
-  let header name typ =
-    (match Hashtbl.find_opt help_of name with
+  let header ?(help_name = "") name typ =
+    let help_name = if help_name = "" then name else help_name in
+    (match Hashtbl.find_opt help_of help_name with
     | Some h when h <> "" ->
         Buffer.add_string buf
           (Printf.sprintf "# HELP %s %s\n" name (prom_escape_help h))
@@ -433,10 +528,24 @@ let to_prometheus ?(registry = default) () =
       header name "counter";
       Buffer.add_string buf (Printf.sprintf "%s %d\n" name v))
     snap.counters;
+  (* Labeled gauges render as one family (shard_up{shard="3"}) rather than
+     name-suffixed series; the family header is emitted once, ahead of the
+     first member. *)
+  let family_headered = Hashtbl.create 8 in
   List.iter
-    (fun (name, v) ->
-      header name "gauge";
-      Buffer.add_string buf (Printf.sprintf "%s %s\n" name (prom_float v)))
+    (fun (name, g) ->
+      match g.label with
+      | None ->
+          header name "gauge";
+          Buffer.add_string buf (Printf.sprintf "%s %s\n" name (prom_float g.value))
+      | Some (family, key, value) ->
+          if not (Hashtbl.mem family_headered family) then begin
+            Hashtbl.add family_headered family ();
+            header ~help_name:name family "gauge"
+          end;
+          Buffer.add_string buf
+            (Printf.sprintf "%s{%s=\"%s\"} %s\n" family key
+               (prom_escape_label value) (prom_float g.value)))
     snap.gauges;
   List.iter
     (fun (name, h) ->
@@ -455,3 +564,6 @@ let to_prometheus ?(registry = default) () =
       Buffer.add_string buf (Printf.sprintf "%s_count %d\n" name h.count))
     snap.histograms;
   Buffer.contents buf
+
+let to_prometheus ?(registry = default) () =
+  render_prometheus ~registry (snapshot ~registry ())

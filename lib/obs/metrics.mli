@@ -52,13 +52,21 @@ val indexed_gauge :
   ?registry:registry ->
   ?help:string ->
   ?agg:[ `Sum | `Max ] ->
+  ?label:string ->
   string ->
   int ->
   gauge
 (** [indexed_gauge name i] registers (or looks up) the gauge ["name_i"] —
     one instance of a per-member family such as a cluster's per-shard
     ["shard_up_0"], ["shard_up_1"], … gauges. Same semantics and
-    constraints as {!gauge} applied to the composed name. *)
+    constraints as {!gauge} applied to the composed name.
+
+    [~label:key] records the member as the labeled series
+    [name{key="i"}]: the Prometheus export renders the family once with
+    one labeled sample per member instead of name-suffixed series (the
+    JSONL export and all lookups keep using the composed ["name_i"]).
+    Re-registration must agree on the label.
+    @raise Invalid_argument on a label mismatch with a prior registration. *)
 
 val histogram :
   ?registry:registry -> ?help:string -> ?buckets:float array -> string -> histogram
@@ -99,20 +107,47 @@ type histogram_snapshot = {
   count : int;  (** number of observations = sum of [counts] *)
 }
 
+type gauge_snapshot = {
+  value : float;
+  agg : [ `Sum | `Max ];  (** merge mode, for cross-snapshot merging *)
+  label : (string * string * string) option;
+      (** [(family, key, value)] for labeled {!indexed_gauge} members *)
+}
+
 type snapshot = {
   counters : (string * int) list;
-  gauges : (string * float) list;
+  gauges : (string * gauge_snapshot) list;
   histograms : (string * histogram_snapshot) list;
 }
-(** All lists are in registration order. *)
+(** All lists are in registration order. Snapshots are self-describing
+    (gauges carry their [agg] and label), so they can be shipped across a
+    process boundary and merged without access to the source registry. *)
 
 val snapshot : ?registry:registry -> unit -> snapshot
+
+val merge_snapshots : snapshot list -> snapshot
+(** Merge snapshots with the same semantics {!snapshot} applies to
+    per-domain shards, one level up: counters sum, gauges combine by their
+    recorded [agg] ([`Sum] adds, [`Max] keeps the largest), histogram
+    cells sum when bucket layouts agree (a mismatched layout keeps the
+    first-seen cells). Metric lists in the result are sorted by name, so
+    the merge is invariant under permutation of its inputs and under
+    re-association (asserted by qcheck in [test_obs]). *)
 
 val counter_value : snapshot -> string -> int
 (** Value of a counter in a snapshot; [0] when not present. *)
 
 val gauge_value : snapshot -> string -> float
 (** Value of a gauge in a snapshot; [0.] when not present. *)
+
+val render_jsonl : snapshot -> string
+(** Render an arbitrary snapshot (e.g. a {!merge_snapshots} result) in the
+    {!to_jsonl} schema. *)
+
+val render_prometheus : ?registry:registry -> snapshot -> string
+(** Render an arbitrary snapshot in the {!to_prometheus} format. [registry]
+    (default: {!default}) supplies [# HELP] text for the names it knows;
+    unknown names render without a HELP line. *)
 
 val to_jsonl : ?registry:registry -> unit -> string
 (** One JSON object per line, schema (locked by [test_obs]):
@@ -124,7 +159,8 @@ val to_jsonl : ?registry:registry -> unit -> string
 
 val to_prometheus : ?registry:registry -> unit -> string
 (** Prometheus text exposition format ([# HELP] / [# TYPE] comments,
-    cumulative [_bucket{le="..."}] cells for histograms). *)
+    cumulative [_bucket{le="..."}] cells for histograms; labeled
+    {!indexed_gauge} members as [family{key="value"}] samples). *)
 
 val reset : ?registry:registry -> unit -> unit
 (** Zero every metric in every shard (registrations are kept). *)

@@ -4,6 +4,7 @@ type span = {
   dur_ns : int64;
   depth : int;
   domain : int;
+  trace : int;
   ok : bool;
   attrs : (string * string) list;
 }
@@ -26,8 +27,12 @@ let disable () = Atomic.set recording false
 let enabled () = Atomic.get recording
 
 (* Per-domain recording state; registered in a global list under a mutex on
-   first use so [drain] can reach every domain's buffer. *)
-type buf = { mutable spans : span list; mutable depth : int }
+   first use so [drain] can reach every domain's buffer. [trace] tags every
+   span recorded by this domain with a request-scoped trace id (0 = none)
+   and [depth] doubles as the nesting base: {!with_context} sets both so a
+   shard process records its subtree at the absolute depth the
+   coordinator's request span would give it. *)
+type buf = { mutable spans : span list; mutable depth : int; mutable trace : int }
 
 let lock = Mutex.create ()
 
@@ -40,7 +45,7 @@ let my_buf () =
   match !slot with
   | Some b -> b
   | None ->
-      let b = { spans = []; depth = 0 } in
+      let b = { spans = []; depth = 0; trace = 0 } in
       Mutex.lock lock;
       bufs := b :: !bufs;
       Mutex.unlock lock;
@@ -64,6 +69,7 @@ let with_span ?(attrs = []) name f =
           dur_ns = Int64.sub t1 t0;
           depth;
           domain = (Domain.self () :> int);
+          trace = b.trace;
           ok;
           attrs;
         }
@@ -76,6 +82,75 @@ let with_span ?(attrs = []) name f =
     | exception e ->
         close false;
         raise e
+  end
+
+let with_context ~trace ~depth f =
+  if not (Atomic.get recording) then f ()
+  else begin
+    let b = my_buf () in
+    let saved_depth = b.depth and saved_trace = b.trace in
+    b.depth <- depth;
+    b.trace <- trace;
+    Fun.protect
+      ~finally:(fun () ->
+        b.depth <- saved_depth;
+        b.trace <- saved_trace)
+      f
+  end
+
+let current_depth () = if Atomic.get recording then (my_buf ()).depth else 0
+
+let current_trace () = if Atomic.get recording then (my_buf ()).trace else 0
+
+(* Adopt spans recorded by another process into this domain's buffer.
+   [offset_ns] re-bases the foreign clock onto ours (measured against the
+   peer's Ready timestamp); residual skew is then absorbed by two uniform
+   shifts of the whole subtree. The adopted spans are completed work, so
+   the subtree must not extend past the adoption instant ([now_ns ()] —
+   an offset measured late pushes everything late, past the close of the
+   enclosing request span); and [lo_ns], applied last because a child
+   appearing to start before its enclosing request span is the worse
+   breakage for flame reconstruction, keeps the earliest start at or
+   after the request start. Both clamps hold together under monotonic
+   clocks: the peer's work happened inside the [lo_ns, now] window, so
+   the subtree extent fits it. Depths are absolute already (the peer
+   recorded under {!with_context}); domains are remapped to the adopting
+   domain so per-domain nesting reconstruction sees one coherent
+   stream. *)
+let graft ?(offset_ns = 0L) ?lo_ns spans =
+  if Atomic.get recording && spans <> [] then begin
+    let b = my_buf () in
+    let shift =
+      let rebased_max_end =
+        List.fold_left
+          (fun acc s ->
+            Int64.max acc
+              (Int64.add (Int64.add s.start_ns offset_ns) s.dur_ns))
+          Int64.min_int spans
+      in
+      let now = now_ns () in
+      let shift =
+        if Int64.compare rebased_max_end now > 0 then
+          Int64.sub offset_ns (Int64.sub rebased_max_end now)
+        else offset_ns
+      in
+      let shifted_min =
+        List.fold_left
+          (fun acc s -> Int64.min acc (Int64.add s.start_ns shift))
+          Int64.max_int spans
+      in
+      match lo_ns with
+      | Some lo when Int64.compare shifted_min lo < 0 ->
+          Int64.add shift (Int64.sub lo shifted_min)
+      | _ -> shift
+    in
+    let dom = (Domain.self () :> int) in
+    List.iter
+      (fun s ->
+        b.spans <-
+          { s with start_ns = Int64.add s.start_ns shift; domain = dom }
+          :: b.spans)
+      spans
   end
 
 let compare_span a b =
@@ -129,7 +204,8 @@ let to_jsonl spans =
       in
       Buffer.add_string buf
         (Printf.sprintf
-           "{\"name\":%s,\"start_ns\":%Ld,\"dur_ns\":%Ld,\"depth\":%d,\"domain\":%d,\"ok\":%b,\"attrs\":{%s}}\n"
-           (json_string s.name) s.start_ns s.dur_ns s.depth s.domain s.ok attrs))
+           "{\"name\":%s,\"start_ns\":%Ld,\"dur_ns\":%Ld,\"depth\":%d,\"domain\":%d,\"trace\":%d,\"ok\":%b,\"attrs\":{%s}}\n"
+           (json_string s.name) s.start_ns s.dur_ns s.depth s.domain s.trace
+           s.ok attrs))
     spans;
   Buffer.contents buf

@@ -35,12 +35,43 @@ type span = {
   dur_ns : int64;
   depth : int;  (** nesting depth within the recording domain, 0 = root *)
   domain : int;  (** numeric id of the recording domain *)
+  trace : int;  (** request-scoped trace id set by {!with_context}, 0 = none *)
   ok : bool;  (** [false] when the span closed by exception *)
   attrs : (string * string) list;
 }
 
 val with_span : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
 (** Run the function inside a span. Always re-raises; never swallows. *)
+
+val with_context : trace:int -> depth:int -> (unit -> 'a) -> 'a
+(** Run the function with this domain's trace id set to [trace] and its
+    nesting base set to [depth]: spans recorded inside are tagged with
+    [trace] and nest at absolute depths [>= depth]. This is how a shard
+    process records its subtree at the depth the coordinator's enclosing
+    request span dictates, so the reassembled cross-process tree is one
+    properly nested stack. Restores the previous context on exit (also on
+    exception); a no-op wrapper while tracing is disabled. *)
+
+val current_depth : unit -> int
+(** This domain's current nesting depth — the depth the next {!with_span}
+    would record at. [0] while tracing is disabled. *)
+
+val current_trace : unit -> int
+(** This domain's current trace id ({!with_context}); [0] outside any
+    context or while tracing is disabled. *)
+
+val graft : ?offset_ns:int64 -> ?lo_ns:int64 -> span list -> unit
+(** Adopt spans recorded in another process into this domain's buffer.
+    [offset_ns] (default [0L]) is added to every [start_ns] to re-base the
+    peer's clock onto ours. Residual skew is then absorbed by uniform
+    shifts of the whole subtree: it is pulled back so it ends no later
+    than {!now_ns} at the call (adopted spans are completed work — an
+    offset measured late must not push them past the close of the
+    enclosing request span), and if [lo_ns] is given the subtree is
+    finally shifted to start no earlier than it (a child must not escape
+    the request span's start either). Spans keep their absolute depths
+    and are re-domained to the calling domain. No-op while tracing is
+    disabled. *)
 
 val drain : unit -> span list
 (** All completed spans from every domain, cleared from the buffers,
@@ -52,5 +83,5 @@ val reset : unit -> unit
 val to_jsonl : span list -> string
 (** One JSON object per line, schema (locked by [test_obs]):
     {v
-    {"name":N,"start_ns":S,"dur_ns":D,"depth":P,"domain":I,"ok":B,"attrs":{...}}
+    {"name":N,"start_ns":S,"dur_ns":D,"depth":P,"domain":I,"trace":T,"ok":B,"attrs":{...}}
     v} *)

@@ -82,5 +82,5 @@ let site name =
 let known_sites =
   [
     "tokenize"; "heap_merge"; "verify"; "codec_io"; "supervisor_worker";
-    "codec_rename"; "serve_decode"; "shard_frame";
+    "codec_rename"; "serve_decode"; "shard_frame"; "shard_stats";
   ]

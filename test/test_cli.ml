@@ -485,7 +485,106 @@ let test_serve_ndjson_roundtrip () =
       check_bool "summary counts the 2 extracted docs" true
         (has_match {|"docs":2,"ok":2|} err);
       check_bool "summary reports no reloads" true
-        (has_match {|"reloads":0}|} err))
+        (has_match {|"reloads":0,|} err);
+      check_bool "summary embeds a metrics object" true
+        (has_match {|"metrics":{"counters":{|} err))
+
+(* Admin ops share the request stream but are answered from the live
+   registry without consuming a document ordinal: responses interleave in
+   order, the summary still counts exactly the extracted documents, and
+   the fault/ordinal schedule is untouched by however many op lines the
+   client sends. *)
+let test_serve_admin_ops () =
+  with_temp_dir (fun dir ->
+      let dict = paper_dict_file dir in
+      let input = Filename.concat dir "input.ndjson" in
+      write_file input
+        ("{\"op\":\"stats\"}\n"
+       ^ "{\"text\":\"surauijt chadhuri sigmod\",\"id\":\"d0\"}\n"
+       ^ "{\"op\":\"health\"}\n"
+       ^ "{\"op\":\"bogus\"}\n"
+       ^ "{\"text\":\"venkaee shga spoke\"}\n"
+       ^ "{\"op\":\"stats\"}\n");
+      let status, out, err =
+        run_cli_io ~dir ~stdin_file:input
+          [ "serve"; "-d"; dict; "-s"; "ed=2"; "-q"; "2"; "--domains"; "2" ]
+      in
+      check_int "exit 0" 0 (exit_code status);
+      check_int "6 responses (4 admin + 2 docs)" 6 (List.length out);
+      check_bool "stats response carries the snapshot" true
+        (has_match {|"op":"stats".*"metrics":{"counters":{|} out);
+      (* Admin pulls don't barrier the pool, so in-stream snapshots race
+         with in-flight documents; the post-drain summary snapshot is the
+         deterministic one. *)
+      check_bool "summary snapshot counts the processed docs" true
+        (has_match {|"docs_processed":2|} err);
+      check_bool "health reports the single-process shard up" true
+        (has_match
+           {|"op":"health","status":"ok","shards":\[{"shard":0,"up":true|}
+           out);
+      check_bool "unknown op is a structured error" true
+        (has_match {|"outcome":"error".*unknown admin op|} out);
+      check_bool "admin ops consumed no document ordinals" true
+        (has_match {|"docs":2,"ok":2|} err);
+      (* Prometheus format: the same pull renders exposition text. *)
+      let status, out, _ =
+        run_cli_io ~dir ~stdin_file:input
+          [
+            "serve"; "-d"; dict; "-s"; "ed=2"; "-q"; "2"; "--domains"; "2";
+            "--metrics-format"; "prometheus";
+          ]
+      in
+      check_int "prometheus run exit 0" 0 (exit_code status);
+      check_bool "stats response renders exposition text" true
+        (has_match {|"op":"stats".*"prometheus":".*# TYPE|} out))
+
+(* --stats-interval-s: SIGALRM interrupts the blocked request read, the
+   EINTR path emits a snapshot line to stderr and the read resumes with
+   no byte lost. *)
+let test_serve_stats_interval () =
+  with_temp_dir (fun dir ->
+      let dict = paper_dict_file dir in
+      let stderr_file = Filename.concat dir "serve-stderr.txt" in
+      let cmd =
+        Printf.sprintf "%s 2> %s"
+          (Filename.quote_command cli
+             [
+               "serve"; "-d"; dict; "-s"; "ed=2"; "--domains"; "1";
+               "--stats-interval-s"; "1";
+             ])
+          (Filename.quote stderr_file)
+      in
+      let out, inp = Unix.open_process cmd in
+      output_string inp "{\"text\":\"surauijt chadhuri\"}\n";
+      flush inp;
+      let r1 = input_line out in
+      check_bool "request served" true
+        (try
+           ignore (Str.search_forward (Str.regexp {|"outcome":"ok"|}) r1 0);
+           true
+         with Not_found -> false);
+      (* Two full periods while the server is parked in the read. *)
+      Unix.sleepf 2.5;
+      output_string inp "{\"text\":\"venkaee shga\"}\n";
+      flush inp;
+      ignore (input_line out);
+      close_out inp;
+      let status = Unix.close_process (out, inp) in
+      check_int "serve exit 0" 0 (exit_code status);
+      let err = read_lines stderr_file in
+      let snapshots =
+        List.filter
+          (fun l ->
+            try
+              ignore (Str.search_forward (Str.regexp {|"op":"stats"|}) l 0);
+              true
+            with Not_found -> false)
+          err
+      in
+      check_bool "periodic snapshots reached stderr" true
+        (List.length snapshots >= 2);
+      check_bool "summary still counts both docs" true
+        (has_match {|"docs":2,"ok":2|} err))
 
 let test_serve_quarantine_and_replay () =
   with_temp_dir (fun dir ->
@@ -577,7 +676,7 @@ let test_serve_hot_reload () =
       check_int "serve exit 0" 0 (exit_code status);
       let err = read_lines stderr_file in
       check_bool "summary reports the reload" true
-        (has_match {|"docs":2,"ok":2|} err && has_match {|"reloads":1}|} err))
+        (has_match {|"docs":2,"ok":2|} err && has_match {|"reloads":1,|} err))
 
 let () =
   Alcotest.run "faerie_cli"
@@ -616,5 +715,9 @@ let () =
           Alcotest.test_case "quarantine + replay" `Quick
             test_serve_quarantine_and_replay;
           Alcotest.test_case "hot reload" `Quick test_serve_hot_reload;
+          Alcotest.test_case "admin stats/health ops" `Quick
+            test_serve_admin_ops;
+          Alcotest.test_case "periodic stats interval" `Quick
+            test_serve_stats_interval;
         ] );
     ]

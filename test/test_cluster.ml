@@ -25,6 +25,7 @@ module Fault = Faerie_util.Fault
 module Budget = Faerie_util.Budget
 module Xorshift = Faerie_util.Xorshift
 module Metrics = Faerie_obs.Metrics
+module Trace = Faerie_obs.Trace
 
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
@@ -163,12 +164,27 @@ let test_shard_message_roundtrip () =
   let msgs =
     [
       Serve_proto.Shard.Doc
-        { doc = 7; attempt = 2; timeout_ms = Some 250; text = "a b c" };
+        {
+          doc = 7;
+          attempt = 2;
+          timeout_ms = Some 250;
+          text = "a b c";
+          trace = None;
+        };
       Serve_proto.Shard.Doc
-        { doc = 0; attempt = 0; timeout_ms = None; text = "" };
+        { doc = 0; attempt = 0; timeout_ms = None; text = ""; trace = None };
+      Serve_proto.Shard.Doc
+        {
+          doc = 3;
+          attempt = 0;
+          timeout_ms = None;
+          text = "traced";
+          trace = Some (4, 2);
+        };
       Serve_proto.Shard.Prepare { gen = 3; path = "/tmp/x.faerie" };
       Serve_proto.Shard.Commit { gen = 3 };
       Serve_proto.Shard.Abort { gen = 3 };
+      Serve_proto.Shard.Stats_req;
       Serve_proto.Shard.Shutdown;
     ]
   in
@@ -178,11 +194,68 @@ let test_shard_message_roundtrip () =
       | Ok back -> check_bool "msg round-trips" true (back = m)
       | Error e -> Alcotest.fail (Serve_proto.parse_error_to_string e))
     msgs;
+  let sample_spans =
+    [
+      {
+        Trace.name = "extract";
+        start_ns = 9_223_372_036_854_775_000L;
+        dur_ns = 12345L;
+        depth = 2;
+        domain = 1;
+        trace = 10;
+        ok = true;
+        attrs = [ ("doc", "9") ];
+      };
+      {
+        Trace.name = "verify";
+        start_ns = 0L;
+        dur_ns = 0L;
+        depth = 0;
+        domain = 0;
+        trace = 0;
+        ok = false;
+        attrs = [];
+      };
+    ]
+  in
+  let sample_snapshot =
+    {
+      Metrics.counters = [ ("docs", 4); ("errors", 0) ];
+      gauges =
+        [
+          ("queue", { Metrics.value = 2.5; agg = `Sum; label = None });
+          ( "shard_up_1",
+            {
+              Metrics.value = 1.;
+              agg = `Max;
+              label = Some ("shard_up", "shard", "1");
+            } );
+        ];
+      histograms =
+        [
+          ( "lat",
+            {
+              Metrics.upper = [| 1.; 10. |];
+              counts = [| 3; 0; 1 |];
+              sum = 14.5;
+              count = 4;
+            } );
+        ];
+    }
+  in
   let replies =
     [
-      Serve_proto.Shard.Ready { shard = 2; gen = 0 };
+      Serve_proto.Shard.Ready { shard = 2; gen = 0; now_ns = 123456789L };
       Serve_proto.Shard.Result
-        { doc = 9; gen = 1; outcome = Outcome.Ok sample_matches };
+        { doc = 9; gen = 1; outcome = Outcome.Ok sample_matches; spans = [] };
+      Serve_proto.Shard.Result
+        {
+          doc = 10;
+          gen = 1;
+          outcome = Outcome.Ok [];
+          spans = sample_spans;
+        };
+      Serve_proto.Shard.Stats_reply { shard = 2; snapshot = sample_snapshot };
       Serve_proto.Shard.Prepared { gen = 4 };
       Serve_proto.Shard.Prepare_failed { gen = 4; error = "corrupt index: x" };
       Serve_proto.Shard.Committed { gen = 4 };
@@ -542,6 +615,242 @@ let test_submit_after_shutdown () =
     (Invalid_argument "Cluster.submit: cluster is shut down") (fun () ->
       ignore (Cluster.submit cluster ~doc:1 "chaudhuri"))
 
+(* ------------------------------------------------------------------ *)
+(* Cluster-wide stats aggregation                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* The merged snapshot's extraction counters must equal the sum of the
+   per-shard pulls: every document fans out to every shard, so each of
+   the [shards] processes counts each document once. The coordinator
+   contributes registry-only series (shard_up members) to the merge. *)
+let test_cluster_stats_merge () =
+  Metrics.reset ();
+  let shards = 4 in
+  let cluster =
+    Cluster.create
+      ~config:(cluster_config ~shards ~retries:1 ())
+      ~sim:(Sim.Edit_distance 2) ~q:2
+      (fun () -> paper_dict)
+  in
+  Fun.protect
+    ~finally:(fun () -> Cluster.shutdown cluster)
+    (fun () ->
+      Array.iteri (fun i d -> ignore (Cluster.submit cluster ~doc:i d)) docs;
+      let merged, per_shard = Cluster.stats cluster in
+      check_int "one pull per shard" shards (List.length per_shard);
+      List.iter
+        (fun (sid, snap) ->
+          check_bool
+            (Printf.sprintf "shard %d snapshot present" sid)
+            true (snap <> None))
+        per_shard;
+      let shard_sum name =
+        List.fold_left
+          (fun acc (_, snap) ->
+            match snap with
+            | Some s -> acc + Metrics.counter_value s name
+            | None -> acc)
+          0 per_shard
+      in
+      List.iter
+        (fun name ->
+          check_int
+            ("merged counter is the shard sum: " ^ name)
+            (shard_sum name)
+            (Metrics.counter_value merged name))
+        [
+          "docs_processed"; "docs_ok"; "tokenize_calls"; "verify_calls";
+          "matches_verified";
+        ];
+      check_int "each shard processed every document"
+        (shards * Array.length docs)
+        (shard_sum "docs_processed");
+      for sid = 0 to shards - 1 do
+        check_bool
+          (Printf.sprintf "merged snapshot reports shard %d up" sid)
+          true
+          (Metrics.gauge_value merged (Printf.sprintf "shard_up_%d" sid) = 1.)
+      done;
+      (* The queue-depth gauge is sampled by the shard stats handler, so
+         the member exists in each pull (idle pools report 0). *)
+      List.iter
+        (fun (sid, snap) ->
+          match snap with
+          | Some s ->
+              check_bool
+                (Printf.sprintf "shard %d sampled its queue depth" sid)
+                true
+                (List.mem_assoc "pool_queue_depth" s.Metrics.gauges)
+          | None -> ())
+        per_shard)
+
+(* A shard killed by the injected "shard_stats" fault while answering a
+   stats pull must surface as a per-shard [None] — partial merge, no
+   hang, no exception — and be restarted like any mid-request death.
+   Children inherit the armed campaign at fork time (fault state is
+   process-local), so replacements spawned while the parent is armed die
+   on the next pull too; one flush pull after disarming leaves a fully
+   healthy cluster. *)
+let test_cluster_stats_partial_on_kill () =
+  quiet_stderr (fun () ->
+      Fault.configure
+        { Fault.seed = 11; rates = [ ("shard_stats", 1.0) ] };
+      let cluster =
+        Cluster.create
+          ~config:
+            {
+              (cluster_config ~shards:4 ~retries:1 ()) with
+              Cluster.shard_timeout_ms = Some 5000;
+            }
+          ~sim:(Sim.Edit_distance 2) ~q:2
+          (fun () -> paper_dict)
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          Fault.disarm ();
+          Cluster.shutdown cluster)
+        (fun () ->
+          let merged, per_shard = Cluster.stats cluster in
+          List.iter
+            (fun (sid, snap) ->
+              check_bool
+                (Printf.sprintf "killed shard %d flagged as missing" sid)
+                true (snap = None))
+            per_shard;
+          (* The coordinator's own registry still merges. *)
+          check_bool "partial merge keeps coordinator series" true
+            (Metrics.gauge_value merged "shard_up_0" = 1.);
+          let _, healths = Cluster.health cluster in
+          List.iter
+            (fun h ->
+              check_bool "killed shard restarted" true
+                (h.Serve_proto.h_up && h.Serve_proto.h_restarts >= 1))
+            healths;
+          Fault.disarm ();
+          (* Replacements forked under the armed campaign die on this
+             pull; their successors fork from the now-disarmed parent. *)
+          ignore (Cluster.stats cluster);
+          let _, per_shard = Cluster.stats cluster in
+          List.iter
+            (fun (sid, snap) ->
+              check_bool
+                (Printf.sprintf "shard %d healthy after flush" sid)
+                true (snap <> None))
+            per_shard;
+          match Cluster.submit cluster ~doc:0 paper_doc with
+          | Outcome.Ok _ -> ()
+          | _ -> Alcotest.fail "cluster must keep serving after stats kills"))
+
+(* ------------------------------------------------------------------ *)
+(* Cross-process trace propagation                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* A traced document must come back as ONE properly nested span tree:
+   the coordinator's cluster_doc root, with each shard's doc_attempt /
+   extract_doc subtree grafted inside it (re-based onto the
+   coordinator's clock) and tagged with the request's trace id. The
+   flame reconstruction is the end-to-end check: every frame's stack
+   must bottom out at cluster_doc — shard frames never float as
+   separate roots. *)
+let test_cluster_trace_propagation () =
+  let shards = 2 in
+  let cluster =
+    Cluster.create
+      ~config:(cluster_config ~shards ~retries:1 ())
+      ~sim:(Sim.Edit_distance 2) ~q:2
+      (fun () -> paper_dict)
+  in
+  Fun.protect
+    ~finally:(fun () -> Cluster.shutdown cluster)
+    (fun () ->
+      Trace.enable ();
+      let out = Cluster.submit cluster ~doc:0 paper_doc in
+      Trace.disable ();
+      let spans = Trace.drain () in
+      (match out with
+      | Outcome.Ok _ -> ()
+      | _ -> Alcotest.fail "traced document must still extract");
+      let root =
+        match List.filter (fun s -> s.Trace.name = "cluster_doc") spans with
+        | [ r ] -> r
+        | l -> Alcotest.failf "expected 1 cluster_doc root, got %d"
+                 (List.length l)
+      in
+      check_int "root at depth 0" 0 root.Trace.depth;
+      let attempts =
+        List.filter (fun s -> s.Trace.name = "doc_attempt") spans
+      in
+      check_int "one shard subtree per shard" shards (List.length attempts);
+      let tid = 1 (* doc 0 traces as id doc+1 *) in
+      List.iter
+        (fun s ->
+          check_int "shard span tagged with the request trace" tid
+            s.Trace.trace;
+          check_int "shard subtree nests under the root" 1 s.Trace.depth;
+          check_bool "grafted span re-domained to the coordinator" true
+            (s.Trace.domain = root.Trace.domain);
+          check_bool "grafted span starts inside the root" true
+            (s.Trace.start_ns >= root.Trace.start_ns
+            && Int64.add s.Trace.start_ns s.Trace.dur_ns
+               <= Int64.add root.Trace.start_ns root.Trace.dur_ns))
+        attempts;
+      check_bool "shard-side extract spans came across" true
+        (List.exists
+           (fun s -> s.Trace.name = "extract_doc" && s.Trace.trace = tid)
+           spans);
+      let frames = Faerie_obs.Prof.flame_of_spans spans in
+      check_bool "flame built" true (frames <> []);
+      List.iter
+        (fun f ->
+          match f.Faerie_obs.Prof.stack with
+          | "cluster_doc" :: _ -> ()
+          | stack ->
+              Alcotest.failf
+                "frame not rooted at cluster_doc: %s"
+                (String.concat ";" stack))
+        frames)
+
+(* set_clock is process-local state: a shard forked from a coordinator
+   running under an injected test clock resets to the real clock
+   (shard_main hygiene), and the child's reset must not leak back into
+   the parent. This is the raw mechanism the cluster relies on so that
+   deterministic-clock tests never contaminate shard timings. *)
+let test_clock_isolation_across_fork () =
+  let t = ref 0L in
+  Trace.set_clock
+    (Some
+       (fun () ->
+         t := Int64.add !t 10L;
+         !t));
+  Fun.protect
+    ~finally:(fun () -> Trace.set_clock None)
+    (fun () ->
+      let r, w = Unix.pipe ~cloexec:false () in
+      let pid = Unix.fork () in
+      if pid = 0 then begin
+        Unix.close r;
+        (* The shard_main hygiene step. *)
+        Trace.set_clock None;
+        let now = Trace.now_ns () in
+        let b = Bytes.create 8 in
+        Bytes.set_int64_le b 0 now;
+        write_all w (Bytes.to_string b);
+        Unix._exit 0
+      end;
+      Unix.close w;
+      let b = Bytes.create 8 in
+      let rec read_all off =
+        if off < 8 then read_all (off + Unix.read r b off (8 - off))
+      in
+      read_all 0;
+      Unix.close r;
+      ignore (Unix.waitpid [] pid);
+      let child_now = Bytes.get_int64_le b 0 in
+      check_bool "child reads the real monotonic clock" true
+        (Int64.compare child_now 1_000_000L > 0);
+      check_bool "parent keeps its injected clock" true
+        (Int64.compare (Trace.now_ns ()) 1_000L < 0))
+
 let () =
   Alcotest.run "faerie_cluster"
     [
@@ -581,5 +890,16 @@ let () =
           Alcotest.test_case "two-phase reload" `Quick test_reload_generation;
           Alcotest.test_case "submit after shutdown" `Quick
             test_submit_after_shutdown;
+        ] );
+      ( "observability",
+        [
+          Alcotest.test_case "stats merge equals shard sums" `Quick
+            test_cluster_stats_merge;
+          Alcotest.test_case "stats partial on shard kill" `Quick
+            test_cluster_stats_partial_on_kill;
+          Alcotest.test_case "cross-process trace propagation" `Quick
+            test_cluster_trace_propagation;
+          Alcotest.test_case "injected clocks stay process-local" `Quick
+            test_clock_isolation_across_fork;
         ] );
     ]

@@ -250,8 +250,8 @@ let test_trace_jsonl_schema () =
   let domain = (Domain.self () :> int) in
   check_string "trace jsonl schema"
     (Printf.sprintf
-       "{\"name\":\"outer\",\"start_ns\":10,\"dur_ns\":30,\"depth\":0,\"domain\":%d,\"ok\":true,\"attrs\":{}}\n\
-        {\"name\":\"inner\",\"start_ns\":20,\"dur_ns\":10,\"depth\":1,\"domain\":%d,\"ok\":true,\"attrs\":{\"k\":\"v\\\"w\"}}\n"
+       "{\"name\":\"outer\",\"start_ns\":10,\"dur_ns\":30,\"depth\":0,\"domain\":%d,\"trace\":0,\"ok\":true,\"attrs\":{}}\n\
+        {\"name\":\"inner\",\"start_ns\":20,\"dur_ns\":10,\"depth\":1,\"domain\":%d,\"trace\":0,\"ok\":true,\"attrs\":{\"k\":\"v\\\"w\"}}\n"
        domain domain)
     (Trace.to_jsonl spans)
 
@@ -866,6 +866,158 @@ let test_registry_mechanics () =
   | () -> Alcotest.fail "negative add must be rejected"
   | exception Invalid_argument _ -> ())
 
+(* ------------------------------------------------------------------ *)
+(* Labeled gauge families in the Prometheus export                     *)
+(* ------------------------------------------------------------------ *)
+
+(* An indexed_gauge family registered with ~label renders as one family
+   with one labeled sample per member (shard_up{shard="3"}), header
+   emitted once — not as name-suffixed series. JSONL identity stays on
+   the composed name. *)
+let test_prometheus_labeled_family () =
+  let reg = Metrics.create () in
+  let up0 =
+    Metrics.indexed_gauge ~registry:reg ~help:"shard liveness" ~agg:`Max
+      ~label:"shard" "shard_up" 0
+  in
+  let up3 =
+    Metrics.indexed_gauge ~registry:reg ~help:"shard liveness" ~agg:`Max
+      ~label:"shard" "shard_up" 3
+  in
+  Metrics.set up0 1.;
+  Metrics.set up3 0.;
+  check_string "labeled family renders once with per-member samples"
+    ("# HELP shard_up shard liveness\n# TYPE shard_up gauge\n"
+   ^ "shard_up{shard=\"0\"} 1\nshard_up{shard=\"3\"} 0\n")
+    (Metrics.to_prometheus ~registry:reg ());
+  check_string "jsonl keeps the composed member names"
+    ("{\"type\":\"gauge\",\"name\":\"shard_up_0\",\"value\":1}\n"
+   ^ "{\"type\":\"gauge\",\"name\":\"shard_up_3\",\"value\":0}\n")
+    (Metrics.to_jsonl ~registry:reg ())
+
+(* Label values are quoted in the exposition format, so backslash, double
+   quote and newline must all be escaped (HELP only escapes two of the
+   three). Hand-built snapshot: real indexed_gauge labels are integer
+   strings, but render_prometheus must stay safe for any shipped
+   snapshot. *)
+let test_prometheus_label_escaping () =
+  let snap =
+    {
+      Metrics.counters = [];
+      gauges =
+        [
+          ( "family_x",
+            {
+              Metrics.value = 2.;
+              agg = `Max;
+              label = Some ("family", "key", "a\\b\"c\nd");
+            } );
+        ];
+      histograms = [];
+    }
+  in
+  check_string "label value escapes backslash, quote and newline"
+    "# TYPE family gauge\nfamily{key=\"a\\\\b\\\"c\\nd\"} 2\n"
+    (Metrics.render_prometheus ~registry:(Metrics.create ()) snap)
+
+(* ------------------------------------------------------------------ *)
+(* merge_snapshots is order-invariant (qcheck)                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Snapshot generator for the merge laws. Values are small integers so
+   float addition is exact (structural comparison is meaningful), and the
+   per-name agg / bucket layout are functions of the name — mixed modes
+   under one name are a registry-kind violation, which merge resolves
+   first-seen and is deliberately outside the invariance claim. *)
+let gen_merge_snapshot =
+  let open QCheck.Gen in
+  let names = [ "alpha"; "beta"; "gamma"; "delta"; "eps" ] in
+  let pick_subset =
+    List.fold_left
+      (fun acc n -> map2 (fun keep l -> if keep then n :: l else l) bool acc)
+      (return []) names
+  in
+  let agg_of n = if String.length n mod 2 = 0 then `Sum else `Max in
+  let upper_of n =
+    if String.length n mod 2 = 0 then [| 1.; 10. |] else [| 5. |]
+  in
+  let counters = pick_subset >>= fun ns ->
+    flatten_l
+      (List.map (fun n -> map (fun v -> (n, v)) (int_bound 1000)) ns)
+  in
+  let gauges = pick_subset >>= fun ns ->
+    flatten_l
+      (List.map
+         (fun n ->
+           map
+             (fun v ->
+               ( n,
+                 {
+                   Metrics.value = float_of_int v;
+                   agg = agg_of n;
+                   label = None;
+                 } ))
+             (int_bound 100))
+         ns)
+  in
+  let histograms = pick_subset >>= fun ns ->
+    flatten_l
+      (List.map
+         (fun n ->
+           let upper = upper_of n in
+           map
+             (fun counts ->
+               let counts = Array.of_list counts in
+               ( n,
+                 {
+                   Metrics.upper;
+                   counts;
+                   sum = float_of_int (Array.fold_left ( + ) 0 counts);
+                   count = Array.fold_left ( + ) 0 counts;
+                 } ))
+             (list_repeat (Array.length upper + 1) (int_bound 50)))
+         ns)
+  in
+  map3
+    (fun counters gauges histograms ->
+      { Metrics.counters; gauges; histograms })
+    counters gauges histograms
+
+let gen_merge_snapshot_arb =
+  QCheck.make ~print:Metrics.render_jsonl gen_merge_snapshot
+
+let arb_merge_snapshots =
+  QCheck.make
+    ~print:(fun snaps ->
+      String.concat "---\n" (List.map Metrics.render_jsonl snaps))
+    QCheck.Gen.(list_size (int_range 0 5) gen_merge_snapshot)
+
+let merge_permutation_invariant =
+  QCheck.Test.make ~count:300 ~name:"merge invariant under permutation"
+    arb_merge_snapshots (fun snaps ->
+      let reference = Metrics.merge_snapshots snaps in
+      (* A deterministic non-trivial permutation: reverse, and rotate. *)
+      let rotated = match snaps with [] -> [] | x :: tl -> tl @ [ x ] in
+      Metrics.merge_snapshots (List.rev snaps) = reference
+      && Metrics.merge_snapshots rotated = reference)
+
+let merge_associative =
+  QCheck.Test.make ~count:300 ~name:"merge invariant under re-association"
+    (QCheck.triple gen_merge_snapshot_arb gen_merge_snapshot_arb
+       gen_merge_snapshot_arb) (fun (a, b, c) ->
+      let flat = Metrics.merge_snapshots [ a; b; c ] in
+      Metrics.merge_snapshots [ Metrics.merge_snapshots [ a; b ]; c ] = flat
+      && Metrics.merge_snapshots [ a; Metrics.merge_snapshots [ b; c ] ] = flat)
+
+let merge_identity =
+  QCheck.Test.make ~count:100 ~name:"merging one snapshot only sorts it"
+    gen_merge_snapshot_arb (fun s ->
+      let once = Metrics.merge_snapshots [ s ] in
+      Metrics.merge_snapshots [ once ] = once
+      && List.for_all
+           (fun (n, v) -> Metrics.counter_value once n = v)
+           s.Metrics.counters)
+
 let () =
   Alcotest.run "faerie_obs"
     [
@@ -941,6 +1093,16 @@ let () =
         [
           Alcotest.test_case "metrics jsonl" `Quick test_metrics_jsonl_schema;
           Alcotest.test_case "prometheus text" `Quick test_prometheus_schema;
+          Alcotest.test_case "prometheus labeled family" `Quick
+            test_prometheus_labeled_family;
+          Alcotest.test_case "prometheus label escaping" `Quick
+            test_prometheus_label_escaping;
           Alcotest.test_case "trace jsonl" `Quick test_trace_jsonl_schema;
+        ] );
+      ( "merge",
+        [
+          QCheck_alcotest.to_alcotest merge_permutation_invariant;
+          QCheck_alcotest.to_alcotest merge_associative;
+          QCheck_alcotest.to_alcotest merge_identity;
         ] );
     ]
