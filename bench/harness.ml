@@ -81,14 +81,7 @@ let table ?csv ~x_label ~columns ~rows () =
   List.iter print_cells rows;
   flush stdout
 
-let git_rev () =
-  try
-    let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
-    let line = try input_line ic with End_of_file -> "" in
-    match Unix.close_process_in ic with
-    | Unix.WEXITED 0 when line <> "" -> line
-    | _ -> "unknown"
-  with _ -> "unknown"
+let git_rev = Faerie_obs.Build_info.rev
 
 let fmt_time s =
   if s < 1e-3 then Printf.sprintf "%.0fus" (s *. 1e6)

@@ -590,6 +590,12 @@ module Supervisor = Faerie_core.Supervisor
 module Cluster = Faerie_core.Cluster
 module Serve_proto = Faerie_core.Serve_proto
 module Metrics = Faerie_obs.Metrics
+module Trace = Faerie_obs.Trace
+module Prof = Faerie_obs.Prof
+module Sampling = Faerie_obs.Sampling
+module Slowlog = Faerie_obs.Slowlog
+module Slo = Faerie_obs.Slo
+module Build_info = Faerie_obs.Build_info
 
 (* OCaml channels surface EINTR/EPIPE as [Sys_error] with strerror text;
    match on the message to retry interrupted reads (a SIGHUP reload must
@@ -764,13 +770,132 @@ let serve_cmd =
     in
     Arg.(value & opt int 0 & info [ "stats-interval-s" ] ~docv:"N" ~doc)
   in
+  let trace_sample_arg =
+    let doc =
+      "Head-sample a fraction of requests for tracing: the decision is \
+       deterministic in the arrival ordinal (a 4-shard cluster samples \
+       exactly the ordinals a 1-shard run would), sampled requests carry a \
+       trace id (ordinal+1) into span buffers, slowlog records and metric \
+       exemplars. 0 (default) disables sampling."
+    in
+    Arg.(
+      value & opt float 0. & info [ "trace-sample-rate" ] ~docv:"RATE" ~doc)
+  in
+  let trace_seed_arg =
+    let doc =
+      "Seed for the per-ordinal sampling hash: changing it selects a \
+       different (still deterministic) subset of ordinals at the same \
+       --trace-sample-rate."
+    in
+    Arg.(value & opt int 0 & info [ "trace-seed" ] ~docv:"SEED" ~doc)
+  in
+  let slow_ms_arg =
+    let doc =
+      "Slow-query threshold in milliseconds: requests at or over it are \
+       written through to the --slowlog file immediately as self-contained \
+       replayable NDJSON repros (fuzz.exe --replay). Omitted, the slowlog \
+       (if armed by --slowlog) keeps only the top-K ring, flushed at \
+       shutdown."
+    in
+    Arg.(value & opt (some float) None & info [ "slow-ms" ] ~docv:"MS" ~doc)
+  in
+  let slowlog_file_arg =
+    let doc =
+      "Slow-query log NDJSON file (O_APPEND, one write per record). Arms \
+       slow-query capture even without --slow-ms (ring-only, flushed at \
+       shutdown)."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "slowlog" ] ~docv:"FILE" ~doc)
+  in
+  let slowlog_k_arg =
+    let doc = "Capacity of the K-slowest capture ring." in
+    Arg.(value & opt int 8 & info [ "slowlog-k" ] ~docv:"K" ~doc)
+  in
+  let slo_arg =
+    let doc =
+      "Service-level objectives, e.g. p99=50ms,avail=99.9: each stats tick \
+       assesses attainment and error-budget burn rate over the window since \
+       the previous tick; a burn over 1.0 degrades {\"op\":\"health\"} \
+       status to slo_burn."
+    in
+    Arg.(value & opt (some string) None & info [ "slo" ] ~docv:"SPEC" ~doc)
+  in
   let run sim q dict_file index_file pruning domains retries backoff_ms
       backoff_max_ms quarantine shed timeout_ms max_doc_bytes queue inject
-      shards shard_timeout_ms metrics_format stats_interval_s =
+      shards shard_timeout_ms metrics_format stats_interval_s
+      trace_sample_rate trace_seed slow_ms slowlog_file slowlog_k slo_spec =
     guard @@ fun () ->
     (match inject with
     | Some cfg -> Faerie_util.Fault.configure cfg
     | None -> ());
+    (* ---- request diagnostics (DESIGN.md §4c) ----
+       Armed before any fork so shard processes inherit the memoized git
+       revision and the sampling/selective-trace flags. Disabled
+       facilities cost one atomic load per request. *)
+    let t_start = Unix.gettimeofday () in
+    Build_info.note ();
+    let slo_objective =
+      match slo_spec with
+      | None -> Slo.none
+      | Some spec -> (
+          match Slo.parse spec with
+          | Ok o -> o
+          | Error msg ->
+              Printf.eprintf "faerie: bad --slo spec: %s\n" msg;
+              exit 2)
+    in
+    let slo_tracker = Slo.tracker () in
+    let last_slo : Slo.assessment option ref = ref None in
+    let assess_slo snap =
+      if not (Slo.is_empty slo_objective) then
+        last_slo := Some (Slo.assess slo_tracker slo_objective snap)
+    in
+    let slo_json () = Option.map Slo.to_json !last_slo in
+    let health_status base =
+      match !last_slo with
+      | Some a when a.Slo.burning -> "slo_burn"
+      | _ -> base
+    in
+    if trace_sample_rate > 0. then begin
+      Sampling.configure ~seed:trace_seed trace_sample_rate;
+      (* Selective recording: only spans tagged with a sampled request's
+         trace id are kept, so the 99% unsampled traffic of a 1% rate
+         leaves nothing in the span buffers. *)
+      Trace.enable ();
+      Trace.set_selective true
+    end;
+    let slowlog_on = slow_ms <> None || slowlog_file <> None in
+    if slowlog_on then
+      Slowlog.configure ~capacity:slowlog_k ?slow_ms ?path:slowlog_file ();
+    (* Everything a slowlog record needs beyond the per-request outcome:
+       the record is a self-contained repro in the Quarantine tradition,
+       so it carries the full spec the server is running. *)
+    let slowrec ~doc_id ~id ~trace ~gen ~wall_ns ~stages_ns ~budget ~text out =
+      {
+        Serve_proto.Slowrec.doc_id;
+        id;
+        trace;
+        gen;
+        wall_ms = wall_ns /. 1e6;
+        outcome = Outcome.class_name (Outcome.classify out);
+        stages_ms = List.map (fun (n, v) -> (n, v /. 1e6)) stages_ns;
+        sim;
+        q;
+        pruning;
+        budget;
+        fault = Faerie_util.Fault.current ();
+        text;
+      }
+    in
+    let capture_slowrec ~wall_ns rec_ =
+      if Slowlog.should_capture ~wall_ns then
+        Slowlog.capture ~wall_ns (Serve_proto.Slowrec.to_json rec_)
+    in
+    let slowlog_response () =
+      Serve_proto.slowlog_response_json ~total:(Slowlog.total ())
+        (List.map snd (Slowlog.drain ()))
+    in
     (* A client that disconnects mid-response must look like EOF/EPIPE on
        the stream, not kill the server with SIGPIPE. *)
     (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
@@ -950,9 +1075,14 @@ let serve_cmd =
       tick_hook :=
         (fun () ->
           Supervisor.note_queue_depth pool;
+          Prof.note_rss ();
+          let snap = Metrics.snapshot () in
+          assess_slo snap;
           prerr_endline
-            (Serve_proto.stats_response_json ~format:metrics_format
-               (Metrics.snapshot ())));
+            (Serve_proto.stats_response_json ~format:metrics_format snap);
+          match !last_slo with
+          | Some a -> prerr_endline ("faerie: serve: " ^ Slo.render a)
+          | None -> ());
       let done_lock = Mutex.create () in
       let outcomes = ref [] in
       let record out =
@@ -976,12 +1106,28 @@ let serve_cmd =
               | Some (Error e) -> print_line (admin_error_line e)
               | Some (Ok Serve_proto.Stats) ->
                   Supervisor.note_queue_depth pool;
+                  Prof.note_rss ();
+                  let snap = Metrics.snapshot () in
+                  assess_slo snap;
                   print_line
                     (Serve_proto.stats_response_json ~format:metrics_format
-                       (Metrics.snapshot ()))
+                       snap)
               | Some (Ok Serve_proto.Health) ->
+                  (* With a stats ticker armed the ticks own the SLO
+                     delta windows, so health reports the cached
+                     assessment — matching cluster mode, and keeping a
+                     frequent liveness probe from shrinking the windows
+                     to vacuous slivers. Without a ticker the probe is
+                     the only assessor, so it refreshes off the local
+                     registry (frame-free either way). *)
+                  if stats_interval_s <= 0 then
+                    assess_slo (Metrics.snapshot ());
                   print_line
-                    (Serve_proto.health_response_json ~status:"ok"
+                    (Serve_proto.health_response_json
+                       ~uptime_s:(Unix.gettimeofday () -. t_start)
+                       ~max_rss_bytes:(float_of_int (Prof.max_rss_bytes ()))
+                       ?slo:(slo_json ())
+                       ~status:(health_status "ok")
                        [
                          {
                            Serve_proto.h_shard = 0;
@@ -991,6 +1137,8 @@ let serve_cmd =
                            h_queue_depth = Supervisor.queue_depth pool;
                          };
                        ])
+              | Some (Ok Serve_proto.Slowlog_dump) ->
+                  print_line (slowlog_response ())
               | None -> (
                   let o = !ord in
                   incr ord;
@@ -1011,19 +1159,49 @@ let serve_cmd =
                         { Extractor.default_opts with pruning; budget }
                       in
                       let id = req.Serve_proto.id in
+                      let tid =
+                        if Sampling.decide o then Sampling.trace_id o else 0
+                      in
+                      let trace = if tid = 0 then None else Some (tid, 0) in
+                      let text = req.Serve_proto.text in
                       ignore
-                        (Supervisor.submit pool ?id ~opts ~doc_id:o
-                           req.Serve_proto.text ~on_done:(fun out ->
+                        (Supervisor.submit pool ?id ~opts ~doc_id:o ?trace
+                           text ~on_done:(fun out ->
                              record out;
+                             (* Runs on the worker domain that extracted,
+                                so the sealed stage scratch is this
+                                document's. Draining the sampled trace
+                                here bounds span memory whether or not
+                                the record makes the ring. *)
+                             (if tid <> 0 then
+                                ignore (Trace.drain_trace tid : Trace.span list));
+                             (if Slowlog.armed () then
+                                match Slowlog.last_doc () with
+                                | Some d ->
+                                    let wall_ns = d.Slowlog.wall_ns in
+                                    let stages_ns =
+                                      List.init Slowlog.n_stages (fun i ->
+                                          ( Slowlog.stage_name i,
+                                            d.Slowlog.stages_ns.(i) ))
+                                    in
+                                    capture_slowrec ~wall_ns
+                                      (slowrec ~doc_id:o ~id ~trace:tid
+                                         ~gen:(Atomic.get gen) ~wall_ns
+                                         ~stages_ns ~budget ~text out)
+                                | None -> ());
                              print_line
                                (Serve_proto.response_json ~ord:o ~id
                                   ~gen:(Atomic.get gen) out))))
             end
       done;
       Supervisor.shutdown pool;
+      Slowlog.disarm ();
+      Prof.note_rss ();
+      let final = Metrics.snapshot () in
+      assess_slo final;
       let summary = Outcome.summarize (Array.of_list !outcomes) in
       prerr_endline
-        (Serve_proto.summary_json ~metrics:(Metrics.snapshot ())
+        (Serve_proto.summary_json ~metrics:final ?slo:(slo_json ())
            ~reloads:!reloads summary);
       0
     in
@@ -1064,16 +1242,25 @@ let serve_cmd =
               max_bytes = max_doc_bytes;
             };
           snapshot_dir = None;
+          slow_stages = slowlog_on;
         }
       in
       let cluster = Cluster.create ~config ~sim ~q entities_of_source in
+      (* Peak RSS from the last merged pull: health must stay frame-free
+         (a shard stats round-trip would shift the shard_stats fault
+         ordinals), so it reports the cached cluster-wide max. *)
+      let merged_rss = ref 0. in
       let pull_stats () =
+        Prof.note_rss ();
         let merged, per_shard = Cluster.stats cluster in
         let missing =
           List.filter_map
             (fun (sid, snap) -> if snap = None then Some sid else None)
             per_shard
         in
+        merged_rss := Float.max !merged_rss
+            (Metrics.gauge_value merged "max_rss_bytes");
+        assess_slo merged;
         (merged, missing)
       in
       tick_hook :=
@@ -1081,7 +1268,10 @@ let serve_cmd =
           let merged, missing = pull_stats () in
           prerr_endline
             (Serve_proto.stats_response_json ~missing ~format:metrics_format
-               merged));
+               merged);
+          match !last_slo with
+          | Some a -> prerr_endline ("faerie: serve: " ^ Slo.render a)
+          | None -> ());
       Metrics.set g_index_generation 0.;
       let reloads = ref 0 in
       let reload () =
@@ -1120,9 +1310,21 @@ let serve_cmd =
                     (Serve_proto.stats_response_json ~missing
                        ~format:metrics_format merged)
               | Some (Ok Serve_proto.Health) ->
+                  (* No shard round-trips here: the SLO window and peak
+                     RSS are whatever the last stats pull cached. *)
                   let status, shard_healths = Cluster.health cluster in
                   print_line
-                    (Serve_proto.health_response_json ~status shard_healths)
+                    (Serve_proto.health_response_json
+                       ~uptime_s:(Unix.gettimeofday () -. t_start)
+                       ~max_rss_bytes:
+                         (Float.max
+                            (float_of_int (Prof.max_rss_bytes ()))
+                            !merged_rss)
+                       ?slo:(slo_json ())
+                       ~status:(health_status status)
+                       shard_healths)
+              | Some (Ok Serve_proto.Slowlog_dump) ->
+                  print_line (slowlog_response ())
               | None -> (
                   let o = !ord in
                   incr ord;
@@ -1135,10 +1337,41 @@ let serve_cmd =
                         | Some _ as t -> t
                         | None -> timeout_ms
                       in
-                      let out =
-                        Cluster.submit cluster ?id ?timeout_ms ~doc:o
-                          req.Serve_proto.text
+                      let text = req.Serve_proto.text in
+                      let stages_ref = ref [] in
+                      let stages_out =
+                        if slowlog_on then Some stages_ref else None
                       in
+                      let t0 = Trace.now_ns () in
+                      let out =
+                        Cluster.submit cluster ?id ?timeout_ms ?stages_out
+                          ~doc:o text
+                      in
+                      let wall_ns =
+                        Int64.to_float (Int64.sub (Trace.now_ns ()) t0)
+                      in
+                      let tid =
+                        if Sampling.armed () && Sampling.decide o then
+                          Sampling.trace_id o
+                        else 0
+                      in
+                      (* Grafted shard spans were adopted into the
+                         coordinator's buffer; collect them now so span
+                         memory stays bounded. *)
+                      (if tid <> 0 then
+                         ignore (Trace.drain_trace tid : Trace.span list));
+                      (if slowlog_on then
+                         let budget =
+                           {
+                             Budget.spec_unlimited with
+                             timeout_ms;
+                             max_bytes = max_doc_bytes;
+                           }
+                         in
+                         capture_slowrec ~wall_ns
+                           (slowrec ~doc_id:o ~id ~trace:tid
+                              ~gen:(Cluster.generation cluster) ~wall_ns
+                              ~stages_ns:!stages_ref ~budget ~text out));
                       outcomes := out :: !outcomes;
                       print_line
                         (Serve_proto.response_json ~ord:o ~id
@@ -1147,13 +1380,16 @@ let serve_cmd =
       done;
       (* The cluster-merged snapshot must be pulled while the shards still
          live; it lands in the summary's "metrics" object. *)
+      Prof.note_rss ();
       let final_metrics, _ = Cluster.stats cluster in
       Cluster.shutdown cluster;
+      Slowlog.disarm ();
+      assess_slo final_metrics;
       let tot = Cluster.totals cluster in
       let summary = Outcome.summarize (Array.of_list (List.rev !outcomes)) in
       prerr_endline
         (Serve_proto.cluster_summary_json ~metrics:final_metrics
-           ~reloads:!reloads ~shards
+           ?slo:(slo_json ()) ~reloads:!reloads ~shards
            ~shard_restarts:tot.Cluster.shard_restarts
            ~shard_timeouts:tot.Cluster.shard_timeouts
            ~docs_partial:tot.Cluster.docs_partial
@@ -1179,7 +1415,8 @@ let serve_cmd =
       $ domains_arg $ retries_arg $ backoff_arg $ backoff_max_arg
       $ quarantine_arg $ shed_arg $ timeout_arg $ max_doc_bytes_arg $ queue_arg
       $ inject_arg $ shards_arg $ shard_timeout_arg $ metrics_format_arg
-      $ stats_interval_arg)
+      $ stats_interval_arg $ trace_sample_arg $ trace_seed_arg $ slow_ms_arg
+      $ slowlog_file_arg $ slowlog_k_arg $ slo_arg)
 
 (* ---- gen ---- *)
 

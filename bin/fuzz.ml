@@ -318,6 +318,7 @@ module Supervisor = Core.Supervisor
 module Serve_proto = Core.Serve_proto
 module Extractor = Core.Extractor
 module Metrics = Faerie_obs.Metrics
+module Slo = Faerie_obs.Slo
 
 let supervisor_rates = [ ("supervisor_worker", 0.3); ("tokenize", 0.2) ]
 
@@ -561,6 +562,7 @@ let run_cluster_campaign iterations seed =
             pruning = Types.Binary_window;
             budget = Faerie_util.Budget.spec_unlimited;
             snapshot_dir = None;
+            slow_stages = false;
           }
         in
         (match
@@ -707,12 +709,21 @@ let random_snapshot rng =
     List.init (Xorshift.int_in_range rng ~lo:0 ~hi:2) (fun i ->
         let nb = Xorshift.int_in_range rng ~lo:1 ~hi:4 in
         let counts = Array.init (nb + 1) (fun _ -> Xorshift.int rng 50) in
+        let exemplars =
+          if Xorshift.bool rng then [||]
+          else
+            Array.init (nb + 1) (fun _ ->
+                if Xorshift.bool rng then
+                  (1 + Xorshift.int rng 1000, float_of_int (Xorshift.int rng 900))
+                else (0, 0.))
+        in
         ( Printf.sprintf "h%d" i,
           {
             Metrics.upper = Array.init nb (fun j -> float_of_int ((j + 1) * 10));
             counts;
             sum = float_of_int (Xorshift.int rng 500);
             count = Array.fold_left ( + ) 0 counts;
+            exemplars;
           } ))
   in
   { Metrics.counters; gauges; histograms }
@@ -736,13 +747,56 @@ let random_span rng =
   }
 
 let random_admin_line rng =
-  match Xorshift.int rng 6 with
+  match Xorshift.int rng 7 with
   | 0 -> {|{"op":"stats"}|}
   | 1 -> {|{"op":"health"}|}
   | 2 -> Printf.sprintf {|{"op":"%s"}|} (random_string rng 0 6)
   | 3 -> Printf.sprintf {|{"text":"%s"}|} (random_string rng 0 10)
   | 4 -> Printf.sprintf {|{"op":"stats","v":%d}|} (Xorshift.int rng 4)
+  | 5 -> {|{"op":"slowlog"}|}
   | _ -> random_string rng 0 20
+
+let random_slowrec rng =
+  let sims = [| Sim.Edit_distance 1; Sim.Edit_distance 2; Sim.Jaccard 0.8 |] in
+  let prunings = Array.of_list Types.all_prunings in
+  let opt f = if Xorshift.bool rng then Some (f ()) else None in
+  {
+    Serve_proto.Slowrec.doc_id = Xorshift.int rng 10_000;
+    id = opt (fun () -> random_string rng 0 6);
+    trace = Xorshift.int rng 1000;
+    gen = Xorshift.int rng 10;
+    wall_ms = float_of_int (Xorshift.int rng 100_000) /. 10.;
+    outcome = Xorshift.choose rng [| "ok"; "degraded"; "failed" |];
+    stages_ms =
+      List.init (Xorshift.int rng 5) (fun i ->
+          ( Printf.sprintf "stage%d" i,
+            float_of_int (Xorshift.int rng 10_000) /. 100. ));
+    sim = Xorshift.choose rng sims;
+    q = Xorshift.int_in_range rng ~lo:1 ~hi:4;
+    pruning = Xorshift.choose rng prunings;
+    budget =
+      {
+        Faerie_util.Budget.timeout_ms = opt (fun () -> Xorshift.int rng 10_000);
+        max_bytes = opt (fun () -> Xorshift.int rng 100_000);
+        max_candidates = opt (fun () -> Xorshift.int rng 1_000);
+      };
+    fault =
+      opt (fun () ->
+          {
+            Fault.seed = Xorshift.int rng 1_000_000;
+            rates = [ ("verify", 0.5); ("tokenize", 0.01) ];
+          });
+    text = random_words rng 0 6;
+  }
+
+let random_slo_spec rng =
+  match Xorshift.int rng 5 with
+  | 0 -> Printf.sprintf "p%d=%dms" (Xorshift.int_in_range rng ~lo:1 ~hi:99)
+            (1 + Xorshift.int rng 5000)
+  | 1 -> Printf.sprintf "avail=9%d.%d" (Xorshift.int rng 10) (Xorshift.int rng 10)
+  | 2 -> Printf.sprintf "p99=%ds,avail=99.9" (1 + Xorshift.int rng 9)
+  | 3 -> random_string rng 0 12
+  | _ -> Printf.sprintf "%s=%s" (random_string rng 0 4) (random_string rng 0 4)
 
 (* The observability surface: the metrics-snapshot and trace-span wire
    codecs must round-trip full-fidelity through their rendered strings,
@@ -771,6 +825,32 @@ let run_obs_campaign iterations seed =
         Printf.printf "SPAN CODEC MISMATCH: %s\n"
           (Json.to_string (Serve_proto.span_to_json sp));
         exit 1);
+    let r = random_slowrec rng in
+    (match Serve_proto.Slowrec.of_json (Serve_proto.Slowrec.to_json r) with
+    | Ok r' when r' = r -> ()
+    | Ok _ ->
+        Printf.printf "SLOWREC CODEC MISMATCH: %s\n"
+          (Serve_proto.Slowrec.to_json r);
+        exit 1
+    | Error e ->
+        Printf.printf "SLOWREC CODEC REJECTED ITS OWN OUTPUT (%s): %s\n" e
+          (Serve_proto.Slowrec.to_json r);
+        exit 1);
+    let spec = random_slo_spec rng in
+    (match Slo.parse spec with
+    | Ok o ->
+        (* a parsed objective must render to something that re-parses *)
+        if Slo.parse (Slo.to_string o) = Ok o then ()
+        else begin
+          Printf.printf "SLO RENDER/REPARSE MISMATCH on %S -> %S\n" spec
+            (Slo.to_string o);
+          exit 1
+        end
+    | Error _ -> ()
+    | exception exn ->
+        Printf.printf "SLO.PARSE RAISED on %S: %s\n" spec
+          (Printexc.to_string exn);
+        exit 1);
     let line = random_admin_line rng in
     match Serve_proto.parse_admin line with
     | Some _ | None -> ()
@@ -779,7 +859,9 @@ let run_obs_campaign iterations seed =
           (Printexc.to_string exn);
         exit 1
   done;
-  Printf.printf "snapshot/span codecs and parse_admin survived %d instances\n"
+  Printf.printf
+    "snapshot/span/slowrec codecs, Slo.parse and parse_admin survived %d \
+     instances\n"
     iterations;
   let pulls = max 5 (iterations / 100) in
   Fault.configure
@@ -860,7 +942,13 @@ let read_lines path =
    the plain doc id; cluster coordinator records carry the shard-salted
    key). The record reproduces iff the document fails again — a shard
    death at the shard_frame site, a worker death at the supervisor_worker
-   site, or a contained Failed outcome. *)
+   site, or a contained Failed outcome.
+
+   Slow-query records (serve --slowlog; discriminated by "kind":"slowlog")
+   share the stream and the replay machinery, but most captured a request
+   that SUCCEEDED slowly, so their bar is different: the record reproduces
+   iff re-running the document yields the same outcome class (an injected
+   crash counts as "failed"). *)
 let run_replay ~replay_file ~dict_file =
   let entities =
     List.filter_map
@@ -869,55 +957,78 @@ let run_replay ~replay_file ~dict_file =
   in
   let records = read_lines replay_file in
   let failures = ref 0 in
+  (* Shared single-process re-run: rebuild, re-arm, extract under the
+     recorded fault key, classify. *)
+  let rerun ~sim ~q ~fault ~pruning ~budget ~doc_id text =
+    let problem = Problem.create ~sim ~q entities in
+    (match fault with
+    | Some cfg -> Fault.configure cfg
+    | None -> Fault.disarm ());
+    let opts = { Extractor.default_opts with pruning; budget; doc_id } in
+    let ex = Extractor.of_problem problem in
+    let cls =
+      match
+        Fault.with_context doc_id (fun () ->
+            Fault.site "shard_frame";
+            Fault.site "supervisor_worker");
+        Extractor.run ~opts ex (`Text text)
+      with
+      | report -> Outcome.class_name (Outcome.classify report.Extractor.outcome)
+      | exception Fault.Injected _ -> "failed"
+    in
+    Fault.disarm ();
+    cls
+  in
   List.iteri
     (fun idx line ->
-      match Supervisor.Quarantine.of_json line with
-      | Error e ->
-          incr failures;
-          Printf.printf "record %d: unparseable (%s)\n" idx e
-      | Ok r -> (
-          let reproduced =
-            let problem =
-              Problem.create ~sim:r.Supervisor.Quarantine.sim
-                ~q:r.Supervisor.Quarantine.q entities
-            in
-            (match r.Supervisor.Quarantine.fault with
-            | Some cfg -> Fault.configure cfg
-            | None -> Fault.disarm ());
-            let opts =
-              {
-                Extractor.default_opts with
-                pruning = r.Supervisor.Quarantine.pruning;
-                budget = r.Supervisor.Quarantine.budget;
-                doc_id = r.Supervisor.Quarantine.doc_id;
-              }
-            in
-            let ex = Extractor.of_problem problem in
-            match
-              Fault.with_context r.Supervisor.Quarantine.doc_id (fun () ->
-                  Fault.site "shard_frame";
-                  Fault.site "supervisor_worker");
-              Extractor.run ~opts ex (`Text r.Supervisor.Quarantine.text)
-            with
-            | report -> Outcome.is_failed report.Extractor.outcome
-            | exception Fault.Injected _ -> true
+      match Serve_proto.Slowrec.of_json line with
+      | Ok r ->
+          let cls =
+            rerun ~sim:r.Serve_proto.Slowrec.sim ~q:r.Serve_proto.Slowrec.q
+              ~fault:r.Serve_proto.Slowrec.fault
+              ~pruning:r.Serve_proto.Slowrec.pruning
+              ~budget:r.Serve_proto.Slowrec.budget
+              ~doc_id:r.Serve_proto.Slowrec.doc_id r.Serve_proto.Slowrec.text
           in
-          Fault.disarm ();
-          if reproduced then
-            Printf.printf "record %d (doc %d): reproduced — %s\n" idx
-              r.Supervisor.Quarantine.doc_id r.Supervisor.Quarantine.error
+          if cls = r.Serve_proto.Slowrec.outcome then
+            Printf.printf "record %d (slowlog doc %d): reproduced — %s\n" idx
+              r.Serve_proto.Slowrec.doc_id cls
           else begin
             incr failures;
-            Printf.printf "record %d (doc %d): DID NOT REPRODUCE\n" idx
-              r.Supervisor.Quarantine.doc_id
-          end))
+            Printf.printf
+              "record %d (slowlog doc %d): DID NOT REPRODUCE (%s, recorded %s)\n"
+              idx r.Serve_proto.Slowrec.doc_id cls r.Serve_proto.Slowrec.outcome
+          end
+      | Error _ -> (
+          match Supervisor.Quarantine.of_json line with
+          | Error e ->
+              incr failures;
+              Printf.printf "record %d: unparseable (%s)\n" idx e
+          | Ok r ->
+              let cls =
+                rerun ~sim:r.Supervisor.Quarantine.sim
+                  ~q:r.Supervisor.Quarantine.q
+                  ~fault:r.Supervisor.Quarantine.fault
+                  ~pruning:r.Supervisor.Quarantine.pruning
+                  ~budget:r.Supervisor.Quarantine.budget
+                  ~doc_id:r.Supervisor.Quarantine.doc_id
+                  r.Supervisor.Quarantine.text
+              in
+              if cls = "failed" then
+                Printf.printf "record %d (doc %d): reproduced — %s\n" idx
+                  r.Supervisor.Quarantine.doc_id r.Supervisor.Quarantine.error
+              else begin
+                incr failures;
+                Printf.printf "record %d (doc %d): DID NOT REPRODUCE\n" idx
+                  r.Supervisor.Quarantine.doc_id
+              end))
     records;
   if !failures > 0 then begin
     Printf.printf "%d of %d records failed to reproduce\n" !failures
       (List.length records);
     exit 1
   end;
-  Printf.printf "all %d quarantine records reproduce\n" (List.length records)
+  Printf.printf "all %d records reproduce\n" (List.length records)
 
 let () =
   let faults = ref false in

@@ -4,6 +4,10 @@ module Sim = Faerie_sim.Sim
 module Ix = Faerie_index
 module Metrics = Faerie_obs.Metrics
 module Trace = Faerie_obs.Trace
+module Prof = Faerie_obs.Prof
+module Slowlog = Faerie_obs.Slowlog
+module Sampling = Faerie_obs.Sampling
+module Build_info = Faerie_obs.Build_info
 module Frame = Serve_proto.Frame
 module Shard = Serve_proto.Shard
 
@@ -35,6 +39,11 @@ type config = {
   pruning : Types.pruning;
   budget : Budget.spec;
   snapshot_dir : string option;
+  slow_stages : bool;
+      (* arm each shard's slowlog stage scratch so Result frames carry a
+         per-stage wall breakdown; off by default because the extra
+         "stages" field changes result-frame bytes (and with them the
+         fault schedules keyed off frame contents) *)
 }
 
 let default_config =
@@ -46,6 +55,7 @@ let default_config =
     pruning = Types.Binary_window;
     budget = Budget.spec_unlimited;
     snapshot_dir = None;
+    slow_stages = false;
   }
 
 (* How long to wait for a freshly spawned shard's Ready frame (it has to
@@ -140,6 +150,12 @@ let shard_main ~(config : config) ~sid ~gen0 ~sim ~snapshot ~rfd ~wfd =
   Metrics.reset ();
   Trace.reset ();
   Trace.set_clock None;
+  (* Re-establish process-identity metrics the reset just zeroed (the
+     revision is memoized pre-fork, so this never shells out), and arm
+     the per-domain stage scratch when the coordinator wants stage
+     breakdowns in Result frames. *)
+  Build_info.note ();
+  if config.slow_stages then Slowlog.arm_stages ();
   let load path =
     let _, index = Ix.Codec.load path in
     Extractor.of_problem (Problem.of_index ~sim index)
@@ -182,8 +198,13 @@ let shard_main ~(config : config) ~sid ~gen0 ~sim ~snapshot ~rfd ~wfd =
             Fault.with_context key (fun () -> Fault.site "shard_frame");
             (* A traced doc frame is the coordinator telling us to record:
                the recording flag is process-local and this child may have
-               been forked before tracing was enabled over there. *)
-            if trace <> None && not (Trace.enabled ()) then Trace.enable ();
+               been forked before tracing was enabled over there. Selective
+               mode keeps the buffer from accumulating spans of the
+               untraced (unsampled) documents between traced ones. *)
+            if trace <> None && not (Trace.enabled ()) then begin
+              Trace.enable ();
+              Trace.set_selective true
+            end;
             let budget =
               {
                 config.budget with
@@ -211,7 +232,22 @@ let shard_main ~(config : config) ~sid ~gen0 ~sim ~snapshot ~rfd ~wfd =
                            (Trace.drain ())
                      | None -> []
                    in
-                   try send (Shard.Result { doc; gen = !gen_ref; outcome; spans })
+                   (* The completion callback runs on the worker domain
+                      that extracted, so the sealed stage scratch read
+                      here is this document's. *)
+                   let stages =
+                     if not config.slow_stages then []
+                     else
+                       match Slowlog.last_doc () with
+                       | Some d ->
+                           List.init Slowlog.n_stages (fun i ->
+                               (Slowlog.stage_name i, d.Slowlog.stages_ns.(i)))
+                       | None -> []
+                   in
+                   try
+                     send
+                       (Shard.Result
+                          { doc; gen = !gen_ref; outcome; spans; stages })
                    with _ -> ()));
             loop ()
         | Ok (Shard.Prepare { gen; path }) ->
@@ -257,6 +293,7 @@ let shard_main ~(config : config) ~sid ~gen0 ~sim ~snapshot ~rfd ~wfd =
                coordinator must surface as a flagged partial snapshot —
                never a hang, never a poisoned merge. *)
             Fault.with_context sid (fun () -> Fault.site "shard_stats");
+            Prof.note_rss ();
             Supervisor.note_queue_depth pool;
             send (Shard.Stats_reply { shard = sid; snapshot = Metrics.snapshot () });
             loop ()
@@ -497,7 +534,7 @@ let shard_timeout_error sid ms =
       backtrace = "";
     }
 
-let submit t ?id ?timeout_ms ~doc text =
+let submit t ?id ?timeout_ms ?stages_out ~doc text =
   if t.closed then invalid_arg "Cluster.submit: cluster is shut down";
   let run_fanout () =
   let n = Array.length t.slots in
@@ -508,9 +545,31 @@ let submit t ?id ?timeout_ms ~doc text =
      grafted shard subtrees so residual clock skew cannot make them start
      before the request span that contains them. When tracing is off this
      is [None] and doc frames are byte-identical to the untraced protocol
-     (fault schedules hash frame contents downstream, so this must hold). *)
+     (fault schedules hash frame contents downstream, so this must hold).
+     Armed head sampling narrows tracing further to the sampled ordinals —
+     the decision is pure in (seed, ordinal), so shard count cannot change
+     which documents get traced. *)
   let trace_ctx =
-    if Trace.enabled () then Some (doc + 1, Trace.current_depth ()) else None
+    if
+      Trace.enabled ()
+      && ((not (Sampling.armed ())) || Sampling.decide doc)
+    then Some (doc + 1, Trace.current_depth ())
+    else None
+  in
+  (* Per-stage wall breakdown across the fan-out: shards run concurrently,
+     so element-wise max is the critical-path view — the stage time the
+     slowest shard spent, which is what a slow merged request inherits. *)
+  let stage_acc : (string * float) list ref = ref [] in
+  let note_stages stages =
+    List.iter
+      (fun (name, v) ->
+        stage_acc :=
+          match List.assoc_opt name !stage_acc with
+          | Some v0 when v0 >= v -> !stage_acc
+          | Some _ ->
+              (name, v) :: List.remove_assoc name !stage_acc
+          | None -> !stage_acc @ [ (name, v) ])
+      stages
   in
   let req_t0 = if trace_ctx <> None then Some (Trace.now_ns ()) else None in
   let fresh_deadline () =
@@ -595,11 +654,12 @@ let submit t ?id ?timeout_ms ~doc text =
              })
     | `Frame p -> (
         match Shard.reply_of_string p with
-        | Ok (Shard.Result { doc = d; gen = _; outcome; spans }) when d = doc
-          -> (
+        | Ok (Shard.Result { doc = d; gen = _; outcome; spans; stages })
+          when d = doc -> (
             match states.(i) with
             | Waiting _ ->
                 Trace.graft ~offset_ns:slot.offset_ns ?lo_ns:req_t0 spans;
+                note_stages stages;
                 let remap ms = Shard_plan.remap_matches ~range:slot.range ms in
                 let out =
                   match outcome with
@@ -698,6 +758,7 @@ let submit t ?id ?timeout_ms ~doc text =
         end
   in
   pump ();
+  (match stages_out with Some r -> r := !stage_acc | None -> ());
   (* Merge in shard order: concatenate usable match sets (entity ranges are
      disjoint, so no dedup is needed), sort by span for a deterministic,
      shard-count-independent ordering, and descend the degradation ladder:

@@ -55,6 +55,12 @@ type config = {
   snapshot_dir : string option;
       (** where per-shard index snapshots live; [None] uses a private
           temp directory removed on shutdown *)
+  slow_stages : bool;
+      (** arm each shard's {!Faerie_obs.Slowlog} stage scratch so Result
+          frames carry a per-stage wall breakdown (serve's slow-query
+          log). Off by default: the added frame field changes result
+          frame bytes, and with them the fault schedules keyed off frame
+          contents. *)
 }
 
 val default_config : config
@@ -76,13 +82,22 @@ val generation : t -> int
     committed. *)
 
 val submit :
-  t -> ?id:string -> ?timeout_ms:int -> doc:int -> string -> Parallel.outcome
+  t ->
+  ?id:string ->
+  ?timeout_ms:int ->
+  ?stages_out:(string * float) list ref ->
+  doc:int ->
+  string ->
+  Parallel.outcome
 (** Fan one document to every shard and merge. Blocks until the merged
     outcome is settled (every shard answered, was retried, or was written
     off). [doc] is the arrival ordinal: it keys per-shard fault contexts
     ({!Supervisor.shard_fault_key}) and backoff jitter. [id] is stamped
     into quarantine records. [timeout_ms] overrides the per-document
-    budget inside shards.
+    budget inside shards. When [config.slow_stages] is on, [stages_out]
+    receives the element-wise {e max} across shards of the per-stage
+    wall breakdowns from the Result frames (the critical-path view — the
+    fan-out's wall time follows its slowest shard).
 
     Merge semantics: usable match sets concatenate (entity ranges are
     disjoint) and sort by (start, length, entity) — byte-identical

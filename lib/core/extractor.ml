@@ -8,6 +8,7 @@ module Metrics = Faerie_obs.Metrics
 module Trace = Faerie_obs.Trace
 module Prof = Faerie_obs.Prof
 module Explain = Faerie_obs.Explain
+module Slowlog = Faerie_obs.Slowlog
 open Types
 
 type t = { problem : Problem.t }
@@ -242,13 +243,23 @@ let run_contained opts t input =
 let run ?(opts = default_opts) t input =
   let body () =
     Prof.with_doc @@ fun () ->
+    (* One atomic load per facility on the disabled path: slowlog is
+       checked once here (the stage brackets re-check inside
+       Prof.with_stage), sampling never reaches this layer (the serve
+       loop decides per ordinal and arms a Trace context). *)
+    let slow = Slowlog.armed () in
+    if slow then Slowlog.doc_begin ();
     let t0 = Trace.now_ns () in
     let outcome, stats =
       Trace.with_span "extract_doc" (fun () -> run_contained opts t input)
     in
     let elapsed_ns = Int64.sub (Trace.now_ns ()) t0 in
+    let trace = Trace.current_trace () in
     Metrics.incr m_docs;
-    Metrics.observe m_doc_wall (Int64.to_float elapsed_ns);
+    (if trace = 0 then Metrics.observe m_doc_wall (Int64.to_float elapsed_ns)
+     else Metrics.observe_ex m_doc_wall (Int64.to_float elapsed_ns) ~trace);
+    if slow then
+      Slowlog.doc_end ~wall_ns:(Int64.to_float elapsed_ns) ~trace;
     Metrics.incr
       (match outcome with
       | Outcome.Ok _ -> m_docs_ok

@@ -2,6 +2,7 @@ module Fault = Faerie_util.Fault
 module Json = Faerie_util.Json
 module Budget = Faerie_util.Budget
 module Score = Faerie_sim.Verify.Score
+module Sim = Faerie_sim.Sim
 module Trace = Faerie_obs.Trace
 module Metrics = Faerie_obs.Metrics
 
@@ -332,14 +333,30 @@ let snapshot_to_json (s : Metrics.snapshot) =
   let hist (n, (h : Metrics.histogram_snapshot)) =
     ( n,
       Json.Obj
-        [
-          ( "upper",
-            Json.List (Array.to_list (Array.map (fun f -> Json.Num f) h.upper))
-          );
-          ("counts", Json.List (Array.to_list (Array.map num h.counts)));
-          ("sum", Json.Num h.sum);
-          ("count", num h.count);
-        ] )
+        ([
+           ( "upper",
+             Json.List (Array.to_list (Array.map (fun f -> Json.Num f) h.upper))
+           );
+           ("counts", Json.List (Array.to_list (Array.map num h.counts)));
+           ("sum", Json.Num h.sum);
+           ("count", num h.count);
+         ]
+        @
+        (* absent (not null) when no exemplar: histograms without traced
+           observations keep the pre-exemplar frame bytes, which fault
+           schedules hash *)
+        match h.exemplars with
+        | [||] -> []
+        | ex ->
+            [
+              ( "ex",
+                Json.List
+                  (Array.to_list
+                     (Array.map
+                        (fun (t, v) ->
+                          Json.List [ num t; Json.Num v ])
+                        ex)) );
+            ]) )
   in
   Json.Obj
     [
@@ -386,14 +403,31 @@ let snapshot_of_json j : Metrics.snapshot option =
           Option.map Array.of_list (all_some (List.map Json.to_int l))
       | _ -> None
     in
+    let exemplars =
+      match Json.member "ex" hj with
+      | None -> Some [||]
+      | Some (Json.List cells) ->
+          Option.map Array.of_list
+            (all_some
+               (List.map
+                  (function
+                    | Json.List [ t; v ] -> (
+                        match (Json.to_int t, Json.to_num v) with
+                        | Some t, Some v -> Some (t, v)
+                        | _ -> None)
+                    | _ -> None)
+                  cells))
+      | Some _ -> None
+    in
     match
       ( floats "upper",
         ints "counts",
         Option.bind (Json.member "sum" hj) Json.to_num,
-        Option.bind (Json.member "count" hj) Json.to_int )
+        Option.bind (Json.member "count" hj) Json.to_int,
+        exemplars )
     with
-    | Some upper, Some counts, Some sum, Some count ->
-        Some (n, { Metrics.upper; counts; sum; count })
+    | Some upper, Some counts, Some sum, Some count, Some exemplars ->
+        Some (n, { Metrics.upper; counts; sum; count; exemplars })
     | _ -> None
   in
   match (section "counters", section "gauges", section "histograms") with
@@ -424,16 +458,34 @@ let snapshot_json (s : Metrics.snapshot) =
              (fun (n, (h : Metrics.histogram_snapshot)) ->
                ( n,
                  Json.Obj
-                   [
-                     ( "upper",
-                       Json.List
-                         (Array.to_list
-                            (Array.map (fun f -> Json.Num f) h.upper)) );
-                     ( "counts",
-                       Json.List (Array.to_list (Array.map num h.counts)) );
-                     ("sum", Json.Num h.sum);
-                     ("count", num h.count);
-                   ] ))
+                   ([
+                      ( "upper",
+                        Json.List
+                          (Array.to_list
+                             (Array.map (fun f -> Json.Num f) h.upper)) );
+                      ( "counts",
+                        Json.List (Array.to_list (Array.map num h.counts)) );
+                      ("sum", Json.Num h.sum);
+                      ("count", num h.count);
+                    ]
+                   @
+                   (* jq-friendly: .histograms.doc_wall_ns.exemplars[]
+                      links a bucket to the trace id of its slowest
+                      observation; absent when none *)
+                   let cells = ref [] in
+                   Array.iteri
+                     (fun i (t, v) ->
+                       if t <> 0 then
+                         cells :=
+                           Json.Obj
+                             [
+                               ("i", num i); ("trace", num t); ("value", Json.Num v);
+                             ]
+                           :: !cells)
+                     h.exemplars;
+                   match List.rev !cells with
+                   | [] -> []
+                   | cells -> [ ("exemplars", Json.List cells) ]) ))
              s.Metrics.histograms) );
     ]
 
@@ -444,21 +496,27 @@ let metrics_suffix = function
   | Some m ->
       Printf.sprintf ",\"metrics\":%s" (Json.to_string (snapshot_json m))
 
-let summary_json ?metrics ~reloads s =
+(* [slo], when given, is a pre-rendered JSON object (Slo.to_json output —
+   lib/obs renders its own JSON, this layer just splices it). *)
+let slo_suffix = function
+  | None -> ""
+  | Some slo -> Printf.sprintf ",\"slo\":%s" slo
+
+let summary_json ?metrics ?slo ~reloads s =
   let base = Outcome.summary_to_json s in
   (* [summary_to_json] always ends in '}'; splice the reload count in. *)
-  Printf.sprintf "%s,\"reloads\":%d%s}"
+  Printf.sprintf "%s,\"reloads\":%d%s%s}"
     (String.sub base 0 (String.length base - 1))
-    reloads (metrics_suffix metrics)
+    reloads (slo_suffix slo) (metrics_suffix metrics)
 
-let cluster_summary_json ?metrics ~reloads ~shards ~shard_restarts
+let cluster_summary_json ?metrics ?slo ~reloads ~shards ~shard_restarts
     ~shard_timeouts ~docs_partial ~quarantined_pairs s =
   let base = Outcome.summary_to_json s in
   Printf.sprintf
-    "%s,\"reloads\":%d,\"shards\":%d,\"shard_restarts\":%d,\"shard_timeouts\":%d,\"docs_partial\":%d,\"quarantined_pairs\":%d%s}"
+    "%s,\"reloads\":%d,\"shards\":%d,\"shard_restarts\":%d,\"shard_timeouts\":%d,\"docs_partial\":%d,\"quarantined_pairs\":%d%s%s}"
     (String.sub base 0 (String.length base - 1))
     reloads shards shard_restarts shard_timeouts docs_partial quarantined_pairs
-    (metrics_suffix metrics)
+    (slo_suffix slo) (metrics_suffix metrics)
 
 (* ---- trace span codec (cluster internal frames) ---- *)
 
@@ -512,7 +570,7 @@ let span_of_json j : Trace.span option =
 
 (* ---- admin plane ---- *)
 
-type admin = Stats | Health
+type admin = Stats | Health | Slowlog_dump
 
 (* Admin lines share the request NDJSON stream; [parse_admin] peeks at the
    line before {!parse_request} runs. [None] means "not an admin line" —
@@ -531,6 +589,7 @@ let parse_admin line =
               match op with
               | "stats" -> Some (Ok Stats)
               | "health" -> Some (Ok Health)
+              | "slowlog" -> Some (Ok Slowlog_dump)
               | _ ->
                   Some
                     (Error
@@ -562,27 +621,204 @@ type shard_health = {
   h_queue_depth : int;
 }
 
-let health_response_json ~status shards =
-  Json.to_string
-    (Json.Obj
-       [
-         ("v", num version);
-         ("op", Json.Str "health");
-         ("status", Json.Str status);
-         ( "shards",
-           Json.List
-             (List.map
-                (fun h ->
+(* [slo] is a pre-rendered JSON object (Slo.to_json); [uptime_s] /
+   [max_rss_bytes] describe the serving process (rss is the max across
+   the process and the last merged shard snapshot in cluster mode). *)
+let health_response_json ?uptime_s ?max_rss_bytes ?slo ~status shards =
+  let base =
+    Json.to_string
+      (Json.Obj
+         ([
+            ("v", num version);
+            ("op", Json.Str "health");
+            ("status", Json.Str status);
+            ( "shards",
+              Json.List
+                (List.map
+                   (fun h ->
+                     Json.Obj
+                       [
+                         ("shard", num h.h_shard);
+                         ("up", Json.Bool h.h_up);
+                         ("gen", num h.h_gen);
+                         ("restarts", num h.h_restarts);
+                         ("queue_depth", num h.h_queue_depth);
+                       ])
+                   shards) );
+          ]
+         @ (match uptime_s with
+           | Some u -> [ ("uptime_s", Json.Num u) ]
+           | None -> [])
+         @
+         match max_rss_bytes with
+         | Some r -> [ ("max_rss_bytes", Json.Num r) ]
+         | None -> []))
+  in
+  match slo with
+  | None -> base
+  | Some slo ->
+      Printf.sprintf "%s,\"slo\":%s}"
+        (String.sub base 0 (String.length base - 1))
+        slo
+
+(* [records] are pre-rendered Slowrec lines (each a complete JSON
+   object), slowest first; [total] counts captures since arming,
+   including entries since evicted from the ring. *)
+let slowlog_response_json ~total records =
+  Printf.sprintf "{\"v\":%d,\"op\":\"slowlog\",\"total\":%d,\"records\":[%s]}"
+    version total
+    (String.concat "," records)
+
+(* ---- slowlog records ---- *)
+
+(* A slowlog record is a self-contained repro in the Quarantine record
+   tradition: everything needed to re-run the document — text, spec,
+   opts, fault campaign, fault key — plus the observation that made it
+   interesting (wall time, outcome class, per-stage breakdown, trace
+   id). The ["kind":"slowlog"] discriminator lets [fuzz --replay]
+   dispatch: quarantine records reproduce iff the document fails again,
+   slowlog records reproduce iff the outcome {e class} matches (most
+   slow requests succeeded — that's the point). *)
+module Slowrec = struct
+  type t = {
+    doc_id : int;
+        (* the fault-context key the run used: the serve ordinal in
+           single mode, the shard-salted key in cluster mode *)
+    id : string option;
+    trace : int;  (* sampling trace id; 0 = unsampled *)
+    gen : int;  (* snapshot generation that served the request *)
+    wall_ms : float;
+    outcome : string;  (* Outcome.class_name: ok | degraded | failed *)
+    stages_ms : (string * float) list;
+        (* per-stage wall breakdown; [] when the stage brackets were not
+           armed in the serving process (e.g. a coordinator-side record
+           for an unsampled cluster request) *)
+    sim : Sim.t;
+    q : int;
+    pruning : Types.pruning;
+    budget : Budget.spec;
+    fault : Fault.config option;
+    text : string;
+  }
+
+  let opt_num = function Some i -> num i | None -> Json.Null
+
+  let to_json r =
+    Json.to_string
+      (Json.Obj
+         ([
+            ("kind", Json.Str "slowlog");
+            ("doc", num r.doc_id);
+            ("id", match r.id with Some s -> Json.Str s | None -> Json.Null);
+            ("trace", num r.trace);
+            ("gen", num r.gen);
+            ("wall_ms", Json.Num r.wall_ms);
+            ("outcome", Json.Str r.outcome);
+            ( "stages_ms",
+              Json.Obj (List.map (fun (n, v) -> (n, Json.Num v)) r.stages_ms) );
+            ("sim", Json.Str (Sim.to_spec r.sim));
+            ("q", num r.q);
+            ("pruning", Json.Str (Types.pruning_name r.pruning));
+            ( "budget",
+              Json.Obj
+                [
+                  ("timeout_ms", opt_num r.budget.Budget.timeout_ms);
+                  ("max_bytes", opt_num r.budget.Budget.max_bytes);
+                  ("max_candidates", opt_num r.budget.Budget.max_candidates);
+                ] );
+            ( "fault",
+              match r.fault with
+              | None -> Json.Null
+              | Some { Fault.seed; rates } ->
                   Json.Obj
                     [
-                      ("shard", num h.h_shard);
-                      ("up", Json.Bool h.h_up);
-                      ("gen", num h.h_gen);
-                      ("restarts", num h.h_restarts);
-                      ("queue_depth", num h.h_queue_depth);
-                    ])
-                shards) );
-       ])
+                      ("seed", num seed);
+                      ( "rates",
+                        Json.Obj
+                          (List.map (fun (s, p) -> (s, Json.Num p)) rates) );
+                    ] );
+            ("text", Json.Str r.text);
+          ]))
+
+  let of_json line =
+    match Json.of_string line with
+    | Error e -> Error e
+    | Ok j -> (
+        let field name conv =
+          match Option.bind (Json.member name j) conv with
+          | Some v -> Ok v
+          | None -> Error (Printf.sprintf "missing or bad field %S" name)
+        in
+        let ( let* ) = Result.bind in
+        let* kind = field "kind" Json.to_str in
+        if kind <> "slowlog" then
+          Error (Printf.sprintf "not a slowlog record (kind %S)" kind)
+        else
+          let* doc_id = field "doc" Json.to_int in
+          let id =
+            match Json.member "id" j with Some (Json.Str s) -> Some s | _ -> None
+          in
+          let* trace = field "trace" Json.to_int in
+          let* gen = field "gen" Json.to_int in
+          let* wall_ms = field "wall_ms" Json.to_num in
+          let* outcome = field "outcome" Json.to_str in
+          let stages_ms =
+            match Json.member "stages_ms" j with
+            | Some (Json.Obj kvs) ->
+                List.filter_map
+                  (fun (n, v) -> Option.map (fun f -> (n, f)) (Json.to_num v))
+                  kvs
+            | _ -> []
+          in
+          let* sim_spec = field "sim" Json.to_str in
+          let* sim = Sim.of_spec sim_spec in
+          let* q = field "q" Json.to_int in
+          let* pruning_name = field "pruning" Json.to_str in
+          let* pruning =
+            match
+              List.find_opt
+                (fun p -> Types.pruning_name p = pruning_name)
+                Types.all_prunings
+            with
+            | Some p -> Ok p
+            | None -> Error (Printf.sprintf "unknown pruning %S" pruning_name)
+          in
+          let opt_int obj name = Option.bind (Json.member name obj) Json.to_int in
+          let budget =
+            match Json.member "budget" j with
+            | Some (Json.Obj _ as b) ->
+                {
+                  Budget.timeout_ms = opt_int b "timeout_ms";
+                  max_bytes = opt_int b "max_bytes";
+                  max_candidates = opt_int b "max_candidates";
+                }
+            | _ -> Budget.spec_unlimited
+          in
+          let fault =
+            match Json.member "fault" j with
+            | Some (Json.Obj _ as f) ->
+                Option.map
+                  (fun seed ->
+                    let rates =
+                      match Json.member "rates" f with
+                      | Some (Json.Obj kvs) ->
+                          List.filter_map
+                            (fun (site, v) ->
+                              Option.map (fun p -> (site, p)) (Json.to_num v))
+                            kvs
+                      | _ -> []
+                    in
+                    { Fault.seed; rates })
+                  (opt_int f "seed")
+            | _ -> None
+          in
+          let* text = field "text" Json.to_str in
+          Ok
+            {
+              doc_id; id; trace; gen; wall_ms; outcome; stages_ms; sim; q;
+              pruning; budget; fault; text;
+            })
+end
 
 (* ---- length-prefixed frames ---- *)
 
@@ -685,6 +921,11 @@ module Shard = struct
         gen : int;
         outcome : Parallel.outcome;
         spans : Trace.span list;
+        stages : (string * float) list;
+            (* per-stage wall breakdown (name, ns) from the shard's
+               slowlog stage brackets; [] when stage timing is off, so
+               result frame bytes — and the fault schedules keyed off
+               them — are unchanged. *)
       }
     | Prepared of { gen : int }
     | Prepare_failed of { gen : int; error : string }
@@ -727,12 +968,20 @@ module Shard = struct
               ("gen", num gen);
               ("now", Json.Str (Int64.to_string now_ns));
             ]
-      | Result { doc; gen; outcome; spans } ->
+      | Result { doc; gen; outcome; spans; stages } ->
           obj "result"
             ([ ("doc", num doc); ("gen", num gen) ]
             @ (match spans with
               | [] -> []
               | _ -> [ ("spans", Json.List (List.map span_to_json spans)) ])
+            @ (match stages with
+              | [] -> []
+              | _ ->
+                  [
+                    ( "stages",
+                      Json.Obj
+                        (List.map (fun (n, v) -> (n, Json.Num v)) stages) );
+                  ])
             @ [ ("out", outcome_to_json outcome) ])
       | Prepared { gen } -> obj "prepared" [ ("gen", num gen) ]
       | Prepare_failed { gen; error } ->
@@ -821,6 +1070,15 @@ module Shard = struct
               | Some (Json.List ss) -> all_some (List.map span_of_json ss)
               | Some _ -> None
             in
+            let stages =
+              match Json.member "stages" j with
+              | Some (Json.Obj kvs) ->
+                  List.filter_map
+                    (fun (n, v) ->
+                      Option.map (fun f -> (n, f)) (Json.to_num v))
+                    kvs
+              | _ -> []
+            in
             match
               ( int "doc",
                 int "gen",
@@ -828,7 +1086,7 @@ module Shard = struct
                 Option.bind (Json.member "out" j) outcome_of_json )
             with
             | Some doc, Some gen, Some spans, Some outcome ->
-                Ok (Result { doc; gen; outcome; spans })
+                Ok (Result { doc; gen; outcome; spans; stages })
             | _ -> bad ())
         | "prepared" -> (
             match int "gen" with

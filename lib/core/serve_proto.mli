@@ -58,14 +58,21 @@ val response_json :
     otherwise, and ["degraded"] carrying the reason when applicable. *)
 
 val summary_json :
-  ?metrics:Faerie_obs.Metrics.snapshot -> reloads:int -> Outcome.summary -> string
+  ?metrics:Faerie_obs.Metrics.snapshot ->
+  ?slo:string ->
+  reloads:int ->
+  Outcome.summary ->
+  string
 (** Final stderr line: {!Outcome.summary_to_json} extended with the
     hot-reload count, and — when [metrics] is given — a trailing
     ["metrics"] object in the {!snapshot_json} display schema so smoke
-    jobs can assert counters straight off the summary. *)
+    jobs can assert counters straight off the summary. [slo] is a
+    pre-rendered {!Faerie_obs.Slo.to_json} assessment spliced in as an
+    ["slo"] object. *)
 
 val cluster_summary_json :
   ?metrics:Faerie_obs.Metrics.snapshot ->
+  ?slo:string ->
   reloads:int ->
   shards:int ->
   shard_restarts:int ->
@@ -117,7 +124,7 @@ val span_of_json : Faerie_util.Json.t -> Faerie_obs.Trace.span option
     Admin operations share the request NDJSON stream: a line whose JSON
     has an ["op"] field is an admin op, never a document. *)
 
-type admin = Stats | Health
+type admin = Stats | Health | Slowlog_dump
 
 val parse_admin : string -> (admin, parse_error) result option
 (** [None] when the line is not an admin op (not JSON, or no ["op"]
@@ -144,11 +151,68 @@ type shard_health = {
   h_queue_depth : int;  (** documents queued in the worker pool *)
 }
 
-val health_response_json : status:string -> shard_health list -> string
+val health_response_json :
+  ?uptime_s:float ->
+  ?max_rss_bytes:float ->
+  ?slo:string ->
+  status:string ->
+  shard_health list ->
+  string
 (** Response line for [{"op":"health"}]:
-    [{"v":1,"op":"health","status":S,"shards":[...]}] with [status]
-    ["ok"|"degraded"]. Single-process serving reports itself as one
-    pseudo-shard. *)
+    [{"v":1,"op":"health","status":S,...,"shards":[...]}] with [status]
+    ["ok"|"degraded"|"slo_burn"]. [uptime_s] and [max_rss_bytes] (peak
+    RSS, maxed across shard processes) add same-named numeric fields;
+    [slo] is a pre-rendered {!Faerie_obs.Slo.to_json} assessment spliced
+    in as an ["slo"] object. Single-process serving reports itself as
+    one pseudo-shard. *)
+
+val slowlog_response_json : total:int -> string list -> string
+(** Response line for [{"op":"slowlog"}]:
+    [{"v":1,"op":"slowlog","total":N,"records":[...]}] where each record
+    is a pre-rendered {!Slowrec.to_json} line (slowest first) and
+    [total] counts every capture since startup, including records the
+    bounded ring has since evicted. *)
+
+(** {1 Slowlog records}
+
+    The self-contained repro format of the slow-query log — the
+    {!Faerie_core.Supervisor.Quarantine} record shape extended with the
+    observation that made the request interesting (wall time, outcome
+    class, per-stage breakdown, sampling trace id) and discriminated by
+    a ["kind":"slowlog"] field so [fuzz --replay] can tell the two
+    record kinds apart in one NDJSON stream: quarantine records
+    reproduce iff the document fails again, slowlog records reproduce
+    iff the outcome class matches. *)
+
+module Slowrec : sig
+  type t = {
+    doc_id : int;
+        (** the fault-context key the run used (serve ordinal in single
+            mode, shard-salted key in cluster mode) *)
+    id : string option;  (** client-provided request id, if any *)
+    trace : int;  (** sampling trace id; [0] = unsampled *)
+    gen : int;  (** snapshot generation that served the request *)
+    wall_ms : float;
+    outcome : string;  (** {!Outcome.class_name}: ok/degraded/failed *)
+    stages_ms : (string * float) list;
+        (** per-stage wall breakdown; [[]] when stage brackets were not
+            armed in the serving process *)
+    sim : Faerie_sim.Sim.t;
+    q : int;
+    pruning : Types.pruning;
+    budget : Faerie_util.Budget.spec;
+    fault : Faerie_util.Fault.config option;
+    text : string;
+  }
+
+  val to_json : t -> string
+  (** One NDJSON line (no trailing newline). *)
+
+  val of_json : string -> (t, string) result
+  (** Rejects lines whose ["kind"] is not ["slowlog"] — including
+      quarantine records, which have no ["kind"] — with a descriptive
+      error, so replay dispatch can fall through. *)
+end
 
 (** {1 Structured outcome codec}
 
@@ -257,6 +321,10 @@ module Shard : sig
         spans : Faerie_obs.Trace.span list;
             (** the shard-side span subtree of this document's trace
                 (empty — field absent — when tracing is off) *)
+        stages : (string * float) list;
+            (** per-stage wall breakdown [(name, ns)] from the shard's
+                slowlog stage brackets (empty — field absent — when stage
+                timing is off) *)
       }
     | Prepared of { gen : int }
     | Prepare_failed of { gen : int; error : string }

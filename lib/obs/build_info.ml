@@ -1,0 +1,40 @@
+(* Binary identity for snapshots: a constant-1 gauge labeled with the
+   build's git revision, so a stats pull (or a merged cluster snapshot)
+   names the binary that produced it. The revision is resolved once per
+   process — env override first (containers without a .git), then
+   [git rev-parse] — and memoized, so shard processes that re-note after
+   their post-fork [Metrics.reset] never shell out. *)
+
+let env_var = "FAERIE_GIT_REV"
+
+let memo = ref None
+
+let rev () =
+  match !memo with
+  | Some r -> r
+  | None ->
+      let r =
+        match Sys.getenv_opt env_var with
+        | Some r when r <> "" -> r
+        | _ -> (
+            try
+              let ic =
+                Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null"
+              in
+              let line = try input_line ic with End_of_file -> "" in
+              match Unix.close_process_in ic with
+              | Unix.WEXITED 0 when line <> "" -> line
+              | _ -> "unknown"
+            with _ -> "unknown")
+      in
+      memo := Some r;
+      r
+
+let note ?registry () =
+  let g =
+    Metrics.labeled_gauge ?registry ~agg:`Max
+      ~help:"binary identity: constant 1 labeled with the build's git revision"
+      ~label:("build_info", "rev", rev ())
+      "build_info"
+  in
+  Metrics.set_max g 1.

@@ -1,0 +1,19 @@
+(** Binary identity for metric snapshots.
+
+    {!note} registers a constant-1 [`Max] gauge named [build_info],
+    exported to Prometheus as the labeled series
+    [build_info{rev="<git rev>"} 1] (the conventional info-metric
+    shape), so any stats snapshot — including merged cluster snapshots —
+    identifies the binary that produced it. Bench [--json] uses {!rev}
+    directly for its [rev] field. *)
+
+val rev : unit -> string
+(** The build's short git revision: the [FAERIE_GIT_REV] environment
+    variable when set (containers built without a [.git]), else
+    [git rev-parse --short HEAD], else ["unknown"]. Resolved once per
+    process and memoized — forked shards inherit the memo and never
+    shell out. *)
+
+val note : ?registry:Metrics.registry -> unit -> unit
+(** Register (idempotent) and set the [build_info] gauge to 1. Shard
+    processes call it again after their post-fork [Metrics.reset]. *)

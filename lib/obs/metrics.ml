@@ -15,12 +15,17 @@ type def = {
 }
 
 (* One histogram cell: per-shard bucket counts plus running sum/count.
-   [buckets] has one extra slot for observations above the last bound. *)
+   [buckets] has one extra slot for observations above the last bound.
+   [ex] holds at most one (trace, value) exemplar per bucket — the
+   largest-valued traced observation seen by this shard — and stays
+   [[||]] (no allocation, no scan cost) until the first traced
+   observation arrives. *)
 type hcell = {
   bounds : float array;
   buckets : int array;
   mutable hsum : float;
   mutable hcount : int;
+  mutable ex : (int * float) array;
 }
 
 type shard = {
@@ -72,7 +77,13 @@ let locked reg f =
   Fun.protect ~finally:(fun () -> Mutex.unlock reg.lock) f
 
 let new_hcell bounds =
-  { bounds; buckets = Array.make (Array.length bounds + 1) 0; hsum = 0.; hcount = 0 }
+  {
+    bounds;
+    buckets = Array.make (Array.length bounds + 1) 0;
+    hsum = 0.;
+    hcount = 0;
+    ex = [||];
+  }
 
 (* Shard arrays are sized for the metrics registered at creation time and
    grown on demand when a metric registered later is first written. *)
@@ -171,6 +182,9 @@ let gauge_with_label ?(registry = default) ?(help = "") ?(agg = `Sum) ?label nam
 let gauge ?registry ?help ?agg name =
   gauge_with_label ?registry ?help ?agg name
 
+let labeled_gauge ?registry ?help ?agg ~label name =
+  gauge_with_label ?registry ?help ?agg ~label name
+
 let indexed_gauge ?registry ?help ?agg ?label name i =
   let label = Option.map (fun key -> (name, key, string_of_int i)) label in
   gauge_with_label ?registry ?help ?agg ?label (Printf.sprintf "%s_%d" name i)
@@ -261,6 +275,31 @@ let observe h v =
   cell.hsum <- cell.hsum +. v;
   cell.hcount <- cell.hcount + 1
 
+(* Traced variant: additionally retain [v] as the bucket's exemplar when
+   it beats the incumbent. Ties break toward the larger trace id so the
+   choice is deterministic regardless of observation order (the same
+   rule {!merge_snapshots} applies across shards). A separate function —
+   not an optional argument — so the untraced hot path stays
+   allocation-free. *)
+let observe_ex h v ~trace =
+  let sh = shard_of h.hreg in
+  if h.hslot >= Array.length sh.hists then grow_hists h.hreg sh;
+  let cell = sh.hists.(h.hslot) in
+  let n = Array.length cell.bounds in
+  let i = ref 0 in
+  while !i < n && v > cell.bounds.(!i) do
+    i := !i + 1
+  done;
+  cell.buckets.(!i) <- cell.buckets.(!i) + 1;
+  cell.hsum <- cell.hsum +. v;
+  cell.hcount <- cell.hcount + 1;
+  if trace <> 0 then begin
+    if Array.length cell.ex = 0 then cell.ex <- Array.make (n + 1) (0, 0.);
+    let t0, v0 = cell.ex.(!i) in
+    if t0 = 0 || v > v0 || (v = v0 && trace > t0) then
+      cell.ex.(!i) <- (trace, v)
+  end
+
 (* ---- snapshot / export ---- *)
 
 type histogram_snapshot = {
@@ -268,7 +307,27 @@ type histogram_snapshot = {
   counts : int array;
   sum : float;
   count : int;
+  exemplars : (int * float) array;
+      (* per-bucket (trace, value); [[||]] when no traced observation *)
 }
+
+(* Exemplar merge: per bucket, keep the larger value; break value ties
+   toward the larger trace id. Commutative and associative, so merged
+   snapshots are invariant under permutation/re-association of inputs
+   (the qcheck law in test_obs covers this field too). *)
+let merge_ex a b =
+  if Array.length a = 0 then b
+  else if Array.length b = 0 then a
+  else if Array.length a <> Array.length b then a
+  else
+    Array.mapi
+      (fun i ((t0, v0) as e0) ->
+        let (t1, v1) as e1 = b.(i) in
+        if t0 = 0 then e1
+        else if t1 = 0 then e0
+        else if v1 > v0 || (v1 = v0 && t1 > t0) then e1
+        else e0)
+      a
 
 (* Gauge entries carry their merge mode and label metadata so snapshots are
    self-describing: a coordinator merging snapshots pulled from shard
@@ -324,6 +383,7 @@ let snapshot ?(registry = default) () =
           | Hist bounds ->
               let counts = Array.make (Array.length bounds + 1) 0 in
               let sum = ref 0. and count = ref 0 in
+              let ex = ref [||] in
               List.iter
                 (fun (sh : shard) ->
                   if d.slot < Array.length sh.hists then begin
@@ -332,11 +392,20 @@ let snapshot ?(registry = default) () =
                       (fun i c -> counts.(i) <- counts.(i) + c)
                       cell.buckets;
                     sum := !sum +. cell.hsum;
-                    count := !count + cell.hcount
+                    count := !count + cell.hcount;
+                    (* copy: the cell stays live under observe_ex *)
+                    ex := merge_ex !ex (Array.copy cell.ex)
                   end)
                 shards;
               histograms :=
-                (d.name, { upper = bounds; counts; sum = !sum; count = !count })
+                (d.name,
+                 {
+                   upper = bounds;
+                   counts;
+                   sum = !sum;
+                   count = !count;
+                   exemplars = !ex;
+                 })
                 :: !histograms)
         defs;
       {
@@ -398,6 +467,7 @@ let merge_snapshots snaps =
               counts = Array.mapi (fun i c -> c + h.counts.(i)) h0.counts;
               sum = h0.sum +. h.sum;
               count = h0.count + h.count;
+              exemplars = merge_ex h0.exemplars h.exemplars;
             })
         (List.map (fun s -> s.histograms) snaps);
   }
@@ -412,7 +482,8 @@ let reset ?(registry = default) () =
             (fun cell ->
               Array.fill cell.buckets 0 (Array.length cell.buckets) 0;
               cell.hsum <- 0.;
-              cell.hcount <- 0)
+              cell.hcount <- 0;
+              cell.ex <- [||])
             sh.hists)
         registry.shards)
 
@@ -459,11 +530,30 @@ let render_jsonl snap =
       let arr f a =
         "[" ^ String.concat "," (Array.to_list (Array.map f a)) ^ "]"
       in
+      (* Exemplars render only when some bucket has one, so the locked
+         histogram line schema is unchanged for untraced registries. *)
+      let ex =
+        if Array.length h.exemplars = 0 then ""
+        else
+          let cells = ref [] in
+          Array.iteri
+            (fun i (t, v) ->
+              if t <> 0 then
+                cells :=
+                  Printf.sprintf "{\"i\":%d,\"trace\":%d,\"value\":%s}" i t
+                    (json_float v)
+                  :: !cells)
+            h.exemplars;
+          if !cells = [] then ""
+          else
+            Printf.sprintf ",\"exemplars\":[%s]"
+              (String.concat "," (List.rev !cells))
+      in
       Buffer.add_string buf
         (Printf.sprintf
-           "{\"type\":\"histogram\",\"name\":%s,\"upper\":%s,\"counts\":%s,\"sum\":%s,\"count\":%d}\n"
+           "{\"type\":\"histogram\",\"name\":%s,\"upper\":%s,\"counts\":%s,\"sum\":%s,\"count\":%d%s}\n"
            (json_string name) (arr json_float h.upper) (arr string_of_int h.counts)
-           (json_float h.sum) h.count))
+           (json_float h.sum) h.count ex))
     snap.histograms;
   Buffer.contents buf
 
@@ -550,16 +640,28 @@ let render_prometheus ?(registry = default) snap =
   List.iter
     (fun (name, h) ->
       header name "histogram";
+      (* OpenMetrics exemplar suffix: `... # {trace_id="T"} V` after the
+         bucket's cumulative count. The exemplar belongs to the bucket
+         (non-cumulative) even though the count is cumulative. *)
+      let exemplar i =
+        if i < Array.length h.exemplars then
+          match h.exemplars.(i) with
+          | 0, _ -> ""
+          | t, v -> Printf.sprintf " # {trace_id=\"%d\"} %s" t (prom_float v)
+        else ""
+      in
       let cum = ref 0 in
       Array.iteri
         (fun i c ->
           cum := !cum + c;
           Buffer.add_string buf
-            (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" name
-               (prom_float h.upper.(i)) !cum))
+            (Printf.sprintf "%s_bucket{le=\"%s\"} %d%s\n" name
+               (prom_float h.upper.(i)) !cum (exemplar i)))
         (Array.sub h.counts 0 (Array.length h.upper));
       cum := !cum + h.counts.(Array.length h.upper);
-      Buffer.add_string buf (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" name !cum);
+      Buffer.add_string buf
+        (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d%s\n" name !cum
+           (exemplar (Array.length h.upper)));
       Buffer.add_string buf (Printf.sprintf "%s_sum %s\n" name (prom_float h.sum));
       Buffer.add_string buf (Printf.sprintf "%s_count %d\n" name h.count))
     snap.histograms;

@@ -48,6 +48,21 @@ val gauge :
     keeps the largest. Re-registration must agree on [agg].
     @raise Invalid_argument if [name] exists with a different kind/agg. *)
 
+val labeled_gauge :
+  ?registry:registry ->
+  ?help:string ->
+  ?agg:[ `Sum | `Max ] ->
+  label:string * string * string ->
+  string ->
+  gauge
+(** Register (or look up) a gauge that exports as the labeled Prometheus
+    series [family{key="value"}] given [label = (family, key, value)]
+    — the general form behind {!indexed_gauge}[ ~label], for info-style
+    series whose label is not a small integer (e.g. [build_info]'s git
+    revision). Identity, JSONL export and lookups stay on [name].
+    @raise Invalid_argument on a label mismatch with a prior
+    registration. *)
+
 val indexed_gauge :
   ?registry:registry ->
   ?help:string ->
@@ -92,6 +107,14 @@ val set_max : gauge -> float -> unit
 
 val observe : histogram -> float -> unit
 
+val observe_ex : histogram -> float -> trace:int -> unit
+(** {!observe}, additionally retaining [(trace, value)] as the target
+    bucket's {e exemplar} when it beats the incumbent (larger value
+    wins; value ties break toward the larger trace id, so the choice is
+    deterministic in any observation order). [trace = 0] records no
+    exemplar. A separate entry point — not an optional argument on
+    {!observe} — so the untraced hot path stays allocation-free. *)
+
 val with_suppressed : ?registry:registry -> (unit -> 'a) -> 'a
 (** Run [f] with this domain's writes to the registry discarded (they land
     in a scratch shard that no snapshot reads). Nests; affects only the
@@ -105,6 +128,11 @@ type histogram_snapshot = {
                            the extra cell is the overflow bucket *)
   sum : float;  (** sum of all observed values *)
   count : int;  (** number of observations = sum of [counts] *)
+  exemplars : (int * float) array;
+      (** at most one [(trace, value)] exemplar per cell ([trace = 0] =
+          none for that cell); [[||]] when the histogram never saw a
+          traced observation. Merges take the larger value (ties toward
+          the larger trace id). *)
 }
 
 type gauge_snapshot = {
@@ -160,7 +188,8 @@ val to_jsonl : ?registry:registry -> unit -> string
 val to_prometheus : ?registry:registry -> unit -> string
 (** Prometheus text exposition format ([# HELP] / [# TYPE] comments,
     cumulative [_bucket{le="..."}] cells for histograms; labeled
-    {!indexed_gauge} members as [family{key="value"}] samples). *)
+    {!indexed_gauge} members as [family{key="value"}] samples; bucket
+    exemplars as OpenMetrics [# {trace_id="..."} value] suffixes). *)
 
 val reset : ?registry:registry -> unit -> unit
 (** Zero every metric in every shard (registrations are kept). *)

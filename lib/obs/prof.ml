@@ -52,6 +52,37 @@ let m_top_heap =
     ~help:"largest heap watermark observed by any domain (bytes)"
     "gc_top_heap_bytes"
 
+let m_max_rss =
+  Metrics.gauge ~agg:`Max
+    ~help:"process peak resident set size in bytes (VmHWM)" "max_rss_bytes"
+
+(* OCaml's Unix library binds no getrusage and this repo adds no C stubs,
+   so read the counter ru_maxrss is sourced from on Linux — VmHWM in
+   /proc/self/status (kB) — and gate it to 0 where procfs is absent. *)
+let max_rss_bytes () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> 0
+  | ic ->
+      let rec scan () =
+        match input_line ic with
+        | exception End_of_file -> 0
+        | line when String.length line > 6 && String.sub line 0 6 = "VmHWM:" ->
+            let digits =
+              String.to_seq line
+              |> Seq.filter (fun c -> c >= '0' && c <= '9')
+              |> String.of_seq
+            in
+            (try int_of_string digits * 1024 with Failure _ -> 0)
+        | _ -> scan ()
+      in
+      let v = scan () in
+      close_in_noerr ic;
+      v
+
+(* Unconditional (not gated on the profiling flag): the serve path
+   samples it at stats/health time, a few calls per interval. *)
+let note_rss () = Metrics.set_max m_max_rss (float_of_int (max_rss_bytes ()))
+
 let m_doc_alloc =
   Metrics.histogram ~help:"words allocated per document (minor+major-promoted)"
     ~buckets:[| 1e3; 1e4; 1e5; 1e6; 1e7; 1e8; 1e9; 1e10 |]
@@ -97,26 +128,42 @@ let promoted () =
   let _, p, _ = Gc.counters () in
   p
 
+(* A second facility shares these brackets: when {!Slowlog} is armed,
+   each stage's wall time accumulates into the per-domain slowlog
+   scratch, so a slow request's stage breakdown can be reconstructed
+   even when it was not sampled for tracing. Disabled cost is one more
+   atomic load; when slowlog is armed the clock reads box two floats
+   per bracket (documented perturbation of the GC stage counters — the
+   two facilities are rarely armed together outside tests). *)
 let with_stage st f =
-  if not (Atomic.get on) then f ()
+  let prof_on = Atomic.get on in
+  let slow_on = Slowlog.stage_armed () in
+  if not (prof_on || slow_on) then f ()
   else begin
-    Atomic.incr n_captures;
+    if prof_on then Atomic.incr n_captures;
     let i = stage_idx st in
-    let track_promoted = st <> Windows in
+    let track_promoted = prof_on && st <> Windows in
     let p0 = if track_promoted then promoted () else 0. in
-    let m0 = Gc.minor_words () in
+    let m0 = if prof_on then Gc.minor_words () else 0. in
+    let t0 = if slow_on then Slowlog.stage_clock () else 0. in
     match f () with
     | v ->
-        let d = Gc.minor_words () -. m0 in
-        Metrics.add m_stage_minor.(i) (if d > 0. then int_of_float d else 0);
-        if track_promoted then
-          Metrics.add m_stage_promoted.(i) (clampi (promoted () -. p0));
+        if prof_on then begin
+          let d = Gc.minor_words () -. m0 in
+          Metrics.add m_stage_minor.(i) (if d > 0. then int_of_float d else 0);
+          if track_promoted then
+            Metrics.add m_stage_promoted.(i) (clampi (promoted () -. p0))
+        end;
+        if slow_on then Slowlog.note_stage i (Slowlog.stage_clock () -. t0);
         v
     | exception e ->
-        let d = Gc.minor_words () -. m0 in
-        Metrics.add m_stage_minor.(i) (if d > 0. then int_of_float d else 0);
-        if track_promoted then
-          Metrics.add m_stage_promoted.(i) (clampi (promoted () -. p0));
+        if prof_on then begin
+          let d = Gc.minor_words () -. m0 in
+          Metrics.add m_stage_minor.(i) (if d > 0. then int_of_float d else 0);
+          if track_promoted then
+            Metrics.add m_stage_promoted.(i) (clampi (promoted () -. p0))
+        end;
+        if slow_on then Slowlog.note_stage i (Slowlog.stage_clock () -. t0);
         raise e
   end
 

@@ -56,6 +56,17 @@ val note_top_heap : unit -> unit
     [Parallel] workers before they retire so per-domain watermarks
     survive into the max-merged gauge. *)
 
+val max_rss_bytes : unit -> int
+(** The process's peak resident set size in bytes — Linux [VmHWM] from
+    [/proc/self/status] (the counter [getrusage]'s [ru_maxrss] reads);
+    [0] where procfs is unavailable. *)
+
+val note_rss : unit -> unit
+(** Record {!max_rss_bytes} into the [`Max]-agg [max_rss_bytes] gauge.
+    Not gated on {!enabled}: the serve path samples it at stats and
+    health time, so merged snapshots carry the cluster-wide high-water
+    mark like [gc_top_heap_bytes]. *)
+
 (** {1 Flame profiles} *)
 
 type frame = {

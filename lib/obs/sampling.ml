@@ -1,0 +1,55 @@
+(* Deterministic head sampling for the serve path. The decision for a
+   document depends only on (seed, ordinal) — a splitmix64-style
+   finalizer maps the pair to a uniform fraction in [0,1) — so any
+   process that knows a document's arrival ordinal reaches the same
+   verdict: a 4-shard cluster run samples exactly the ordinals a
+   1-shard run would (asserted by test_obs). *)
+
+type config = { rate : float; seed : int }
+
+let state : config option Atomic.t = Atomic.make None
+
+(* Armed-path probe, mirroring Prof.captures: tests assert it stays at
+   zero when sampling is disarmed, proving the hot path never reaches
+   the decision logic. *)
+let n_decisions = Atomic.make 0
+
+let captures () = Atomic.get n_decisions
+
+let configure ?(seed = 0) rate =
+  if rate > 0. then Atomic.set state (Some { rate = Float.min rate 1.; seed })
+  else Atomic.set state None
+
+let disarm () = Atomic.set state None
+
+let armed () = Atomic.get state <> None
+
+let rate () = match Atomic.get state with Some c -> c.rate | None -> 0.
+
+(* splitmix64 finalizer over (seed, ord), as Supervisor.mix_int does for
+   fault keys. The low 53 bits become an IEEE-exact fraction in [0,1). *)
+let fraction ~seed ord =
+  let h =
+    let open Int64 in
+    let h = add (of_int seed) (mul 0x9e3779b97f4a7c15L (add (of_int ord) 1L)) in
+    let h = logxor h (shift_right_logical h 30) in
+    let h = mul h 0xbf58476d1ce4e5b9L in
+    let h = logxor h (shift_right_logical h 27) in
+    let h = mul h 0x94d049bb133111ebL in
+    logxor h (shift_right_logical h 31)
+  in
+  let frac = Int64.to_int h land ((1 lsl 53) - 1) in
+  float_of_int frac /. 9007199254740992. (* 2^53 *)
+
+let decide ord =
+  match Atomic.get state with
+  | None -> false
+  | Some { rate; seed } ->
+      Atomic.incr n_decisions;
+      fraction ~seed ord < rate
+
+(* Trace ids are ordinal + 1: Trace reserves 0 for "no trace", and the
+   cluster coordinator already tags Doc frames with doc + 1. *)
+let trace_id ord = ord + 1
+
+let ord_of_trace tid = tid - 1

@@ -1,0 +1,45 @@
+(** Deterministic head sampling for per-request diagnostics.
+
+    [faerie serve --trace-sample-rate R] arms Trace + Explain for a
+    deterministic subset of requests. The decision for a document is a
+    pure function of [(seed, ordinal)] — a splitmix64 finalizer mapped
+    to a uniform fraction in [0,1), compared against the rate — so
+    sampling is reproducible across runs and independent of process
+    topology: a sharded cluster samples exactly the ordinals a
+    single-process run would (asserted by [test_obs]).
+
+    Disarmed (the default), {!decide} is one atomic load returning
+    [false]; {!captures} counts armed-path decisions so tests can prove
+    the disarmed hot path never reaches them, mirroring [Prof]. *)
+
+val configure : ?seed:int -> float -> unit
+(** [configure rate] arms sampling at [rate] (clamped to [1.0]; a rate
+    [<= 0.] disarms). [seed] (default 0) keys the per-ordinal hash. *)
+
+val disarm : unit -> unit
+
+val armed : unit -> bool
+
+val rate : unit -> float
+(** The armed rate, [0.] when disarmed. *)
+
+val decide : int -> bool
+(** [decide ord] — should the request with arrival ordinal [ord] be
+    sampled? Deterministic in [(seed, ord)]; [false] (one atomic load,
+    no allocation) while disarmed. *)
+
+val fraction : seed:int -> int -> float
+(** The uniform fraction behind {!decide}, exposed for determinism
+    tests: [decide ord = (fraction ~seed ord < rate)]. *)
+
+val trace_id : int -> int
+(** [trace_id ord = ord + 1]: the trace id a sampled request records
+    under (Trace reserves 0 for "no trace"; matches the cluster
+    coordinator's Doc-frame convention). *)
+
+val ord_of_trace : int -> int
+(** Inverse of {!trace_id}. *)
+
+val captures : unit -> int
+(** Number of armed-path sampling decisions taken since process start —
+    stays at zero while disarmed (the [Prof.captures] guarantee). *)

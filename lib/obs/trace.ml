@@ -11,6 +11,13 @@ type span = {
 
 let recording = Atomic.make false
 
+(* Selective mode (head sampling): record only spans tagged with a
+   nonzero trace id, i.e. inside some [with_context]. Requests that were
+   not sampled run with trace id 0 and leave nothing behind, so a serve
+   process tracing 1% of requests does not accumulate spans for the
+   other 99%. *)
+let selective = Atomic.make false
+
 let clock : (unit -> int64) option Atomic.t = Atomic.make None
 
 let real_now () = Int64.of_float (Unix.gettimeofday () *. 1e9)
@@ -25,6 +32,10 @@ let enable () = Atomic.set recording true
 let disable () = Atomic.set recording false
 
 let enabled () = Atomic.get recording
+
+let set_selective b = Atomic.set selective b
+
+let is_selective () = Atomic.get selective
 
 (* Per-domain recording state; registered in a global list under a mutex on
    first use so [drain] can reach every domain's buffer. [trace] tags every
@@ -56,6 +67,8 @@ let with_span ?(attrs = []) name f =
   if not (Atomic.get recording) then f ()
   else begin
     let b = my_buf () in
+    if Atomic.get selective && b.trace = 0 then f ()
+    else begin
     let depth = b.depth in
     b.depth <- depth + 1;
     let t0 = now_ns () in
@@ -82,6 +95,7 @@ let with_span ?(attrs = []) name f =
     | exception e ->
         close false;
         raise e
+    end
   end
 
 let with_context ~trace ~depth f =
@@ -159,6 +173,25 @@ let compare_span a b =
   else
     let c = compare a.depth b.depth in
     if c <> 0 then c else compare a.name b.name
+
+(* Remove and return only the spans of one trace, leaving every other
+   buffered span in place. Unlike {!drain} this is safe while other
+   requests are in flight on sibling domains: a sampled request's
+   completion callback collects its own subtree without stealing spans
+   that belong to a request still being assembled elsewhere. *)
+let drain_trace tid =
+  Mutex.lock lock;
+  let mine = ref [] in
+  List.iter
+    (fun b ->
+      let keep, take =
+        List.partition (fun (s : span) -> s.trace <> tid) b.spans
+      in
+      b.spans <- keep;
+      mine := take @ !mine)
+    !bufs;
+  Mutex.unlock lock;
+  List.sort compare_span !mine
 
 let drain () =
   Mutex.lock lock;

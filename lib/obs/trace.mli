@@ -29,6 +29,14 @@ val disable : unit -> unit
 
 val enabled : unit -> bool
 
+val set_selective : bool -> unit
+(** Selective (head-sampling) mode: while set, only spans recorded
+    inside some {!with_context} (trace id [<> 0]) are kept — requests
+    that were not sampled leave nothing behind. Orthogonal to
+    {!enable}; off by default. *)
+
+val is_selective : unit -> bool
+
 type span = {
   name : string;
   start_ns : int64;
@@ -76,6 +84,12 @@ val graft : ?offset_ns:int64 -> ?lo_ns:int64 -> span list -> unit
 val drain : unit -> span list
 (** All completed spans from every domain, cleared from the buffers,
     sorted by (start_ns, depth, name). *)
+
+val drain_trace : int -> span list
+(** Remove and return only the spans tagged with this trace id, sorted
+    like {!drain}; every other buffered span stays. Safe while other
+    requests are in flight on sibling domains (a request's completion
+    callback collects its own subtree without stealing theirs). *)
 
 val reset : unit -> unit
 (** Drop buffered spans (keeps the enabled state and clock). *)

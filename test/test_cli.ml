@@ -628,7 +628,7 @@ let test_serve_quarantine_and_replay () =
       in
       check_int "replay reproduces all records" 0 (exit_code status);
       check_bool "replay reports both records" true
-        (has_match "all 2 quarantine records reproduce" lines))
+        (has_match "all 2 records reproduce" lines))
 
 let test_serve_hot_reload () =
   with_temp_dir (fun dir ->

@@ -239,6 +239,15 @@ let test_shard_message_roundtrip () =
               counts = [| 3; 0; 1 |];
               sum = 14.5;
               count = 4;
+              exemplars = [| (0, 0.); (7, 8.5); (12, 14.5) |];
+            } );
+          ( "lat_plain",
+            {
+              Metrics.upper = [| 1. |];
+              counts = [| 1; 0 |];
+              sum = 0.5;
+              count = 1;
+              exemplars = [||];
             } );
         ];
     }
@@ -247,13 +256,20 @@ let test_shard_message_roundtrip () =
     [
       Serve_proto.Shard.Ready { shard = 2; gen = 0; now_ns = 123456789L };
       Serve_proto.Shard.Result
-        { doc = 9; gen = 1; outcome = Outcome.Ok sample_matches; spans = [] };
+        {
+          doc = 9;
+          gen = 1;
+          outcome = Outcome.Ok sample_matches;
+          spans = [];
+          stages = [];
+        };
       Serve_proto.Shard.Result
         {
           doc = 10;
           gen = 1;
           outcome = Outcome.Ok [];
           spans = sample_spans;
+          stages = [ ("tokenize", 1200.); ("verify", 4.5e6) ];
         };
       Serve_proto.Shard.Stats_reply { shard = 2; snapshot = sample_snapshot };
       Serve_proto.Shard.Prepared { gen = 4 };

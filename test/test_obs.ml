@@ -369,6 +369,7 @@ let hist ~upper ~counts =
     counts;
     sum = 0.;
     count = Array.fold_left ( + ) 0 counts;
+    exemplars = [||];
   }
 
 let check_float = Alcotest.(check (float 1e-9))
@@ -965,8 +966,25 @@ let gen_merge_snapshot =
       (List.map
          (fun n ->
            let upper = upper_of n in
-           map
-             (fun counts ->
+           let nb = Array.length upper + 1 in
+           let exemplars =
+             (* [(0, 0.)] is the "no exemplar" sentinel; a non-zero value
+                under trace 0 would break merge commutativity, so never
+                generate one. *)
+             let slot =
+               bool >>= fun live ->
+               if live then
+                 map2
+                   (fun t v -> (1 + t, float_of_int v))
+                   (int_bound 1000) (int_bound 900)
+               else return (0, 0.)
+             in
+             bool >>= fun any ->
+             if any then map Array.of_list (list_repeat nb slot)
+             else return [||]
+           in
+           map2
+             (fun counts exemplars ->
                let counts = Array.of_list counts in
                ( n,
                  {
@@ -974,8 +992,10 @@ let gen_merge_snapshot =
                    counts;
                    sum = float_of_int (Array.fold_left ( + ) 0 counts);
                    count = Array.fold_left ( + ) 0 counts;
+                   exemplars;
                  } ))
-             (list_repeat (Array.length upper + 1) (int_bound 50)))
+             (list_repeat nb (int_bound 50))
+             exemplars)
          ns)
   in
   map3
@@ -1017,6 +1037,469 @@ let merge_identity =
       && List.for_all
            (fun (n, v) -> Metrics.counter_value once n = v)
            s.Metrics.counters)
+
+(* ------------------------------------------------------------------ *)
+(* (h) request diagnostics: sampling, slowlog, exemplars, SLO          *)
+(* ------------------------------------------------------------------ *)
+
+module Sampling = Faerie_obs.Sampling
+module Slowlog = Faerie_obs.Slowlog
+module Slo = Faerie_obs.Slo
+module Build_info = Faerie_obs.Build_info
+
+let test_sampling_disabled_zero_captures () =
+  Sampling.disarm ();
+  check_bool "sampling off by default" false (Sampling.armed ());
+  let before = Sampling.captures () in
+  for ord = 0 to 999 do
+    check_bool "disarmed decide is false" false (Sampling.decide ord)
+  done;
+  check_int "zero armed-path decisions while disarmed" before
+    (Sampling.captures ())
+
+let test_sampling_determinism () =
+  Fun.protect ~finally:Sampling.disarm @@ fun () ->
+  (* The fraction behind every decision is a pure function of
+     (seed, ordinal). *)
+  for ord = 0 to 99 do
+    let f = Sampling.fraction ~seed:7 ord in
+    check_bool "fraction in [0,1)" true (f >= 0. && f < 1.);
+    Alcotest.(check (float 0.)) "fraction is pure" f
+      (Sampling.fraction ~seed:7 ord)
+  done;
+  check_bool "seed decorrelates ordinals" true
+    (Sampling.fraction ~seed:1 42 <> Sampling.fraction ~seed:2 42);
+  Sampling.configure ~seed:7 0.35;
+  check_bool "armed" true (Sampling.armed ());
+  Alcotest.(check (float 0.)) "rate reported" 0.35 (Sampling.rate ());
+  let before = Sampling.captures () in
+  let dec1 = List.init 200 Sampling.decide in
+  check_int "armed decisions counted" (before + 200) (Sampling.captures ());
+  List.iteri
+    (fun ord d ->
+      check_bool "decide agrees with the exposed fraction" d
+        (Sampling.fraction ~seed:7 ord < 0.35))
+    dec1;
+  check_bool "a 0.35 rate samples some but not all" true
+    (List.exists Fun.id dec1 && not (List.for_all Fun.id dec1));
+  (* Decisions survive a disarm/re-arm cycle: reproducible across runs. *)
+  Sampling.disarm ();
+  Sampling.configure ~seed:7 0.35;
+  check_bool "decisions survive re-arming" true
+    (List.init 200 Sampling.decide = dec1);
+  (* Topology independence: 4 shards each deciding their own ordinals
+     (round-robin partition, shard-local order) sample exactly the
+     ordinals one sequential process would. *)
+  let ords = List.init 200 Fun.id in
+  let single = List.filter Sampling.decide ords in
+  let sharded =
+    List.concat_map
+      (fun shard ->
+        List.filter Sampling.decide
+          (List.filter (fun o -> o mod 4 = shard) ords))
+      [ 0; 1; 2; 3 ]
+    |> List.sort compare
+  in
+  check_bool "4-shard sampling matches 1-shard ordinals" true
+    (single = sharded);
+  (* Rate edges: clamped to 1.0, and rate 1.0 samples everything. *)
+  Sampling.configure ~seed:7 2.0;
+  Alcotest.(check (float 0.)) "rate clamps to 1.0" 1.0 (Sampling.rate ());
+  check_bool "rate 1.0 samples every ordinal" true
+    (List.for_all Sampling.decide ords);
+  Sampling.configure ~seed:7 0.0;
+  check_bool "rate 0 disarms" false (Sampling.armed ());
+  (* Trace-id convention: ordinal + 1, with 0 reserved for no-trace. *)
+  List.iter
+    (fun o ->
+      check_bool "trace id is never 0" true (Sampling.trace_id o <> 0);
+      check_int "ord_of_trace inverts trace_id" o
+        (Sampling.ord_of_trace (Sampling.trace_id o)))
+    [ 0; 1; 41; 65535 ]
+
+let test_slowlog_disabled_zero_captures () =
+  Slowlog.disarm ();
+  check_bool "slowlog off by default" false (Slowlog.armed ());
+  let before = Slowlog.captures () in
+  check_bool "no capture decision while disarmed" false
+    (Slowlog.should_capture ~wall_ns:1e12);
+  Slowlog.capture ~wall_ns:1e12 "{\"never\":1}";
+  (* A full extraction exercises every Prof.with_stage bracket; none may
+     touch the armed path. *)
+  let ex = Extractor.create ~sim:(Sim.Edit_distance 2) ~q:2 paper_dict in
+  let report = Extractor.run ex (`Text paper_doc) in
+  check_bool "run ok" true (Outcome.is_ok report.Extractor.outcome);
+  check_int "zero armed-path activations while disarmed" before
+    (Slowlog.captures ());
+  check_int "nothing retained" 0 (List.length (Slowlog.drain ()))
+
+let test_slowlog_ring () =
+  Fun.protect ~finally:Slowlog.disarm @@ fun () ->
+  Slowlog.configure ~capacity:2 ();
+  check_bool "armed" true (Slowlog.armed ());
+  check_bool "ring-only capture has no write-through threshold" true
+    (Slowlog.slow_ns () = Float.infinity);
+  check_bool "empty ring accepts anything" true
+    (Slowlog.should_capture ~wall_ns:1.);
+  Slowlog.capture ~wall_ns:5e6 "five";
+  Slowlog.capture ~wall_ns:1e6 "one";
+  Slowlog.capture ~wall_ns:9e6 "nine";
+  (* capacity 2: "one" (the least slow) was evicted. *)
+  check_int "total counts evicted records too" 3 (Slowlog.total ());
+  (match Slowlog.drain () with
+  | [ (w1, l1); (w2, l2) ] ->
+      check_string "slowest first" "nine" l1;
+      check_string "runner-up second" "five" l2;
+      check_bool "wall times ordered" true (w1 > w2)
+  | l ->
+      Alcotest.fail
+        (Printf.sprintf "expected 2 ring entries, got %d" (List.length l)));
+  check_bool "full ring rejects a faster request" false
+    (Slowlog.should_capture ~wall_ns:2e6);
+  check_bool "full ring accepts a slower request" true
+    (Slowlog.should_capture ~wall_ns:6e6)
+
+let read_all path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_slowlog_write_through_and_flush () =
+  let path = Filename.temp_file "faerie_slowlog" ".ndjson" in
+  Fun.protect
+    ~finally:(fun () ->
+      Slowlog.disarm ();
+      Sys.remove path)
+  @@ fun () ->
+  Slowlog.configure ~capacity:4 ~slow_ms:10. ~path ();
+  check_bool "threshold in ns" true (Slowlog.slow_ns () = 10. *. 1e6);
+  Slowlog.capture ~wall_ns:50e6 "over";
+  Slowlog.capture ~wall_ns:1e6 "under";
+  check_string "over-threshold records write through immediately" "over\n"
+    (read_all path);
+  Slowlog.disarm ();
+  check_string "disarm flushes the below-threshold ring tail" "over\nunder\n"
+    (read_all path)
+
+let test_slowlog_stage_scratch () =
+  Fun.protect
+    ~finally:(fun () ->
+      Slowlog.disarm ();
+      Trace.set_clock None)
+  @@ fun () ->
+  (* A deterministic clock drives the stage brackets: each read advances
+     10 ns, so one bracket measures exactly 10. *)
+  let t = ref 0L in
+  Trace.set_clock
+    (Some
+       (fun () ->
+         t := Int64.add !t 10L;
+         !t));
+  Slowlog.configure ();
+  check_bool "stage brackets armed with the ring" true (Slowlog.stage_armed ());
+  check_int "stage table has 4 stages" 4 Slowlog.n_stages;
+  check_string "stage 0" "tokenize" (Slowlog.stage_name 0);
+  check_string "stage 3" "verify" (Slowlog.stage_name 3);
+  Slowlog.doc_begin ();
+  check_bool "scratch is unsealed at doc_begin" true (Slowlog.last_doc () = None);
+  (* Prof.with_stage feeds the scratch even with Prof itself disabled. *)
+  check_bool "prof stays off" false (Prof.enabled ());
+  Prof.with_stage Prof.Tokenize (fun () -> ());
+  Slowlog.note_stage 3 5.0;
+  Slowlog.doc_end ~wall_ns:1234. ~trace:42;
+  match Slowlog.last_doc () with
+  | None -> Alcotest.fail "sealed scratch expected after doc_end"
+  | Some d ->
+      Alcotest.(check (float 0.)) "wall sealed" 1234. d.Slowlog.wall_ns;
+      check_int "trace sealed" 42 d.Slowlog.trace;
+      Alcotest.(check (float 0.)) "tokenize bracket measured by the clock" 10.
+        d.Slowlog.stages_ns.(0);
+      Alcotest.(check (float 0.)) "verify stage accumulated" 5.
+        d.Slowlog.stages_ns.(3)
+
+let test_exemplar_capture () =
+  let reg = Metrics.create () in
+  let h = Metrics.histogram ~registry:reg ~buckets:[| 1.; 2. |] "gamma" in
+  Metrics.observe h 0.5;
+  Metrics.observe_ex h 1.5 ~trace:7;
+  Metrics.observe_ex h 1.8 ~trace:3;
+  Metrics.observe_ex h 10. ~trace:9;
+  Metrics.observe_ex h 0.25 ~trace:0;
+  let snap = Metrics.snapshot ~registry:reg () in
+  match snap.Metrics.histograms with
+  | [ ("gamma", hs) ] ->
+      check_int "traced observations still count" 5 hs.Metrics.count;
+      Alcotest.(check (array int)) "counts" [| 2; 2; 1 |] hs.Metrics.counts;
+      check_int "one exemplar cell per bucket" 3
+        (Array.length hs.Metrics.exemplars);
+      check_bool "untraced bucket holds no exemplar" true
+        (hs.Metrics.exemplars.(0) = (0, 0.));
+      check_bool "larger value wins the bucket" true
+        (hs.Metrics.exemplars.(1) = (3, 1.8));
+      check_bool "overflow bucket carries its exemplar" true
+        (hs.Metrics.exemplars.(2) = (9, 10.))
+  | _ -> Alcotest.fail "expected exactly one histogram"
+
+let test_exemplar_merge_law () =
+  let hsnap exemplars counts =
+    {
+      Metrics.upper = [| 1.; 2. |];
+      counts;
+      sum = 0.;
+      count = Array.fold_left ( + ) 0 counts;
+      exemplars;
+    }
+  in
+  let snap hs = { Metrics.counters = []; gauges = []; histograms = hs } in
+  let a =
+    snap [ ("h", hsnap [| (1, 0.5); (0, 0.); (4, 7.) |] [| 1; 0; 1 |]) ]
+  in
+  let b =
+    snap [ ("h", hsnap [| (2, 0.25); (5, 1.5); (3, 7.) |] [| 1; 1; 1 |]) ]
+  in
+  let c = snap [ ("h", hsnap [||] [| 1; 0; 0 |]) ] in
+  let m = Metrics.merge_snapshots [ a; b; c ] in
+  match m.Metrics.histograms with
+  | [ ("h", hs) ] ->
+      check_int "counts still sum" 6 hs.Metrics.count;
+      (* Bucket 0: 0.5 beats 0.25; bucket 1: an exemplar beats none;
+         bucket 2: equal values break toward the larger trace id. *)
+      check_bool "per-bucket max-by-value, ties to larger trace" true
+        (hs.Metrics.exemplars = [| (1, 0.5); (5, 1.5); (4, 7.) |])
+  | _ -> Alcotest.fail "expected exactly one histogram"
+
+let test_exemplar_export_schema () =
+  let reg = Metrics.create () in
+  let h = Metrics.histogram ~registry:reg ~buckets:[| 1.; 2. |] "gamma" in
+  Metrics.observe h 0.5;
+  Metrics.observe_ex h 1.5 ~trace:7;
+  check_string "jsonl histogram line carries exemplars"
+    "{\"type\":\"histogram\",\"name\":\"gamma\",\"upper\":[1,2],\"counts\":[1,1,0],\"sum\":2,\"count\":2,\"exemplars\":[{\"i\":1,\"trace\":7,\"value\":1.5}]}\n"
+    (Metrics.to_jsonl ~registry:reg ());
+  (* OpenMetrics: cumulative bucket counts, with the bucket's (non-
+     cumulative) exemplar as a hash-comment suffix on the bucket line. *)
+  check_string "prometheus exemplar suffix"
+    ("# TYPE gamma histogram\n"
+   ^ "gamma_bucket{le=\"1\"} 1\n"
+   ^ "gamma_bucket{le=\"2\"} 2 # {trace_id=\"7\"} 1.5\n"
+   ^ "gamma_bucket{le=\"+Inf\"} 2\n"
+   ^ "gamma_sum 2\ngamma_count 2\n")
+    (Metrics.to_prometheus ~registry:reg ())
+
+let test_graft_edge_cases () =
+  (* A frozen clock pins graft's no-later-than-now clamp. *)
+  Trace.set_clock (Some (fun () -> 1000L));
+  Trace.enable ();
+  ignore (Trace.drain ());
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.disable ();
+      Trace.set_clock None;
+      ignore (Trace.drain ()))
+  @@ fun () ->
+  let span ?(depth = 1) ?(dur = 0L) name start =
+    {
+      Trace.name;
+      start_ns = start;
+      dur_ns = dur;
+      depth;
+      domain = 99;
+      trace = 1;
+      ok = true;
+      attrs = [];
+    }
+  in
+  (* Zero-duration span from the future: pulled back so start = end =
+     now, never past it. *)
+  Trace.graft [ span "zero" 5000L ];
+  (match Trace.drain () with
+  | [ s ] ->
+      check_bool "future zero-duration span clamps to now" true
+        (s.Trace.start_ns = 1000L && s.Trace.dur_ns = 0L);
+      check_int "re-domained to the grafting domain"
+        (Domain.self () :> int)
+        s.Trace.domain
+  | l -> Alcotest.fail (Printf.sprintf "expected 1 span, got %d" (List.length l)));
+  (* lo_ns: a span must not start before the enclosing request span. *)
+  Trace.graft ~lo_ns:500L [ span "early" 0L ~dur:100L ];
+  (match Trace.drain () with
+  | [ s ] ->
+      check_bool "lo_ns pulls the subtree forward" true
+        (s.Trace.start_ns = 500L && s.Trace.dur_ns = 100L)
+  | l -> Alcotest.fail (Printf.sprintf "expected 1 span, got %d" (List.length l)));
+  (* Both clamps shift the subtree uniformly: relative offsets survive. *)
+  Trace.graft ~offset_ns:2000L
+    [ span "parent" 0L ~depth:0 ~dur:100L; span "child" 50L ~dur:0L ];
+  (match Trace.drain () with
+  | [ p; c ] ->
+      check_bool "subtree end pulled back to now" true
+        (Int64.add p.Trace.start_ns p.Trace.dur_ns <= 1000L);
+      check_bool "uniform shift preserves relative offsets" true
+        (Int64.sub c.Trace.start_ns p.Trace.start_ns = 50L)
+  | l -> Alcotest.fail (Printf.sprintf "expected 2 spans, got %d" (List.length l)))
+
+let test_flame_no_negative_self_time () =
+  (* Zero-duration and full-width children must never drive a parent's
+     self-time negative. *)
+  let span name start dur depth =
+    {
+      Trace.name;
+      start_ns = start;
+      dur_ns = dur;
+      depth;
+      domain = 1;
+      trace = 0;
+      ok = true;
+      attrs = [];
+    }
+  in
+  let spans =
+    [
+      span "root" 0L 100L 0;
+      span "full" 0L 100L 1 (* consumes all of root's time *);
+      span "zero" 0L 0L 2 (* zero-duration grandchild *);
+      span "late_zero" 100L 0L 1;
+    ]
+  in
+  let frames = Prof.flame_of_spans spans in
+  List.iter
+    (fun f ->
+      check_bool
+        (Printf.sprintf "no negative self-time for %s"
+           (String.concat ";" f.Prof.stack))
+        true
+        (Int64.compare f.Prof.self_ns 0L >= 0))
+    frames;
+  (match List.find_opt (fun f -> f.Prof.stack = [ "root" ]) frames with
+  | Some f -> check_bool "root self-time fully discharged" true (f.Prof.self_ns = 0L)
+  | None -> Alcotest.fail "root frame expected");
+  (* The folded rendering drops zero-self frames rather than emitting
+     negative or empty weights. *)
+  let folded = Prof.to_folded frames in
+  check_bool "folded omits zero-self frames" false
+    (has_substring folded "root 0")
+
+let test_slo_parse () =
+  (match Slo.parse "p99=50ms,avail=99.9" with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+      (match o.Slo.latency with
+      | Some (q, thr_ns) ->
+          Alcotest.(check (float 0.)) "quantile" 0.99 q;
+          Alcotest.(check (float 0.)) "threshold in ns" 5e7 thr_ns
+      | None -> Alcotest.fail "latency objective expected");
+      (match o.Slo.avail with
+      | Some a -> Alcotest.(check (float 1e-12)) "avail fraction" 0.999 a
+      | None -> Alcotest.fail "avail objective expected");
+      check_string "render/reparse fixpoint" "p99=50ms,avail=99.9"
+        (Slo.to_string o));
+  (match Slo.parse "p99.9=2s" with
+  | Ok { Slo.latency = Some (q, thr_ns); avail = None } ->
+      Alcotest.(check (float 1e-12)) "p99.9" 0.999 q;
+      Alcotest.(check (float 0.)) "2s in ns" 2e9 thr_ns
+  | _ -> Alcotest.fail "p99.9=2s must parse");
+  (match Slo.parse "avail=0.999" with
+  | Ok { Slo.avail = Some a; latency = None } ->
+      Alcotest.(check (float 0.)) "fraction form" 0.999 a
+  | _ -> Alcotest.fail "avail=0.999 must parse");
+  List.iter
+    (fun bad ->
+      match Slo.parse bad with
+      | Ok _ -> Alcotest.fail (Printf.sprintf "%S must be rejected" bad)
+      | Error _ -> ())
+    [ ""; "p99"; "p0=5ms"; "p100=5ms"; "p99=50parsecs"; "avail=101"; "foo=1" ]
+
+let test_slo_fraction_le () =
+  let check_float = Alcotest.(check (float 1e-9)) in
+  let h = hist ~upper:[| 10.; 20.; 30. |] ~counts:[| 1; 1; 1; 0 |] in
+  check_float "dual of the median" 0.5 (Slo.fraction_le h 15.);
+  check_float "at a bucket bound" (1. /. 3.) (Slo.fraction_le h 10.);
+  check_float "above all bounds" 1.0 (Slo.fraction_le h 100.);
+  check_float "below everything" 0. (Slo.fraction_le h 0.);
+  let overflow = hist ~upper:[| 10. |] ~counts:[| 0; 2 |] in
+  check_float "overflow mass sits above any finite x" 0.
+    (Slo.fraction_le overflow 10.);
+  let empty = hist ~upper:[| 10. |] ~counts:[| 0; 0 |] in
+  check_bool "empty histogram is nan" true
+    (Float.is_nan (Slo.fraction_le empty 5.))
+
+let test_slo_assess_burn () =
+  let objective =
+    match Slo.parse "p50=1ms,avail=99" with
+    | Ok o -> o
+    | Error e -> Alcotest.fail e
+  in
+  let t = Slo.tracker () in
+  let snap counters histograms = { Metrics.counters; gauges = []; histograms } in
+  let first =
+    Slo.assess ~now_s:100. t objective (snap [ ("docs_processed", 0) ] [])
+  in
+  Alcotest.(check (float 0.)) "first window has no span" 0. first.Slo.window_s;
+  check_bool "no traffic, no burn" false first.Slo.burning;
+  (* Window: 10 docs, 5 over the 1ms threshold, 2 failed. *)
+  let wall =
+    {
+      Metrics.upper = [| 1e6 |];
+      counts = [| 5; 5 |];
+      sum = 0.;
+      count = 10;
+      exemplars = [||];
+    }
+  in
+  let snap1 =
+    snap
+      [ ("docs_processed", 10); ("docs_failed", 2) ]
+      [ ("doc_wall_ns", wall) ]
+  in
+  let a = Slo.assess ~now_s:130. t objective snap1 in
+  Alcotest.(check (float 1e-9)) "window span" 30. a.Slo.window_s;
+  check_int "docs in window" 10 a.Slo.docs;
+  (* Latency: bad 0.5 against budget 1 - 0.5 -> burn exactly 1.0, which
+     is sustainable, not burning. *)
+  (match a.Slo.burn_latency with
+  | Some b -> Alcotest.(check (float 1e-9)) "latency burn" 1.0 b
+  | None -> Alcotest.fail "latency burn expected");
+  (* Availability: bad 0.2 against budget 0.01 -> burn 20. *)
+  (match a.Slo.burn_avail with
+  | Some b -> Alcotest.(check (float 1e-9)) "avail burn" 20. b
+  | None -> Alcotest.fail "avail burn expected");
+  (match a.Slo.avail_measured with
+  | Some m -> Alcotest.(check (float 1e-9)) "measured availability" 0.8 m
+  | None -> Alcotest.fail "avail measurement expected");
+  check_bool "burn over 1.0 reports burning" true a.Slo.burning;
+  (* An idle window (identical snapshot) deltas to zero everywhere. *)
+  let a2 = Slo.assess ~now_s:160. t objective snap1 in
+  check_int "idle window saw no docs" 0 a2.Slo.docs;
+  check_bool "idle window does not burn" false a2.Slo.burning;
+  (* A shrinking counter (shard restarted and re-counted) clamps the
+     delta to the current reading instead of going negative. *)
+  let snap3 =
+    snap [ ("docs_processed", 4) ] [ ("doc_wall_ns", wall) ]
+  in
+  let a3 = Slo.assess ~now_s:190. t objective snap3 in
+  check_int "shrinking counter clamps to current reading" 4 a3.Slo.docs;
+  (* to_json schema lock. *)
+  check_string "assessment json schema"
+    "{\"window_s\":30,\"docs\":0,\"latency\":{\"q\":0.5,\"target_ms\":1,\"measured_ms\":null,\"bad_frac\":null,\"burn\":null},\"avail\":{\"target\":0.99,\"measured\":null,\"burn\":null},\"burning\":false}"
+    (Slo.to_json a2)
+
+let test_build_info () =
+  let r = Build_info.rev () in
+  check_bool "rev is non-empty" true (String.length r > 0);
+  check_string "rev is memoized" r (Build_info.rev ());
+  let reg = Metrics.create () in
+  Build_info.note ~registry:reg ();
+  (* Re-noting (a forked shard after Metrics.reset) must be idempotent. *)
+  Build_info.note ~registry:reg ();
+  let snap = Metrics.snapshot ~registry:reg () in
+  match List.assoc_opt "build_info" snap.Metrics.gauges with
+  | Some g ->
+      Alcotest.(check (float 0.)) "constant 1" 1.0 g.Metrics.value;
+      check_bool "max-aggregated across shards" true (g.Metrics.agg = `Max);
+      check_bool "labeled with the revision" true
+        (g.Metrics.label = Some ("build_info", "rev", r))
+  | None -> Alcotest.fail "build_info gauge expected"
 
 let () =
   Alcotest.run "faerie_obs"
@@ -1104,5 +1587,36 @@ let () =
           QCheck_alcotest.to_alcotest merge_permutation_invariant;
           QCheck_alcotest.to_alcotest merge_associative;
           QCheck_alcotest.to_alcotest merge_identity;
+        ] );
+      ( "diagnostics",
+        [
+          Alcotest.test_case "sampling disabled is one atomic load" `Quick
+            test_sampling_disabled_zero_captures;
+          Alcotest.test_case "sampling is deterministic in (seed, ordinal)"
+            `Quick test_sampling_determinism;
+          Alcotest.test_case "slowlog disabled is one atomic load" `Quick
+            test_slowlog_disabled_zero_captures;
+          Alcotest.test_case "slowlog ring keeps the K slowest" `Quick
+            test_slowlog_ring;
+          Alcotest.test_case "slowlog write-through and flush" `Quick
+            test_slowlog_write_through_and_flush;
+          Alcotest.test_case "slowlog stage scratch seals per document"
+            `Quick test_slowlog_stage_scratch;
+          Alcotest.test_case "exemplar capture per bucket" `Quick
+            test_exemplar_capture;
+          Alcotest.test_case "exemplar merge is max-by-value" `Quick
+            test_exemplar_merge_law;
+          Alcotest.test_case "exemplar export schema" `Quick
+            test_exemplar_export_schema;
+          Alcotest.test_case "graft clamps skewed subtrees" `Quick
+            test_graft_edge_cases;
+          Alcotest.test_case "flame self-time never negative" `Quick
+            test_flame_no_negative_self_time;
+          Alcotest.test_case "slo spec parsing" `Quick test_slo_parse;
+          Alcotest.test_case "fraction_le is the quantile dual" `Quick
+            test_slo_fraction_le;
+          Alcotest.test_case "slo burn-rate over a delta window" `Quick
+            test_slo_assess_burn;
+          Alcotest.test_case "build_info gauge" `Quick test_build_info;
         ] );
     ]
