@@ -83,6 +83,13 @@ let guard f =
          write?)\n"
         at len;
       2
+  | Faerie_util.Wal.Corrupt msg ->
+      Printf.eprintf "faerie: corrupt wal: %s\n" msg;
+      2
+  | Faerie_util.Wal.Truncated { at; len } ->
+      Printf.eprintf
+        "faerie: truncated wal (whole records up to byte %d of %d)\n" at len;
+      2
 
 (* ---- shared arguments ---- *)
 
@@ -589,6 +596,7 @@ let index_cmd =
 module Supervisor = Faerie_core.Supervisor
 module Cluster = Faerie_core.Cluster
 module Serve_proto = Faerie_core.Serve_proto
+module Wal = Faerie_util.Wal
 module Metrics = Faerie_obs.Metrics
 module Trace = Faerie_obs.Trace
 module Prof = Faerie_obs.Prof
@@ -720,7 +728,8 @@ let serve_cmd =
     let doc =
       "Arm deterministic fault injection: SEED:site=rate[,site=rate...] \
        (sites: tokenize, heap_merge, verify, codec_io, supervisor_worker, \
-       codec_rename, serve_decode, shard_frame, shard_stats). Testing hook."
+       codec_rename, serve_decode, shard_frame, shard_stats, wal_append, \
+       wal_replay, compact_save, compact_commit). Testing hook."
     in
     Arg.(
       value & opt (some inject_conv) None & info [ "inject" ] ~docv:"SPEC" ~doc)
@@ -821,10 +830,22 @@ let serve_cmd =
     in
     Arg.(value & opt (some string) None & info [ "slo" ] ~docv:"SPEC" ~doc)
   in
+  let wal_arg =
+    let doc =
+      "Write-ahead log for online dictionary mutations: every \
+       {\"op\":\"dict_add\"} / {\"op\":\"dict_remove\"} is fsynced here \
+       before it is applied, and the log is replayed at startup and on \
+       every reload — a crash loses no accepted mutation. \
+       {\"op\":\"compact\"} folds the log into the --index snapshot and \
+       truncates it."
+    in
+    Arg.(value & opt (some string) None & info [ "wal" ] ~docv:"FILE" ~doc)
+  in
   let run sim q dict_file index_file pruning domains retries backoff_ms
       backoff_max_ms quarantine shed timeout_ms max_doc_bytes queue inject
       shards shard_timeout_ms metrics_format stats_interval_s
-      trace_sample_rate trace_seed slow_ms slowlog_file slowlog_k slo_spec =
+      trace_sample_rate trace_seed slow_ms slowlog_file slowlog_k slo_spec
+      wal_file =
     guard @@ fun () ->
     (match inject with
     | Some cfg -> Faerie_util.Fault.configure cfg
@@ -1029,16 +1050,74 @@ let serve_cmd =
            ])
     in
     let pool_retry = { Supervisor.retries; backoff_ms; backoff_max_ms; seed = 0 } in
+    (* Startup WAL recovery, shared by both modes: replay the whole-record
+       prefix through [apply], repair a torn tail in place (expected crash
+       debris), and return the handle for appends. A Corrupt log — bad
+       checksum, not a torn tail — aborts startup via [guard]: it means
+       bit rot or foreign bytes, and silently dropping records would lose
+       acknowledged mutations. *)
+    let wal_recover apply =
+      match wal_file with
+      | None -> None
+      | Some path ->
+          let n, tail = Wal.replay path apply in
+          (match tail with
+          | Wal.Clean -> ()
+          | Wal.Torn { at; len } ->
+              Printf.eprintf
+                "faerie: serve: wal torn tail repaired (whole records up to \
+                 byte %d of %d)\n\
+                 %!"
+                at len;
+              Wal.repair path tail);
+          if n > 0 then
+            Printf.eprintf "faerie: serve: replayed %d wal mutation(s)\n%!" n;
+          Some (Wal.openfile path)
+    in
+    let wal_replay_into path apply =
+      let n, _tail = Wal.replay path apply in
+      if n > 0 then
+        Printf.eprintf "faerie: serve: re-applied %d wal mutation(s)\n%!" n
+    in
     let serve_single () =
       let load_problem () = problem_of_source sim q dict_file index_file in
-      let ex_ref = Atomic.make (Extractor.of_problem (load_problem ())) in
+      (* The Delta overlay wraps the frozen index so dict_add/dict_remove
+         admin ops mutate the serving dictionary online. Delta.view is
+         copy-on-write, so publishing a new extractor never races the
+         in-flight extractions still holding the previous one. *)
+      let delta_ref = ref (Ix.Delta.create (Problem.index (load_problem ()))) in
+      let apply_op d = function
+        | Wal.Add raw -> ignore (Ix.Delta.add d raw : Ix.Delta.add_result)
+        | Wal.Remove raw ->
+            ignore (Ix.Delta.remove d raw : Ix.Delta.remove_result)
+      in
+      let wal = wal_recover (fun op -> apply_op !delta_ref op) in
+      let ex_of_delta d =
+        Extractor.of_problem (Problem.of_index ~sim (Ix.Delta.view d))
+      in
+      let ex_ref = Atomic.make (ex_of_delta !delta_ref) in
       let gen = Atomic.make 0 in
+      let last_compact = ref (Unix.gettimeofday ()) in
       Metrics.set g_index_generation 0.;
       let reloads = ref 0 in
       let reload () =
-        match load_problem () with
-        | p ->
-            Atomic.set ex_ref (Extractor.of_problem p);
+        match
+          let p = load_problem () in
+          let d = Ix.Delta.create (Problem.index p) in
+          (* The source snapshot predates the WAL's pending mutations;
+             re-apply them so a reload never rolls back accepted writes.
+             Also the recovery path after a crash between compaction's
+             snapshot save and wal truncate: replay against the already-
+             folded snapshot is a pure no-op (add -> Exists,
+             remove -> Absent). *)
+          (match wal with
+          | Some w -> wal_replay_into (Wal.path w) (fun op -> apply_op d op)
+          | None -> ());
+          d
+        with
+        | d ->
+            delta_ref := d;
+            Atomic.set ex_ref (ex_of_delta d);
             let g = 1 + Atomic.fetch_and_add gen 1 in
             incr reloads;
             Metrics.incr m_index_reloads;
@@ -1050,6 +1129,8 @@ let serve_cmd =
               | Ix.Codec.Corrupt m -> "corrupt index: " ^ m
               | Ix.Codec.Truncated { at; len } ->
                   Printf.sprintf "truncated index (byte %d of %d)" at len
+              | Wal.Corrupt m -> "corrupt wal: " ^ m
+              | Faerie_util.Fault.Injected site -> "injected fault at " ^ site
               | Sys_error m -> m
               | e -> raise e
             in
@@ -1060,6 +1141,80 @@ let serve_cmd =
       let maybe_reload () =
         if Atomic.exchange sighup false then reload ()
         else if mtime_changed () then reload ()
+      in
+      (* Durability order is the contract: WAL append (fsynced) first, and
+         only then the in-memory overlay. An injected wal_append fault —
+         or any append error — rejects the mutation outright, so every
+         acknowledged mutation is on disk before any request can see it. *)
+      let mutate op =
+        let opname, wop =
+          match op with
+          | `Add r -> ("dict_add", Wal.Add r)
+          | `Remove r -> ("dict_remove", Wal.Remove r)
+        in
+        match (match wal with Some w -> Wal.append w wop | None -> ()) with
+        | exception Faerie_util.Fault.Injected site ->
+            Serve_proto.admin_error_json ~op:opname
+              (Printf.sprintf "injected fault at %s: mutation not applied"
+                 site)
+        | exception e ->
+            Serve_proto.admin_error_json ~op:opname
+              ("wal append failed: " ^ Printexc.to_string e)
+        | () ->
+            let d = !delta_ref in
+            let applied, entity =
+              match op with
+              | `Add r -> (
+                  match Ix.Delta.add d r with
+                  | Ix.Delta.Added id -> (true, id)
+                  | Ix.Delta.Exists id -> (false, id))
+              | `Remove r -> (
+                  match Ix.Delta.remove d r with
+                  | Ix.Delta.Removed id -> (true, id)
+                  | Ix.Delta.Absent -> (false, -1))
+            in
+            if applied then Atomic.set ex_ref (ex_of_delta d);
+            Serve_proto.dict_response_json ~op:opname ~applied ~entity
+              ~entities:(Ix.Delta.live_count d)
+              ~gen:(Atomic.get gen)
+      in
+      let do_compact () =
+        match index_file with
+        | None ->
+            Serve_proto.admin_error_json ~op:"compact"
+              "compact requires --index (a durable snapshot to fold into)"
+        | Some path -> (
+            let d = !delta_ref in
+            let folded = Ix.Delta.pending d in
+            match
+              Faerie_util.Fault.with_context (Atomic.get gen + 1) (fun () ->
+                  (* compact_save: dies before anything durable changed. *)
+                  Faerie_util.Fault.site "compact_save";
+                  let p = Problem.of_index ~sim (Ix.Delta.compact d) in
+                  Ix.Codec.save (Problem.dictionary p) (Problem.index p) path;
+                  (* compact_commit: the folded snapshot is on disk but the
+                     WAL still holds its mutations — a crash here replays
+                     them idempotently against it on restart. *)
+                  Faerie_util.Fault.site "compact_commit";
+                  (match wal with Some w -> Wal.truncate w | None -> ());
+                  p)
+            with
+            | exception Faerie_util.Fault.Injected site ->
+                Serve_proto.admin_error_json ~op:"compact"
+                  (Printf.sprintf "injected fault at %s" site)
+            | exception Sys_error m ->
+                Serve_proto.admin_error_json ~op:"compact" m
+            | p ->
+                delta_ref := Ix.Delta.create (Problem.index p);
+                Atomic.set ex_ref (Extractor.of_problem p);
+                let g = 1 + Atomic.fetch_and_add gen 1 in
+                Metrics.set g_index_generation (float_of_int g);
+                last_compact := Unix.gettimeofday ();
+                (* our own save just touched --index; swallow the mtime
+                   delta so the next request does not trigger a reload *)
+                ignore (mtime_changed () : bool);
+                Serve_proto.compact_response_json ~gen:g ~folded
+                  ~entities:(Ix.Delta.live_count d))
       in
       let config =
         {
@@ -1135,10 +1290,18 @@ let serve_cmd =
                            h_gen = Atomic.get gen;
                            h_restarts = Supervisor.worker_restarts pool;
                            h_queue_depth = Supervisor.queue_depth pool;
+                           h_delta = Ix.Delta.pending !delta_ref;
+                           h_compact_age_s =
+                             Some (Unix.gettimeofday () -. !last_compact);
                          };
                        ])
               | Some (Ok Serve_proto.Slowlog_dump) ->
                   print_line (slowlog_response ())
+              | Some (Ok (Serve_proto.Dict_add raw)) ->
+                  print_line (mutate (`Add raw))
+              | Some (Ok (Serve_proto.Dict_remove raw)) ->
+                  print_line (mutate (`Remove raw))
+              | Some (Ok Serve_proto.Compact) -> print_line (do_compact ())
               | None -> (
                   let o = !ord in
                   incr ord;
@@ -1246,6 +1409,14 @@ let serve_cmd =
         }
       in
       let cluster = Cluster.create ~config ~sim ~q entities_of_source in
+      (* WAL replay routes each recovered mutation to its owning shard,
+         exactly like a live admin op: the coordinator journals it and the
+         shard applies it to its Delta overlay. *)
+      let apply_op = function
+        | Wal.Add raw -> ignore (Cluster.dict_add cluster raw)
+        | Wal.Remove raw -> ignore (Cluster.dict_remove cluster raw)
+      in
+      let wal = wal_recover apply_op in
       (* Peak RSS from the last merged pull: health must stay frame-free
          (a shard stats round-trip would shift the shard_stats fault
          ordinals), so it reports the cached cluster-wide max. *)
@@ -1281,7 +1452,18 @@ let serve_cmd =
             Metrics.incr m_index_reloads;
             Metrics.set g_index_generation (float_of_int g);
             Printf.eprintf "faerie: serve: reloaded cluster (generation %d)\n%!"
-              g
+              g;
+            (* The reloaded source predates the WAL's pending mutations;
+               re-route them so a reload never rolls back accepted writes
+               (pure no-ops for any the source already absorbed). *)
+            (match wal with
+            | Some w -> (
+                try wal_replay_into (Wal.path w) apply_op
+                with e ->
+                  Printf.eprintf
+                    "faerie: serve: wal re-apply after reload failed: %s\n%!"
+                    (Printexc.to_string e))
+            | None -> ())
         | Error msg ->
             Printf.eprintf
               "faerie: serve: reload failed, keeping generation %d: %s\n%!"
@@ -1290,6 +1472,67 @@ let serve_cmd =
       let maybe_reload () =
         if Atomic.exchange sighup false then reload ()
         else if mtime_changed () then reload ()
+      in
+      (* Same durability order as single mode: fsynced WAL append first,
+         only then the routed in-memory mutation. *)
+      let mutate op =
+        let opname, wop =
+          match op with
+          | `Add r -> ("dict_add", Wal.Add r)
+          | `Remove r -> ("dict_remove", Wal.Remove r)
+        in
+        match (match wal with Some w -> Wal.append w wop | None -> ()) with
+        | exception Faerie_util.Fault.Injected site ->
+            Serve_proto.admin_error_json ~op:opname
+              (Printf.sprintf "injected fault at %s: mutation not applied"
+                 site)
+        | exception e ->
+            Serve_proto.admin_error_json ~op:opname
+              ("wal append failed: " ^ Printexc.to_string e)
+        | () ->
+            let applied, entity =
+              match op with
+              | `Add r -> (
+                  match Cluster.dict_add cluster r with
+                  | `Added id -> (true, id)
+                  | `Exists id -> (false, id))
+              | `Remove r -> (
+                  match Cluster.dict_remove cluster r with
+                  | `Removed id -> (true, id)
+                  | `Absent -> (false, -1))
+            in
+            Serve_proto.dict_response_json ~op:opname ~applied ~entity
+              ~entities:(Cluster.live_count cluster)
+              ~gen:(Cluster.generation cluster)
+      in
+      let do_compact () =
+        if wal <> None && index_file = None then
+          Serve_proto.admin_error_json ~op:"compact"
+            "compact with --wal requires --index (a durable snapshot to fold \
+             into)"
+        else
+          match Cluster.compact cluster with
+          | Error msg -> Serve_proto.admin_error_json ~op:"compact" msg
+          | Ok (g, folded) ->
+              (* The cluster's own snapshots live in its (possibly temp)
+                 shard dir; fold the result into the durable --index source
+                 too, then drop the WAL. A crash between these steps is
+                 safe: the WAL replays idempotently against whichever
+                 snapshot the restart loads. *)
+              (match index_file with
+              | Some path ->
+                  let live =
+                    List.init (Cluster.live_count cluster) (fun i ->
+                        Option.get (Cluster.entity_raw cluster i))
+                  in
+                  let p = Problem.create ~sim ~q live in
+                  Ix.Codec.save (Problem.dictionary p) (Problem.index p) path;
+                  ignore (mtime_changed () : bool)
+              | None -> ());
+              (match wal with Some w -> Wal.truncate w | None -> ());
+              Metrics.set g_index_generation (float_of_int g);
+              Serve_proto.compact_response_json ~gen:g ~folded
+                ~entities:(Cluster.live_count cluster)
       in
       let outcomes = ref [] in
       let ord = ref 0 in
@@ -1325,6 +1568,11 @@ let serve_cmd =
                        shard_healths)
               | Some (Ok Serve_proto.Slowlog_dump) ->
                   print_line (slowlog_response ())
+              | Some (Ok (Serve_proto.Dict_add raw)) ->
+                  print_line (mutate (`Add raw))
+              | Some (Ok (Serve_proto.Dict_remove raw)) ->
+                  print_line (mutate (`Remove raw))
+              | Some (Ok Serve_proto.Compact) -> print_line (do_compact ())
               | None -> (
                   let o = !ord in
                   incr ord;
@@ -1416,7 +1664,101 @@ let serve_cmd =
       $ quarantine_arg $ shed_arg $ timeout_arg $ max_doc_bytes_arg $ queue_arg
       $ inject_arg $ shards_arg $ shard_timeout_arg $ metrics_format_arg
       $ stats_interval_arg $ trace_sample_arg $ trace_seed_arg $ slow_ms_arg
-      $ slowlog_file_arg $ slowlog_k_arg $ slo_arg)
+      $ slowlog_file_arg $ slowlog_k_arg $ slo_arg $ wal_arg)
+
+(* ---- dict: offline dynamic-dictionary tooling ---- *)
+
+let dict_group_cmd =
+  let wal_req_arg =
+    let doc = "Write-ahead log file (created if missing)." in
+    Arg.(required & opt (some string) None & info [ "wal" ] ~docv:"FILE" ~doc)
+  in
+  let entities_pos =
+    Arg.(
+      non_empty & pos_all string []
+      & info [] ~docv:"ENTITY" ~doc:"Raw entity string(s).")
+  in
+  let append op_name mk =
+    let run wal_path entities =
+      guard @@ fun () ->
+      let w = Wal.openfile wal_path in
+      Fun.protect
+        ~finally:(fun () -> Wal.close w)
+        (fun () -> List.iter (fun raw -> Wal.append w (mk raw)) entities);
+      Printf.printf "appended %d %s mutation(s) to %s\n" (List.length entities)
+        op_name wal_path;
+      0
+    in
+    Term.(const run $ wal_req_arg $ entities_pos)
+  in
+  let add_cmd =
+    Cmd.v
+      (Cmd.info "add"
+         ~doc:
+           "Append dictionary-add mutations to a write-ahead log. A serving \
+            process with the same --wal applies them at startup or on SIGHUP \
+            reload; 'dict compact' folds them into an index snapshot.")
+      (append "add" (fun raw -> Wal.Add raw))
+  in
+  let remove_cmd =
+    Cmd.v
+      (Cmd.info "remove"
+         ~doc:"Append dictionary-remove mutations to a write-ahead log.")
+      (append "remove" (fun raw -> Wal.Remove raw))
+  in
+  let compact_cmd =
+    let index_req_arg =
+      let doc = "Index snapshot to fold the WAL into (rewritten atomically)." in
+      Arg.(required & opt (some file) None & info [ "index" ] ~docv:"FILE" ~doc)
+    in
+    let run sim wal_path index_path =
+      guard @@ fun () ->
+      let _dict, index = Ix.Codec.load index_path in
+      let d = Ix.Delta.create index in
+      let n, tail =
+        Wal.replay wal_path (function
+          | Wal.Add raw -> ignore (Ix.Delta.add d raw : Ix.Delta.add_result)
+          | Wal.Remove raw ->
+              ignore (Ix.Delta.remove d raw : Ix.Delta.remove_result))
+      in
+      (match tail with
+      | Wal.Torn { at; len } ->
+          Printf.eprintf
+            "faerie: dict: wal torn tail repaired (whole records up to byte \
+             %d of %d)\n"
+            at len;
+          Wal.repair wal_path tail
+      | Wal.Clean -> ());
+      if n = 0 then begin
+        print_endline "wal empty; nothing to fold";
+        0
+      end
+      else begin
+        let p = Problem.of_index ~sim (Ix.Delta.compact d) in
+        Ix.Codec.save (Problem.dictionary p) (Problem.index p) index_path;
+        let w = Wal.openfile wal_path in
+        Fun.protect ~finally:(fun () -> Wal.close w) (fun () -> Wal.truncate w);
+        Printf.printf "folded %d mutation(s) into %s (%d entities)\n" n
+          index_path (Ix.Delta.live_count d);
+        0
+      end
+    in
+    Cmd.v
+      (Cmd.info "compact"
+         ~doc:
+           "Fold a mutation WAL into an index snapshot: replay the log over \
+            the index's Delta overlay, rebuild a fresh compressed snapshot, \
+            save it atomically in place and truncate the WAL. Crash-safe: \
+            interrupted anywhere, index + WAL still replay to the same \
+            dictionary.")
+      Term.(const run $ sim_arg $ wal_req_arg $ index_req_arg)
+  in
+  Cmd.group
+    (Cmd.info "dict"
+       ~doc:
+         "Dynamic-dictionary tooling: append add/remove mutations to a \
+          write-ahead log and fold them into an index snapshot.")
+    [ add_cmd; remove_cmd; compact_cmd ]
 
 (* ---- gen ---- *)
 
@@ -1474,5 +1816,5 @@ let () =
        (Cmd.group info
           [
             extract_cmd; explain_cmd; flame_cmd; stats_cmd; regress_cmd;
-            gen_cmd; index_cmd; serve_cmd;
+            gen_cmd; index_cmd; serve_cmd; dict_group_cmd;
           ]))

@@ -6,7 +6,7 @@
    (seed, sim, q, entities, document) is dumped to stderr and to a file.
 
    Usage: dune exec bin/fuzz.exe -- [--faults] [iterations] [seed]
-          dune exec bin/fuzz.exe -- --replay=FILE --dict=FILE
+          dune exec bin/fuzz.exe -- --replay=FILE --dict=FILE [--gen=N]
 
    With --faults, the campaign instead runs with deterministic fault
    injection armed (sites: tokenize, heap_merge, verify, codec_io) and
@@ -23,7 +23,11 @@
    (faerie serve --quarantine) is replayed against the dictionary in
    --dict: the recorded fault campaign is re-armed and the poison document
    re-extracted under its original fault key; exit 0 iff every record
-   reproduces a failure.                                                    *)
+   reproduces a failure. Records are stamped with the dictionary
+   generation that was serving when they were written; --gen (default 0)
+   declares which generation --dict holds, and a record whose stamp
+   differs is refused — its text would extract against the wrong
+   dictionary and prove nothing.                                            *)
 
 module Sim = Faerie_sim.Sim
 module Core = Faerie_core
@@ -948,8 +952,13 @@ let read_lines path =
    share the stream and the replay machinery, but most captured a request
    that SUCCEEDED slowly, so their bar is different: the record reproduces
    iff re-running the document yields the same outcome class (an injected
-   crash counts as "failed"). *)
-let run_replay ~replay_file ~dict_file =
+   crash counts as "failed").
+
+   Both record kinds carry the dictionary generation they were captured
+   under; a record whose [gen] differs from [expected_gen] (the --gen
+   flag, i.e. the generation --dict holds) is refused with an error
+   rather than replayed against the wrong dictionary. *)
+let run_replay ~replay_file ~dict_file ~expected_gen =
   let entities =
     List.filter_map
       (fun l -> match String.trim l with "" -> None | e -> Some e)
@@ -957,6 +966,21 @@ let run_replay ~replay_file ~dict_file =
   in
   let records = read_lines replay_file in
   let failures = ref 0 in
+  (* Generation gate: a record captured under a different dictionary
+     generation must not be replayed — refuse it loudly instead of
+     producing a meaningless (non-)reproduction. *)
+  let gen_mismatch ~idx ~kind ~doc_id record_gen =
+    if record_gen = expected_gen then false
+    else begin
+      incr failures;
+      Printf.printf
+        "record %d (%s doc %d): GENERATION MISMATCH — captured at dictionary \
+         generation %d but --dict is generation %d; refusing replay (pass \
+         --gen=%d with the matching dictionary snapshot)\n"
+        idx kind doc_id record_gen expected_gen record_gen;
+      true
+    end
+  in
   (* Shared single-process re-run: rebuild, re-arm, extract under the
      recorded fault key, classify. *)
   let rerun ~sim ~q ~fault ~pruning ~budget ~doc_id text =
@@ -982,6 +1006,10 @@ let run_replay ~replay_file ~dict_file =
   List.iteri
     (fun idx line ->
       match Serve_proto.Slowrec.of_json line with
+      | Ok r
+        when gen_mismatch ~idx ~kind:"slowlog"
+               ~doc_id:r.Serve_proto.Slowrec.doc_id r.Serve_proto.Slowrec.gen ->
+          ()
       | Ok r ->
           let cls =
             rerun ~sim:r.Serve_proto.Slowrec.sim ~q:r.Serve_proto.Slowrec.q
@@ -1004,6 +1032,11 @@ let run_replay ~replay_file ~dict_file =
           | Error e ->
               incr failures;
               Printf.printf "record %d: unparseable (%s)\n" idx e
+          | Ok r
+            when gen_mismatch ~idx ~kind:"quarantine"
+                   ~doc_id:r.Supervisor.Quarantine.doc_id
+                   r.Supervisor.Quarantine.gen ->
+              ()
           | Ok r ->
               let cls =
                 rerun ~sim:r.Supervisor.Quarantine.sim
@@ -1034,6 +1067,7 @@ let () =
   let faults = ref false in
   let replay = ref None in
   let dict = ref None in
+  let gen = ref 0 in
   let positional = ref [] in
   let prefixed ~prefix arg =
     if String.length arg > String.length prefix
@@ -1054,7 +1088,10 @@ let () =
           | None -> (
               match prefixed ~prefix:"--dict=" arg with
               | Some f -> dict := Some f
-              | None -> positional := int_of_string arg :: !positional))
+              | None -> (
+                  match prefixed ~prefix:"--gen=" arg with
+                  | Some g -> gen := int_of_string g
+                  | None -> positional := int_of_string arg :: !positional)))
     Sys.argv;
   let positional = List.rev !positional in
   let iterations = match positional with n :: _ -> n | [] -> 2_000 in
@@ -1064,7 +1101,8 @@ let () =
     | _ -> int_of_float (Unix.gettimeofday () *. 1000.) land 0xFFFFFF
   in
   match (!replay, !dict) with
-  | Some replay_file, Some dict_file -> run_replay ~replay_file ~dict_file
+  | Some replay_file, Some dict_file ->
+      run_replay ~replay_file ~dict_file ~expected_gen:!gen
   | Some _, None ->
       prerr_endline "fuzz: --replay requires --dict=FILE";
       exit 2

@@ -1,5 +1,6 @@
 module Budget = Faerie_util.Budget
 module Fault = Faerie_util.Fault
+module Dynarray = Faerie_util.Dynarray
 module Sim = Faerie_sim.Sim
 module Ix = Faerie_index
 module Metrics = Faerie_obs.Metrics
@@ -30,6 +31,10 @@ let m_quarantined_pairs =
 
 let g_cluster_shards =
   Metrics.gauge ~help:"configured shard processes" ~agg:`Max "cluster_shards"
+
+(* Same name Delta registers shard-side; the coordinator counts cluster
+   compactions (shards see them as Prepare/Commit, never Delta.compact). *)
+let m_compactions = Metrics.counter "compactions"
 
 type config = {
   shards : int;
@@ -64,6 +69,12 @@ let handshake_timeout_ms = 60_000
 
 let spawn_attempts = 3
 
+(* One journaled mutation routed to a shard since the last snapshot
+   generation. Adds remember the global id the coordinator assigned, so a
+   journal replay into a freshly respawned shard can re-pair the shard's
+   deterministic local ids with the global ones. *)
+type jentry = J_add of { raw : string; global : int } | J_remove of string
+
 type slot = {
   sid : int;
   up_gauge : Metrics.gauge;
@@ -78,6 +89,13 @@ type slot = {
       (* coordinator clock minus shard clock, measured at the Ready
          handshake; re-bases shard span timestamps for trace grafting *)
   mutable bye : (int * int) option;  (* worker restarts, quarantined (from Bye) *)
+  addmap : (int, int) Hashtbl.t;
+      (* shard-local added-entity id -> global id; rebuilt by journal
+         replay on every respawn, cleared at each snapshot generation *)
+  mutable journal : jentry list;
+      (* mutations routed to this shard since the serving generation's
+         snapshot, newest first; replayed into a respawned shard so a
+         crash loses no mutation *)
 }
 
 type totals = {
@@ -104,6 +122,17 @@ type t = {
   mutable partials : int;
   mutable qpairs : int;
   mutable closed : bool;
+  (* ---- dynamic-dictionary bookkeeping (authoritative, coordinator-side;
+     shards mirror it through routed frames + journal replay) ---- *)
+  mutable ents : string Dynarray.t;  (* global entity id -> raw *)
+  by_raw : (string, int) Hashtbl.t;  (* live raw -> global id *)
+  dead_ids : (int, unit) Hashtbl.t;  (* tombstoned global ids *)
+  mutable base_top : int;
+      (* ids below this are range-partitioned (snapshot entities); ids at
+         or above round-robin via Shard_plan.owner_dyn *)
+  mutable pending_muts : int;  (* mutations since the serving snapshot *)
+  mutable last_compact_ns : int64;
+      (* when the serving snapshot generation was adopted *)
 }
 
 let generation t = t.generation
@@ -156,11 +185,19 @@ let shard_main ~(config : config) ~sid ~gen0 ~sim ~snapshot ~rfd ~wfd =
      breakdowns in Result frames. *)
   Build_info.note ();
   if config.slow_stages then Slowlog.arm_stages ();
+  (* Each snapshot load wraps the frozen index in a Delta so routed
+     dict_add/dict_remove frames can mutate this shard's slice online.
+     Delta.view is copy-on-write, so worker domains keep extracting
+     against the extractor they grabbed while we publish a new one. *)
   let load path =
     let _, index = Ix.Codec.load path in
-    Extractor.of_problem (Problem.of_index ~sim index)
+    let delta = Ix.Delta.create index in
+    let ex = Extractor.of_problem (Problem.of_index ~sim (Ix.Delta.view delta)) in
+    (delta, ex)
   in
-  let ex_ref = Atomic.make (load snapshot) in
+  let delta0, ex0 = load snapshot in
+  let delta_ref = ref delta0 in
+  let ex_ref = Atomic.make ex0 in
   let gen_ref = ref gen0 in
   let pending = ref None in
   let pool =
@@ -168,6 +205,7 @@ let shard_main ~(config : config) ~sid ~gen0 ~sim ~snapshot ~rfd ~wfd =
       ~config:{ config.pool with Supervisor.shard = Some sid }
       (fun () -> Atomic.get ex_ref)
   in
+  Supervisor.note_generation pool gen0;
   let wlock = Mutex.create () in
   let send reply =
     Mutex.lock wlock;
@@ -252,8 +290,8 @@ let shard_main ~(config : config) ~sid ~gen0 ~sim ~snapshot ~rfd ~wfd =
             loop ()
         | Ok (Shard.Prepare { gen; path }) ->
             (match load path with
-            | ex ->
-                pending := Some (gen, ex);
+            | delta, ex ->
+                pending := Some (gen, delta, ex);
                 send (Shard.Prepared { gen })
             | exception e ->
                 let error =
@@ -268,9 +306,11 @@ let shard_main ~(config : config) ~sid ~gen0 ~sim ~snapshot ~rfd ~wfd =
             loop ()
         | Ok (Shard.Commit { gen }) ->
             (match !pending with
-            | Some (g, ex) when g = gen ->
+            | Some (g, delta, ex) when g = gen ->
+                delta_ref := delta;
                 Atomic.set ex_ref ex;
                 gen_ref := gen;
+                Supervisor.note_generation pool gen;
                 pending := None;
                 send (Shard.Committed { gen })
             | _ ->
@@ -286,6 +326,32 @@ let shard_main ~(config : config) ~sid ~gen0 ~sim ~snapshot ~rfd ~wfd =
         | Ok (Shard.Abort { gen }) ->
             pending := None;
             send (Shard.Aborted { gen });
+            loop ()
+        | Ok (Shard.Dict_add { raw }) ->
+            let delta = !delta_ref in
+            let entity, applied =
+              match Ix.Delta.add delta raw with
+              | Ix.Delta.Added id -> (id, true)
+              | Ix.Delta.Exists id -> (id, false)
+            in
+            if applied then
+              Atomic.set ex_ref
+                (Extractor.of_problem
+                   (Problem.of_index ~sim (Ix.Delta.view delta)));
+            send (Shard.Mutated { gen = !gen_ref; entity; applied });
+            loop ()
+        | Ok (Shard.Dict_remove { raw }) ->
+            let delta = !delta_ref in
+            let entity, applied =
+              match Ix.Delta.remove delta raw with
+              | Ix.Delta.Removed id -> (id, true)
+              | Ix.Delta.Absent -> (-1, false)
+            in
+            if applied then
+              Atomic.set ex_ref
+                (Extractor.of_problem
+                   (Problem.of_index ~sim (Ix.Delta.view delta)));
+            send (Shard.Mutated { gen = !gen_ref; entity; applied });
             loop ()
         | Ok Shard.Stats_req ->
             (* Same crash-boundary convention as shard_frame: an injection
@@ -378,6 +444,53 @@ let await_ready t slot =
       | Ok _ | Error _ -> false)
   | `Eof | `Timeout | `Corrupt _ -> false
 
+(* Wait for one handshake reply on a slot, tolerating stray Result frames
+   (there should be none — handshakes never run with documents in flight —
+   but a late frame must not desynchronize the handshake). *)
+let await_handshake slot ~deadline =
+  let rec go () =
+    match Frame.read ~deadline_ns:deadline slot.rd with
+    | `Frame p -> (
+        match Shard.reply_of_string p with
+        | Ok (Shard.Result _) -> go ()
+        | Ok reply -> `Reply reply
+        | Error _ -> `Dead)
+    | `Eof | `Corrupt _ -> `Dead
+    | `Timeout -> `Dead
+  in
+  go ()
+
+(* Re-route every journaled mutation into a freshly (re)spawned shard, in
+   original arrival order, rebuilding the local->global add map from the
+   replies. The shard's Delta assigns added-entity ids deterministically
+   (arrival order over the snapshot base), so a full-journal replay
+   reproduces exactly the ids the previous process had — a shard crash
+   loses no mutation and changes no extraction result. An empty journal
+   sends no frames, keeping the spawn byte-stream identical to a cluster
+   that never mutated. *)
+let replay_journal slot =
+  Hashtbl.reset slot.addmap;
+  List.for_all
+    (fun entry ->
+      let msg, global =
+        match entry with
+        | J_add { raw; global } -> (Shard.Dict_add { raw }, Some global)
+        | J_remove raw -> (Shard.Dict_remove { raw }, None)
+      in
+      match Frame.write slot.wfd (Shard.msg_to_string msg) with
+      | exception (Unix.Unix_error _ | Sys_error _) -> false
+      | () -> (
+          match
+            await_handshake slot ~deadline:(deadline_in_ms handshake_timeout_ms)
+          with
+          | `Reply (Shard.Mutated { entity; applied; _ }) ->
+              (match global with
+              | Some g when applied -> Hashtbl.replace slot.addmap entity g
+              | _ -> ());
+              true
+          | `Reply _ | `Dead -> false))
+    (List.rev slot.journal)
+
 let kill_slot _t slot =
   if slot.up then begin
     close_quietly slot.wfd;
@@ -398,7 +511,7 @@ let start_slot t slot =
     if k > spawn_attempts then false
     else begin
       spawn_shard t slot;
-      if await_ready t slot then begin
+      if await_ready t slot && replay_journal slot then begin
         Metrics.set slot.up_gauge 1.;
         true
       end
@@ -472,9 +585,13 @@ let create ?(config = default_config) ~sim ~q load =
           restarts = 0;
           offset_ns = 0L;
           bye = None;
+          addmap = Hashtbl.create 16;
+          journal = [];
         })
       plan
   in
+  let by_raw = Hashtbl.create (max 16 (Array.length entities)) in
+  Array.iteri (fun i raw -> Hashtbl.replace by_raw raw i) entities;
   let t =
     {
       config;
@@ -491,6 +608,12 @@ let create ?(config = default_config) ~sim ~q load =
       partials = 0;
       qpairs = 0;
       closed = false;
+      ents = Dynarray.of_array entities;
+      by_raw;
+      dead_ids = Hashtbl.create 16;
+      base_top = Array.length entities;
+      pending_muts = 0;
+      last_compact_ns = Trace.now_ns ();
     }
   in
   Metrics.set_max g_cluster_shards (float_of_int config.shards);
@@ -613,6 +736,7 @@ let submit t ?id ?timeout_ms ?stages_out ~doc text =
             pruning = t.config.pruning;
             budget = request_budget;
             fault = Fault.current ();
+            gen = t.generation;
             text;
           };
         t.qpairs <- t.qpairs + 1;
@@ -660,7 +784,28 @@ let submit t ?id ?timeout_ms ?stages_out ~doc text =
             | Waiting _ ->
                 Trace.graft ~offset_ns:slot.offset_ns ?lo_ns:req_t0 spans;
                 note_stages stages;
-                let remap ms = Shard_plan.remap_matches ~range:slot.range ms in
+                (* Shard-local entity ids below the range width are
+                   snapshot entities (offset remap, as ever); ids past it
+                   are Delta-added and translate through the journal's
+                   local->global add map. *)
+                let remap ms =
+                  if Hashtbl.length slot.addmap = 0 then
+                    Shard_plan.remap_matches ~range:slot.range ms
+                  else
+                    let w = Shard_plan.width slot.range in
+                    List.map
+                      (fun (m : Types.char_match) ->
+                        let local = m.Types.c_entity in
+                        let global =
+                          if local < w then local + slot.range.Shard_plan.lo
+                          else
+                            match Hashtbl.find_opt slot.addmap local with
+                            | Some g -> g
+                            | None -> local
+                        in
+                        { m with Types.c_entity = global })
+                      ms
+                in
                 let out =
                   match outcome with
                   | Outcome.Ok ms -> Outcome.Ok (remap ms)
@@ -799,105 +944,117 @@ let submit t ?id ?timeout_ms ?stages_out ~doc text =
     ~attrs:[ ("doc", string_of_int doc) ]
     run_fanout
 
-(* ---- two-phase reload ---- *)
+(* ---- two-phase snapshot swap (reload & compaction) ---- *)
 
-(* Wait for one handshake reply on a slot, tolerating stray Result frames
-   (there should be none — reload never runs with documents in flight —
-   but a late frame must not desynchronize the handshake). *)
-let await_handshake slot ~deadline =
-  let rec go () =
-    match Frame.read ~deadline_ns:deadline slot.rd with
-    | `Frame p -> (
-        match Shard.reply_of_string p with
-        | Ok (Shard.Result _) -> go ()
-        | Ok reply -> `Reply reply
-        | Error _ -> `Dead)
-    | `Eof | `Corrupt _ -> `Dead
-    | `Timeout -> `Dead
-  in
-  go ()
+(* Rebuild the coordinator's dynamic-dictionary bookkeeping around a fresh
+   entity array: the snapshot generation just adopted IS those entities,
+   so journals, add maps and tombstones all reset. Runs at the commit
+   point, before the Commit fan-out, so a shard dying during the fan-out
+   restarts from the new snapshot with an empty journal. *)
+let reset_dyn t entities =
+  t.ents <- Dynarray.of_array entities;
+  Hashtbl.reset t.by_raw;
+  Array.iteri (fun i raw -> Hashtbl.replace t.by_raw raw i) entities;
+  Hashtbl.reset t.dead_ids;
+  t.base_top <- Array.length entities;
+  t.pending_muts <- 0;
+  t.last_compact_ns <- Trace.now_ns ();
+  Array.iter
+    (fun slot ->
+      Hashtbl.reset slot.addmap;
+      slot.journal <- [])
+    t.slots
 
-let reload t =
-  if t.closed then invalid_arg "Cluster.reload: cluster is shut down";
-  match Array.of_list (t.load ()) with
-  | exception e -> Error ("reload: " ^ Printexc.to_string e)
-  | entities -> (
-      let gen' = t.generation + 1 in
-      match
-        Shard_plan.write_snapshots ~dir:t.dir ~gen:gen' ~sim:t.sim ~q:t.q
-          ~shards:(Array.length t.slots) entities
-      with
-      | exception e -> Error ("reload: snapshot build failed: " ^ Printexc.to_string e)
-      | plan ->
-          let n = Array.length t.slots in
-          let cleanup_gen gen =
-            Array.iter
-              (fun slot ->
-                try Sys.remove (Shard_plan.snapshot_path ~dir:t.dir ~gen ~shard:slot.sid)
-                with Sys_error _ -> ())
-              t.slots
-          in
-          (* Phase 1: every live shard loads the new snapshot and holds it
-             pending. Any refusal/death aborts the whole generation. *)
-          let prepared = Array.make n false in
-          let prep_failed = ref [] in
-          Array.iteri
-            (fun i slot ->
-              if slot.up then begin
-                match
-                  Frame.write slot.wfd
-                    (Shard.msg_to_string
-                       (Shard.Prepare
-                          { gen = gen'; path = plan.(i).Shard_plan.path }))
-                with
-                | () -> ()
-                | exception (Unix.Unix_error _ | Sys_error _) ->
-                    prep_failed := (i, "shard died before prepare") :: !prep_failed
-              end)
-            t.slots;
-          Array.iteri
-            (fun i slot ->
-              if slot.up && not (List.mem_assoc i !prep_failed) then
-                match
-                  await_handshake slot
-                    ~deadline:(deadline_in_ms handshake_timeout_ms)
-                with
-                | `Reply (Shard.Prepared { gen }) when gen = gen' ->
-                    prepared.(i) <- true
-                | `Reply (Shard.Prepare_failed { error; _ }) ->
-                    prep_failed := (i, error) :: !prep_failed
-                | `Reply _ ->
-                    prep_failed := (i, "unexpected prepare reply") :: !prep_failed
-                | `Dead ->
-                    prep_failed := (i, "shard died during prepare") :: !prep_failed)
-            t.slots;
-          if !prep_failed <> [] then begin
-            (* Abort: shards that prepared drop the pending snapshot; shards
-               that died restart on the OLD generation. *)
-            Array.iteri
-              (fun i slot ->
-                if prepared.(i) && slot.up then begin
-                  (try
-                     Frame.write slot.wfd
-                       (Shard.msg_to_string (Shard.Abort { gen = gen' }))
-                   with Unix.Unix_error _ | Sys_error _ -> ());
-                  match
-                    await_handshake slot
-                      ~deadline:(deadline_in_ms handshake_timeout_ms)
-                  with
-                  | `Reply (Shard.Aborted _) -> ()
-                  | `Reply _ | `Dead -> ignore (restart_slot t slot ~attempt:1)
-                end)
-              t.slots;
-            Array.iter
-              (fun slot ->
-                if slot.up = false then ignore (restart_slot t slot ~attempt:1))
-              t.slots;
-            cleanup_gen gen';
-            let i, msg = List.hd (List.rev !prep_failed) in
-            Error (Printf.sprintf "prepare failed on shard %d: %s" i msg)
-          end
-          else begin
+(* Drive the two-phase swap to a snapshot generation built from
+   [entities]. [before_commit] runs after every shard has prepared and
+   before the cluster adopts the new generation — it is compaction's
+   compact_commit crash site; an injected fault there takes the abort
+   path, exactly like a prepare failure: the old generation keeps
+   serving and journaled mutations survive for replay. *)
+let two_phase t ~entities ~before_commit =
+  let gen' = t.generation + 1 in
+  match
+    Shard_plan.write_snapshots ~dir:t.dir ~gen:gen' ~sim:t.sim ~q:t.q
+      ~shards:(Array.length t.slots) entities
+  with
+  | exception e -> Error ("snapshot build failed: " ^ Printexc.to_string e)
+  | plan ->
+      let n = Array.length t.slots in
+      let cleanup_gen gen =
+        Array.iter
+          (fun slot ->
+            try Sys.remove (Shard_plan.snapshot_path ~dir:t.dir ~gen ~shard:slot.sid)
+            with Sys_error _ -> ())
+          t.slots
+      in
+      (* Phase 1: every live shard loads the new snapshot and holds it
+         pending. Any refusal/death aborts the whole generation. *)
+      let prepared = Array.make n false in
+      let prep_failed = ref [] in
+      Array.iteri
+        (fun i slot ->
+          if slot.up then begin
+            match
+              Frame.write slot.wfd
+                (Shard.msg_to_string
+                   (Shard.Prepare
+                      { gen = gen'; path = plan.(i).Shard_plan.path }))
+            with
+            | () -> ()
+            | exception (Unix.Unix_error _ | Sys_error _) ->
+                prep_failed := (i, "shard died before prepare") :: !prep_failed
+          end)
+        t.slots;
+      Array.iteri
+        (fun i slot ->
+          if slot.up && not (List.mem_assoc i !prep_failed) then
+            match
+              await_handshake slot
+                ~deadline:(deadline_in_ms handshake_timeout_ms)
+            with
+            | `Reply (Shard.Prepared { gen }) when gen = gen' ->
+                prepared.(i) <- true
+            | `Reply (Shard.Prepare_failed { error; _ }) ->
+                prep_failed := (i, error) :: !prep_failed
+            | `Reply _ ->
+                prep_failed := (i, "unexpected prepare reply") :: !prep_failed
+            | `Dead ->
+                prep_failed := (i, "shard died during prepare") :: !prep_failed)
+        t.slots;
+      (* Abort: shards that prepared drop the pending snapshot; shards
+         that died restart on the OLD generation (journal replay restores
+         any pending mutations into the replacement process). *)
+      let abort err =
+        Array.iteri
+          (fun i slot ->
+            if prepared.(i) && slot.up then begin
+              (try
+                 Frame.write slot.wfd
+                   (Shard.msg_to_string (Shard.Abort { gen = gen' }))
+               with Unix.Unix_error _ | Sys_error _ -> ());
+              match
+                await_handshake slot
+                  ~deadline:(deadline_in_ms handshake_timeout_ms)
+              with
+              | `Reply (Shard.Aborted _) -> ()
+              | `Reply _ | `Dead -> ignore (restart_slot t slot ~attempt:1)
+            end)
+          t.slots;
+        Array.iter
+          (fun slot ->
+            if slot.up = false then ignore (restart_slot t slot ~attempt:1))
+          t.slots;
+        cleanup_gen gen';
+        Error err
+      in
+      if !prep_failed <> [] then
+        let i, msg = List.hd (List.rev !prep_failed) in
+        abort (Printf.sprintf "prepare failed on shard %d: %s" i msg)
+      else begin
+        match before_commit gen' with
+        | exception Fault.Injected site ->
+            abort (Printf.sprintf "injected fault at %s" site)
+        | () ->
             (* Commit point: from here the cluster IS generation [gen'] —
                slots record the new snapshot/range first, so a shard dying
                anywhere in the commit fan-out restarts from the NEW files. *)
@@ -907,6 +1064,7 @@ let reload t =
                 slot.range <- plan.(i).Shard_plan.range;
                 slot.snapshot <- plan.(i).Shard_plan.path)
               t.slots;
+            reset_dyn t entities;
             Array.iteri
               (fun _i slot ->
                 if slot.up then begin
@@ -927,12 +1085,105 @@ let reload t =
                 end
                 else
                   (* A previously lost shard gets revived on the new
-                     generation — reload is also the recovery path. *)
+                     generation — the swap is also the recovery path. *)
                   ignore (restart_slot t slot ~attempt:1))
               t.slots;
             cleanup_gen (gen' - 1);
             Ok gen'
-          end)
+      end
+
+let reload t =
+  if t.closed then invalid_arg "Cluster.reload: cluster is shut down";
+  match Array.of_list (t.load ()) with
+  | exception e -> Error ("reload: " ^ Printexc.to_string e)
+  | entities -> (
+      match two_phase t ~entities ~before_commit:(fun _ -> ()) with
+      | Ok _ as ok -> ok
+      | Error e -> Error ("reload: " ^ e))
+
+(* ---- online mutation & compaction ---- *)
+
+let owner_of t g = Shard_plan.owner_dyn (Array.map (fun s -> s.range) t.slots) g
+
+(* Journal first, then route. A slot that is down (or dies while we talk
+   to it) still journals the mutation: journal replay applies it when the
+   slot revives, so routing failures degrade durability to "applies on
+   restart", never to "lost". *)
+let route_mutation t slot msg entry =
+  slot.journal <- entry :: slot.journal;
+  t.pending_muts <- t.pending_muts + 1;
+  if slot.up then
+    match Frame.write slot.wfd (Shard.msg_to_string msg) with
+    | exception (Unix.Unix_error _ | Sys_error _) ->
+        ignore (restart_slot t slot ~attempt:1)
+    | () -> (
+        match
+          await_handshake slot ~deadline:(deadline_in_ms handshake_timeout_ms)
+        with
+        | `Reply (Shard.Mutated { entity; applied; _ }) -> (
+            match entry with
+            | J_add { global; _ } when applied ->
+                Hashtbl.replace slot.addmap entity global
+            | _ -> ())
+        | `Reply _ | `Dead -> ignore (restart_slot t slot ~attempt:1))
+
+let dict_add t raw =
+  if t.closed then invalid_arg "Cluster.dict_add: cluster is shut down";
+  match Hashtbl.find_opt t.by_raw raw with
+  | Some g -> `Exists g
+  | None ->
+      let g = Dynarray.length t.ents in
+      Dynarray.push t.ents raw;
+      Hashtbl.replace t.by_raw raw g;
+      let slot = t.slots.(owner_of t g) in
+      route_mutation t slot (Shard.Dict_add { raw }) (J_add { raw; global = g });
+      `Added g
+
+let dict_remove t raw =
+  if t.closed then invalid_arg "Cluster.dict_remove: cluster is shut down";
+  match Hashtbl.find_opt t.by_raw raw with
+  | None -> `Absent
+  | Some g ->
+      Hashtbl.remove t.by_raw raw;
+      Hashtbl.replace t.dead_ids g ();
+      let slot = t.slots.(owner_of t g) in
+      route_mutation t slot (Shard.Dict_remove { raw }) (J_remove raw);
+      `Removed g
+
+let delta_entities t = t.pending_muts
+let live_count t = Dynarray.length t.ents - Hashtbl.length t.dead_ids
+
+let entity_raw t g =
+  if g < 0 || g >= Dynarray.length t.ents || Hashtbl.mem t.dead_ids g then None
+  else Some (Dynarray.get t.ents g)
+
+let live_entities t =
+  let acc = ref [] in
+  Dynarray.iteri
+    (fun i raw -> if not (Hashtbl.mem t.dead_ids i) then acc := raw :: !acc)
+    t.ents;
+  Array.of_list (List.rev !acc)
+
+let compact t =
+  if t.closed then invalid_arg "Cluster.compact: cluster is shut down";
+  let folded = t.pending_muts in
+  let entities = live_entities t in
+  match
+    (* Context = the generation being built, so a schedule can target one
+       specific compaction. compact_save models dying while building the
+       new snapshots (nothing changed yet); compact_commit models dying
+       after prepare, on the brink of adoption (two_phase aborts). *)
+    Fault.with_context (t.generation + 1) (fun () ->
+        Fault.site "compact_save";
+        two_phase t ~entities ~before_commit:(fun _gen ->
+            Fault.site "compact_commit"))
+  with
+  | exception Fault.Injected site ->
+      Error (Printf.sprintf "injected fault at %s" site)
+  | Error _ as e -> e
+  | Ok gen ->
+      Metrics.incr m_compactions;
+      Ok (gen, folded)
 
 (* ---- shutdown / stats ---- *)
 
@@ -1056,6 +1307,14 @@ let health t =
                 can be asked — report the coordinator-known 0 rather than
                 paying a frame round-trip. *)
              h_queue_depth = 0;
+             (* Journal length, not shard-side Delta.pending: the journal
+                is the authoritative record of what this shard's overlay
+                holds (or will hold after replay if it is mid-restart). *)
+             h_delta = List.length slot.journal;
+             h_compact_age_s =
+               Some
+                 (Int64.to_float (Int64.sub (Trace.now_ns ()) t.last_compact_ns)
+                 /. 1e9);
            })
          t.slots)
   in

@@ -117,6 +117,55 @@ val reload : t -> (int, string) result
     dropped, files removed, old generation keeps serving — and the error
     is returned. [Ok gen] returns the new generation. *)
 
+(** {1 Online mutation}
+
+    The coordinator owns the authoritative dynamic dictionary: every
+    accepted mutation is journaled per owning shard {e before} it is
+    routed, and a shard that crashes is replayed its journal (in original
+    order) on respawn — so a mutation, once accepted, survives any shard
+    death. Added entities get fresh global ids past the partitioned id
+    space and round-robin over shards ({!Shard_plan.owner_dyn}); matches
+    they produce are translated back through the per-shard add map, so
+    {!submit} responses are indistinguishable from a dictionary that
+    always contained them. Journals, add maps and tombstones reset at
+    every committed snapshot generation ({!reload} or {!compact}), whose
+    entity array subsumes them. *)
+
+val dict_add : t -> string -> [ `Added of int | `Exists of int ]
+(** Add one raw entity. [`Added id] is its fresh global id; [`Exists id]
+    means the raw is already live (no-op, nothing journaled).
+    @raise Invalid_argument after {!shutdown}. *)
+
+val dict_remove : t -> string -> [ `Removed of int | `Absent ]
+(** Tombstone one raw entity (snapshot-born or dynamically added).
+    [`Absent] means no live entity has this raw (no-op, nothing
+    journaled). The raw can be re-added later under a fresh id.
+    @raise Invalid_argument after {!shutdown}. *)
+
+val compact : t -> (int * int, string) result
+(** Fold every pending mutation into a fresh snapshot generation via the
+    same two-phase Prepare/Commit swap as {!reload}. [Ok (gen, folded)]
+    returns the committed generation and how many mutations it absorbed.
+    Crash-safe at both injected fault sites: ["compact_save"] (dies while
+    building the new snapshots — nothing has changed) and
+    ["compact_commit"] (dies after every shard prepared — the swap
+    aborts); either way the old generation keeps serving and the journals
+    keep their mutations. Fault context is the generation being built.
+    @raise Invalid_argument after {!shutdown}. *)
+
+val delta_entities : t -> int
+(** Mutations pending since the serving snapshot generation (what
+    {!compact} would fold). *)
+
+val live_count : t -> int
+(** Live dictionary size: snapshot entities minus tombstones plus
+    dynamic adds. *)
+
+val entity_raw : t -> int -> string option
+(** The raw string behind a global entity id, [None] if out of range or
+    tombstoned. Resolves both snapshot and dynamically added ids —
+    useful for mapping {!submit} match ids back to entities. *)
+
 val shutdown : t -> unit
 (** Graceful teardown: each shard drains its pool, reports its Bye stats
     and exits; stragglers are killed. Temp snapshot dirs are removed.
@@ -159,7 +208,9 @@ val stats :
 val health : t -> string * Serve_proto.shard_health list
 (** Coordinator-local liveness view, no shard round-trips: per shard
     up/generation/restart-count (queue depth is always 0 here — the
-    coordinator keeps at most one document in flight per shard), plus the
+    coordinator keeps at most one document in flight per shard), journal
+    length ([h_delta] — pending mutations owned by that shard) and the
+    age of the serving snapshot generation ([h_compact_age_s]), plus the
     overall status: ["ok"] when every shard is up, ["degraded"]
     otherwise. *)
 

@@ -68,6 +68,15 @@ let assemble ~sim ~q ~lazy_bound dict index =
   let infos =
     Array.map (entity_info sim ~q ~lazy_bound) (Ix.Dictionary.entities dict)
   in
+  (* A delta-overlay view tombstones removed entities: force them off every
+     path (heap candidates can't arise — their postings are filtered — but
+     the fallback scan iterates infos directly). *)
+  if Ix.Inverted_index.is_overlay index then
+    Array.iteri
+      (fun id i ->
+        if i.path <> Impossible && not (Ix.Inverted_index.entity_live index id)
+        then infos.(id) <- { i with path = Impossible })
+      infos;
   let global_lower, global_upper =
     Array.fold_left
       (fun (lo, hi) i ->

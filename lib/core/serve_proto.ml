@@ -570,7 +570,13 @@ let span_of_json j : Trace.span option =
 
 (* ---- admin plane ---- *)
 
-type admin = Stats | Health | Slowlog_dump
+type admin =
+  | Stats
+  | Health
+  | Slowlog_dump
+  | Dict_add of string
+  | Dict_remove of string
+  | Compact
 
 (* Admin lines share the request NDJSON stream; [parse_admin] peeks at the
    line before {!parse_request} runs. [None] means "not an admin line" —
@@ -590,6 +596,20 @@ let parse_admin line =
               | "stats" -> Some (Ok Stats)
               | "health" -> Some (Ok Health)
               | "slowlog" -> Some (Ok Slowlog_dump)
+              | "compact" -> Some (Ok Compact)
+              | "dict_add" | "dict_remove" -> (
+                  match Option.bind (Json.member "entity" j) Json.to_str with
+                  | Some raw ->
+                      Some
+                        (Ok
+                           (if op = "dict_add" then Dict_add raw
+                            else Dict_remove raw))
+                  | None ->
+                      Some
+                        (Error
+                           (Malformed
+                              (Printf.sprintf
+                                 "%s: missing string field \"entity\"" op))))
               | _ ->
                   Some
                     (Error
@@ -619,6 +639,11 @@ type shard_health = {
   h_gen : int;
   h_restarts : int;
   h_queue_depth : int;
+  h_delta : int;  (* pending overlay mutations (delta_entities) *)
+  h_compact_age_s : float option;
+      (* seconds since the serving snapshot was last folded (start or
+         last compaction); None when the serving process predates the
+         mutation subsystem or the shard is down *)
 }
 
 (* [slo] is a pre-rendered JSON object (Slo.to_json); [uptime_s] /
@@ -637,13 +662,19 @@ let health_response_json ?uptime_s ?max_rss_bytes ?slo ~status shards =
                 (List.map
                    (fun h ->
                      Json.Obj
-                       [
-                         ("shard", num h.h_shard);
-                         ("up", Json.Bool h.h_up);
-                         ("gen", num h.h_gen);
-                         ("restarts", num h.h_restarts);
-                         ("queue_depth", num h.h_queue_depth);
-                       ])
+                       ([
+                          ("shard", num h.h_shard);
+                          ("up", Json.Bool h.h_up);
+                          ("gen", num h.h_gen);
+                          ("restarts", num h.h_restarts);
+                          ("queue_depth", num h.h_queue_depth);
+                          (* append-only past this point (locked prefix) *)
+                          ("delta", num h.h_delta);
+                        ]
+                       @
+                       match h.h_compact_age_s with
+                       | Some a -> [ ("compact_age_s", Json.Num a) ]
+                       | None -> []))
                    shards) );
           ]
          @ (match uptime_s with
@@ -668,6 +699,52 @@ let slowlog_response_json ~total records =
   Printf.sprintf "{\"v\":%d,\"op\":\"slowlog\",\"total\":%d,\"records\":[%s]}"
     version total
     (String.concat "," records)
+
+(* ---- dictionary-mutation admin responses ---- *)
+
+(* [applied] distinguishes a mutation that changed the dictionary from an
+   idempotent no-op (adding a live raw, removing an absent one) — WAL
+   replay after a crash leans on that distinction. [entity] is the id the
+   mutation resolved to (-1 when none, e.g. removing an absent raw);
+   [entities] is the live count after the op; [gen] names the serving
+   snapshot generation the overlay rides on. *)
+let dict_response_json ~op ~applied ~entity ~entities ~gen =
+  Json.to_string
+    (Json.Obj
+       [
+         ("v", num version);
+         ("op", Json.Str op);
+         ("outcome", Json.Str "ok");
+         ("applied", Json.Bool applied);
+         ("entity", num entity);
+         ("entities", num entities);
+         ("gen", num gen);
+       ])
+
+let compact_response_json ~gen ~folded ~entities =
+  Json.to_string
+    (Json.Obj
+       [
+         ("v", num version);
+         ("op", Json.Str "compact");
+         ("outcome", Json.Str "ok");
+         ("gen", num gen);
+         ("folded", num folded);
+         ("entities", num entities);
+       ])
+
+(* Admin-op failure (WAL append rejected, compaction aborted, mutations
+   not armed): the op echoes back with an error, the dictionary is
+   untouched. *)
+let admin_error_json ~op error =
+  Json.to_string
+    (Json.Obj
+       [
+         ("v", num version);
+         ("op", Json.Str op);
+         ("outcome", Json.Str "error");
+         ("error", Json.Str error);
+       ])
 
 (* ---- slowlog records ---- *)
 
@@ -911,6 +988,8 @@ module Shard = struct
     | Prepare of { gen : int; path : string }
     | Commit of { gen : int }
     | Abort of { gen : int }
+    | Dict_add of { raw : string }
+    | Dict_remove of { raw : string }
     | Stats_req
     | Shutdown
 
@@ -932,6 +1011,10 @@ module Shard = struct
     | Committed of { gen : int }
     | Aborted of { gen : int }
     | Refused of { error : string }
+    | Mutated of { gen : int; entity : int; applied : bool }
+        (* outcome of a Dict_add/Dict_remove: [entity] is the shard-local
+           id the mutation resolved to (-1 when none), [applied] false for
+           idempotent no-ops *)
     | Stats_reply of { shard : int; snapshot : Metrics.snapshot }
     | Bye of { restarts : int; quarantined : int }
 
@@ -955,6 +1038,8 @@ module Shard = struct
           obj "prepare" [ ("gen", num gen); ("path", Json.Str path) ]
       | Commit { gen } -> obj "commit" [ ("gen", num gen) ]
       | Abort { gen } -> obj "abort" [ ("gen", num gen) ]
+      | Dict_add { raw } -> obj "dict_add" [ ("entity", Json.Str raw) ]
+      | Dict_remove { raw } -> obj "dict_remove" [ ("entity", Json.Str raw) ]
       | Stats_req -> obj "stats" []
       | Shutdown -> obj "shutdown" [])
 
@@ -989,6 +1074,13 @@ module Shard = struct
       | Committed { gen } -> obj "committed" [ ("gen", num gen) ]
       | Aborted { gen } -> obj "aborted" [ ("gen", num gen) ]
       | Refused { error } -> obj "refused" [ ("error", Json.Str error) ]
+      | Mutated { gen; entity; applied } ->
+          obj "mutated"
+            [
+              ("gen", num gen);
+              ("entity", num entity);
+              ("applied", Json.Bool applied);
+            ]
       | Stats_reply { shard; snapshot } ->
           obj "stats"
             [ ("shard", num shard); ("snapshot", snapshot_to_json snapshot) ]
@@ -1039,6 +1131,14 @@ module Shard = struct
             match int "gen" with Some gen -> Ok (Commit { gen }) | None -> bad ())
         | "abort" -> (
             match int "gen" with Some gen -> Ok (Abort { gen }) | None -> bad ())
+        | "dict_add" -> (
+            match str "entity" with
+            | Some raw -> Ok (Dict_add { raw })
+            | None -> bad ())
+        | "dict_remove" -> (
+            match str "entity" with
+            | Some raw -> Ok (Dict_remove { raw })
+            | None -> bad ())
         | "stats" -> Ok Stats_req
         | "shutdown" -> Ok Shutdown
         | _ -> Error (Malformed (Printf.sprintf "unknown frame op %S" op)))
@@ -1108,6 +1208,15 @@ module Shard = struct
             match str "error" with
             | Some error -> Ok (Refused { error })
             | None -> bad ())
+        | "mutated" -> (
+            match
+              ( int "gen",
+                int "entity",
+                Option.bind (Json.member "applied" j) Json.to_bool )
+            with
+            | Some gen, Some entity, Some applied ->
+                Ok (Mutated { gen; entity; applied })
+            | _ -> bad ())
         | "stats" -> (
             match
               ( int "shard",

@@ -124,13 +124,20 @@ val span_of_json : Faerie_util.Json.t -> Faerie_obs.Trace.span option
     Admin operations share the request NDJSON stream: a line whose JSON
     has an ["op"] field is an admin op, never a document. *)
 
-type admin = Stats | Health | Slowlog_dump
+type admin =
+  | Stats
+  | Health
+  | Slowlog_dump
+  | Dict_add of string  (** [{"op":"dict_add","entity":RAW}] *)
+  | Dict_remove of string  (** [{"op":"dict_remove","entity":RAW}] *)
+  | Compact  (** [{"op":"compact"}] *)
 
 val parse_admin : string -> (admin, parse_error) result option
 (** [None] when the line is not an admin op (not JSON, or no ["op"]
     field) — hand it to {!parse_request}, which owns the doc ordinal and
     the fault-injection site, so admin traffic never perturbs fault
-    schedules. [Some (Error _)] on an unknown op or version mismatch. *)
+    schedules. [Some (Error _)] on an unknown op, a [dict_*] op missing
+    its ["entity"] string, or version mismatch. *)
 
 val stats_response_json :
   ?missing:int list ->
@@ -149,6 +156,14 @@ type shard_health = {
   h_gen : int;  (** index generation the shard last acknowledged *)
   h_restarts : int;  (** times the coordinator respawned this shard *)
   h_queue_depth : int;  (** documents queued in the worker pool *)
+  h_delta : int;
+      (** pending overlay mutations on this shard ([delta_entities]) *)
+  h_compact_age_s : float option;
+      (** seconds since this shard's snapshot was last folded (process
+          start counts as generation 0's fold); rendered as an appended
+          ["compact_age_s"] field when present — the per-shard object's
+          field prefix through ["queue_depth"] stays locked, new fields
+          are append-only *)
 }
 
 val health_response_json :
@@ -165,6 +180,24 @@ val health_response_json :
     [slo] is a pre-rendered {!Faerie_obs.Slo.to_json} assessment spliced
     in as an ["slo"] object. Single-process serving reports itself as
     one pseudo-shard. *)
+
+val dict_response_json :
+  op:string -> applied:bool -> entity:int -> entities:int -> gen:int -> string
+(** Success line for [{"op":"dict_add"|"dict_remove"}]: [applied] is false
+    for idempotent no-ops (adding a live raw, removing an absent one),
+    [entity] the id the mutation resolved to (-1 when none), [entities]
+    the live count after the op, [gen] the serving snapshot generation the
+    overlay rides on. *)
+
+val compact_response_json : gen:int -> folded:int -> entities:int -> string
+(** Success line for [{"op":"compact"}]: the overlay ([folded] pending
+    mutations) was folded into a durable generation-[gen] snapshot of
+    [entities] live entities and the WAL truncated. *)
+
+val admin_error_json : op:string -> string -> string
+(** Failure line for an admin op (WAL append rejected, compaction aborted,
+    mutations not armed): [{"v":1,"op":OP,"outcome":"error","error":MSG}];
+    the dictionary is untouched. *)
 
 val slowlog_response_json : total:int -> string list -> string
 (** Response line for [{"op":"slowlog"}]:
@@ -303,6 +336,10 @@ module Shard : sig
             [path], hold it pending, do not serve from it yet *)
     | Commit of { gen : int }  (** phase 2: swap the pending snapshot in *)
     | Abort of { gen : int }  (** drop the pending snapshot *)
+    | Dict_add of { raw : string }
+        (** apply one dictionary add to the shard's delta overlay;
+            answered with {!reply.Mutated} *)
+    | Dict_remove of { raw : string }
     | Stats_req
         (** pull the shard's full metrics snapshot; answered with
             {!reply.Stats_reply} *)
@@ -334,6 +371,12 @@ module Shard : sig
         (** structured protocol-level rejection (version mismatch,
             commit without prepare); the coordinator treats it as a shard
             fault *)
+    | Mutated of { gen : int; entity : int; applied : bool }
+        (** outcome of a [Dict_add]/[Dict_remove]: [entity] is the
+            {e shard-local} id the mutation resolved to (-1 when none,
+            e.g. removing an absent raw) — the coordinator owns the
+            local→global id mapping; [applied] is false for idempotent
+            no-ops *)
     | Stats_reply of { shard : int; snapshot : Faerie_obs.Metrics.snapshot }
     | Bye of { restarts : int; quarantined : int }
         (** final stats on clean shutdown: worker-domain restarts and

@@ -23,6 +23,19 @@ let owner ranges entity =
   in
   go 0
 
+(* Dynamically added entities get global ids past the partitioned id
+   space; they round-robin over shards so overlay growth spreads evenly.
+   Deterministic in (id, ranges), so the coordinator can recompute
+   ownership after restarts without a persisted routing table. *)
+let owner_dyn ranges entity =
+  match owner ranges entity with
+  | Some s -> s
+  | None ->
+      let n = Array.length ranges in
+      if n = 0 then invalid_arg "Shard_plan.owner_dyn: no ranges";
+      let top = ranges.(n - 1).hi in
+      (((entity - top) mod n) + n) mod n
+
 let snapshot_path ~dir ~gen ~shard =
   Filename.concat dir (Printf.sprintf "shard-%d.gen-%d.faerie" shard gen)
 

@@ -29,6 +29,13 @@ val partition : n_entities:int -> shards:int -> range array
 val owner : range array -> int -> int option
 (** Which shard owns a global entity id, if any. *)
 
+val owner_dyn : range array -> int -> int
+(** Ownership extended to dynamically added entities: ids inside a range
+    map to its shard, ids past the partitioned space round-robin over the
+    shards ([(id - top) mod shards]) — deterministic, so ownership is
+    recomputable after a coordinator restart without a routing table.
+    @raise Invalid_argument on an empty range array. *)
+
 val snapshot_path : dir:string -> gen:int -> shard:int -> string
 (** The canonical per-shard snapshot filename,
     [DIR/shard-S.gen-G.faerie]. Generation-stamped so a two-phase reload

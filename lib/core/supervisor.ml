@@ -117,6 +117,10 @@ module Quarantine = struct
     pruning : Types.pruning;
     budget : Budget.spec;
     fault : Fault.config option;
+    gen : int;
+        (* dictionary generation serving when the failure happened; replay
+           refuses a mismatched generation (the text would extract against
+           a different dictionary and not reproduce) *)
     text : string;
   }
 
@@ -159,6 +163,7 @@ module Quarantine = struct
                      );
                    ] );
            ("text", Json.Str r.text);
+           ("gen", num r.gen);
          ]))
 
   let of_json line =
@@ -225,10 +230,17 @@ module Quarantine = struct
           | _ -> None
         in
         let* text = field "text" Json.to_str in
+        (* Records from before dynamic dictionaries carry no generation:
+           they were written against the only generation there was, 0. *)
+        let gen =
+          match Option.bind (Json.member "gen" j) Json.to_int with
+          | Some g -> g
+          | None -> 0
+        in
         Ok
           {
             doc_id; id; shard; attempts; error; sim; q; pruning; budget; fault;
-            text;
+            gen; text;
           })
 
   (* Dead-letter sink: O_APPEND plus a single [write] per record, so the
@@ -292,6 +304,10 @@ type t = {
   mutable workers : unit Domain.t list;
   mutable restarts : int;
   quarantine_sink : Quarantine.sink option;
+  generation : int Atomic.t;
+      (* dictionary generation stamped into quarantine records; atomic
+         because the owner bumps it on reload commits while worker domains
+         read it when finalizing failures *)
 }
 
 let transient = function
@@ -332,6 +348,7 @@ let finalize_failed t job err =
         pruning = job.opts.Extractor.pruning;
         budget = job.opts.Extractor.budget;
         fault = Fault.current ();
+        gen = Atomic.get t.generation;
         text = job.text;
       };
     Metrics.incr m_docs_quarantined;
@@ -473,6 +490,7 @@ let create ?(config = default_config) source =
       workers = [];
       restarts = 0;
       quarantine_sink;
+      generation = Atomic.make 0;
     }
   in
   Mutex.lock t.lock;
@@ -481,6 +499,8 @@ let create ?(config = default_config) source =
   done;
   Mutex.unlock t.lock;
   t
+
+let note_generation t gen = Atomic.set t.generation gen
 
 let submit t ?id ?opts ?deadline_ns ?trace ~doc_id text ~on_done =
   let opts = Option.value opts ~default:Extractor.default_opts in

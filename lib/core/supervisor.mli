@@ -104,6 +104,11 @@ module Quarantine : sig
     budget : Faerie_util.Budget.spec;
     fault : Faerie_util.Fault.config option;
         (** the armed fault campaign, for exact replay *)
+    gen : int;
+        (** dictionary generation serving at failure time ([0] in records
+            written before dynamic dictionaries existed); replay tooling
+            refuses a mismatched generation, since the text would extract
+            against a different dictionary and not reproduce *)
     text : string;  (** the poison document itself *)
   }
   (** A self-contained repro: [fuzz.exe --replay=FILE --dict=DICT] rebuilds
@@ -141,6 +146,11 @@ val create : ?config:config -> (unit -> Extractor.t) -> t
     called once per attempt to obtain the extractor, so a server can swap
     in a freshly loaded index ([Atomic.set]) and in-flight work picks it
     up on the next document — the hot-reload path of [faerie serve]. *)
+
+val note_generation : t -> int -> unit
+(** Record the dictionary generation currently serving; stamped into every
+    quarantine record this pool writes from now on. Safe to call from the
+    owner thread while workers are extracting. Starts at [0]. *)
 
 val submit :
   t ->

@@ -43,8 +43,39 @@ val of_blocks :
     [blob[offs.(i) .. offs.(i+1))] holding [counts.(i)] ids. The blocks must
     have been validated — decoding trusts them. *)
 
+val of_overlay :
+  t ->
+  dictionary:Dictionary.t ->
+  adds:int array array ->
+  dead:Bytes.t ->
+  dead_counts:int array ->
+  t
+(** [of_overlay base ~dictionary ~adds ~dead ~dead_counts] is a merged
+    read-only view of [base] plus a mutation overlay (built by
+    {!Delta}): per-token ascending arrays of added entity ids (all
+    numbered past the base id space, so merged lists stay ascending by
+    construction), a tombstone bitset over entity ids, and the per-block
+    tombstone tally. [dictionary] must cover both base and added
+    entities; [adds] must span at least the base token space (it may be
+    wider when added entities introduced new tokens). {!Extractor.run}
+    and every cursor work on the view unchanged.
+
+    @raise Invalid_argument if [base] is itself an overlay view or the
+    overlay shapes disagree with [base]. *)
+
+val is_overlay : t -> bool
+
+val entity_live : t -> int -> bool
+(** False exactly for tombstoned ids of an overlay view (always true on
+    a frozen index). {!Faerie_core.Problem} consults this so removed
+    entities vanish from the heap {e and} fallback paths. *)
+
 val raw_blocks : t -> string * int array * int array
-(** [(blob, offs, counts)] — the stored representation, for {!Codec}. *)
+(** [(blob, offs, counts)] — the stored representation, for {!Codec}.
+
+    @raise Invalid_argument on an overlay view: the merged form has no
+    stored representation until the delta is compacted into a fresh
+    snapshot. *)
 
 val dictionary : t -> Dictionary.t
 

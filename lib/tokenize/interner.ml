@@ -86,6 +86,19 @@ let intern t s =
       id
   | id -> id
 
+let copy t =
+  (* Snapshot for copy-on-write callers: [intern] mutates [table] and
+     [strings] in place, so a table that live readers probe concurrently
+     (worker domains resolving document grams with [find_sub]) must never
+     be the one a mutator grows. Dynamic-dictionary code interns new
+     entity tokens into a private copy and publishes a fresh copy with
+     each materialized view. *)
+  {
+    table = Array.copy t.table;
+    mask = t.mask;
+    strings = Dynarray.of_array (Dynarray.to_array t.strings);
+  }
+
 let to_string t id =
   if id < 0 || id >= Dynarray.length t.strings then
     invalid_arg (Printf.sprintf "Interner.to_string: unknown id %d" id);

@@ -19,6 +19,12 @@ val find_opt : t -> string -> int option
     never seen in the dictionary has an empty inverted list and can be
     dropped eagerly. *)
 
+val copy : t -> t
+(** An independent snapshot preserving every id. [intern] mutates in
+    place, so code that must keep publishing a stable table to concurrent
+    lock-free readers (e.g. the dynamic-dictionary delta overlay) interns
+    into a private copy and republishes. *)
+
 val to_string : t -> int -> string
 (** Inverse mapping.
 

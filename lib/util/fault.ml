@@ -83,4 +83,5 @@ let known_sites =
   [
     "tokenize"; "heap_merge"; "verify"; "codec_io"; "supervisor_worker";
     "codec_rename"; "serve_decode"; "shard_frame"; "shard_stats";
+    "wal_append"; "wal_replay"; "compact_save"; "compact_commit";
   ]

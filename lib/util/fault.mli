@@ -72,4 +72,12 @@ val known_sites : string list
     {!Faerie_core.Serve_proto}), ["shard_frame"] (frame handling in a
     {!Faerie_core.Cluster} shard process, {e outside} the per-document
     boundary — an injection there makes the whole shard process exit
-    abnormally, simulating a shard crash mid-request). *)
+    abnormally, simulating a shard crash mid-request), ["wal_append"]
+    (fired {e before} the write(2) in {!Wal.append} — an injection
+    simulates a crash before the mutation reaches disk: the op must be
+    rejected, not half-applied), ["wal_replay"] (fired per record during
+    {!Wal.replay} — simulates a crash mid-recovery; replay must be
+    idempotent so a rerun converges), ["compact_save"] (before the
+    compactor writes the folded snapshot) and ["compact_commit"] (after
+    the snapshot is durable but before it is adopted — an injection at
+    either must leave the old generation serving and the WAL intact). *)

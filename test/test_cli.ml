@@ -678,6 +678,151 @@ let test_serve_hot_reload () =
       check_bool "summary reports the reload" true
         (has_match {|"docs":2,"ok":2|} err && has_match {|"reloads":1,|} err))
 
+(* Online mutation over a WAL: dict_add/dict_remove admin ops apply
+   immediately and durably — a fresh process on the same --wal replays
+   them, so the added entity keeps matching after a "crash". The add gets
+   id 5 (first past the 5 base entities) in both processes, which pins
+   deterministic replay ordering. *)
+let test_serve_dict_mutation_wal () =
+  with_temp_dir (fun dir ->
+      let dict = paper_dict_file dir in
+      let wal = Filename.concat dir "dict.wal" in
+      let input = Filename.concat dir "input.ndjson" in
+      write_file input
+        ("{\"op\":\"dict_add\",\"entity\":\"dong xin\"}\n"
+       ^ "{\"text\":\"talk by dong xin today\"}\n"
+       ^ "{\"op\":\"dict_remove\",\"entity\":\"venkatesh\"}\n"
+       ^ "{\"op\":\"health\"}\n");
+      let status, out, _ =
+        run_cli_io ~dir ~stdin_file:input
+          [
+            "serve"; "-d"; dict; "-s"; "ed=2"; "-q"; "2"; "--domains"; "1";
+            "--wal"; wal;
+          ]
+      in
+      check_int "exit 0" 0 (exit_code status);
+      check_int "4 responses (3 admin + 1 doc)" 4 (List.length out);
+      check_bool "dict_add applied" true
+        (has_match {|"op":"dict_add","outcome":"ok","applied":true|} out);
+      check_bool "added entity matches immediately under its fresh id" true
+        (has_match {|"outcome":"ok".*"matches":\[{"e":5|} out);
+      check_bool "dict_remove applied" true
+        (has_match {|"op":"dict_remove","outcome":"ok","applied":true|} out);
+      check_bool "health reports the 2-deep overlay" true
+        (has_match {|"op":"health".*"delta":2|} out);
+      check_bool "health reports the compaction age" true
+        (has_match {|"compact_age_s"|} out);
+      (* Fresh process, same WAL: both mutations replay at startup. *)
+      let input2 = Filename.concat dir "input2.ndjson" in
+      write_file input2
+        ("{\"text\":\"talk by dong xin today\"}\n" ^ "{\"op\":\"health\"}\n");
+      let status, out, _ =
+        run_cli_io ~dir ~stdin_file:input2
+          [
+            "serve"; "-d"; dict; "-s"; "ed=2"; "-q"; "2"; "--domains"; "1";
+            "--wal"; wal;
+          ]
+      in
+      check_int "restart exit 0" 0 (exit_code status);
+      check_bool "replayed add still matches under the same id" true
+        (has_match {|"outcome":"ok".*"matches":\[{"e":5|} out);
+      check_bool "replayed overlay is still 2 deep" true
+        (has_match {|"op":"health".*"delta":2|} out))
+
+(* Offline tooling: `dict add`/`dict remove` append to the WAL without a
+   server, and `dict compact` folds the log into the index snapshot and
+   truncates it. *)
+let test_dict_cli_offline_compact () =
+  with_temp_dir (fun dir ->
+      let dict = paper_dict_file dir in
+      let idx = Filename.concat dir "dict.fidx" in
+      let wal = Filename.concat dir "dict.wal" in
+      let status, _ =
+        run_cli [ "index"; "-d"; dict; "-s"; "ed=2"; "-q"; "2"; "-o"; idx ]
+      in
+      check_int "index build exit 0" 0 (exit_code status);
+      let status, lines =
+        run_cli [ "dict"; "add"; "--wal"; wal; "dong xin"; "data mining" ]
+      in
+      check_int "dict add exit 0" 0 (exit_code status);
+      check_bool "add reports both appends" true
+        (has_match "appended 2 add" lines);
+      let status, _ = run_cli [ "dict"; "remove"; "--wal"; wal; "venkatesh" ] in
+      check_int "dict remove exit 0" 0 (exit_code status);
+      let status, lines =
+        run_cli [ "dict"; "compact"; "-s"; "ed=2"; "--wal"; wal; "--index"; idx ]
+      in
+      check_int "dict compact exit 0" 0 (exit_code status);
+      check_bool "compact folds all three mutations" true
+        (has_match "folded 3 mutation" lines);
+      check_bool "live count after the fold" true (has_match "6 entities" lines);
+      (* The WAL was truncated: a second compact has nothing to fold. *)
+      let status, lines =
+        run_cli [ "dict"; "compact"; "-s"; "ed=2"; "--wal"; wal; "--index"; idx ]
+      in
+      check_int "second compact exit 0" 0 (exit_code status);
+      check_bool "wal empty after the fold" true (has_match "wal empty" lines);
+      (* The folded snapshot serves the added entity with no WAL at all. *)
+      let input = Filename.concat dir "in.ndjson" in
+      write_file input "{\"text\":\"talk by dong xin today\"}\n";
+      let status, out, _ =
+        run_cli_io ~dir ~stdin_file:input
+          [ "serve"; "-x"; idx; "-s"; "ed=2"; "--domains"; "1" ]
+      in
+      check_int "serve exit 0" 0 (exit_code status);
+      check_bool "folded entity matches" true
+        (has_match {|"outcome":"ok".*"matches":\[{"e":|} out))
+
+(* Replay refuses a record captured under a different dictionary
+   generation: the text would extract against the wrong dictionary and
+   prove nothing. --gen declares which generation --dict holds. *)
+let test_fuzz_replay_gen_gate () =
+  with_temp_dir (fun dir ->
+      let dict = paper_dict_file dir in
+      let input = Filename.concat dir "input.ndjson" in
+      write_file input "{\"text\":\"surauijt chadhuri\",\"id\":\"poison-a\"}\n";
+      let quarantine = Filename.concat dir "quarantine.ndjson" in
+      let status, _, _ =
+        run_cli_io ~dir ~stdin_file:input
+          [
+            "serve"; "-d"; dict; "-s"; "ed=2"; "-q"; "2"; "--domains"; "1";
+            "--retries"; "1"; "--backoff-ms"; "0";
+            "--quarantine"; quarantine;
+            "--inject"; "7:supervisor_worker=1.0";
+          ]
+      in
+      check_int "serve exit 0" 0 (exit_code status);
+      let records = read_lines quarantine in
+      check_int "one quarantine record" 1 (List.length records);
+      check_bool "record stamped with generation 0" true
+        (has_match {|"gen":0|} records);
+      let status, lines =
+        run_fuzz [ "--replay=" ^ quarantine; "--dict=" ^ dict ]
+      in
+      check_int "same-generation replay reproduces" 0 (exit_code status);
+      check_bool "reports reproduction" true
+        (has_match "all 1 records reproduce" lines);
+      (* Forge a generation-3 stamp: replay must refuse it loudly. *)
+      let forged = Filename.concat dir "forged.ndjson" in
+      write_file forged
+        (String.concat "\n"
+           (List.map
+              (Str.replace_first (Str.regexp_string {|"gen":0|}) {|"gen":3|})
+              records)
+        ^ "\n");
+      let status, lines = run_fuzz [ "--replay=" ^ forged; "--dict=" ^ dict ] in
+      check_bool "mismatched generation exits nonzero" true
+        (exit_code status <> 0);
+      check_bool "clear error names the mismatch" true
+        (has_match "GENERATION MISMATCH" lines);
+      (* Declaring the matching generation lets the record replay. *)
+      let status, lines =
+        run_fuzz [ "--replay=" ^ forged; "--dict=" ^ dict; "--gen=3" ]
+      in
+      check_int "matching --gen replays" 0 (exit_code status);
+      check_bool "reproduces under the declared generation" true
+        (has_match "all 1 records reproduce" lines))
+
 let () =
   Alcotest.run "faerie_cli"
     [
@@ -719,5 +864,14 @@ let () =
             test_serve_admin_ops;
           Alcotest.test_case "periodic stats interval" `Quick
             test_serve_stats_interval;
+        ] );
+      ( "mutation",
+        [
+          Alcotest.test_case "dict_add/dict_remove over a WAL" `Quick
+            test_serve_dict_mutation_wal;
+          Alcotest.test_case "dict add/remove/compact CLI" `Quick
+            test_dict_cli_offline_compact;
+          Alcotest.test_case "replay generation gate" `Quick
+            test_fuzz_replay_gen_gate;
         ] );
     ]

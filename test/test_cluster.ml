@@ -427,6 +427,7 @@ let sample_record ~shard ~doc_id =
     pruning = Types.Binary_window;
     budget = Budget.spec_unlimited;
     fault = Some { Fault.seed = 7; rates = [ ("shard_frame", 0.25) ] };
+    gen = 0;
     text = "poison";
   }
 
